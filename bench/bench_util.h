@@ -1,0 +1,71 @@
+// Shared runner for the figure/table reproduction benches.
+//
+// Environment knobs:
+//   MEMTIS_BENCH_SCALE      multiplies the per-run access budget (default 1.0)
+//   MEMTIS_BENCH_FOOTPRINT  multiplies workload footprints (default 0.25,
+//                           i.e. ~40-64 MiB simulated footprints)
+
+#ifndef MEMTIS_SIM_BENCH_BENCH_UTIL_H_
+#define MEMTIS_SIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/memtis/memtis_policy.h"
+#include "src/memtis/policy_registry.h"
+#include "src/sim/engine.h"
+#include "src/workloads/registry.h"
+
+namespace memtis {
+
+double BenchAccessScale();
+double BenchFootprintScale();
+uint64_t DefaultAccesses(uint64_t base = 3'000'000);
+// Number of workload seeds averaged per cell (env MEMTIS_BENCH_SEEDS, def. 1).
+int BenchSeeds();
+
+struct RunSpec {
+  std::string system;
+  std::string benchmark;
+  double fast_ratio = 1.0 / 3.0;  // fast tier as a fraction of the footprint
+  uint64_t accesses = 0;          // 0 -> DefaultAccesses()
+  bool cxl = false;
+  bool cpu_contention = true;
+  uint64_t snapshot_interval_ns = 0;
+  uint64_t fast_bytes_override = 0;  // nonzero: fixed fast tier (Fig. 6)
+  double footprint_scale = 0.0;      // 0 -> BenchFootprintScale()
+  uint64_t seed_offset = 0;
+  // Optional hook to tweak the MEMTIS config (sensitivity sweeps); applied
+  // only when the system is a MEMTIS variant.
+  MemtisConfig (*memtis_tweak)(MemtisConfig) = nullptr;
+};
+
+struct RunOutput {
+  Metrics metrics;
+  uint64_t footprint_bytes = 0;
+  uint64_t fast_bytes = 0;
+  // MEMTIS introspection (valid when the system is a MEMTIS variant).
+  bool is_memtis = false;
+  MemtisPolicy::Stats memtis_stats;
+  double mean_ehr = 0.0;
+  double sampler_cpu = 0.0;
+  uint64_t pebs_load_period = 0;
+  uint64_t pebs_store_period = 0;
+  // HeMem introspection.
+  uint64_t hemem_overalloc_bytes = 0;
+};
+
+RunOutput RunOne(const RunSpec& spec);
+
+// runtime(baseline) / runtime(system): the paper's normalised performance.
+inline double NormalizedPerf(const RunOutput& system, const RunOutput& baseline) {
+  return baseline.metrics.EffectiveRuntimeNs() / system.metrics.EffectiveRuntimeNs();
+}
+
+// Baseline spec (all-capacity with THP) matching a system spec.
+RunOutput RunBaseline(RunSpec spec);
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,85 @@
+// Fig. 3: hotness vs huge-page utilisation for Liblinear and Silo.
+//
+// Runs each workload under MEMTIS (whose sampler maintains per-subpage
+// counts, like the paper's PEBS traces) on an all-capacity-sized machine and
+// reports the per-huge-page (utilisation, hotness) relationship: binned rows
+// plus the Pearson correlation. Liblinear should correlate positively
+// (Fig. 3a); Silo should concentrate at low utilisation regardless of
+// hotness (Fig. 3b).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/memtis/memtis_policy.h"
+#include "src/sim/engine.h"
+#include "src/workloads/registry.h"
+
+namespace memtis {
+namespace {
+
+int Main() {
+  for (const char* benchmark : {"liblinear", "silo"}) {
+    auto workload = MakeWorkload(benchmark, BenchFootprintScale());
+    const uint64_t footprint = workload->footprint_bytes();
+    // Splitting disabled: this analysis measures the huge pages themselves.
+    MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint, footprint / 3);
+    cfg.enable_split = false;
+    cfg.enable_collapse = false;
+    MemtisPolicy policy(cfg);
+    EngineOptions opts;
+    opts.max_accesses = DefaultAccesses(4'000'000);
+    Engine engine(MakeNvmMachine(footprint / 3, footprint * 3 / 2), policy, opts);
+    engine.Run(*workload);
+
+    // Collect per-huge-page utilisation (subpages with sampled accesses) and
+    // hotness (sample count).
+    std::vector<double> utilization;
+    std::vector<double> hotness;
+    engine.mem().ForEachLivePage([&](PageIndex, PageInfo& page) {
+      if (page.kind != PageKind::kHuge || page.access_count == 0) {
+        return;
+      }
+      uint32_t used = 0;
+      for (uint32_t c : page.huge->subpage_count) {
+        used += c > 0 ? 1 : 0;
+      }
+      if (used == 0) {
+        return;
+      }
+      utilization.push_back(static_cast<double>(used));
+      hotness.push_back(static_cast<double>(page.access_count));
+    });
+
+    Table table(std::string("Fig. 3 — hotness vs huge-page utilisation: ") + benchmark);
+    table.SetHeader({"utilization(4K pages)", "huge_pages", "mean_hotness",
+                     "max_hotness"});
+    const std::vector<std::pair<uint32_t, uint32_t>> buckets = {
+        {1, 32}, {33, 64}, {65, 128}, {129, 256}, {257, 384}, {385, 512}};
+    for (const auto& [lo, hi] : buckets) {
+      RunningStat stat;
+      for (size_t i = 0; i < utilization.size(); ++i) {
+        if (utilization[i] >= lo && utilization[i] <= hi) {
+          stat.Add(hotness[i]);
+        }
+      }
+      table.AddRow({std::to_string(lo) + "-" + std::to_string(hi),
+                    std::to_string(stat.count()), Table::Num(stat.mean(), 1),
+                    Table::Num(stat.count() == 0 ? 0.0 : stat.max(), 1)});
+    }
+    table.Print();
+    std::printf("correlation(hotness, utilization) = %.3f over %zu huge pages\n",
+                PearsonCorrelation(hotness, utilization), hotness.size());
+  }
+  std::printf("\nExpected shape (paper Fig. 3): positive correlation for Liblinear; "
+              "Silo's huge pages sit at 5-15%% utilisation (26-77 of 512) at every "
+              "hotness level.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace memtis
+
+int main() { return memtis::Main(); }

@@ -1,0 +1,98 @@
+// Fig. 5: main performance comparison. 8 benchmarks x {1:2, 1:8, 1:16}
+// (fast:capacity), NVM capacity tier, all 7 systems, normalised to the
+// all-capacity (all-NVM) + THP baseline. Last rows: geomean per system, and
+// per-cell best/second-best summary.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+namespace memtis {
+namespace {
+
+// fast:capacity 1:N -> fast tier = RSS / (N + 1), per the paper's §6.1.
+const std::vector<std::pair<std::string, double>> kRatios = {
+    {"1:2", 1.0 / 3.0}, {"1:8", 1.0 / 9.0}, {"1:16", 1.0 / 17.0}};
+
+int Main() {
+  Table table("Fig. 5 — normalized performance vs all-NVM+THP (NVM capacity tier)");
+  std::vector<std::string> header = {"benchmark", "ratio"};
+  for (const auto& system : ComparisonSystems()) {
+    header.push_back(system);
+  }
+  table.SetHeader(header);
+
+  std::map<std::string, std::vector<double>> per_system_scores;
+  int memtis_best = 0;
+  int cells = 0;
+
+  const int seeds = BenchSeeds();
+  for (const auto& benchmark : StandardBenchmarks()) {
+    for (const auto& [ratio_name, ratio] : kRatios) {
+      std::vector<std::string> row = {benchmark, ratio_name};
+      double best = 0.0;
+      double memtis_score = 0.0;
+      // One baseline per workload seed, shared by every system.
+      std::vector<double> baseline_ns;
+      for (int seed = 0; seed < seeds; ++seed) {
+        RunSpec spec;
+        spec.benchmark = benchmark;
+        spec.fast_ratio = ratio;
+        spec.seed_offset = static_cast<uint64_t>(seed) * 1000;
+        baseline_ns.push_back(RunBaseline(spec).metrics.EffectiveRuntimeNs());
+      }
+      for (const auto& system : ComparisonSystems()) {
+        // Mean over `seeds` workload instantiations (MEMTIS_BENCH_SEEDS).
+        double sum = 0.0;
+        for (int seed = 0; seed < seeds; ++seed) {
+          RunSpec spec;
+          spec.benchmark = benchmark;
+          spec.fast_ratio = ratio;
+          spec.seed_offset = static_cast<uint64_t>(seed) * 1000;
+          spec.system = system;
+          sum += baseline_ns[seed] / RunOne(spec).metrics.EffectiveRuntimeNs();
+        }
+        const double perf = sum / seeds;
+        per_system_scores[system].push_back(perf);
+        row.push_back(Table::Num(perf));
+        if (system == "memtis") {
+          memtis_score = perf;
+        } else {
+          best = std::max(best, perf);
+        }
+      }
+      ++cells;
+      memtis_best += memtis_score >= best ? 1 : 0;
+      table.AddRow(row);
+    }
+  }
+
+  std::vector<std::string> geomean_row = {"geomean", "-"};
+  double memtis_geo = 0.0;
+  double second_best_geo = 0.0;
+  for (const auto& system : ComparisonSystems()) {
+    const double geo = GeoMean(per_system_scores[system]);
+    geomean_row.push_back(Table::Num(geo));
+    if (system == "memtis") {
+      memtis_geo = geo;
+    } else {
+      second_best_geo = std::max(second_best_geo, geo);
+    }
+  }
+  table.AddRow(geomean_row);
+  table.Print();
+
+  std::printf("\nMEMTIS best in %d/%d cells; geomean advantage over best other "
+              "system: %+.1f%% (paper: best in 23/24, +33.6%% vs second-best)\n",
+              memtis_best, cells, (memtis_geo / second_best_geo - 1.0) * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace memtis
+
+int main() { return memtis::Main(); }

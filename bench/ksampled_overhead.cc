@@ -1,0 +1,44 @@
+// §6.3.5: ksampled overhead — CPU usage of the sampling daemon under the
+// dynamic period controller, the periods it settles on, and the share of app
+// slowdown attributable to it (paper: 2.016% of one CPU average, 3.0% max,
+// 0.922% performance overhead).
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+namespace memtis {
+namespace {
+
+int Main() {
+  Table table("ksampled overhead (paper §6.3.5)");
+  table.SetHeader({"benchmark", "cpu_usage(1 core)", "load_period", "store_period",
+                   "perf_overhead"});
+  RunningStat cpu;
+  for (const auto& benchmark : StandardBenchmarks()) {
+    RunSpec spec;
+    spec.system = "memtis";
+    spec.benchmark = benchmark;
+    spec.fast_ratio = 1.0 / 3.0;
+    spec.accesses = DefaultAccesses(4'000'000);
+    const RunOutput out = RunOne(spec);
+    cpu.Add(out.sampler_cpu);
+    // Performance overhead: sampler busy time spread over the app's cores.
+    const double overhead =
+        static_cast<double>(out.metrics.cpu.busy(DaemonKind::kSampler)) /
+        (static_cast<double>(out.metrics.app_ns) * out.metrics.cores);
+    table.AddRow({benchmark, Table::Pct(out.sampler_cpu),
+                  std::to_string(out.pebs_load_period),
+                  std::to_string(out.pebs_store_period), Table::Pct(overhead, 2)});
+  }
+  table.Print();
+  std::printf("\nAverage ksampled CPU usage: %.2f%% of one core (cap 3%%; paper "
+              "average 2.016%%, max 3.0%%).\n",
+              cpu.mean() * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace memtis
+
+int main() { return memtis::Main(); }

@@ -1,0 +1,74 @@
+// policy_shootout: run any benchmark model under any tiering system from the
+// command line — the kitchen-sink driver for exploring the design space.
+//
+//   $ ./policy_shootout [benchmark] [system] [fast_ratio] [maccesses]
+//   $ ./policy_shootout silo memtis 0.111 8
+//   $ ./policy_shootout --list
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/memtis/policy_registry.h"
+#include "src/sim/engine.h"
+#include "src/workloads/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace memtis;
+
+  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+    std::printf("benchmarks:");
+    for (const auto& name : StandardBenchmarks()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\nsystems: ");
+    for (const auto& name : ComparisonSystems()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf(" memtis-ns memtis-nowarm memtis-vanilla memtis-hybrid "
+                "memtis-shrinker multi-clock all-fast all-fast-nothp "
+                "all-capacity\n");
+    return 0;
+  }
+
+  const char* benchmark = argc > 1 ? argv[1] : "silo";
+  const char* system = argc > 2 ? argv[2] : "memtis";
+  const double fast_ratio = argc > 3 ? std::atof(argv[3]) : 1.0 / 3.0;
+  const uint64_t maccesses = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 6;
+
+  auto workload = MakeWorkload(benchmark, /*scale=*/0.5);
+  const uint64_t footprint = workload->footprint_bytes();
+  const uint64_t fast_bytes =
+      static_cast<uint64_t>(static_cast<double>(footprint) * fast_ratio);
+  auto policy = MakePolicy(system, footprint, fast_bytes);
+
+  EngineOptions options;
+  options.max_accesses = maccesses * 1'000'000;
+  Engine engine(MakeNvmMachine(fast_bytes, footprint * 3 / 2), *policy, options);
+  const Metrics m = engine.Run(*workload);
+
+  std::printf("%s on %s (fast tier %.1f%% of %.0f MiB footprint):\n", system,
+              benchmark, fast_ratio * 100.0,
+              static_cast<double>(footprint) / (1 << 20));
+  std::printf("  runtime       %.1f virtual ms (%.1f Maccesses/s)\n",
+              m.EffectiveRuntimeNs() / 1e6, m.Mops());
+  std::printf("  fast-tier hits %.1f%%\n", m.fast_hit_ratio() * 100.0);
+  std::printf("  migration     %lu pages promoted, %lu demoted, %lu splits, "
+              "%lu collapses\n",
+              static_cast<unsigned long>(m.migration.promoted_4k()),
+              static_cast<unsigned long>(m.migration.demoted_4k()),
+              static_cast<unsigned long>(m.migration.splits),
+              static_cast<unsigned long>(m.migration.collapses));
+  std::printf("  critical path %.2f%% of app time; daemons %.2f cores\n",
+              100.0 * static_cast<double>(m.critical_path_ns) /
+                  static_cast<double>(m.app_ns),
+              static_cast<double>(m.cpu.total_busy()) /
+                  static_cast<double>(m.app_ns));
+  std::printf("  RSS           %.1f MiB (peak %.1f MiB)\n",
+              static_cast<double>(m.final_rss_pages) * kPageSize / (1 << 20),
+              static_cast<double>(m.peak_rss_pages) * kPageSize / (1 << 20));
+  std::printf("  TLB           %.2f%% miss ratio, %lu shootdowns\n",
+              m.tlb.miss_ratio() * 100.0,
+              static_cast<unsigned long>(m.tlb.shootdowns));
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "src/access/damon.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace memtis {
+
+Damon::Damon(const DamonConfig& config, Vaddr target_start, Vaddr target_end,
+             uint64_t seed)
+    : config_(config), rng_(seed) {
+  SIM_CHECK_LT(target_start, target_end);
+  SIM_CHECK_GE(config.min_regions, 1u);
+  SIM_CHECK_GE(config.max_regions, config.min_regions);
+  // Start with min_regions equally sized regions, as DAMON does.
+  const uint64_t span = target_end - target_start;
+  const uint64_t step = std::max<uint64_t>(kPageSize, span / config.min_regions);
+  Vaddr cursor = target_start;
+  while (cursor < target_end) {
+    Region r;
+    r.start = cursor;
+    r.end = std::min(cursor + step, target_end);
+    regions_.push_back(r);
+    cursor = r.end;
+  }
+  regions_.back().end = target_end;
+  PrepareSampling();
+}
+
+size_t Damon::FindRegion(Vaddr addr) const {
+  // Binary search over the sorted, contiguous region cover.
+  size_t lo = 0;
+  size_t hi = regions_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (addr < regions_[mid].start) {
+      hi = mid;
+    } else if (addr >= regions_[mid].end) {
+      lo = mid + 1;
+    } else {
+      return mid;
+    }
+  }
+  return regions_.size();
+}
+
+void Damon::OnAccess(Vaddr addr) {
+  const size_t i = FindRegion(addr);
+  if (i == regions_.size()) {
+    return;
+  }
+  if (VpnOf(addr) == regions_[i].sampled_vpn) {
+    regions_[i].sampled_hit = true;
+  }
+}
+
+void Damon::PrepareSampling() {
+  for (Region& r : regions_) {
+    const uint64_t pages = std::max<uint64_t>(1, (r.end - r.start) >> kPageShift);
+    r.sampled_vpn = VpnOf(r.start) + rng_.NextBelow(pages);
+    r.sampled_hit = false;
+  }
+}
+
+void Damon::Tick(uint64_t now_ns) {
+  while (now_ns >= next_sample_ns_) {
+    // Close the current sampling window: count hits, pick new sample pages.
+    for (Region& r : regions_) {
+      if (r.sampled_hit) {
+        ++r.nr_accesses;
+      }
+    }
+    busy_ns_ += regions_.size() * config_.check_cost_ns;
+    checks_done_ += regions_.size();
+    PrepareSampling();
+    next_sample_ns_ += config_.sampling_interval_ns;
+
+    if (next_sample_ns_ > next_aggregate_ns_) {
+      Aggregate();
+      next_aggregate_ns_ += config_.aggregation_interval_ns;
+    }
+  }
+}
+
+void Damon::Aggregate() {
+  ++aggregations_;
+  last_aggregation_.clear();
+  last_aggregation_.reserve(regions_.size());
+  for (const Region& r : regions_) {
+    last_aggregation_.push_back({r.start, r.end, r.nr_accesses});
+  }
+  MergeRegions();
+  SplitRegions();
+  for (Region& r : regions_) {
+    r.nr_accesses = 0;
+    ++r.age;
+  }
+}
+
+void Damon::MergeRegions() {
+  // Merge adjacent regions whose access counts are within a small threshold,
+  // while staying above min_regions (DAMON's adaptive merging).
+  const uint32_t max_count = static_cast<uint32_t>(
+      config_.aggregation_interval_ns / config_.sampling_interval_ns);
+  const uint32_t threshold = std::max<uint32_t>(1, max_count / 10);
+  std::vector<Region> merged;
+  merged.reserve(regions_.size());
+  size_t total = regions_.size();  // live region count as merging proceeds
+  for (const Region& r : regions_) {
+    if (!merged.empty() && total > config_.min_regions) {
+      Region& last = merged.back();
+      const uint32_t diff = last.nr_accesses > r.nr_accesses
+                                ? last.nr_accesses - r.nr_accesses
+                                : r.nr_accesses - last.nr_accesses;
+      if (diff <= threshold) {
+        last.end = r.end;
+        last.nr_accesses = (last.nr_accesses + r.nr_accesses) / 2;
+        last.age = 0;
+        --total;
+        continue;
+      }
+    }
+    merged.push_back(r);
+  }
+  regions_ = std::move(merged);
+}
+
+void Damon::SplitRegions() {
+  // Split each region into two at a random point while under max_regions
+  // (DAMON splits to regain resolution after merging).
+  if (regions_.size() * 2 > config_.max_regions) {
+    return;
+  }
+  std::vector<Region> split;
+  split.reserve(regions_.size() * 2);
+  for (const Region& r : regions_) {
+    const uint64_t pages = (r.end - r.start) >> kPageShift;
+    if (pages < 2) {
+      split.push_back(r);
+      continue;
+    }
+    const uint64_t cut = 1 + rng_.NextBelow(pages - 1);
+    Region lo = r;
+    lo.end = r.start + (cut << kPageShift);
+    lo.age = 0;
+    Region hi = r;
+    hi.start = lo.end;
+    hi.age = 0;
+    split.push_back(lo);
+    split.push_back(hi);
+  }
+  regions_ = std::move(split);
+  PrepareSampling();
+}
+
+}  // namespace memtis

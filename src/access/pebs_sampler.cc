@@ -1,0 +1,56 @@
+#include "src/access/pebs_sampler.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace memtis {
+
+PebsSampler::PebsSampler(const PebsConfig& config)
+    : config_(config), usage_ema_(config.usage_ema_decay) {
+  SIM_CHECK_GE(config_.load_period, config_.min_period);
+  SIM_CHECK_GE(config_.store_period, config_.min_period);
+  period_[static_cast<int>(SampleType::kLlcLoadMiss)] = config_.load_period;
+  period_[static_cast<int>(SampleType::kStore)] = config_.store_period;
+  countdown_[0] = static_cast<int64_t>(period_[0]);
+  countdown_[1] = static_cast<int64_t>(period_[1]);
+}
+
+uint64_t PebsSampler::AccountSample(uint64_t now_ns) {
+  busy_ns_ += config_.sample_cost_ns;
+  window_busy_ns_ += config_.sample_cost_ns;
+  MaybeAdjust(now_ns);
+  return config_.sample_cost_ns;
+}
+
+void PebsSampler::MaybeAdjust(uint64_t now_ns) {
+  if (now_ns < last_adjust_ns_ + config_.adjust_interval_ns) {
+    return;
+  }
+  const uint64_t elapsed = now_ns - last_adjust_ns_;
+  last_adjust_ns_ = now_ns;
+  const double usage = static_cast<double>(window_busy_ns_) / static_cast<double>(elapsed);
+  window_busy_ns_ = 0;
+  usage_ema_.Add(usage);
+
+  // Hysteresis: only react when EMA usage strays more than `cpu_hysteresis`
+  // from the cap (paper §4.1.1).
+  const double ema = usage_ema_.value();
+  if (ema > config_.cpu_limit + config_.cpu_hysteresis) {
+    ScalePeriods(config_.period_step);  // longer period -> fewer samples
+    ++stats_.period_raises;
+  } else if (ema < config_.cpu_limit - config_.cpu_hysteresis) {
+    ScalePeriods(1.0 / config_.period_step);
+    ++stats_.period_drops;
+  }
+}
+
+void PebsSampler::ScalePeriods(double factor) {
+  for (auto& p : period_) {
+    const auto scaled = static_cast<uint64_t>(static_cast<double>(p) * factor);
+    p = std::clamp(scaled == p ? (factor > 1.0 ? p + 1 : p - 1) : scaled,
+                   config_.min_period, config_.max_period);
+  }
+}
+
+}  // namespace memtis

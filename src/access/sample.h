@@ -1,0 +1,27 @@
+// Sample record types shared by hardware-sampling-style access trackers.
+
+#ifndef MEMTIS_SIM_SRC_ACCESS_SAMPLE_H_
+#define MEMTIS_SIM_SRC_ACCESS_SAMPLE_H_
+
+#include <cstdint>
+
+#include "src/mem/types.h"
+
+namespace memtis {
+
+// The two PEBS event classes MEMTIS programs: retired LLC load misses and
+// retired store instructions (paper §4.1.1).
+enum class SampleType : uint8_t {
+  kLlcLoadMiss = 0,
+  kStore = 1,
+};
+inline constexpr int kNumSampleTypes = 2;
+
+struct SampleRecord {
+  Vaddr addr = 0;
+  SampleType type = SampleType::kLlcLoadMiss;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_ACCESS_SAMPLE_H_

@@ -1,0 +1,45 @@
+// Lightweight assertion macros used throughout the simulator.
+//
+// SIM_CHECK is always on (including release builds): the simulator's value is
+// its correctness, so invariant violations must abort rather than silently
+// corrupt an experiment. SIM_DCHECK compiles out in NDEBUG builds and is for
+// hot-path checks only.
+
+#ifndef MEMTIS_SIM_SRC_COMMON_CHECK_H_
+#define MEMTIS_SIM_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace memtis {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace memtis
+
+#define SIM_CHECK(expr)                                  \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::memtis::CheckFailed(#expr, __FILE__, __LINE__);  \
+    }                                                    \
+  } while (0)
+
+#define SIM_CHECK_LE(a, b) SIM_CHECK((a) <= (b))
+#define SIM_CHECK_LT(a, b) SIM_CHECK((a) < (b))
+#define SIM_CHECK_GE(a, b) SIM_CHECK((a) >= (b))
+#define SIM_CHECK_GT(a, b) SIM_CHECK((a) > (b))
+#define SIM_CHECK_EQ(a, b) SIM_CHECK((a) == (b))
+#define SIM_CHECK_NE(a, b) SIM_CHECK((a) != (b))
+
+#ifdef NDEBUG
+#define SIM_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define SIM_DCHECK(expr) SIM_CHECK(expr)
+#endif
+
+#endif  // MEMTIS_SIM_SRC_COMMON_CHECK_H_

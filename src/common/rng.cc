@@ -1,0 +1,111 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace memtis {
+namespace {
+
+constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  SIM_DCHECK(bound > 0);
+  return static_cast<uint64_t>((static_cast<__uint128_t>(Next()) * bound) >> 64);
+}
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  SIM_DCHECK(lo <= hi);
+  return lo + NextBelow(hi - lo + 1);
+}
+
+// --- ZipfSampler -------------------------------------------------------------
+//
+// Rejection-inversion sampling (Hörmann & Derflinger 1996). H is the integral
+// of the (shifted) density; we invert it on a uniform deviate and accept with
+// probability proportional to the true mass at the resulting integer.
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  SIM_CHECK(n >= 1);
+  SIM_CHECK(s > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::H(double x) const {
+  if (std::fabs(s_ - 1.0) < 1e-12) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::fabs(s_ - 1.0) < 1e-12) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) {
+    return 0;
+  }
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(n_)) {
+      k = static_cast<double>(n_);
+    }
+    if (k - x <= threshold_ || u >= H(k + 0.5) - std::pow(k, -s_)) {
+      return static_cast<uint64_t>(k) - 1;  // ranks are 0-based
+    }
+  }
+}
+
+double ParetoSampler::Sample(Rng& rng) const {
+  const double u = 1.0 - rng.NextDouble();  // in (0, 1]
+  return std::pow(u, -1.0 / alpha_);
+}
+
+std::vector<uint32_t> RandomPermutation(uint32_t n, Rng& rng) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(rng.NextBelow(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace memtis

@@ -1,0 +1,44 @@
+// Plain-text table printer used by the bench binaries to emit the rows/series
+// of each paper table and figure in a stable, grep-friendly format.
+
+#ifndef MEMTIS_SIM_SRC_COMMON_TABLE_H_
+#define MEMTIS_SIM_SRC_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace memtis {
+
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  // Column headers; call once before adding rows.
+  void SetHeader(std::vector<std::string> header);
+
+  // Adds a row of already-formatted cells. Row width may not exceed header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string Num(double v, int precision = 2);
+  static std::string Pct(double ratio, int precision = 1);  // 0.5 -> "50.0%"
+  static std::string Mib(double bytes, int precision = 1);
+
+  // Renders to `out` (defaults to stdout) with aligned columns. If the
+  // MEMTIS_BENCH_CSV environment variable names a directory, also writes
+  // <dir>/<slugified title>.csv for plotting.
+  void Print(std::FILE* out = stdout) const;
+
+  // Writes the table as CSV to `out`.
+  void WriteCsv(std::FILE* out) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_COMMON_TABLE_H_

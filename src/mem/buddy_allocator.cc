@@ -1,0 +1,138 @@
+#include "src/mem/buddy_allocator.h"
+
+#include "src/common/check.h"
+
+namespace memtis {
+
+BuddyAllocator::BuddyAllocator(uint64_t num_frames) {
+  const uint64_t block = 1ULL << kMaxOrder;
+  total_frames_ = num_frames / block * block;
+  SIM_CHECK_GT(total_frames_, 0u);
+  links_.resize(total_frames_);
+  state_.assign(total_frames_, 0);
+  for (auto& head : free_head_) {
+    head = kNil;
+  }
+  for (FrameId f = 0; f < total_frames_; f += block) {
+    PushFree(f, kMaxOrder);
+  }
+  free_frames_ = total_frames_;
+}
+
+void BuddyAllocator::PushFree(FrameId frame, int order) {
+  SIM_DCHECK(state_[frame] == 0);
+  state_[frame] = static_cast<uint8_t>(order + 1);
+  links_[frame].prev = kNil;
+  links_[frame].next = free_head_[order];
+  if (free_head_[order] != kNil) {
+    links_[free_head_[order]].prev = frame;
+  }
+  free_head_[order] = frame;
+}
+
+void BuddyAllocator::RemoveFree(FrameId frame, int order) {
+  SIM_DCHECK(IsFreeHead(frame, order));
+  const FrameId prev = links_[frame].prev;
+  const FrameId next = links_[frame].next;
+  if (prev != kNil) {
+    links_[prev].next = next;
+  } else {
+    free_head_[order] = next;
+  }
+  if (next != kNil) {
+    links_[next].prev = prev;
+  }
+  state_[frame] = 0;
+}
+
+bool BuddyAllocator::IsFreeHead(FrameId frame, int order) const {
+  return frame < total_frames_ && state_[frame] == static_cast<uint8_t>(order + 1);
+}
+
+std::optional<FrameId> BuddyAllocator::Allocate(int order) {
+  SIM_CHECK(order >= 0 && order <= kMaxOrder);
+  int found = -1;
+  for (int o = order; o <= kMaxOrder; ++o) {
+    if (free_head_[o] != kNil) {
+      found = o;
+      break;
+    }
+  }
+  if (found < 0) {
+    return std::nullopt;
+  }
+  FrameId frame = free_head_[found];
+  RemoveFree(frame, found);
+  // Split down to the requested order, returning the lower half each time.
+  while (found > order) {
+    --found;
+    const FrameId upper = frame + (1ULL << found);
+    PushFree(upper, found);
+  }
+  free_frames_ -= 1ULL << order;
+  return frame;
+}
+
+void BuddyAllocator::Free(FrameId frame, int order) {
+  SIM_CHECK(order >= 0 && order <= kMaxOrder);
+  SIM_CHECK_LT(frame, total_frames_);
+  SIM_CHECK_EQ(frame & ((1ULL << order) - 1), 0u);
+  SIM_CHECK_EQ(state_[frame], 0);  // double-free guard (only exact for heads)
+  free_frames_ += 1ULL << order;
+  while (order < kMaxOrder) {
+    const FrameId buddy = frame ^ (1ULL << order);
+    if (!IsFreeHead(buddy, order)) {
+      break;
+    }
+    RemoveFree(buddy, order);
+    frame = frame < buddy ? frame : buddy;
+    ++order;
+  }
+  PushFree(frame, order);
+}
+
+bool BuddyAllocator::CanAllocate(int order) const {
+  SIM_CHECK(order >= 0 && order <= kMaxOrder);
+  for (int o = order; o <= kMaxOrder; ++o) {
+    if (free_head_[o] != kNil) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double BuddyAllocator::huge_block_ratio() const {
+  if (free_frames_ == 0) {
+    return 1.0;
+  }
+  uint64_t huge_free = 0;
+  for (FrameId f = free_head_[kMaxOrder]; f != kNil; f = links_[f].next) {
+    huge_free += 1ULL << kMaxOrder;
+  }
+  return static_cast<double>(huge_free) / static_cast<double>(free_frames_);
+}
+
+bool BuddyAllocator::CheckConsistency() const {
+  std::vector<uint8_t> covered(total_frames_, 0);
+  uint64_t counted = 0;
+  for (int order = 0; order <= kMaxOrder; ++order) {
+    for (FrameId f = free_head_[order]; f != kNil; f = links_[f].next) {
+      if (!IsFreeHead(f, order)) {
+        return false;
+      }
+      if ((f & ((1ULL << order) - 1)) != 0) {
+        return false;
+      }
+      for (uint64_t i = 0; i < (1ULL << order); ++i) {
+        if (covered[f + i]) {
+          return false;  // overlap between free blocks
+        }
+        covered[f + i] = 1;
+      }
+      counted += 1ULL << order;
+    }
+  }
+  return counted == free_frames_;
+}
+
+}  // namespace memtis

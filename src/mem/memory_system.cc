@@ -1,0 +1,433 @@
+#include "src/mem/memory_system.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace memtis {
+
+MemorySystem::MemorySystem(const MemoryConfig& config)
+    : tiers_{MemoryTier(TierId::kFast, "fast", config.fast_frames, config.fast_latency),
+             MemoryTier(TierId::kCapacity, "capacity", config.capacity_frames,
+                        config.capacity_latency)} {
+  if (config.fragmentation > 0.0) {
+    SIM_CHECK_LE(config.fragmentation, 1.0);
+    Rng rng(config.fragmentation_seed);
+    for (MemoryTier& tier : tiers_) {
+      const uint64_t huge_blocks = tier.total_frames() / kSubpagesPerHuge;
+      const uint64_t to_break = static_cast<uint64_t>(
+          static_cast<double>(huge_blocks) * config.fragmentation);
+      // Pin one base frame inside `to_break` random huge blocks: those blocks
+      // can no longer serve order-9 allocations.
+      for (uint64_t i = 0; i < to_break; ++i) {
+        auto frame = tier.allocator().Allocate(BuddyAllocator::kMaxOrder);
+        if (!frame.has_value()) {
+          break;
+        }
+        const uint64_t keep = rng.NextBelow(kSubpagesPerHuge);
+        // Give back everything except one scattered 4 KiB frame.
+        for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
+          if (j != keep) {
+            tier.allocator().Free(*frame + j, 0);
+          }
+        }
+        ++pinned_frames_;
+      }
+    }
+  }
+}
+
+PageInfo* MemorySystem::Deref(PageRef ref) {
+  if (ref.index == kInvalidPage || ref.index >= pages_.size()) {
+    return nullptr;
+  }
+  PageInfo& p = pages_[ref.index];
+  if (!p.live || p.generation != ref.generation) {
+    return nullptr;
+  }
+  return &p;
+}
+
+PageIndex MemorySystem::NewPageSlot() {
+  if (!free_slots_.empty()) {
+    const PageIndex index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  pages_.emplace_back();
+  return static_cast<PageIndex>(pages_.size() - 1);
+}
+
+void MemorySystem::ReleasePageSlot(PageIndex index) {
+  PageInfo& p = pages_[index];
+  const uint32_t next_gen = p.generation + 1;
+  p = PageInfo{};
+  p.generation = next_gen;
+  free_slots_.push_back(index);
+}
+
+void MemorySystem::EnsurePageTable(Vpn end_vpn) {
+  if (end_vpn > page_table_.size()) {
+    page_table_.resize(end_vpn, kInvalidPage);
+  }
+}
+
+std::optional<std::pair<TierId, FrameId>> MemorySystem::AllocFrame(
+    PageKind kind, const AllocOptions& options) {
+  const int order = kind == PageKind::kHuge ? BuddyAllocator::kMaxOrder : 0;
+  if (auto frame = tier(options.preferred).allocator().Allocate(order)) {
+    return std::make_pair(options.preferred, *frame);
+  }
+  if (options.allow_other_tier) {
+    const TierId other = OtherTier(options.preferred);
+    if (auto frame = tier(other).allocator().Allocate(order)) {
+      return std::make_pair(other, *frame);
+    }
+  }
+  return std::nullopt;
+}
+
+void MemorySystem::MapPage(PageIndex index, Vpn vpn, PageKind kind, TierId tier_id,
+                           FrameId frame) {
+  PageInfo& p = pages_[index];
+  SIM_DCHECK(!p.live);
+  p.base_vpn = vpn;
+  p.kind = kind;
+  p.tier = tier_id;
+  p.frame = frame;
+  p.live = true;
+  p.access_count = 0;
+  p.cooling_epoch = 0;
+  p.histogram_bin = 0xff;
+  p.in_promotion_list = false;
+  p.in_demotion_list = false;
+  p.split_queued = false;
+  p.alloc_time_ns = now();
+  p.policy_word0 = 0;
+  p.policy_word1 = 0;
+  if (kind == PageKind::kHuge) {
+    p.huge = std::make_unique<HugePageMeta>();
+  } else {
+    p.huge.reset();
+  }
+  const uint64_t n = p.size_pages();
+  EnsurePageTable(vpn + n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SIM_DCHECK(page_table_[vpn + i] == kInvalidPage);
+    page_table_[vpn + i] = index;
+  }
+  ++live_pages_;
+  mapped_4k_ += n;
+}
+
+void MemorySystem::UnmapAndFree(PageIndex index) {
+  PageInfo& p = pages_[index];
+  SIM_DCHECK(p.live);
+  const uint64_t n = p.size_pages();
+  for (uint64_t i = 0; i < n; ++i) {
+    page_table_[p.base_vpn + i] = kInvalidPage;
+  }
+  const int order = p.kind == PageKind::kHuge ? BuddyAllocator::kMaxOrder : 0;
+  tier(p.tier).allocator().Free(p.frame, order);
+  if (tlb_ != nullptr) {
+    tlb_->Shootdown(p.base_vpn, n);
+  }
+  --live_pages_;
+  mapped_4k_ -= n;
+  p.live = false;
+  ReleasePageSlot(index);
+}
+
+Vaddr MemorySystem::AllocateRegion(uint64_t bytes, const AllocOptions& options) {
+  SIM_CHECK_GT(bytes, 0u);
+  // Round regions to huge-page multiples so THP layout is deterministic and
+  // regions never share a huge-page span.
+  const uint64_t num_pages =
+      (bytes + kHugePageSize - 1) / kHugePageSize * kSubpagesPerHuge;
+
+  // Find vpn space: first-fit in the free list, else extend the bump pointer.
+  Vpn start = 0;
+  bool found = false;
+  for (auto it = free_vpn_ranges_.begin(); it != free_vpn_ranges_.end(); ++it) {
+    if (it->second >= num_pages) {
+      start = it->first;
+      const uint64_t remaining = it->second - num_pages;
+      free_vpn_ranges_.erase(it);
+      if (remaining > 0) {
+        free_vpn_ranges_.emplace(start + num_pages, remaining);
+      }
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    start = vpn_bump_;
+    vpn_bump_ += num_pages;
+  }
+
+  for (uint64_t offset = 0; offset < num_pages; offset += kSubpagesPerHuge) {
+    const Vpn vpn = start + offset;
+    if (options.use_thp) {
+      if (auto placed = AllocFrame(PageKind::kHuge, options)) {
+        MapPage(NewPageSlot(), vpn, PageKind::kHuge, placed->first, placed->second);
+        continue;
+      }
+    }
+    // THP disabled or no huge frame available anywhere: fall back to base pages.
+    for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
+      auto placed = AllocFrame(PageKind::kBase, options);
+      SIM_CHECK(placed.has_value());  // machine must be sized for the workload
+      MapPage(NewPageSlot(), vpn + j, PageKind::kBase, placed->first, placed->second);
+    }
+  }
+
+  regions_.emplace(start, Region{start, num_pages});
+  return start << kPageShift;
+}
+
+void MemorySystem::FreeRegion(Vaddr start) {
+  const Vpn start_vpn = VpnOf(start);
+  auto it = regions_.find(start_vpn);
+  SIM_CHECK(it != regions_.end());
+  const uint64_t num_pages = it->second.num_pages;
+  for (Vpn vpn = start_vpn; vpn < start_vpn + num_pages;) {
+    const PageIndex index = Lookup(vpn);
+    if (index == kInvalidPage) {
+      ++vpn;  // demand-zero hole left by a split
+      continue;
+    }
+    const uint64_t n = pages_[index].size_pages();
+    UnmapAndFree(index);
+    vpn += n;
+  }
+  regions_.erase(it);
+
+  // Return vpn space, merging with adjacent free ranges.
+  Vpn free_start = start_vpn;
+  uint64_t free_len = num_pages;
+  auto next = free_vpn_ranges_.lower_bound(free_start);
+  if (next != free_vpn_ranges_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == free_start) {
+      free_start = prev->first;
+      free_len += prev->second;
+      free_vpn_ranges_.erase(prev);
+    }
+  }
+  next = free_vpn_ranges_.lower_bound(free_start + free_len);
+  if (next != free_vpn_ranges_.end() && next->first == free_start + free_len) {
+    free_len += next->second;
+    free_vpn_ranges_.erase(next);
+  }
+  free_vpn_ranges_.emplace(free_start, free_len);
+}
+
+bool MemorySystem::InRegion(Vaddr addr) const { return RegionAt(addr).has_value(); }
+
+std::optional<std::pair<Vpn, uint64_t>> MemorySystem::RegionAt(Vaddr addr) const {
+  const Vpn vpn = VpnOf(addr);
+  auto it = regions_.upper_bound(vpn);
+  if (it == regions_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  if (vpn >= it->second.start_vpn + it->second.num_pages) {
+    return std::nullopt;
+  }
+  return std::make_pair(it->second.start_vpn, it->second.num_pages);
+}
+
+PageIndex MemorySystem::DemandFault(Vpn vpn, const AllocOptions& options) {
+  SIM_CHECK_EQ(Lookup(vpn), kInvalidPage);
+  SIM_CHECK(InRegion(vpn << kPageShift));
+  auto placed = AllocFrame(PageKind::kBase, options);
+  SIM_CHECK(placed.has_value());
+  const PageIndex index = NewPageSlot();
+  MapPage(index, vpn, PageKind::kBase, placed->first, placed->second);
+  ++migration_stats_.demand_faults;
+  return index;
+}
+
+bool MemorySystem::Migrate(PageIndex index, TierId dst) {
+  PageInfo& p = pages_[index];
+  SIM_DCHECK(p.live);
+  if (p.tier == dst) {
+    return true;
+  }
+  const int order = p.kind == PageKind::kHuge ? BuddyAllocator::kMaxOrder : 0;
+  auto frame = tier(dst).allocator().Allocate(order);
+  if (!frame.has_value()) {
+    ++migration_stats_.failed_migrations;
+    return false;
+  }
+  tier(p.tier).allocator().Free(p.frame, order);
+  if (tlb_ != nullptr) {
+    tlb_->Shootdown(p.base_vpn, p.size_pages());
+  }
+  const bool promotion = dst == TierId::kFast;
+  if (p.kind == PageKind::kHuge) {
+    (promotion ? migration_stats_.promoted_huge : migration_stats_.demoted_huge) += 1;
+  } else {
+    (promotion ? migration_stats_.promoted_base : migration_stats_.demoted_base) += 1;
+  }
+  p.tier = dst;
+  p.frame = *frame;
+  return true;
+}
+
+uint64_t MemorySystem::SplitHugePage(PageIndex index,
+                                     const std::function<TierId(uint32_t)>& subpage_tier) {
+  PageInfo& p = pages_[index];
+  SIM_CHECK(p.live);
+  SIM_CHECK(p.kind == PageKind::kHuge);
+  SIM_CHECK(p.huge != nullptr);
+
+  // Snapshot what we need; the huge PageInfo dies before subpages are mapped.
+  const Vpn base_vpn = p.base_vpn;
+  const TierId old_tier = p.tier;
+  const FrameId old_frame = p.frame;
+  const uint32_t cooling_epoch = p.cooling_epoch;
+  const uint64_t alloc_time = p.alloc_time_ns;
+  const HugePageMeta meta = *p.huge;
+
+  // Unmap the huge page: clear the span, free the order-9 frame, shoot down.
+  for (uint64_t i = 0; i < kSubpagesPerHuge; ++i) {
+    page_table_[base_vpn + i] = kInvalidPage;
+  }
+  tier(old_tier).allocator().Free(old_frame, BuddyAllocator::kMaxOrder);
+  if (tlb_ != nullptr) {
+    tlb_->Shootdown(base_vpn, kSubpagesPerHuge);
+  }
+  --live_pages_;
+  mapped_4k_ -= kSubpagesPerHuge;
+  pages_[index].live = false;
+  ReleasePageSlot(index);
+
+  uint64_t created = 0;
+  for (uint32_t j = 0; j < kSubpagesPerHuge; ++j) {
+    if (!meta.written[j]) {
+      // All-zero subpage: unmap and free (paper §4.3.3). A later write demand-
+      // faults a fresh page.
+      ++migration_stats_.freed_zero_subpages;
+      continue;
+    }
+    AllocOptions opts;
+    opts.preferred = subpage_tier(j);
+    opts.allow_other_tier = true;
+    auto placed = AllocFrame(PageKind::kBase, opts);
+    SIM_CHECK(placed.has_value());  // we just freed 512 frames; cannot fail
+    const PageIndex child = NewPageSlot();
+    MapPage(child, base_vpn + j, PageKind::kBase, placed->first, placed->second);
+    PageInfo& cp = pages_[child];
+    cp.access_count = meta.subpage_count[j];
+    cp.cooling_epoch = cooling_epoch;
+    cp.alloc_time_ns = alloc_time;
+    ++created;
+  }
+  ++migration_stats_.splits;
+  return created;
+}
+
+bool MemorySystem::CollapseToHuge(Vpn huge_vpn, TierId dst) {
+  SIM_CHECK_EQ(SubpageIndexOf(huge_vpn), 0u);
+  // Validate: all 512 vpns are live base pages.
+  for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
+    const PageIndex index = Lookup(huge_vpn + j);
+    if (index == kInvalidPage || pages_[index].kind != PageKind::kBase) {
+      return false;
+    }
+  }
+  auto frame = tier(dst).allocator().Allocate(BuddyAllocator::kMaxOrder);
+  if (!frame.has_value()) {
+    return false;
+  }
+
+  auto huge_meta = std::make_unique<HugePageMeta>();
+  uint64_t total_count = 0;
+  uint32_t cooling_epoch = 0;
+  for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
+    const PageIndex index = Lookup(huge_vpn + j);
+    PageInfo& bp = pages_[index];
+    huge_meta->subpage_count[j] = static_cast<uint32_t>(
+        std::min<uint64_t>(bp.access_count, UINT32_MAX));
+    huge_meta->accessed[j] = bp.access_count > 0;
+    huge_meta->written[j] = true;  // collapse candidates were written base pages
+    total_count += bp.access_count;
+    cooling_epoch = std::max(cooling_epoch, bp.cooling_epoch);
+    // Free the base page (clears page table span of 1).
+    UnmapAndFree(index);
+  }
+
+  const PageIndex index = NewPageSlot();
+  MapPage(index, huge_vpn, PageKind::kHuge, dst, *frame);
+  PageInfo& hp = pages_[index];
+  *hp.huge = *huge_meta;
+  hp.access_count = total_count;
+  hp.cooling_epoch = cooling_epoch;
+  ++migration_stats_.collapses;
+  return true;
+}
+
+void MemorySystem::ClearAccessedBits() {
+  for (PageInfo& p : pages_) {
+    if (p.live && p.kind == PageKind::kHuge) {
+      p.huge->accessed.reset();
+    }
+  }
+}
+
+uint64_t MemorySystem::bloat_pages() const {
+  uint64_t bloat = 0;
+  for (const PageInfo& p : pages_) {
+    if (p.live && p.kind == PageKind::kHuge) {
+      bloat += kSubpagesPerHuge - p.huge->written.count();
+    }
+  }
+  return bloat;
+}
+
+double MemorySystem::huge_page_ratio() const {
+  if (mapped_4k_ == 0) {
+    return 0.0;
+  }
+  uint64_t huge_4k = 0;
+  for (const PageInfo& p : pages_) {
+    if (p.live && p.kind == PageKind::kHuge) {
+      huge_4k += kSubpagesPerHuge;
+    }
+  }
+  return static_cast<double>(huge_4k) / static_cast<double>(mapped_4k_);
+}
+
+bool MemorySystem::CheckConsistency() const {
+  uint64_t mapped = 0;
+  uint64_t live = 0;
+  for (PageIndex i = 0; i < pages_.size(); ++i) {
+    const PageInfo& p = pages_[i];
+    if (!p.live) {
+      continue;
+    }
+    ++live;
+    const uint64_t n = p.size_pages();
+    mapped += n;
+    for (uint64_t j = 0; j < n; ++j) {
+      if (p.base_vpn + j >= page_table_.size() || page_table_[p.base_vpn + j] != i) {
+        return false;
+      }
+    }
+    if (p.kind == PageKind::kHuge && p.huge == nullptr) {
+      return false;
+    }
+  }
+  if (mapped != mapped_4k_ || live != live_pages_) {
+    return false;
+  }
+  if (mapped + pinned_frames_ != tiers_[0].used_frames() + tiers_[1].used_frames()) {
+    return false;
+  }
+  return tiers_[0].allocator().CheckConsistency() &&
+         tiers_[1].allocator().CheckConsistency();
+}
+
+}  // namespace memtis

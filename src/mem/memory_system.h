@@ -1,0 +1,223 @@
+// MemorySystem: the simulated two-tier physical memory plus the virtual
+// address-space bookkeeping on top of it (regions, page table, THP
+// allocation, migration, huge-page split/collapse).
+//
+// This is the substrate every tiering policy operates on. It deliberately
+// models the mechanisms the paper's evaluation depends on:
+//   - real order-9 buddy allocations for huge pages (fragmentation exists),
+//   - migration = frame copy between tiers + TLB shootdown,
+//   - huge-page split frees never-written (all-zero) subpages, which is where
+//     THP memory-bloat reduction comes from (paper §4.3.3, Btree analysis),
+//   - demand faults for subpages unmapped by a split and touched later.
+
+#ifndef MEMTIS_SIM_SRC_MEM_MEMORY_SYSTEM_H_
+#define MEMTIS_SIM_SRC_MEM_MEMORY_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/mem/page.h"
+#include "src/mem/tier.h"
+#include "src/mem/tlb.h"
+#include "src/mem/types.h"
+
+namespace memtis {
+
+struct MemoryConfig {
+  uint64_t fast_frames = 0;      // 4 KiB frames in the fast tier
+  uint64_t capacity_frames = 0;  // 4 KiB frames in the capacity tier
+  TierLatency fast_latency = kDramLatency;
+  TierLatency capacity_latency = kNvmLatency;
+  // Physical fragmentation at start-up: this fraction of each tier's huge
+  // blocks gets one permanently-pinned 4 KiB frame, so THP allocations can
+  // fail there (long-lived machines are never unfragmented — this is where
+  // Table 2's RHP < 100% comes from).
+  double fragmentation = 0.0;
+  uint64_t fragmentation_seed = 12345;
+};
+
+struct AllocOptions {
+  TierId preferred = TierId::kFast;
+  bool allow_other_tier = true;  // fall back to the other tier when full
+  bool use_thp = true;           // huge pages for 2 MiB-aligned spans
+};
+
+struct MigrationStats {
+  uint64_t promoted_base = 0;   // base pages moved capacity -> fast
+  uint64_t promoted_huge = 0;   // huge pages moved capacity -> fast
+  uint64_t demoted_base = 0;
+  uint64_t demoted_huge = 0;
+  uint64_t failed_migrations = 0;  // destination frame unavailable
+  uint64_t splits = 0;
+  uint64_t collapses = 0;
+  uint64_t freed_zero_subpages = 0;  // bloat reclaimed by splits
+  uint64_t demand_faults = 0;        // split-freed subpages touched later
+
+  uint64_t promoted_4k() const { return promoted_base + promoted_huge * kSubpagesPerHuge; }
+  uint64_t demoted_4k() const { return demoted_base + demoted_huge * kSubpagesPerHuge; }
+  uint64_t migrated_4k() const { return promoted_4k() + demoted_4k(); }
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemoryConfig& config);
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  MemoryTier& tier(TierId id) { return tiers_[static_cast<int>(id)]; }
+  const MemoryTier& tier(TierId id) const { return tiers_[static_cast<int>(id)]; }
+
+  // Optional TLB to shoot down on migration/split/unmap. Not owned.
+  void AttachTlb(Tlb* tlb) { tlb_ = tlb; }
+  // Clock source for PageInfo::alloc_time_ns. Not owned.
+  void AttachClock(const uint64_t* now_ns) { now_ns_ = now_ns; }
+
+  // --- Regions ---------------------------------------------------------------
+
+  // Allocates a region of `bytes` (rounded up to a huge-page multiple so THP
+  // layout is deterministic) and eagerly populates pages per `options`.
+  // Returns the start address. Aborts if physical memory is exhausted in both
+  // tiers (the simulated machine is sized by the experiment).
+  Vaddr AllocateRegion(uint64_t bytes, const AllocOptions& options);
+
+  // Frees a region previously returned by AllocateRegion.
+  void FreeRegion(Vaddr start);
+
+  // True if addr lies within a live region (mapped or demand-zero).
+  bool InRegion(Vaddr addr) const;
+
+  // Extent (start vpn, num pages) of the region containing addr, if any.
+  std::optional<std::pair<Vpn, uint64_t>> RegionAt(Vaddr addr) const;
+
+  // --- Lookup ----------------------------------------------------------------
+
+  PageIndex Lookup(Vpn vpn) const {
+    if (vpn >= page_table_.size()) {
+      return kInvalidPage;
+    }
+    return page_table_[vpn];
+  }
+
+  PageInfo& page(PageIndex index) { return pages_[index]; }
+  const PageInfo& page(PageIndex index) const { return pages_[index]; }
+
+  // Resolves a PageRef; nullptr if the page was freed/split since.
+  PageInfo* Deref(PageRef ref);
+
+  PageIndex IndexOf(const PageInfo& p) const {
+    return static_cast<PageIndex>(&p - pages_.data());
+  }
+
+  // Allocates a base page for a region vpn that is currently unmapped (only
+  // possible after a split freed a zero subpage). Returns the new page.
+  PageIndex DemandFault(Vpn vpn, const AllocOptions& options);
+
+  // --- Migration / page-size conversion ---------------------------------------
+
+  // Moves a page to `dst`. Returns false (and counts a failed migration) when
+  // no destination frame of the required order is available.
+  bool Migrate(PageIndex index, TierId dst);
+
+  // Splits a huge page into base pages. `subpage_tier(j)` picks the
+  // destination tier of subpage j (with fallback to the other tier when
+  // full). Never-written subpages are unmapped and their backing freed.
+  // Returns the number of base pages created. The huge PageInfo dies.
+  uint64_t SplitHugePage(PageIndex index,
+                         const std::function<TierId(uint32_t)>& subpage_tier);
+
+  // Collapses 512 live base pages at a huge-aligned vpn into one huge page in
+  // `tier`. Fails (returns false) unless all 512 are live base pages and a
+  // huge frame is available.
+  bool CollapseToHuge(Vpn huge_vpn, TierId tier);
+
+  // --- Iteration / accounting -------------------------------------------------
+
+  template <typename Fn>  // Fn(PageIndex, PageInfo&)
+  void ForEachLivePage(Fn&& fn) {
+    for (PageIndex i = 0; i < pages_.size(); ++i) {
+      if (pages_[i].live) {
+        fn(i, pages_[i]);
+      }
+    }
+  }
+
+  // Slot-based access for resumable scan cursors (hint-fault arming, clock
+  // hands). Slots may be dead; LivePageAt returns nullptr for those.
+  PageIndex page_slots() const { return static_cast<PageIndex>(pages_.size()); }
+  PageInfo* LivePageAt(PageIndex i) { return pages_[i].live ? &pages_[i] : nullptr; }
+
+  uint64_t live_page_count() const { return live_pages_; }
+  uint64_t mapped_4k_pages() const { return mapped_4k_; }
+
+  // Resident set size in 4 KiB frames (all app-allocated frames, both tiers;
+  // excludes frames pinned by start-up fragmentation).
+  uint64_t rss_pages() const {
+    return tiers_[0].used_frames() + tiers_[1].used_frames() - pinned_frames_;
+  }
+
+  // 4 KiB pages mapped in the fast tier.
+  uint64_t fast_tier_pages() const { return tiers_[0].used_frames(); }
+
+  // Never-written subpages currently held inside live huge pages (THP bloat).
+  uint64_t bloat_pages() const;
+
+  // Clears the ground-truth per-subpage accessed bits (not the written bits).
+  // Used by analyses that measure utilisation over a specific phase.
+  void ClearAccessedBits();
+
+  // Ratio of mapped memory backed by huge pages (Table 2's RHP).
+  double huge_page_ratio() const;
+
+  const MigrationStats& migration_stats() const { return migration_stats_; }
+  MigrationStats& mutable_migration_stats() { return migration_stats_; }
+
+  // Consistency audit for tests: page table <-> pages <-> allocators agree.
+  bool CheckConsistency() const;
+
+ private:
+  struct Region {
+    Vpn start_vpn;
+    uint64_t num_pages;
+  };
+
+  uint64_t now() const { return now_ns_ != nullptr ? *now_ns_ : 0; }
+
+  PageIndex NewPageSlot();
+  void ReleasePageSlot(PageIndex index);
+
+  // Allocates one page of `kind` honoring tier preference/fallback; returns
+  // nullopt if no tier can hold it.
+  std::optional<std::pair<TierId, FrameId>> AllocFrame(PageKind kind,
+                                                       const AllocOptions& options);
+
+  void MapPage(PageIndex index, Vpn vpn, PageKind kind, TierId tier, FrameId frame);
+  void UnmapAndFree(PageIndex index);
+
+  void EnsurePageTable(Vpn end_vpn);
+
+  MemoryTier tiers_[kNumTiers];
+  Tlb* tlb_ = nullptr;
+  const uint64_t* now_ns_ = nullptr;
+
+  std::vector<PageInfo> pages_;
+  std::vector<PageIndex> free_slots_;
+  std::vector<PageIndex> page_table_;  // vpn -> PageIndex
+  uint64_t live_pages_ = 0;
+  uint64_t mapped_4k_ = 0;
+
+  uint64_t pinned_frames_ = 0;  // start-up fragmentation pins
+
+  std::map<Vpn, Region> regions_;         // live regions by start vpn
+  std::map<Vpn, uint64_t> free_vpn_ranges_;  // start vpn -> num pages
+  Vpn vpn_bump_ = 0;                      // next fresh vpn when free list empty
+
+  MigrationStats migration_stats_;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_MEM_MEMORY_SYSTEM_H_

@@ -1,0 +1,79 @@
+// Per-page metadata.
+//
+// Mirrors what MEMTIS keeps in (re-purposed) struct pages: an access counter
+// per OS page, plus per-subpage counters and bitsets for huge pages. Baseline
+// policies store their own per-page state in the two policy scratch words,
+// matching the paper's observation that each system keeps small per-page
+// hotness state (reference bits, history vectors, LRU links).
+
+#ifndef MEMTIS_SIM_SRC_MEM_PAGE_H_
+#define MEMTIS_SIM_SRC_MEM_PAGE_H_
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <memory>
+
+#include "src/mem/types.h"
+
+namespace memtis {
+
+// Extra metadata carried only by huge pages (the kernel version stores this in
+// the compound page's unused struct pages).
+struct HugePageMeta {
+  // Access count per 4 KiB subpage (C_ij in the paper); cooled together with
+  // the page's main counter.
+  std::array<uint32_t, kSubpagesPerHuge> subpage_count{};
+  // Subpages ever touched / ever written. `written` drives memory-bloat
+  // accounting: never-written subpages are freed on split (paper §4.3.3).
+  std::bitset<kSubpagesPerHuge> accessed;
+  std::bitset<kSubpagesPerHuge> written;
+
+  uint32_t accessed_count() const { return static_cast<uint32_t>(accessed.count()); }
+};
+
+struct PageInfo {
+  Vpn base_vpn = 0;
+  PageKind kind = PageKind::kBase;
+  TierId tier = TierId::kCapacity;
+  FrameId frame = 0;
+  bool live = false;
+  uint32_t generation = 0;
+
+  // Hotness counter C_i. The hotness factor H_i is derived:
+  // huge page -> C_i, base page -> C_i * kSubpagesPerHuge (paper §4.1.2).
+  uint64_t access_count = 0;
+  // Global cooling epoch already applied to access_count (lazy cooling).
+  uint32_t cooling_epoch = 0;
+  // Cached histogram bin (MEMTIS); 0xff = not tracked.
+  uint8_t histogram_bin = 0xff;
+
+  // Membership flags for promotion/demotion lists (avoid duplicate entries).
+  bool in_promotion_list = false;
+  bool in_demotion_list = false;
+  bool split_queued = false;
+
+  // Virtual time (ns) at allocation; used for short-lived-data analyses.
+  uint64_t alloc_time_ns = 0;
+
+  // Policy-private scratch (recency bits, history vectors, timestamps...).
+  uint64_t policy_word0 = 0;
+  uint64_t policy_word1 = 0;
+
+  // Present only for huge pages.
+  std::unique_ptr<HugePageMeta> huge;
+
+  uint64_t size_pages() const { return kind == PageKind::kHuge ? kSubpagesPerHuge : 1; }
+  uint64_t size_bytes() const { return size_pages() * kPageSize; }
+
+  // Hotness factor H_i per paper §4.1.2.
+  uint64_t hotness() const {
+    return kind == PageKind::kHuge ? access_count : access_count * kSubpagesPerHuge;
+  }
+
+  PageRef ref(PageIndex index) const { return PageRef{index, generation}; }
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_MEM_PAGE_H_

@@ -1,0 +1,90 @@
+#include "src/mem/tlb.h"
+
+#include "src/common/check.h"
+
+namespace memtis {
+
+uint32_t Tlb::RoundPow2(uint32_t v) {
+  SIM_CHECK_GT(v, 0u);
+  uint32_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+Tlb::Tlb(const TlbConfig& config) {
+  const uint32_t base_n = RoundPow2(config.base_entries);
+  const uint32_t huge_n = RoundPow2(config.huge_entries);
+  base_tags_.assign(base_n, 0);
+  huge_tags_.assign(huge_n, 0);
+  base_mask_ = base_n - 1;
+  huge_mask_ = huge_n - 1;
+}
+
+bool Tlb::Access(Vpn vpn, PageKind kind) {
+  if (kind == PageKind::kHuge) {
+    const Vpn hvpn = vpn >> kHugeOrder;
+    Vpn& tag = huge_tags_[hvpn & huge_mask_];
+    if (tag == hvpn + 1) {
+      ++stats_.huge_hits;
+      return true;
+    }
+    ++stats_.huge_misses;
+    tag = hvpn + 1;
+    return false;
+  }
+  Vpn& tag = base_tags_[vpn & base_mask_];
+  if (tag == vpn + 1) {
+    ++stats_.base_hits;
+    return true;
+  }
+  ++stats_.base_misses;
+  tag = vpn + 1;
+  return false;
+}
+
+void Tlb::Shootdown(Vpn vpn, uint64_t num_pages) {
+  ++stats_.shootdowns;
+  // Base entries: walk the covered vpns or the whole array, whichever is
+  // smaller (a range can exceed the TLB size).
+  if (num_pages >= base_tags_.size()) {
+    for (auto& tag : base_tags_) {
+      if (tag != 0 && tag - 1 >= vpn && tag - 1 < vpn + num_pages) {
+        tag = 0;
+        ++stats_.invalidated_entries;
+      }
+    }
+  } else {
+    for (uint64_t i = 0; i < num_pages; ++i) {
+      Vpn& tag = base_tags_[(vpn + i) & base_mask_];
+      if (tag == vpn + i + 1) {
+        tag = 0;
+        ++stats_.invalidated_entries;
+      }
+    }
+  }
+  const Vpn first_hvpn = vpn >> kHugeOrder;
+  const Vpn last_hvpn = (vpn + num_pages - 1) >> kHugeOrder;
+  for (Vpn h = first_hvpn; h <= last_hvpn; ++h) {
+    Vpn& tag = huge_tags_[h & huge_mask_];
+    if (tag == h + 1) {
+      tag = 0;
+      ++stats_.invalidated_entries;
+    }
+    if (h - first_hvpn >= huge_tags_.size()) {
+      break;
+    }
+  }
+}
+
+void Tlb::Flush() {
+  for (auto& tag : base_tags_) {
+    tag = 0;
+  }
+  for (auto& tag : huge_tags_) {
+    tag = 0;
+  }
+}
+
+}  // namespace memtis

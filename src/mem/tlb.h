@@ -1,0 +1,69 @@
+// Split base/huge TLB model.
+//
+// Direct-mapped with per-entry vpn tags, which captures what matters for the
+// paper's trade-off: huge pages give ~512x reach per entry, and splits cost
+// shootdowns. Sizes default to a Xeon-like second-level TLB scaled to the
+// simulated footprints.
+
+#ifndef MEMTIS_SIM_SRC_MEM_TLB_H_
+#define MEMTIS_SIM_SRC_MEM_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/types.h"
+
+namespace memtis {
+
+struct TlbConfig {
+  uint32_t base_entries = 1536;  // 4 KiB entries (power of two rounded internally)
+  uint32_t huge_entries = 128;   // 2 MiB entries
+};
+
+struct TlbStats {
+  uint64_t base_hits = 0;
+  uint64_t base_misses = 0;
+  uint64_t huge_hits = 0;
+  uint64_t huge_misses = 0;
+  uint64_t shootdowns = 0;            // invalidation events (split/migration)
+  uint64_t invalidated_entries = 0;
+
+  uint64_t hits() const { return base_hits + huge_hits; }
+  uint64_t misses() const { return base_misses + huge_misses; }
+  double miss_ratio() const {
+    const uint64_t total = hits() + misses();
+    return total == 0 ? 0.0 : static_cast<double>(misses()) / static_cast<double>(total);
+  }
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config = {});
+
+  // Looks up the translation for `vpn`, which is mapped with the given page
+  // kind. Returns true on hit; on miss the entry is filled (the page walk cost
+  // is charged by the engine's cost model).
+  bool Access(Vpn vpn, PageKind kind);
+
+  // Removes any entry covering [vpn, vpn + num_pages) and counts one shootdown
+  // event. Used on migration, split, collapse, and unmap.
+  void Shootdown(Vpn vpn, uint64_t num_pages);
+
+  void Flush();
+
+  const TlbStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TlbStats{}; }
+
+ private:
+  static uint32_t RoundPow2(uint32_t v);
+
+  std::vector<Vpn> base_tags_;  // tag = vpn + 1, 0 = invalid
+  std::vector<Vpn> huge_tags_;  // tag = huge_vpn + 1
+  uint32_t base_mask_;
+  uint32_t huge_mask_;
+  TlbStats stats_;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_MEM_TLB_H_

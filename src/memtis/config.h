@@ -1,0 +1,76 @@
+// MEMTIS tuning knobs, with the paper's constants and the scaling rules that
+// map its 60+ GB / 2M-sample setup onto the simulator's footprints
+// (DESIGN.md §5).
+
+#ifndef MEMTIS_SIM_SRC_MEMTIS_CONFIG_H_
+#define MEMTIS_SIM_SRC_MEMTIS_CONFIG_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/access/pebs_sampler.h"
+#include "src/mem/types.h"
+
+namespace memtis {
+
+struct MemtisConfig {
+  PebsConfig pebs;  // adaptive sampling under the 3 % CPU cap
+
+  // Scale-free constants straight from the paper.
+  double alpha = 0.9;               // hot-set fill confidence (Algorithm 1)
+  double beta = 0.4;                // split count scale factor (Eq. 2)
+  double split_benefit_gate = 0.05;  // minimum eHR - rHR to consider splitting
+  double free_space_target = 0.02;  // fast-tier free reserve kept by kmigrated
+
+  // Intervals, in sampled records (paper: 100 K adaptation / 2 M cooling).
+  uint64_t adapt_interval_samples = 100'000;
+  uint64_t cooling_interval_samples = 800'000;
+  // Split-benefit estimation runs when window samples exceed a quarter of the
+  // allocated 4 KiB pages (paper §4.3.1), but at least this many.
+  uint64_t min_estimate_interval_samples = 16'384;
+
+  // kmigrated wakeup period (paper: 500 ms at production scale).
+  uint64_t migrate_period_ns = 500'000;
+
+  // Cost model for the background scans.
+  uint64_t cool_scan_cost_per_page_ns = 30;
+
+  // Bound on huge pages splintered per kmigrated wakeup (spreads split cost).
+  uint64_t max_splits_per_wakeup = 8;
+
+  // Feature flags (Fig. 10/11 ablations).
+  bool use_warm_set = true;
+  bool enable_split = true;
+  bool enable_collapse = true;
+
+  // Related-work baseline (paper §7): THP Shrinker. Splits huge pages with
+  // many never-written (all-zero) subpages to reclaim bloat, regardless of
+  // access skew or hotness — contrast with MEMTIS's benefit-gated,
+  // skewness-ranked splitting.
+  bool thp_shrinker = false;
+  uint32_t shrinker_max_written = 256;  // split when <= this many subpages hold data
+
+  // Extension (paper §8, "Limitations"): hybrid tracking. PEBS cannot
+  // distinguish hotness among rarely-accessed pages, so an optional
+  // page-table scan supplies 1-bit recency for pages the sampler never sees:
+  // never-referenced fast-tier pages become high-confidence demotion
+  // candidates, referenced-but-unsampled pages get a minimal hotness floor.
+  bool hybrid_scan = false;
+  uint64_t hybrid_scan_period_ns = 5'000'000;
+
+  // Scaled defaults: adaptation when sampled capacity ~ fast tier; cooling a
+  // few adaptation intervals later (the paper's 100 K : 2 M ratio is 1:20 at
+  // 60+ GB scale; 1:4 keeps several coolings within short simulated runs).
+  static MemtisConfig ScaledDefaults(uint64_t footprint_bytes, uint64_t fast_bytes) {
+    MemtisConfig cfg;
+    const uint64_t fast_pages = fast_bytes >> kPageShift;
+    (void)footprint_bytes;
+    cfg.adapt_interval_samples = std::max<uint64_t>(2048, fast_pages / 4);
+    cfg.cooling_interval_samples = cfg.adapt_interval_samples * 4;
+    return cfg;
+  }
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_MEMTIS_CONFIG_H_

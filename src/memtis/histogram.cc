@@ -1,0 +1,63 @@
+#include "src/memtis/histogram.h"
+
+#include "src/common/check.h"
+
+namespace memtis {
+
+void AccessHistogram::Remove(int bin, uint64_t units) {
+  SIM_DCHECK(bins_[bin] >= units);
+  bins_[bin] -= units;
+}
+
+void AccessHistogram::Cool() {
+  bins_[0] += bins_[1];
+  for (int b = 1; b < kBins - 1; ++b) {
+    bins_[b] = bins_[b + 1];
+  }
+  bins_[kBins - 1] = 0;
+}
+
+uint64_t AccessHistogram::total() const {
+  uint64_t sum = 0;
+  for (uint64_t b : bins_) {
+    sum += b;
+  }
+  return sum;
+}
+
+uint64_t AccessHistogram::UnitsAtOrAbove(int bin) const {
+  uint64_t sum = 0;
+  for (int b = bin < 0 ? 0 : bin; b < kBins; ++b) {
+    sum += bins_[b];
+  }
+  return sum;
+}
+
+AccessHistogram::Thresholds AccessHistogram::ComputeThresholds(
+    uint64_t fast_capacity_units, double alpha) const {
+  // Algorithm 1: grow the hot set downward from the hottest bin while it
+  // still fits the fast tier.
+  uint64_t s = 0;
+  int b = kBins - 1;
+  while (b >= 0 && s + bins_[b] <= fast_capacity_units) {
+    s += bins_[b];
+    --b;
+  }
+  Thresholds t;
+  // Degenerate case: the top bin alone exceeds the fast tier. Keep it hot —
+  // an (arbitrary) subset of the hottest bin then occupies the fast tier,
+  // which is the best any classifier can do at bin granularity.
+  t.hot = b + 1 >= kBins ? kBins - 1 : b + 1;
+  // Warm threshold: if the identified hot set nearly fills the fast tier,
+  // no warm protection is needed; otherwise shield the bin just below hot
+  // from demotion (paper §4.2.1).
+  if (static_cast<double>(s) >= static_cast<double>(fast_capacity_units) * alpha) {
+    t.warm = t.hot;
+  } else {
+    t.warm = t.hot - 1;
+  }
+  t.cold = t.warm - 1;
+  return t;
+}
+
+}  // namespace memtis

@@ -1,0 +1,148 @@
+// MemtisPolicy: the paper's contribution, on the simulator's policy interface.
+//
+// Pipeline (paper Fig. 4): PEBS samples update per-page hotness and two
+// histograms — the page access histogram (OS page granularity, drives the
+// hot/warm/cold thresholds via Algorithm 1) and the emulated base page
+// histogram (4 KiB granularity, drives the would-be-base-page-only hit-ratio
+// estimate eHR). Thresholds adapt every adapt_interval samples; cooling
+// halves all counters every cooling_interval samples (EMA with decay 0.5) and
+// recomputes huge-page skewness; kmigrated promotes hot pages, demotes
+// cold-then-warm pages to keep 2 % free, and splinters the top-Ns most skewed
+// huge pages when eHR - rHR exceeds the benefit gate. All of it runs in the
+// background; the app only ever pays for TLB shootdowns.
+
+#ifndef MEMTIS_SIM_SRC_MEMTIS_MEMTIS_POLICY_H_
+#define MEMTIS_SIM_SRC_MEMTIS_MEMTIS_POLICY_H_
+
+#include <vector>
+
+#include "src/access/pebs_sampler.h"
+#include "src/access/pt_scanner.h"
+#include "src/common/stats.h"
+#include "src/mem/page_list.h"
+#include "src/memtis/config.h"
+#include "src/memtis/histogram.h"
+#include "src/sim/policy.h"
+
+namespace memtis {
+
+class MemtisPolicy : public TieringPolicy {
+ public:
+  MemtisPolicy() : MemtisPolicy(MemtisConfig{}) {}
+  explicit MemtisPolicy(const MemtisConfig& config)
+      : config_(config), sampler_(config.pebs) {}
+
+  std::string_view name() const override { return "memtis"; }
+
+  void Init(PolicyContext& ctx) override;
+  void OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
+                const Access& access) override;
+  void OnPageAllocated(PolicyContext& ctx, PageIndex index, PageInfo& page) override;
+  void OnPageFreed(PolicyContext& ctx, PageIndex index, PageInfo& page) override;
+  void Tick(PolicyContext& ctx) override;
+  ClassifiedSizes Classify(PolicyContext& ctx) override;
+
+  // --- Introspection for experiments -----------------------------------------
+
+  struct Stats {
+    uint64_t coolings = 0;
+    uint64_t threshold_adaptations = 0;
+    uint64_t benefit_estimations = 0;
+    uint64_t split_rounds_triggered = 0;  // estimations that selected candidates
+    uint64_t splits_performed = 0;
+    uint64_t split_subpages_to_fast = 0;
+    uint64_t collapses_performed = 0;
+    double last_ehr = 0.0;  // estimated base-page-only hit ratio
+    double last_rhr = 0.0;  // measured fast-tier sample hit ratio
+  };
+  const Stats& stats() const { return stats_; }
+  const PebsSampler& sampler() const { return sampler_; }
+  int hot_threshold_bin() const { return thresholds_.hot; }
+  int warm_threshold_bin() const { return thresholds_.warm; }
+  const AccessHistogram& page_histogram() const { return hist_; }
+  const AccessHistogram& base_histogram() const { return base_hist_; }
+  // Mean of the window eHR estimates over the whole run (Fig. 12).
+  double mean_ehr() const { return ehr_stat_.count() == 0 ? 0.0 : ehr_stat_.mean(); }
+  double mean_rhr_sampled() const {
+    return rhr_stat_.count() == 0 ? 0.0 : rhr_stat_.mean();
+  }
+
+  // Test/debug audit: recomputes both histograms from the live page metadata
+  // and compares them (and every cached bin) against the incrementally
+  // maintained state. O(pages x subpages); returns false on any mismatch.
+  bool ValidateHistograms(MemorySystem& mem) const;
+
+ private:
+  // Hotness of one 4 KiB unit when treated as a base page (used by the
+  // emulated base-page histogram and the skewness math).
+  static uint64_t UnitHotness(uint64_t count) { return count * kSubpagesPerHuge; }
+
+  // Lazily applies pending cooling epochs to a page (and its subpages).
+  void SyncCooling(PageInfo& page) const;
+
+  void AdaptThresholds(PolicyContext& ctx);
+  void CoolingEvent(PolicyContext& ctx);
+  void EstimateSplitBenefit(PolicyContext& ctx);
+  void SelectSplitCandidates(PolicyContext& ctx, uint64_t how_many);
+  void ProcessSplitQueue(PolicyContext& ctx);
+  void RunMigration(PolicyContext& ctx);
+  void HybridScan(PolicyContext& ctx);
+  void DemoteForSpace(PolicyContext& ctx, uint64_t target_free_frames);
+  void RefillDemotionList(PolicyContext& ctx);
+  void TryCollapse(PolicyContext& ctx, const std::vector<Vpn>& candidates);
+
+  // Histogram bookkeeping around structural changes.
+  void AccountPageAdded(PolicyContext& ctx, PageInfo& page);
+  void AccountPageRemoved(PolicyContext& ctx, PageInfo& page);
+
+  bool IsHotBin(int bin) const { return bin >= thresholds_.hot; }
+  bool IsColdBin(int bin) const {
+    return config_.use_warm_set ? bin < thresholds_.cold : bin < thresholds_.hot;
+  }
+
+  MemtisConfig config_;
+  PebsSampler sampler_;
+
+  AccessHistogram hist_;       // OS-page histogram (4 KiB units per page size)
+  AccessHistogram base_hist_;  // emulated base-page histogram
+  AccessHistogram::Thresholds thresholds_;
+  int base_hot_bin_ = 1;  // T_hot over the emulated base-page histogram
+
+  uint32_t cool_epoch_ = 0;
+
+  // Sample-driven event counters.
+  uint64_t samples_since_adapt_ = 0;
+  uint64_t samples_since_cool_ = 0;
+  uint64_t samples_since_estimate_ = 0;
+
+  // eHR / rHR window counters (reset per estimation).
+  uint64_t win_samples_ = 0;
+  uint64_t win_fast_hits_ = 0;
+  uint64_t win_base_hot_hits_ = 0;
+  double avg_samples_per_hp_ = 1.0;  // refreshed during cooling scans
+  uint32_t consecutive_gap_windows_ = 0;  // stability gate for splitting
+
+  PageList promotion_list_;
+  PageList demotion_list_;
+  PageList split_queue_;
+  PageIndex demotion_refill_cursor_ = 0;
+
+  // Skewness buckets rebuilt at each cooling scan: bucket b holds huge pages
+  // with floor(log2(S_i)) == b (paper §4.3.2's "array of skewness factors").
+  static constexpr int kSkewBuckets = 48;
+  std::vector<PageRef> skew_buckets_[kSkewBuckets];
+
+  uint64_t next_migrate_ns_ = 0;
+
+  // Hybrid-tracking extension state (config_.hybrid_scan).
+  PtScanner hybrid_scanner_;
+  uint64_t next_hybrid_scan_ns_ = 0;
+
+  RunningStat ehr_stat_;
+  RunningStat rhr_stat_;
+  Stats stats_;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_MEMTIS_MEMTIS_POLICY_H_

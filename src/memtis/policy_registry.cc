@@ -1,0 +1,94 @@
+#include "src/memtis/policy_registry.h"
+
+#include "src/common/check.h"
+#include "src/memtis/memtis_policy.h"
+#include "src/policies/autonuma.h"
+#include "src/policies/autotiering.h"
+#include "src/policies/hemem.h"
+#include "src/policies/multiclock.h"
+#include "src/policies/nimble.h"
+#include "src/policies/static_policy.h"
+#include "src/policies/tiering08.h"
+#include "src/policies/tpp.h"
+
+namespace memtis {
+
+const std::vector<std::string>& ComparisonSystems() {
+  static const std::vector<std::string> kNames = {
+      "autonuma", "autotiering", "tiering-0.8", "tpp", "nimble", "hemem", "memtis",
+  };
+  return kNames;
+}
+
+std::unique_ptr<TieringPolicy> MakePolicy(std::string_view name,
+                                          uint64_t footprint_bytes,
+                                          uint64_t fast_bytes) {
+  if (name == "autonuma") {
+    return std::make_unique<AutoNumaPolicy>();
+  }
+  if (name == "autotiering") {
+    return std::make_unique<AutoTieringPolicy>();
+  }
+  if (name == "tiering-0.8") {
+    return std::make_unique<Tiering08Policy>();
+  }
+  if (name == "tpp") {
+    return std::make_unique<TppPolicy>();
+  }
+  if (name == "nimble") {
+    return std::make_unique<NimblePolicy>();
+  }
+  if (name == "multi-clock") {
+    return std::make_unique<MultiClockPolicy>();
+  }
+  if (name == "hemem") {
+    return std::make_unique<HeMemPolicy>();
+  }
+  if (name == "memtis") {
+    return std::make_unique<MemtisPolicy>(
+        MemtisConfig::ScaledDefaults(footprint_bytes, fast_bytes));
+  }
+  if (name == "memtis-ns") {
+    MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint_bytes, fast_bytes);
+    cfg.enable_split = false;
+    cfg.enable_collapse = false;
+    return std::make_unique<MemtisPolicy>(cfg);
+  }
+  if (name == "memtis-vanilla") {
+    MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint_bytes, fast_bytes);
+    cfg.enable_split = false;
+    cfg.enable_collapse = false;
+    cfg.use_warm_set = false;
+    return std::make_unique<MemtisPolicy>(cfg);
+  }
+  if (name == "memtis-shrinker") {
+    MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint_bytes, fast_bytes);
+    cfg.enable_split = false;  // bloat-triggered splitting only
+    cfg.enable_collapse = false;
+    cfg.thp_shrinker = true;
+    return std::make_unique<MemtisPolicy>(cfg);
+  }
+  if (name == "memtis-hybrid") {
+    MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint_bytes, fast_bytes);
+    cfg.hybrid_scan = true;
+    return std::make_unique<MemtisPolicy>(cfg);
+  }
+  if (name == "memtis-nowarm") {
+    MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint_bytes, fast_bytes);
+    cfg.use_warm_set = false;
+    return std::make_unique<MemtisPolicy>(cfg);
+  }
+  if (name == "all-fast") {
+    return std::make_unique<StaticPolicy>(TierId::kFast);
+  }
+  if (name == "all-fast-nothp") {
+    return std::make_unique<StaticPolicy>(TierId::kFast, /*use_thp=*/false);
+  }
+  if (name == "all-capacity") {
+    return std::make_unique<StaticPolicy>(TierId::kCapacity);
+  }
+  SIM_CHECK(false && "unknown policy name");
+  return nullptr;
+}
+
+}  // namespace memtis

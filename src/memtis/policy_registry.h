@@ -1,0 +1,31 @@
+// Factory over all tiering systems (the six baselines + MEMTIS), used by the
+// bench binaries and examples.
+
+#ifndef MEMTIS_SIM_SRC_MEMTIS_POLICY_REGISTRY_H_
+#define MEMTIS_SIM_SRC_MEMTIS_POLICY_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/policy.h"
+
+namespace memtis {
+
+// The comparison set of the paper's Fig. 5, in its legend order.
+const std::vector<std::string>& ComparisonSystems();
+
+// Creates a policy by name. `footprint_bytes` and `fast_bytes` size MEMTIS's
+// scaled intervals; baselines ignore them. Known names: autonuma,
+// autotiering, tiering-0.8, tpp, nimble, multi-clock, hemem, memtis,
+// memtis-ns (split disabled), memtis-nowarm (warm set disabled),
+// memtis-vanilla (no split, no warm set), all-fast, all-fast-nothp,
+// all-capacity.
+std::unique_ptr<TieringPolicy> MakePolicy(std::string_view name,
+                                          uint64_t footprint_bytes,
+                                          uint64_t fast_bytes);
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_MEMTIS_POLICY_REGISTRY_H_

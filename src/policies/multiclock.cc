@@ -1,0 +1,65 @@
+#include "src/policies/multiclock.h"
+
+#include <vector>
+
+namespace memtis {
+
+void MultiClockPolicy::Tick(PolicyContext& ctx) {
+  if (ctx.now_ns < next_scan_ns_) {
+    return;
+  }
+  next_scan_ns_ = ctx.now_ns + params_.scan_period_ns;
+
+  // policy_word1 = consecutive referenced-scan count.
+  std::vector<PageIndex> promote;
+  std::vector<PageIndex> demote;
+  const uint64_t scan_cost = scanner_.Scan(
+      ctx.mem, [&](PageIndex index, PageInfo& page, bool referenced) {
+        if (referenced) {
+          ++page.policy_word1;
+        } else {
+          page.policy_word1 = 0;
+        }
+        if (page.tier == TierId::kCapacity && page.policy_word1 >= 2) {
+          promote.push_back(index);  // static threshold of two
+        } else if (page.tier == TierId::kFast && page.policy_word1 == 0) {
+          demote.push_back(index);
+        }
+      });
+  ctx.ChargeDaemon(DaemonKind::kScanner, scan_cost);
+
+  // Demote below-watermark first so promotions have room.
+  if (FastBelowWatermark(ctx, params_.low_watermark)) {
+    const uint64_t target_free = static_cast<uint64_t>(
+        static_cast<double>(FastTotalFrames(ctx)) * params_.high_watermark);
+    for (const PageIndex index : demote) {
+      if (FastFreeFrames(ctx) >= target_free) {
+        break;
+      }
+      PageInfo& page = ctx.mem.page(index);
+      if (page.live && page.tier == TierId::kFast) {
+        MigrateBackground(ctx, index, TierId::kCapacity);
+      }
+    }
+  }
+  size_t victim = 0;
+  for (const PageIndex index : promote) {
+    PageInfo& page = ctx.mem.page(index);
+    if (!page.live || page.tier != TierId::kCapacity) {
+      continue;
+    }
+    while (FastFreeFrames(ctx) < page.size_pages() && victim < demote.size()) {
+      PageInfo& v = ctx.mem.page(demote[victim]);
+      const PageIndex vindex = demote[victim];
+      ++victim;
+      if (v.live && v.tier == TierId::kFast) {
+        MigrateBackground(ctx, vindex, TierId::kCapacity);
+      }
+    }
+    if (FastFreeFrames(ctx) >= page.size_pages()) {
+      MigrateBackground(ctx, index, TierId::kFast);
+    }
+  }
+}
+
+}  // namespace memtis

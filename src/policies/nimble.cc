@@ -1,0 +1,77 @@
+#include "src/policies/nimble.h"
+
+namespace memtis {
+
+void NimblePolicy::Tick(PolicyContext& ctx) {
+  if (ctx.now_ns < next_scan_ns_) {
+    return;
+  }
+  next_scan_ns_ = ctx.now_ns + params_.scan_period_ns;
+
+  // Full page-table scan: collect referenced capacity pages (promotion
+  // candidates, threshold = 1) and unreferenced fast pages (demotion
+  // victims).
+  std::vector<PageIndex> promote;
+  std::vector<PageIndex> demote;
+  std::vector<PageIndex> referenced_fast;
+  uint64_t hot_bytes = 0;
+  uint64_t cold_bytes = 0;
+  const uint64_t scan_cost = scanner_.Scan(
+      ctx.mem, [&](PageIndex index, PageInfo& page, bool referenced) {
+        (referenced ? hot_bytes : cold_bytes) += page.size_bytes();
+        if (referenced && page.tier == TierId::kCapacity) {
+          promote.push_back(index);
+        } else if (page.tier == TierId::kFast) {
+          (referenced ? referenced_fast : demote).push_back(index);
+        }
+      });
+  ctx.ChargeDaemon(DaemonKind::kScanner, scan_cost);
+  last_hot_bytes_ = hot_bytes;
+  last_cold_bytes_ = cold_bytes;
+  // Nimble exchanges by LRU position: once unreferenced victims run out, it
+  // keeps exchanging against referenced fast pages — the pure thrash that
+  // makes its migration traffic explode when the referenced set exceeds the
+  // fast tier (paper §6.2.4).
+  demote.insert(demote.end(), referenced_fast.begin(), referenced_fast.end());
+
+  // Exchange: promote hot pages, demoting victims as needed for space.
+  uint64_t budget = params_.exchange_budget_pages;
+  size_t victim = 0;
+  for (const PageIndex index : promote) {
+    if (budget == 0) {
+      break;
+    }
+    PageInfo& page = ctx.mem.page(index);
+    if (!page.live || page.tier != TierId::kCapacity) {
+      continue;
+    }
+    const uint64_t need = page.size_pages();
+    // Make room by demoting unreferenced fast pages.
+    while (FastFreeFrames(ctx) < need && victim < demote.size() && budget > 0) {
+      PageInfo& v = ctx.mem.page(demote[victim]);
+      const PageIndex vindex = demote[victim];
+      ++victim;
+      if (!v.live || v.tier != TierId::kFast) {
+        continue;
+      }
+      const uint64_t vsize = v.size_pages();
+      if (MigrateBackground(ctx, vindex, TierId::kCapacity)) {
+        budget -= std::min(budget, vsize);
+      }
+    }
+    if (FastFreeFrames(ctx) >= need) {
+      if (MigrateBackground(ctx, index, TierId::kFast)) {
+        budget -= std::min(budget, need);
+      }
+    }
+  }
+}
+
+ClassifiedSizes NimblePolicy::Classify(PolicyContext& ctx) {
+  (void)ctx;
+  return ClassifiedSizes{.hot_bytes = last_hot_bytes_,
+                         .warm_bytes = 0,
+                         .cold_bytes = last_cold_bytes_};
+}
+
+}  // namespace memtis

@@ -1,0 +1,47 @@
+// Latency/cost parameters of the simulated machine, in virtual nanoseconds.
+//
+// Tier load/store latencies live in TierLatency (src/mem/tier.h); everything
+// else — address translation, faults, migration mechanics — is here. Values
+// are order-of-magnitude figures for a Xeon-class server; experiments depend
+// on their ratios, not their absolute values.
+
+#ifndef MEMTIS_SIM_SRC_SIM_COST_MODEL_H_
+#define MEMTIS_SIM_SRC_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace memtis {
+
+struct CostParams {
+  // Address translation.
+  uint64_t tlb_hit_ns = 1;
+  uint64_t walk_base_ns = 60;  // 4-level walk on a TLB miss
+  uint64_t walk_huge_ns = 40;  // 3-level walk (paper §2.3)
+
+  // Faults (charged to app time — the critical path).
+  uint64_t minor_fault_ns = 2'500;
+  uint64_t hint_fault_ns = 1'500;  // NUMA hint fault entry/exit
+
+  // Migration mechanics. A migration performed on the critical path (page
+  // fault handler) charges copy+fixup to the app; background migration charges
+  // it to the migration daemon, with only the shootdown touching the app.
+  uint64_t migrate_base_ns = 3'000;        // copy 4 KiB + remap
+  uint64_t migrate_huge_ns = 400'000;      // copy 2 MiB + remap
+  uint64_t shootdown_app_ns = 2'000;       // IPI cost visible to app threads
+  uint64_t split_ns = 30'000;              // huge page split bookkeeping
+  uint64_t collapse_ns = 60'000;           // base->huge collapse bookkeeping
+
+  // Allocation-time page clearing etc. (charged once per mapped 4 KiB page).
+  uint64_t alloc_page_ns = 300;
+
+  // Background migration throughput cap shared by all daemons (token bucket);
+  // scaled to keep the migration:access ratio of a real machine.
+  uint64_t migrate_bandwidth_pages_per_ms = 128;
+  uint64_t migrate_burst_pages = 2048;
+  // Memory-bandwidth interference visible to app threads per migrated 4 KiB.
+  uint64_t migrate_app_interference_ns = 100;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_SIM_COST_MODEL_H_

@@ -1,0 +1,243 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/trace/trace.h"
+
+namespace memtis {
+
+namespace {
+uint64_t BytesToFrames(uint64_t bytes) {
+  // Round up to a huge-page multiple so the buddy allocator tiles cleanly.
+  return (bytes + kHugePageSize - 1) / kHugePageSize * kSubpagesPerHuge;
+}
+}  // namespace
+
+MachineConfig MakeNvmMachine(uint64_t fast_bytes, uint64_t capacity_bytes) {
+  MachineConfig m;
+  m.mem.fast_frames = BytesToFrames(fast_bytes);
+  m.mem.capacity_frames = BytesToFrames(capacity_bytes);
+  m.mem.fast_latency = kDramLatency;
+  m.mem.capacity_latency = kNvmLatency;
+  return m;
+}
+
+MachineConfig MakeCxlMachine(uint64_t fast_bytes, uint64_t capacity_bytes) {
+  MachineConfig m = MakeNvmMachine(fast_bytes, capacity_bytes);
+  m.mem.capacity_latency = kCxlLatency;
+  return m;
+}
+
+MachineConfig MakeDramOnlyMachine(uint64_t bytes) {
+  MachineConfig m;
+  m.mem.fast_frames = BytesToFrames(bytes);
+  m.mem.capacity_frames = kSubpagesPerHuge;  // minimal, unused
+  m.mem.fast_latency = kDramLatency;
+  m.mem.capacity_latency = kDramLatency;
+  return m;
+}
+
+Engine::Engine(const MachineConfig& machine, TieringPolicy& policy,
+               const EngineOptions& options)
+    : options_(options),
+      costs_(machine.costs),
+      mem_(machine.mem),
+      tlb_(machine.tlb),
+      policy_(policy),
+      rng_(options.seed),
+      migration_budget_(machine.costs.migrate_bandwidth_pages_per_ms,
+                        machine.costs.migrate_burst_pages),
+      ctx_{mem_, tlb_, costs_, metrics_.cpu, rng_, migration_budget_},
+      next_tick_ns_(options.tick_quantum_ns),
+      next_snapshot_ns_(options.snapshot_interval_ns) {
+  metrics_.cores = machine.cores;
+  metrics_.cpu_contention = options.cpu_contention;
+  mem_.AttachTlb(&tlb_);
+  mem_.AttachClock(&now_ns_);
+}
+
+Metrics Engine::Run(Workload& workload) {
+  App app(*this);
+  if (!started_) {
+    started_ = true;
+    ctx_.now_ns = now_ns_;
+    policy_.Init(ctx_);
+    DrainPendingAppTime();
+    workload.Setup(app, rng_);
+    DrainPendingAppTime();
+  }
+
+  while (metrics_.accesses < options_.max_accesses) {
+    if (!workload.Step(app, rng_)) {
+      break;
+    }
+  }
+
+  metrics_.app_ns = now_ns_;
+  metrics_.tlb = tlb_.stats();
+  metrics_.migration = mem_.migration_stats();
+  metrics_.final_rss_pages = mem_.rss_pages();
+  metrics_.peak_rss_pages = std::max(metrics_.peak_rss_pages, mem_.rss_pages());
+  metrics_.final_fast_used_pages = mem_.fast_tier_pages();
+  metrics_.final_huge_ratio = mem_.huge_page_ratio();
+  return metrics_;
+}
+
+void Engine::DrainPendingAppTime() {
+  if (ctx_.pending_app_ns != 0) {
+    now_ns_ += ctx_.pending_app_ns;
+    metrics_.critical_path_ns += ctx_.pending_app_ns;
+    ctx_.pending_app_ns = 0;
+  }
+}
+
+void Engine::DoAccess(Vaddr addr, bool is_write) {
+  if (options_.trace != nullptr) {
+    options_.trace->RecordAccess(addr, is_write);
+  }
+  const Vpn vpn = VpnOf(addr);
+  PageIndex index = mem_.Lookup(vpn);
+  if (index == kInvalidPage) {
+    // Demand fault: a split freed this (then all-zero) subpage earlier.
+    ctx_.now_ns = now_ns_;
+    AllocOptions opts = policy_.PlacementFor(ctx_, kPageSize, /*use_thp=*/false);
+    opts.use_thp = false;
+    index = mem_.DemandFault(vpn, opts);
+    now_ns_ += costs_.minor_fault_ns + costs_.alloc_page_ns;
+    policy_.OnPageAllocated(ctx_, index, mem_.page(index));
+    DrainPendingAppTime();
+  }
+  PageInfo& page = mem_.page(index);
+
+  // Address translation.
+  uint64_t ns;
+  if (tlb_.Access(vpn, page.kind)) {
+    ns = costs_.tlb_hit_ns;
+  } else {
+    ns = page.kind == PageKind::kHuge ? costs_.walk_huge_ns : costs_.walk_base_ns;
+  }
+
+  // Memory access at the page's tier.
+  const TierLatency& lat = mem_.tier(page.tier).latency();
+  ns += is_write ? lat.store_ns : lat.load_ns;
+
+  // Ground-truth subpage bookkeeping (the kernel knows written pages exactly;
+  // splits free never-written subpages).
+  if (page.kind == PageKind::kHuge) {
+    const uint64_t sub = SubpageIndexOf(vpn);
+    page.huge->accessed.set(sub);
+    if (is_write) {
+      page.huge->written.set(sub);
+    }
+  }
+
+  ++metrics_.accesses;
+  ++(is_write ? metrics_.stores : metrics_.loads);
+  const bool fast = page.tier == TierId::kFast;
+  ++(fast ? metrics_.fast_accesses : metrics_.capacity_accesses);
+  ++window_accesses_;
+  window_fast_ += fast ? 1 : 0;
+
+  now_ns_ += ns;
+  ctx_.now_ns = now_ns_;
+  policy_.OnAccess(ctx_, index, page, Access{addr, is_write});
+  DrainPendingAppTime();
+
+  MaybeTickAndSnapshot();
+}
+
+void Engine::MaybeTickAndSnapshot() {
+  if (now_ns_ >= next_tick_ns_) {
+    ctx_.now_ns = now_ns_;
+    policy_.Tick(ctx_);
+    DrainPendingAppTime();
+    // Skip ahead if the app stalled far past several quanta.
+    next_tick_ns_ = std::max(next_tick_ns_ + options_.tick_quantum_ns,
+                             now_ns_ - now_ns_ % options_.tick_quantum_ns +
+                                 options_.tick_quantum_ns);
+    metrics_.peak_rss_pages = std::max(metrics_.peak_rss_pages, mem_.rss_pages());
+  }
+  if (options_.snapshot_interval_ns != 0 && now_ns_ >= next_snapshot_ns_) {
+    TakeSnapshot();
+    next_snapshot_ns_ += options_.snapshot_interval_ns;
+  }
+}
+
+void Engine::TakeSnapshot() {
+  TimelinePoint point;
+  point.t_ns = now_ns_;
+  ctx_.now_ns = now_ns_;
+  point.classified = policy_.Classify(ctx_);
+  point.fast_used_pages = mem_.fast_tier_pages();
+  point.rss_pages = mem_.rss_pages();
+  const uint64_t window_ns = now_ns_ - window_start_ns_;
+  point.window_fast_ratio =
+      window_accesses_ == 0 ? 0.0
+                            : static_cast<double>(window_fast_) /
+                                  static_cast<double>(window_accesses_);
+  point.window_mops = window_ns == 0 ? 0.0
+                                     : static_cast<double>(window_accesses_) * 1e3 /
+                                           static_cast<double>(window_ns);
+  metrics_.timeline.push_back(point);
+  window_accesses_ = 0;
+  window_fast_ = 0;
+  window_start_ns_ = now_ns_;
+}
+
+Vaddr Engine::DoAlloc(uint64_t bytes, bool use_thp) {
+  ctx_.now_ns = now_ns_;
+  AllocOptions opts = policy_.PlacementFor(ctx_, bytes, use_thp);
+  opts.use_thp = use_thp && opts.use_thp;
+  const Vaddr start = mem_.AllocateRegion(bytes, opts);
+  const Vpn start_vpn = VpnOf(start);
+  const uint64_t num_pages = mem_.RegionAt(start)->second;
+  for (Vpn vpn = start_vpn; vpn < start_vpn + num_pages;) {
+    const PageIndex index = mem_.Lookup(vpn);
+    SIM_DCHECK(index != kInvalidPage);
+    PageInfo& page = mem_.page(index);
+    policy_.OnPageAllocated(ctx_, index, page);
+    now_ns_ += costs_.alloc_page_ns * page.size_pages();
+    vpn += page.size_pages();
+  }
+  DrainPendingAppTime();
+  if (options_.trace != nullptr) {
+    options_.trace->RecordAlloc(bytes, opts.use_thp, start);
+  }
+  return start;
+}
+
+void Engine::DoFree(Vaddr start) {
+  if (options_.trace != nullptr) {
+    options_.trace->RecordFree(start);
+  }
+  ctx_.now_ns = now_ns_;
+  const auto region = mem_.RegionAt(start);
+  SIM_CHECK(region.has_value());
+  const Vpn start_vpn = region->first;
+  const uint64_t num_pages = region->second;
+  // Notify the policy about each page before the region dies.
+  for (Vpn vpn = start_vpn; vpn < start_vpn + num_pages;) {
+    const PageIndex index = mem_.Lookup(vpn);
+    if (index == kInvalidPage) {
+      ++vpn;  // hole left by a split
+      continue;
+    }
+    PageInfo& page = mem_.page(index);
+    policy_.OnPageFreed(ctx_, index, page);
+    vpn += page.size_pages();
+  }
+  mem_.FreeRegion(start);
+  DrainPendingAppTime();
+}
+
+// --- App facade ---------------------------------------------------------------
+
+Vaddr App::Alloc(uint64_t bytes, bool use_thp) { return engine_.DoAlloc(bytes, use_thp); }
+void App::Free(Vaddr start) { engine_.DoFree(start); }
+void App::Read(Vaddr addr) { engine_.DoAccess(addr, /*is_write=*/false); }
+void App::Write(Vaddr addr) { engine_.DoAccess(addr, /*is_write=*/true); }
+uint64_t App::now_ns() const { return engine_.now_ns(); }
+uint64_t App::accesses_issued() const { return engine_.accesses(); }
+
+}  // namespace memtis

@@ -1,0 +1,105 @@
+// Engine: the deterministic virtual-time simulation loop.
+//
+// Drives a Workload against a MemorySystem under a TieringPolicy:
+//   access -> page-table lookup (demand fault if a split left a hole) ->
+//   TLB -> tier latency -> policy hook -> periodic daemon ticks/snapshots.
+// All time is virtual nanoseconds accumulated from the cost model, so runs are
+// bit-for-bit reproducible for a given seed.
+
+#ifndef MEMTIS_SIM_SRC_SIM_ENGINE_H_
+#define MEMTIS_SIM_SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/mem/memory_system.h"
+#include "src/mem/tlb.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/metrics.h"
+#include "src/sim/policy.h"
+#include "src/sim/workload.h"
+
+namespace memtis {
+
+class TraceWriter;
+
+struct MachineConfig {
+  MemoryConfig mem;
+  TlbConfig tlb;
+  CostParams costs;
+  uint32_t cores = 20;
+};
+
+// Convenience builders for the paper's tier setups.
+MachineConfig MakeNvmMachine(uint64_t fast_bytes, uint64_t capacity_bytes);
+MachineConfig MakeCxlMachine(uint64_t fast_bytes, uint64_t capacity_bytes);
+MachineConfig MakeDramOnlyMachine(uint64_t bytes);
+
+struct EngineOptions {
+  uint64_t max_accesses = 10'000'000;
+  // Virtual-time granularity at which the policy's background daemons get to
+  // run (the policy decides internally what is due).
+  uint64_t tick_quantum_ns = 20'000;
+  // 0 disables timeline snapshots.
+  uint64_t snapshot_interval_ns = 0;
+  // Daemon CPU displaces app CPU (paper runs app threads on all cores).
+  bool cpu_contention = true;
+  uint64_t seed = 42;
+  // Optional access-trace recording (see src/trace/trace.h). Not owned.
+  TraceWriter* trace = nullptr;
+};
+
+class Engine {
+ public:
+  Engine(const MachineConfig& machine, TieringPolicy& policy,
+         const EngineOptions& options);
+
+  // Runs the workload to natural completion or the access budget and returns
+  // the collected metrics. May be called again (with a raised budget via
+  // set_max_accesses) to continue the same run — used by phase analyses.
+  Metrics Run(Workload& workload);
+
+  void set_max_accesses(uint64_t max_accesses) { options_.max_accesses = max_accesses; }
+
+  // --- App-facing operations (used via the App facade) -----------------------
+  void DoAccess(Vaddr addr, bool is_write);
+  Vaddr DoAlloc(uint64_t bytes, bool use_thp);
+  void DoFree(Vaddr start);
+
+  uint64_t now_ns() const { return now_ns_; }
+  uint64_t accesses() const { return metrics_.accesses; }
+
+  MemorySystem& mem() { return mem_; }
+  Tlb& tlb() { return tlb_; }
+  TieringPolicy& policy() { return policy_; }
+  Metrics& metrics() { return metrics_; }
+  PolicyContext& ctx() { return ctx_; }
+
+ private:
+  void DrainPendingAppTime();
+  void MaybeTickAndSnapshot();
+  void TakeSnapshot();
+
+  EngineOptions options_;
+  CostParams costs_;
+  MemorySystem mem_;
+  Tlb tlb_;
+  TieringPolicy& policy_;
+  Rng rng_;
+  Metrics metrics_;
+  MigrationBudget migration_budget_;
+  PolicyContext ctx_;
+
+  bool started_ = false;
+  uint64_t now_ns_ = 0;
+  uint64_t next_tick_ns_;
+  uint64_t next_snapshot_ns_;
+  uint64_t window_accesses_ = 0;
+  uint64_t window_fast_ = 0;
+  uint64_t window_start_ns_ = 0;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_SIM_ENGINE_H_

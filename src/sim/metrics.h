@@ -1,0 +1,86 @@
+// Run metrics: the quantities every paper figure is built from.
+
+#ifndef MEMTIS_SIM_SRC_SIM_METRICS_H_
+#define MEMTIS_SIM_SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/memory_system.h"
+#include "src/mem/tlb.h"
+#include "src/sim/cpu_account.h"
+
+namespace memtis {
+
+// Sizes of the hot/warm/cold sets as classified by a policy (Fig. 2 / Fig. 9).
+struct ClassifiedSizes {
+  uint64_t hot_bytes = 0;
+  uint64_t warm_bytes = 0;
+  uint64_t cold_bytes = 0;
+};
+
+// Periodic snapshot for time-series figures.
+struct TimelinePoint {
+  uint64_t t_ns = 0;
+  ClassifiedSizes classified;
+  uint64_t fast_used_pages = 0;
+  uint64_t rss_pages = 0;
+  double window_fast_ratio = 0.0;  // fast-tier access ratio in the window
+  double window_mops = 0.0;        // throughput (million accesses / virtual s)
+};
+
+struct Metrics {
+  // Access counts.
+  uint64_t accesses = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t fast_accesses = 0;
+  uint64_t capacity_accesses = 0;
+
+  // Virtual app time (ns), before daemon-contention inflation.
+  uint64_t app_ns = 0;
+  // Portion of app_ns spent on critical-path tiering work (fault-path
+  // migrations, hint faults, shootdowns) — the paper's §2.2 complaint.
+  uint64_t critical_path_ns = 0;
+
+  uint32_t cores = 20;
+  bool cpu_contention = true;
+
+  CpuAccount cpu;
+  TlbStats tlb;
+  MigrationStats migration;
+
+  uint64_t final_rss_pages = 0;
+  uint64_t peak_rss_pages = 0;
+  uint64_t final_fast_used_pages = 0;
+  double final_huge_ratio = 0.0;
+
+  std::vector<TimelinePoint> timeline;
+
+  double fast_hit_ratio() const {
+    const uint64_t total = fast_accesses + capacity_accesses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(fast_accesses) / static_cast<double>(total);
+  }
+
+  // Wall time after charging daemon CPU against the app's cores.
+  double EffectiveRuntimeNs() const {
+    double t = static_cast<double>(app_ns);
+    if (cpu_contention && app_ns > 0) {
+      const double share = static_cast<double>(cpu.total_busy()) /
+                           (static_cast<double>(app_ns) * cores);
+      t *= 1.0 + share;
+    }
+    return t;
+  }
+
+  // Throughput in million accesses per virtual second.
+  double Mops() const {
+    const double t = EffectiveRuntimeNs();
+    return t == 0.0 ? 0.0 : static_cast<double>(accesses) * 1e3 / t;
+  }
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_SIM_METRICS_H_

@@ -1,0 +1,58 @@
+// Shared migration bandwidth budget.
+//
+// Kernel page migration has finite throughput (copy bandwidth, lock/IPI
+// overhead), so a tiering system cannot move pages faster than a few hundred
+// MB/s without eating the application's memory bandwidth. All background
+// migration — regardless of policy — draws from this token bucket; policies
+// that migrate the *right* pages win, policies that thrash stall their own
+// migration pipeline (and still pay interference per moved page).
+
+#ifndef MEMTIS_SIM_SRC_SIM_MIGRATION_BUDGET_H_
+#define MEMTIS_SIM_SRC_SIM_MIGRATION_BUDGET_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace memtis {
+
+class MigrationBudget {
+ public:
+  MigrationBudget(uint64_t pages_per_ms, uint64_t burst_pages)
+      : rate_per_ms_(pages_per_ms), burst_(burst_pages), tokens_(burst_pages) {}
+
+  // Attempts to consume `pages` tokens at virtual time `now_ns`.
+  bool Consume(uint64_t now_ns, uint64_t pages) {
+    Refill(now_ns);
+    if (tokens_ < pages) {
+      return false;
+    }
+    tokens_ -= pages;
+    return true;
+  }
+
+  uint64_t tokens(uint64_t now_ns) {
+    Refill(now_ns);
+    return tokens_;
+  }
+
+ private:
+  void Refill(uint64_t now_ns) {
+    if (now_ns <= last_refill_ns_) {
+      return;
+    }
+    const uint64_t earned = (now_ns - last_refill_ns_) * rate_per_ms_ / 1'000'000;
+    if (earned > 0) {
+      tokens_ = std::min(burst_, tokens_ + earned);
+      last_refill_ns_ = now_ns;
+    }
+  }
+
+  uint64_t rate_per_ms_;
+  uint64_t burst_;
+  uint64_t tokens_;
+  uint64_t last_refill_ns_ = 0;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_SIM_MIGRATION_BUDGET_H_

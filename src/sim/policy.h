@@ -1,0 +1,95 @@
+// TieringPolicy: the interface every memory-tiering system implements.
+//
+// The engine resolves each access to a page, charges translation + tier
+// latency, then invokes the policy's per-access hook. Policies do their
+// tracking there (reference bits, PEBS sampling...), perform background work
+// in Tick(), and steer allocation placement via PlacementFor(). Critical-path
+// costs (fault-handler migrations, hint faults) are charged with
+// PolicyContext::ChargeApp; background work with ChargeDaemon.
+
+#ifndef MEMTIS_SIM_SRC_SIM_POLICY_H_
+#define MEMTIS_SIM_SRC_SIM_POLICY_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/rng.h"
+#include "src/mem/memory_system.h"
+#include "src/mem/tlb.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/cpu_account.h"
+#include "src/sim/metrics.h"
+#include "src/sim/migration_budget.h"
+
+namespace memtis {
+
+struct PolicyContext {
+  MemorySystem& mem;
+  Tlb& tlb;
+  const CostParams& costs;
+  CpuAccount& cpu;
+  Rng& rng;
+  MigrationBudget& migration_budget;
+  uint64_t now_ns = 0;
+
+  // Critical-path time the policy wants charged to the app for the current
+  // event; the engine drains this after each hook.
+  uint64_t pending_app_ns = 0;
+
+  void ChargeApp(uint64_t ns) { pending_app_ns += ns; }
+  void ChargeDaemon(DaemonKind kind, uint64_t ns) { cpu.Charge(kind, ns); }
+};
+
+class TieringPolicy {
+ public:
+  virtual ~TieringPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Called once before the workload starts.
+  virtual void Init(PolicyContext& ctx) { (void)ctx; }
+
+  // Called for every memory access after address translation; `page` is the
+  // OS page (base or huge) backing the access.
+  virtual void OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
+                        const Access& access) = 0;
+
+  // Page lifecycle notifications (region allocation/free, demand faults).
+  virtual void OnPageAllocated(PolicyContext& ctx, PageIndex index, PageInfo& page) {
+    (void)ctx;
+    (void)index;
+    (void)page;
+  }
+  virtual void OnPageFreed(PolicyContext& ctx, PageIndex index, PageInfo& page) {
+    (void)ctx;
+    (void)index;
+    (void)page;
+  }
+
+  // Background daemon quantum; the engine calls this every
+  // EngineOptions::tick_quantum_ns of virtual time. The policy runs whatever
+  // daemons are due (kmigrated-style wakeups, scan intervals...).
+  virtual void Tick(PolicyContext& ctx) { (void)ctx; }
+
+  // Placement of newly allocated regions / demand faults (`bytes` is the
+  // allocation size; demand faults pass kPageSize). Default: fast tier first,
+  // spill to capacity.
+  virtual AllocOptions PlacementFor(PolicyContext& ctx, uint64_t bytes, bool use_thp) {
+    (void)ctx;
+    (void)bytes;
+    return AllocOptions{.preferred = TierId::kFast,
+                        .allow_other_tier = true,
+                        .use_thp = use_thp};
+  }
+
+  // Current hot/warm/cold classification, for timeline figures. Policies
+  // without an explicit classification may return zeros.
+  virtual ClassifiedSizes Classify(PolicyContext& ctx) {
+    (void)ctx;
+    return {};
+  }
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_SIM_POLICY_H_

@@ -1,0 +1,62 @@
+// Workload interface: a synthetic application driving the simulator.
+//
+// Workloads allocate regions and issue accesses through the App facade, which
+// routes them through the engine's access pipeline. Step() issues a batch of
+// accesses and returns false when the workload's natural run is complete (the
+// engine may also stop earlier at its access budget).
+
+#ifndef MEMTIS_SIM_SRC_SIM_WORKLOAD_H_
+#define MEMTIS_SIM_SRC_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/rng.h"
+#include "src/mem/types.h"
+
+namespace memtis {
+
+class Engine;
+
+// Facade handed to workloads; forwards to the engine.
+class App {
+ public:
+  explicit App(Engine& engine) : engine_(engine) {}
+
+  // Allocates a region (rounded up to 2 MiB); placement is chosen by the
+  // active tiering policy. Returns the start address.
+  Vaddr Alloc(uint64_t bytes, bool use_thp = true);
+
+  void Free(Vaddr start);
+
+  // Issues one memory access (post-LLC, per the PEBS events modelled).
+  void Read(Vaddr addr);
+  void Write(Vaddr addr);
+
+  uint64_t now_ns() const;
+  uint64_t accesses_issued() const;
+
+ private:
+  Engine& engine_;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Approximate footprint the workload will allocate; used to size machines.
+  virtual uint64_t footprint_bytes() const = 0;
+
+  // Allocates initial regions and performs any population phase bookkeeping.
+  virtual void Setup(App& app, Rng& rng) = 0;
+
+  // Issues a batch of accesses (typically a few hundred); returns false once
+  // the workload is naturally finished.
+  virtual bool Step(App& app, Rng& rng) = 0;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_SIM_WORKLOAD_H_

@@ -1,0 +1,67 @@
+// TraceReplayWorkload: drives the engine from a recorded trace, reproducing
+// the original run's memory behaviour exactly (allocation addresses are
+// verified against the recording — the address-space allocator is
+// deterministic, so any divergence is a bug).
+
+#ifndef MEMTIS_SIM_SRC_TRACE_REPLAY_WORKLOAD_H_
+#define MEMTIS_SIM_SRC_TRACE_REPLAY_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/sim/workload.h"
+#include "src/trace/trace.h"
+
+namespace memtis {
+
+class TraceReplayWorkload : public Workload {
+ public:
+  explicit TraceReplayWorkload(const std::string& path)
+      : reader_(std::make_unique<TraceReader>(path)) {}
+
+  std::string_view name() const override { return "trace-replay"; }
+
+  uint64_t footprint_bytes() const override {
+    return reader_->header().footprint_bytes;
+  }
+
+  void Setup(App& app, Rng& rng) override {
+    (void)app;
+    (void)rng;
+  }
+
+  bool Step(App& app, Rng& rng) override {
+    (void)rng;
+    TraceReader::Event event;
+    for (int i = 0; i < 256; ++i) {
+      if (!reader_->Next(event)) {
+        return false;
+      }
+      switch (event.kind) {
+        case TraceReader::Event::Kind::kRead:
+          app.Read(event.addr);
+          break;
+        case TraceReader::Event::Kind::kWrite:
+          app.Write(event.addr);
+          break;
+        case TraceReader::Event::Kind::kAlloc: {
+          const Vaddr start = app.Alloc(event.bytes, event.use_thp);
+          SIM_CHECK_EQ(start, event.addr);  // deterministic vpn allocation
+          break;
+        }
+        case TraceReader::Event::Kind::kFree:
+          app.Free(event.addr);
+          break;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<TraceReader> reader_;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_TRACE_REPLAY_WORKLOAD_H_

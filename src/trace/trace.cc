@@ -1,0 +1,134 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace memtis {
+namespace {
+constexpr size_t kBufferWords = 1 << 16;
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path) : file_(std::fopen(path.c_str(), "wb")) {
+  SIM_CHECK(file_ != nullptr);
+  buffer_.reserve(kBufferWords);
+  // Header placeholder; rewritten by Finish().
+  SIM_CHECK_EQ(std::fwrite(&header_, sizeof(header_), 1, file_), 1u);
+}
+
+TraceWriter::~TraceWriter() { Finish(); }
+
+void TraceWriter::Put(uint64_t word) {
+  buffer_.push_back(word);
+  if (buffer_.size() >= kBufferWords) {
+    SIM_CHECK_EQ(std::fwrite(buffer_.data(), sizeof(uint64_t), buffer_.size(), file_),
+                 buffer_.size());
+    buffer_.clear();
+  }
+}
+
+void TraceWriter::RecordAccess(Vaddr addr, bool is_write) {
+  SIM_DCHECK(addr < (1ull << 62));
+  Put((addr << 2) | (is_write ? 1u : 0u));
+  ++header_.num_events;
+}
+
+void TraceWriter::RecordAlloc(uint64_t bytes, bool use_thp, Vaddr returned) {
+  SIM_DCHECK(bytes < (1ull << 60));
+  Put((((bytes << 1) | (use_thp ? 1u : 0u)) << 2) | 2u);
+  Put(returned);
+  ++header_.num_events;
+  live_bytes_ += bytes;
+  live_regions_[returned] = bytes;
+  header_.footprint_bytes = std::max(header_.footprint_bytes, live_bytes_);
+}
+
+void TraceWriter::RecordFree(Vaddr start) {
+  Put((start << 2) | 3u);
+  ++header_.num_events;
+  auto it = live_regions_.find(start);
+  if (it != live_regions_.end()) {
+    live_bytes_ -= it->second;
+    live_regions_.erase(it);
+  }
+}
+
+void TraceWriter::Finish() {
+  if (file_ == nullptr) {
+    return;
+  }
+  if (!buffer_.empty()) {
+    SIM_CHECK_EQ(std::fwrite(buffer_.data(), sizeof(uint64_t), buffer_.size(), file_),
+                 buffer_.size());
+    buffer_.clear();
+  }
+  std::rewind(file_);
+  SIM_CHECK_EQ(std::fwrite(&header_, sizeof(header_), 1, file_), 1u);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string& path)
+    : file_(std::fopen(path.c_str(), "rb")) {
+  SIM_CHECK(file_ != nullptr);
+  SIM_CHECK_EQ(std::fread(&header_, sizeof(header_), 1, file_), 1u);
+  SIM_CHECK_EQ(header_.magic, kTraceMagic);
+  SIM_CHECK_EQ(header_.version, kTraceVersion);
+  buffer_.resize(kBufferWords);
+}
+
+TraceReader::~TraceReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+bool TraceReader::Get(uint64_t& word) {
+  if (buffer_pos_ >= buffer_len_) {
+    buffer_len_ = std::fread(buffer_.data(), sizeof(uint64_t), buffer_.size(), file_);
+    buffer_pos_ = 0;
+    if (buffer_len_ == 0) {
+      return false;
+    }
+  }
+  word = buffer_[buffer_pos_++];
+  return true;
+}
+
+bool TraceReader::Next(Event& event) {
+  if (consumed_ >= header_.num_events) {
+    return false;
+  }
+  uint64_t word;
+  if (!Get(word)) {
+    return false;
+  }
+  ++consumed_;
+  switch (word & 3u) {
+    case 0:
+      event.kind = Event::Kind::kRead;
+      event.addr = word >> 2;
+      break;
+    case 1:
+      event.kind = Event::Kind::kWrite;
+      event.addr = word >> 2;
+      break;
+    case 2: {
+      event.kind = Event::Kind::kAlloc;
+      const uint64_t payload = word >> 2;
+      event.bytes = payload >> 1;
+      event.use_thp = (payload & 1u) != 0;
+      uint64_t start;
+      SIM_CHECK(Get(start));
+      event.addr = start;
+      break;
+    }
+    default:
+      event.kind = Event::Kind::kFree;
+      event.addr = word >> 2;
+      break;
+  }
+  return true;
+}
+
+}  // namespace memtis

@@ -1,0 +1,104 @@
+// Access-trace recording and replay.
+//
+// A trace captures everything a workload does to the memory system — reads,
+// writes, region allocations (with their returned addresses) and frees — in a
+// compact binary format. Replaying a trace reproduces a run exactly (the
+// simulator is deterministic), which enables offline analysis, cross-policy
+// comparisons on identical streams, and shipping workloads without their
+// generators.
+//
+// Record encoding (little-endian u64 per event, plus one extra word for
+// allocations):
+//   bits [1:0] tag: 0=read, 1=write, 2=alloc, 3=free
+//   read/write: payload = byte address  (bits [63:2], address << 2)
+//   alloc:      payload = (bytes << 1 | use_thp), followed by the returned
+//               start address as a raw u64 (verified on replay)
+//   free:       payload = start address
+
+#ifndef MEMTIS_SIM_SRC_TRACE_TRACE_H_
+#define MEMTIS_SIM_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/types.h"
+
+namespace memtis {
+
+inline constexpr uint64_t kTraceMagic = 0x4d454d5452414345ull;  // "MEMTRACE"
+inline constexpr uint32_t kTraceVersion = 1;
+
+struct TraceHeader {
+  uint64_t magic = kTraceMagic;
+  uint32_t version = kTraceVersion;
+  uint32_t reserved = 0;
+  uint64_t num_events = 0;
+  uint64_t footprint_bytes = 0;  // peak allocated bytes, for machine sizing
+};
+
+class TraceWriter {
+ public:
+  // Opens `path` for writing; aborts on I/O failure.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void RecordAccess(Vaddr addr, bool is_write);
+  void RecordAlloc(uint64_t bytes, bool use_thp, Vaddr returned);
+  void RecordFree(Vaddr start);
+
+  // Rewrites the header with final counts and closes the file. Called by the
+  // destructor if not called explicitly.
+  void Finish();
+
+  uint64_t events() const { return header_.num_events; }
+
+ private:
+  void Put(uint64_t word);
+
+  std::FILE* file_;
+  TraceHeader header_;
+  uint64_t live_bytes_ = 0;
+  std::unordered_map<Vaddr, uint64_t> live_regions_;
+  std::vector<uint64_t> buffer_;
+};
+
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+  ~TraceReader();
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  const TraceHeader& header() const { return header_; }
+
+  struct Event {
+    enum class Kind : uint8_t { kRead, kWrite, kAlloc, kFree } kind;
+    Vaddr addr = 0;        // access/free address; alloc: recorded start
+    uint64_t bytes = 0;    // alloc only
+    bool use_thp = false;  // alloc only
+  };
+
+  // Reads the next event; returns false at end of trace.
+  bool Next(Event& event);
+
+ private:
+  bool Get(uint64_t& word);
+
+  std::FILE* file_;
+  TraceHeader header_;
+  uint64_t consumed_ = 0;
+  std::vector<uint64_t> buffer_;
+  size_t buffer_pos_ = 0;
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_TRACE_TRACE_H_

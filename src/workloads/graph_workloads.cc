@@ -1,0 +1,100 @@
+#include "src/workloads/graph_workloads.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace memtis {
+namespace {
+constexpr uint64_t kBatch = 256;
+}  // namespace
+
+// --- Graph500 -----------------------------------------------------------------
+
+void Graph500Workload::Setup(App& app, Rng& rng) {
+  (void)rng;
+  const uint64_t edge_bytes = params_.footprint_bytes * 3 / 4;
+  const uint64_t vertex_bytes = params_.footprint_bytes - edge_bytes;
+  edges_ = app.Alloc(edge_bytes);
+  vertices_ = app.Alloc(vertex_bytes);
+  edge_pages_ = edge_bytes >> kPageShift;
+  vertex_pages_ = vertex_bytes >> kPageShift;
+  gen_budget_ = (edge_pages_ + vertex_pages_) * params_.gen_accesses_per_page;
+  edge_scan_ = std::make_unique<SequentialScanner>(edges_, edge_pages_, 512);
+  key_zipf_.emplace(vertex_pages_, 1.1);
+}
+
+bool Graph500Workload::Step(App& app, Rng& rng) {
+  for (uint64_t i = 0; i < kBatch; ++i, ++issued_) {
+    if (issued_ < gen_budget_) {
+      // Generation: stream-write edges, random-write vertices (whole footprint
+      // is hot, mostly stores).
+      if ((issued_ & 3) != 3) {
+        app.Write(edge_scan_->Next());
+      } else {
+        app.Write(vertices_ + (rng.NextBelow(vertex_pages_) << kPageShift) +
+                  (rng.Next() & (kPageSize - 1) & ~0x7ULL));
+      }
+      continue;
+    }
+    // BFS search: per key, a skewed working set of vertices plus edge reads.
+    const uint64_t search_issued = issued_ - gen_budget_;
+    const uint32_t key = static_cast<uint32_t>(search_issued / params_.accesses_per_key);
+    if (key >= params_.num_search_keys) {
+      return false;
+    }
+    current_key_ = key;
+    if (rng.NextBool(0.75)) {
+      // Vertex access: Zipf rank rotated per key so each BFS has its own
+      // (small) hot frontier.
+      const uint64_t rank = key_zipf_->Sample(rng);
+      const uint64_t page = (rank + static_cast<uint64_t>(key) * 977) % vertex_pages_;
+      app.Read(vertices_ + (page << kPageShift) + (rng.Next() & (kPageSize - 1) & ~0x7ULL));
+    } else {
+      app.Read(edge_scan_->Next());
+    }
+  }
+  return true;
+}
+
+// --- PageRank -----------------------------------------------------------------
+
+void PageRankWorkload::Setup(App& app, Rng& rng) {
+  (void)rng;
+  uint64_t rank_bytes = static_cast<uint64_t>(
+      static_cast<double>(params_.footprint_bytes) * params_.rank_fraction);
+  rank_bytes = std::max<uint64_t>(rank_bytes, kHugePageSize);
+  const uint64_t edge_bytes = params_.footprint_bytes - rank_bytes;
+  edges_ = app.Alloc(edge_bytes);
+  const Vaddr rank_start = app.Alloc(rank_bytes);
+  edge_pages_ = edge_bytes >> kPageShift;
+  // Rank vector: mildly skewed (vertex degree skew), huge pages fully used.
+  ranks_ = std::make_unique<SkewedRegion>(rank_start, rank_bytes >> kPageShift,
+                                          /*zipf_s=*/0.7, params_.seed,
+                                          /*chunk_pages=*/kSubpagesPerHuge);
+  edge_scan_ = std::make_unique<SequentialScanner>(edges_, edge_pages_, 512);
+}
+
+bool PageRankWorkload::Step(App& app, Rng& rng) {
+  for (uint64_t i = 0; i < kBatch; ++i) {
+    if (rng.NextBool(params_.rank_traffic)) {
+      const Vaddr addr = ranks_->SampleAddr(rng);
+      if (rng.NextBool(params_.rank_write_ratio)) {
+        app.Write(addr);
+      } else {
+        app.Read(addr);
+      }
+    } else {
+      app.Read(edge_scan_->Next());
+      if (edge_scan_->progress() == 0.0) {
+        ++sweeps_done_;
+        if (sweeps_done_ >= params_.iterations) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace memtis

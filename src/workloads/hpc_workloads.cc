@@ -1,0 +1,74 @@
+#include "src/workloads/hpc_workloads.h"
+
+#include <algorithm>
+
+namespace memtis {
+namespace {
+constexpr uint64_t kBatch = 256;
+}  // namespace
+
+// --- XSBench ------------------------------------------------------------------
+
+void XSBenchWorkload::Setup(App& app, Rng& rng) {
+  (void)rng;
+  uint64_t hot_bytes = static_cast<uint64_t>(static_cast<double>(params_.footprint_bytes) *
+                                             params_.hot_region_fraction);
+  hot_bytes = std::max<uint64_t>(hot_bytes, kHugePageSize);
+  const uint64_t cold_bytes = params_.footprint_bytes - hot_bytes;
+  // The hot energy grid is allocated first (early allocation per the paper).
+  const Vaddr hot_start = app.Alloc(hot_bytes);
+  cold_ = app.Alloc(cold_bytes);
+  cold_pages_ = cold_bytes >> kPageShift;
+  const uint64_t hot_pages = hot_bytes >> kPageShift;
+  // Early phase: nearly flat skew across the whole hot region (hot set ~= the
+  // full region, exceeding the fast tier in 1:8/1:16). Steady state: strong
+  // skew (hot set shrinks well below the region size).
+  hot_flat_ = std::make_unique<SkewedRegion>(hot_start, hot_pages, /*zipf_s=*/0.3,
+                                             params_.seed, kSubpagesPerHuge);
+  hot_steady_ = std::make_unique<SkewedRegion>(hot_start, hot_pages, /*zipf_s=*/1.2,
+                                               params_.seed, kSubpagesPerHuge);
+}
+
+bool XSBenchWorkload::Step(App& app, Rng& rng) {
+  for (uint64_t i = 0; i < kBatch; ++i, ++issued_) {
+    if (rng.NextBool(params_.cold_read_prob)) {
+      app.Read(cold_ + (rng.NextBelow(cold_pages_) << kPageShift) +
+               (rng.Next() & (kPageSize - 1) & ~0x7ULL));
+      continue;
+    }
+    const SkewedRegion& region =
+        issued_ < params_.warm_phase_accesses ? *hot_flat_ : *hot_steady_;
+    app.Read(region.SampleAddr(rng));
+  }
+  return true;
+}
+
+// --- Liblinear ----------------------------------------------------------------
+
+void LiblinearWorkload::Setup(App& app, Rng& rng) {
+  (void)rng;
+  const Vaddr start = app.Alloc(params_.footprint_bytes);
+  const uint64_t pages = params_.footprint_bytes >> kPageShift;
+  data_ = std::make_unique<SkewedRegion>(start, pages, params_.zipf_s, params_.seed,
+                                         kSubpagesPerHuge);
+  scan_ = std::make_unique<SequentialScanner>(start, pages, 1024);
+}
+
+bool LiblinearWorkload::Step(App& app, Rng& rng) {
+  for (uint64_t i = 0; i < kBatch; ++i) {
+    Vaddr addr;
+    if (rng.NextBool(params_.scan_traffic)) {
+      addr = scan_->Next();
+    } else {
+      addr = data_->SampleAddr(rng);
+    }
+    if (rng.NextBool(params_.write_ratio)) {
+      app.Write(addr);
+    } else {
+      app.Read(addr);
+    }
+  }
+  return true;
+}
+
+}  // namespace memtis

@@ -1,0 +1,62 @@
+#include "src/workloads/kv_workloads.h"
+
+namespace memtis {
+namespace {
+constexpr uint64_t kBatch = 256;
+}  // namespace
+
+// --- Silo ---------------------------------------------------------------------
+
+void SiloWorkload::Setup(App& app, Rng& rng) {
+  (void)rng;
+  base_ = app.Alloc(params_.footprint_bytes);
+  const uint64_t blocks = params_.footprint_bytes / kHugePageSize;
+  store_ = std::make_unique<SparseHugeRegion>(
+      base_, blocks, params_.zipf_s, params_.hot_per_block,
+      /*written_per_block=*/static_cast<uint32_t>(kSubpagesPerHuge),
+      params_.stray_prob, params_.seed);
+  populate_total_ = params_.footprint_bytes >> kPageShift;
+}
+
+bool SiloWorkload::Step(App& app, Rng& rng) {
+  for (uint64_t i = 0; i < kBatch; ++i) {
+    if (populate_cursor_ < populate_total_) {
+      // Population: every subpage is written once, so splits reclaim nothing
+      // (paper: "RSS remains unchanged after the split ... no memory bloat").
+      app.Write(base_ + (populate_cursor_ << kPageShift));
+      ++populate_cursor_;
+      continue;
+    }
+    // YCSB-C: 100% lookups.
+    app.Read(store_->SampleAddr(rng));
+  }
+  return true;
+}
+
+// --- Btree --------------------------------------------------------------------
+
+void BtreeWorkload::Setup(App& app, Rng& rng) {
+  (void)rng;
+  const Vaddr base = app.Alloc(params_.footprint_bytes);
+  const uint64_t blocks = params_.footprint_bytes / kHugePageSize;
+  index_ = std::make_unique<SparseHugeRegion>(base, blocks, params_.zipf_s,
+                                              params_.hot_per_block,
+                                              params_.written_per_block,
+                                              params_.stray_prob, params_.seed);
+}
+
+bool BtreeWorkload::Step(App& app, Rng& rng) {
+  // Population happens lazily in the first steps: write each written subpage
+  // once, then switch to random lookups.
+  if (populate_cursor_ == 0) {
+    index_->ForEachWrittenSubpage([&](Vaddr addr) { app.Write(addr); });
+    populate_cursor_ = 1;
+    return true;
+  }
+  for (uint64_t i = 0; i < kBatch; ++i) {
+    app.Read(index_->SampleAddr(rng));
+  }
+  return true;
+}
+
+}  // namespace memtis

@@ -1,0 +1,82 @@
+#include "src/workloads/registry.h"
+
+#include "src/common/check.h"
+#include "src/workloads/graph_workloads.h"
+#include "src/workloads/hpc_workloads.h"
+#include "src/workloads/kv_workloads.h"
+#include "src/workloads/spec_workloads.h"
+
+namespace memtis {
+namespace {
+
+uint64_t Scale(uint64_t bytes, double scale) {
+  const uint64_t scaled = static_cast<uint64_t>(static_cast<double>(bytes) * scale);
+  // Keep footprints huge-page aligned and non-trivial.
+  return std::max<uint64_t>(scaled / kHugePageSize, 8) * kHugePageSize;
+}
+
+}  // namespace
+
+const std::vector<std::string>& StandardBenchmarks() {
+  static const std::vector<std::string> kNames = {
+      "graph500", "pagerank", "xsbench",     "liblinear",
+      "silo",     "btree",    "603.bwaves",  "654.roms",
+  };
+  return kNames;
+}
+
+std::unique_ptr<Workload> MakeWorkload(std::string_view name, double scale,
+                                       uint64_t seed_offset) {
+  if (name == "graph500") {
+    Graph500Workload::Params p;
+    p.footprint_bytes = Scale(p.footprint_bytes, scale);
+    p.seed += seed_offset;
+    return std::make_unique<Graph500Workload>(p);
+  }
+  if (name == "pagerank") {
+    PageRankWorkload::Params p;
+    p.footprint_bytes = Scale(p.footprint_bytes, scale);
+    p.seed += seed_offset;
+    return std::make_unique<PageRankWorkload>(p);
+  }
+  if (name == "xsbench") {
+    XSBenchWorkload::Params p;
+    p.footprint_bytes = Scale(p.footprint_bytes, scale);
+    p.seed += seed_offset;
+    return std::make_unique<XSBenchWorkload>(p);
+  }
+  if (name == "liblinear") {
+    LiblinearWorkload::Params p;
+    p.footprint_bytes = Scale(p.footprint_bytes, scale);
+    p.seed += seed_offset;
+    return std::make_unique<LiblinearWorkload>(p);
+  }
+  if (name == "silo") {
+    SiloWorkload::Params p;
+    p.footprint_bytes = Scale(p.footprint_bytes, scale);
+    p.seed += seed_offset;
+    return std::make_unique<SiloWorkload>(p);
+  }
+  if (name == "btree") {
+    BtreeWorkload::Params p;
+    p.footprint_bytes = Scale(p.footprint_bytes, scale);
+    p.seed += seed_offset;
+    return std::make_unique<BtreeWorkload>(p);
+  }
+  if (name == "603.bwaves") {
+    BwavesWorkload::Params p;
+    p.footprint_bytes = Scale(p.footprint_bytes, scale);
+    p.seed += seed_offset;
+    return std::make_unique<BwavesWorkload>(p);
+  }
+  if (name == "654.roms") {
+    RomsWorkload::Params p;
+    p.footprint_bytes = Scale(p.footprint_bytes, scale);
+    p.seed += seed_offset;
+    return std::make_unique<RomsWorkload>(p);
+  }
+  SIM_CHECK(false && "unknown workload name");
+  return nullptr;
+}
+
+}  // namespace memtis

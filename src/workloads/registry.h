@@ -1,0 +1,25 @@
+// Factory for the paper's eight benchmark models, used by benches and
+// examples. `scale` multiplies the default footprint (Fig. 6 grows it).
+
+#ifndef MEMTIS_SIM_SRC_WORKLOADS_REGISTRY_H_
+#define MEMTIS_SIM_SRC_WORKLOADS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/workload.h"
+
+namespace memtis {
+
+// The eight evaluation benchmarks in the paper's Table 2 order.
+const std::vector<std::string>& StandardBenchmarks();
+
+// Creates a benchmark model by name (aborts on unknown name).
+std::unique_ptr<Workload> MakeWorkload(std::string_view name, double scale = 1.0,
+                                       uint64_t seed_offset = 0);
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_WORKLOADS_REGISTRY_H_

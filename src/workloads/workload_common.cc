@@ -1,0 +1,99 @@
+#include "src/workloads/workload_common.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace memtis {
+
+SkewedRegion::SkewedRegion(Vaddr start, uint64_t num_pages, double zipf_s,
+                           uint64_t seed, uint64_t chunk_pages)
+    : start_(start),
+      num_pages_(num_pages),
+      chunk_pages_(chunk_pages),
+      num_chunks_(std::max<uint64_t>(1, num_pages / chunk_pages)),
+      zipf_(num_chunks_, zipf_s) {
+  SIM_CHECK_GT(num_pages, 0u);
+  SIM_CHECK_GT(chunk_pages, 0u);
+  Rng rng(seed);
+  perm_ = RandomPermutation(static_cast<uint32_t>(num_chunks_), rng);
+}
+
+Vaddr SkewedRegion::SampleAddr(Rng& rng) const {
+  const uint64_t rank = zipf_.Sample(rng);
+  const uint64_t chunk = perm_[rank];
+  const uint64_t page = chunk * chunk_pages_ + rng.NextBelow(chunk_pages_);
+  return start_ + (page << kPageShift) + (rng.Next() & (kPageSize - 1) & ~0x7ULL);
+}
+
+Vaddr SkewedRegion::AddrOfRank(uint64_t rank) const {
+  SIM_CHECK_LT(rank, num_chunks_);
+  return start_ + ((static_cast<Vaddr>(perm_[rank]) * chunk_pages_) << kPageShift);
+}
+
+SparseHugeRegion::SparseHugeRegion(Vaddr start, uint64_t num_blocks, double zipf_s,
+                                   uint32_t hot_per_block, uint32_t written_per_block,
+                                   double stray_prob, uint64_t seed)
+    : start_(start),
+      num_blocks_(num_blocks),
+      hot_per_block_(hot_per_block),
+      written_per_block_(written_per_block),
+      stray_prob_(stray_prob),
+      zipf_(num_blocks, zipf_s) {
+  SIM_CHECK_GT(num_blocks, 0u);
+  SIM_CHECK_GT(hot_per_block_, 0u);
+  SIM_CHECK_GE(written_per_block_, hot_per_block_);
+  SIM_CHECK_LE(written_per_block_, kSubpagesPerHuge);
+  Rng rng(seed);
+  block_perm_ = RandomPermutation(static_cast<uint32_t>(num_blocks), rng);
+  subpages_.resize(num_blocks * written_per_block_);
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    // Distinct subpages per block via partial Fisher-Yates over 0..511; the
+    // first hot_per_block_ drawn are the hot set of the block.
+    uint16_t pool[kSubpagesPerHuge];
+    for (uint16_t i = 0; i < kSubpagesPerHuge; ++i) {
+      pool[i] = i;
+    }
+    for (uint32_t i = 0; i < written_per_block_; ++i) {
+      const uint64_t j = i + rng.NextBelow(kSubpagesPerHuge - i);
+      std::swap(pool[i], pool[j]);
+      subpages_[b * written_per_block_ + i] = pool[i];
+    }
+  }
+}
+
+Vaddr SparseHugeRegion::SampleAddr(Rng& rng) const {
+  const uint64_t rank = zipf_.Sample(rng);
+  const uint64_t block = block_perm_[rank];
+  uint64_t pick;
+  if (stray_prob_ > 0.0 && rng.NextBool(stray_prob_)) {
+    pick = rng.NextBelow(written_per_block_);
+  } else {
+    pick = rng.NextBelow(hot_per_block_);
+  }
+  const uint64_t subpage = subpages_[block * written_per_block_ + pick];
+  return start_ + block * kHugePageSize + (subpage << kPageShift) +
+         (rng.Next() & (kPageSize - 1) & ~0x7ULL);
+}
+
+SequentialScanner::SequentialScanner(Vaddr start, uint64_t num_pages,
+                                     uint64_t stride_bytes)
+    : start_(start), span_bytes_(num_pages * kPageSize), stride_bytes_(stride_bytes) {
+  SIM_CHECK_GT(num_pages, 0u);
+  SIM_CHECK_GT(stride_bytes, 0u);
+}
+
+Vaddr SequentialScanner::Next() {
+  const Vaddr addr = start_ + cursor_;
+  cursor_ += stride_bytes_;
+  if (cursor_ >= span_bytes_) {
+    cursor_ = 0;
+  }
+  return addr;
+}
+
+double SequentialScanner::progress() const {
+  return static_cast<double>(cursor_) / static_cast<double>(span_bytes_);
+}
+
+}  // namespace memtis

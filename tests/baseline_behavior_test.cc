@@ -1,0 +1,206 @@
+// Behaviour tests for each baseline's Table 1 attributes, one section per
+// system, using crafted workloads that isolate the attribute under test.
+
+#include <gtest/gtest.h>
+
+#include "src/memtis/policy_registry.h"
+#include "src/policies/autonuma.h"
+#include "src/policies/autotiering.h"
+#include "src/policies/hemem.h"
+#include "src/policies/multiclock.h"
+#include "src/policies/nimble.h"
+#include "src/policies/tpp.h"
+#include "src/workloads/synthetic.h"
+#include "tests/test_util.h"
+
+namespace memtis {
+namespace {
+
+// A workload with a phase change: region A is hot first, then region B.
+class PhaseChangeWorkload : public Workload {
+ public:
+  explicit PhaseChangeWorkload(uint64_t switch_at) : switch_at_(switch_at) {}
+
+  std::string_view name() const override { return "phase-change"; }
+  uint64_t footprint_bytes() const override { return 32ull << 20; }
+
+  void Setup(App& app, Rng&) override {
+    a_ = app.Alloc(16ull << 20);
+    b_ = app.Alloc(16ull << 20);
+  }
+
+  bool Step(App& app, Rng& rng) override {
+    const Vaddr base = issued_ < switch_at_ ? a_ : b_;
+    for (int i = 0; i < 256; ++i, ++issued_) {
+      app.Read(base + rng.NextBelow(16ull << 20));
+    }
+    return true;
+  }
+
+  Vaddr region_a() const { return a_; }
+  Vaddr region_b() const { return b_; }
+
+ private:
+  uint64_t switch_at_;
+  Vaddr a_ = 0;
+  Vaddr b_ = 0;
+  uint64_t issued_ = 0;
+};
+
+// Fraction of a 16 MiB region resident in the fast tier.
+double FastShare(MemorySystem& mem, Vaddr start) {
+  uint64_t fast = 0;
+  uint64_t total = 0;
+  for (Vpn vpn = VpnOf(start); vpn < VpnOf(start) + (16ull << 20 >> kPageShift);) {
+    const PageIndex index = mem.Lookup(vpn);
+    if (index == kInvalidPage) {
+      ++vpn;
+      continue;
+    }
+    const PageInfo& page = mem.page(index);
+    total += page.size_pages();
+    fast += page.tier == TierId::kFast ? page.size_pages() : 0;
+    vpn += page.size_pages();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(fast) / static_cast<double>(total);
+}
+
+// --- AutoNUMA: no demotion means it cannot adapt to phase changes ------------
+
+TEST(AutoNumaBehavior, CannotAdaptAfterFastTierFills) {
+  PhaseChangeWorkload workload(600'000);
+  AutoNumaPolicy policy;
+  EngineOptions opts;
+  opts.max_accesses = 2'000'000;
+  Engine engine(MachineFor(workload, 0.5), policy, opts);
+  const Metrics m = engine.Run(workload);
+  EXPECT_EQ(m.migration.demoted_4k(), 0u);
+  // Region A monopolises the fast tier forever; region B stays stranded.
+  EXPECT_GT(FastShare(engine.mem(), workload.region_a()), 0.6);
+  EXPECT_LT(FastShare(engine.mem(), workload.region_b()), 0.4);
+}
+
+// --- AutoTiering: demotion enables adaptation; allocations shift to capacity --
+
+TEST(AutoTieringBehavior, AdaptsToPhaseChangeViaLfuDemotion) {
+  PhaseChangeWorkload workload(600'000);
+  AutoTieringPolicy policy;
+  EngineOptions opts;
+  opts.max_accesses = 2'500'000;
+  Engine engine(MachineFor(workload, 0.5), policy, opts);
+  const Metrics m = engine.Run(workload);
+  EXPECT_GT(m.migration.demoted_4k(), 0u);
+  // After the switch, B displaces a good part of A.
+  EXPECT_GT(FastShare(engine.mem(), workload.region_b()),
+            FastShare(engine.mem(), workload.region_a()));
+}
+
+TEST(AutoTieringBehavior, AllocatesToCapacityOnceDemotionStarted) {
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 48ull << 20;
+  p.zipf_s = 0.9;
+  p.chunk_pages = kSubpagesPerHuge;
+  SyntheticWorkload workload(p);
+  AutoTieringPolicy policy;
+  EngineOptions opts;
+  opts.max_accesses = 800'000;
+  Engine engine(MachineFor(workload, 1.0 / 9.0), policy, opts);
+  PolicyContext& ctx = engine.ctx();
+  engine.Run(workload);
+  // Once the fast tier filled and demotion ran, new allocations prefer the
+  // capacity tier (reserved fast pages are promotion-only).
+  const AllocOptions placement = policy.PlacementFor(ctx, kHugePageSize, true);
+  EXPECT_EQ(placement.preferred, TierId::kCapacity);
+}
+
+// --- TPP: two-fault threshold filters single-touch pages ---------------------
+
+TEST(TppBehavior, SecondFaultPromotes) {
+  PhaseChangeWorkload workload(500'000);
+  TppPolicy policy;
+  EngineOptions opts;
+  opts.max_accesses = 2'500'000;
+  Engine engine(MachineFor(workload, 0.5), policy, opts);
+  const Metrics m = engine.Run(workload);
+  EXPECT_GT(m.migration.promoted_4k(), 0u);
+  EXPECT_GT(m.migration.demoted_4k(), 0u);
+  EXPECT_GT(FastShare(engine.mem(), workload.region_b()), 0.3);
+}
+
+// --- Nimble: recency threshold 1 thrashes when the referenced set > fast ------
+
+TEST(NimbleBehavior, ThrashesWhenReferencedSetExceedsFastTier) {
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 48ull << 20;
+  p.zipf_s = 0.3;  // everything gets referenced between scans
+  p.chunk_pages = kSubpagesPerHuge;
+  SyntheticWorkload workload(p);
+  NimblePolicy policy;
+  EngineOptions opts;
+  opts.max_accesses = 1'500'000;
+  Engine engine(MachineFor(workload, 1.0 / 9.0), policy, opts);
+  const Metrics m = engine.Run(workload);
+  // Sustained bidirectional traffic: the exchange never converges.
+  EXPECT_GT(m.migration.promoted_4k(), 10'000u);
+  EXPECT_GT(m.migration.demoted_4k(), 10'000u);
+}
+
+// --- MULTI-CLOCK: threshold of two consecutive referenced scans ---------------
+
+TEST(MultiClockBehavior, PromotesOnlyRepeatedlyReferencedPages) {
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 32ull << 20;
+  p.zipf_s = 1.3;  // strong skew: head pages referenced in every scan
+  p.chunk_pages = kSubpagesPerHuge;
+  SyntheticWorkload workload(p);
+  MultiClockPolicy policy;
+  EngineOptions opts;
+  opts.max_accesses = 1'500'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), policy, opts);
+  const Metrics m = engine.Run(workload);
+  EXPECT_GT(m.migration.promoted_4k(), 0u);
+  EXPECT_GT(m.fast_hit_ratio(), 0.45);
+}
+
+// --- HeMem: cooling halves all counters when any page hits the threshold ------
+
+TEST(HeMemBehavior, CoolingKeepsCountsBelowThreshold) {
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 32ull << 20;
+  p.zipf_s = 1.3;
+  p.chunk_pages = kSubpagesPerHuge;
+  SyntheticWorkload workload(p);
+  HeMemPolicy::Params hp;
+  HeMemPolicy policy(hp);
+  EngineOptions opts;
+  opts.max_accesses = 1'500'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), policy, opts);
+  engine.Run(workload);
+  uint64_t max_count = 0;
+  engine.mem().ForEachLivePage([&](PageIndex, PageInfo& page) {
+    max_count = std::max(max_count, page.access_count);
+  });
+  EXPECT_LE(max_count, hp.cool_threshold);
+}
+
+TEST(HeMemBehavior, AntiThrashingPausesMigrationWhenHotSetTooBig) {
+  // Near-uniform traffic over a footprint much larger than the fast tier:
+  // nearly everything crosses the static hot threshold eventually, the hot
+  // set exceeds the fast tier, and HeMem halts migration (paper §7).
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 48ull << 20;
+  p.zipf_s = 0.2;
+  p.chunk_pages = kSubpagesPerHuge;
+  SyntheticWorkload workload(p);
+  HeMemPolicy policy;
+  EngineOptions opts;
+  opts.max_accesses = 2'500'000;
+  Engine engine(MachineFor(workload, 1.0 / 17.0), policy, opts);
+  const Metrics m = engine.Run(workload);
+  // Migration happens early, then pauses: total stays far below what a
+  // thrashing policy would generate.
+  EXPECT_LT(m.migration.migrated_4k(), 120'000u);
+}
+
+}  // namespace
+}  // namespace memtis

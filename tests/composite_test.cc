@@ -1,0 +1,55 @@
+#include "src/workloads/composite.h"
+
+#include <gtest/gtest.h>
+
+#include "src/memtis/policy_registry.h"
+#include "src/sim/engine.h"
+#include "src/workloads/registry.h"
+#include "tests/test_util.h"
+
+namespace memtis {
+namespace {
+
+TEST(CompositeWorkload, FootprintSumsTenants) {
+  CompositeWorkload composite;
+  composite.Add(MakeWorkload("silo", 0.1));
+  composite.Add(MakeWorkload("pagerank", 0.1));
+  EXPECT_EQ(composite.tenant_count(), 2u);
+  EXPECT_EQ(composite.footprint_bytes(),
+            MakeWorkload("silo", 0.1)->footprint_bytes() +
+                MakeWorkload("pagerank", 0.1)->footprint_bytes());
+}
+
+TEST(CompositeWorkload, RunsBothTenantsUnderMemtis) {
+  CompositeWorkload composite;
+  composite.Add(MakeWorkload("silo", 0.1));
+  composite.Add(MakeWorkload("pagerank", 0.1));
+  auto policy = MakePolicy("memtis", composite.footprint_bytes(),
+                           composite.footprint_bytes() / 6);
+  EngineOptions opts;
+  opts.max_accesses = 500'000;
+  Engine engine(MachineFor(composite, 1.0 / 6.0), *policy, opts);
+  const Metrics m = engine.Run(composite);
+  EXPECT_GE(m.accesses, 500'000u);
+  EXPECT_TRUE(engine.mem().CheckConsistency());
+  // Both tenants' regions live side by side (footprint fully mapped).
+  EXPECT_GE(engine.mem().mapped_4k_pages() * kPageSize,
+            composite.footprint_bytes() * 9 / 10);
+}
+
+TEST(CompositeWorkload, FinishesWhenAllTenantsFinish) {
+  // PageRank terminates after its iterations; composite must end then too
+  // when it is the only tenant.
+  CompositeWorkload composite;
+  composite.Add(MakeWorkload("pagerank", 0.05));
+  auto policy = MakePolicy("all-fast", 0, 0);
+  EngineOptions opts;
+  opts.max_accesses = 1ull << 40;  // no budget cap: natural termination
+  Engine engine(MachineFor(composite, 1.5), *policy, opts);
+  const Metrics m = engine.Run(composite);
+  EXPECT_GT(m.accesses, 0u);
+  EXPECT_LT(m.accesses, 1ull << 32);
+}
+
+}  // namespace
+}  // namespace memtis

@@ -1,0 +1,95 @@
+// Engine-level tests for the demand-fault path (split holes touched later)
+// and end-to-end determinism of full MEMTIS runs.
+
+#include <gtest/gtest.h>
+
+#include "src/memtis/memtis_policy.h"
+#include "src/memtis/policy_registry.h"
+#include "src/sim/engine.h"
+#include "src/workloads/kv_workloads.h"
+#include "src/workloads/registry.h"
+#include "tests/test_util.h"
+
+namespace memtis {
+namespace {
+
+// Touches a huge page sparsely, lets MEMTIS split it, then writes into the
+// freed (previously all-zero) subpages to exercise the demand-fault path.
+class SplitHoleWorkload : public Workload {
+ public:
+  std::string_view name() const override { return "split-hole"; }
+  uint64_t footprint_bytes() const override { return 32ull << 20; }
+
+  void Setup(App& app, Rng&) override { base_ = app.Alloc(32ull << 20); }
+
+  bool Step(App& app, Rng& rng) override {
+    ++steps_;
+    if (steps_ < 4000) {
+      // Concentrate writes on 3 subpages of each huge page: highly skewed,
+      // mostly-zero huge pages.
+      for (int i = 0; i < 256; ++i) {
+        const uint64_t block = rng.NextBelow(16);
+        const uint64_t sub = rng.NextBelow(3);
+        app.Write(base_ + block * kHugePageSize + (sub << kPageShift));
+      }
+      return true;
+    }
+    // Late phase: touch everything, including split-freed zero subpages.
+    for (int i = 0; i < 256; ++i) {
+      app.Write(base_ + rng.NextBelow(32ull << 20));
+    }
+    return steps_ < 8000;
+  }
+
+ private:
+  Vaddr base_ = 0;
+  uint64_t steps_ = 0;
+};
+
+TEST(EngineFaults, DemandFaultsRepopulateSplitHoles) {
+  SplitHoleWorkload workload;
+  MemtisConfig cfg = MemtisConfig::ScaledDefaults(workload.footprint_bytes(),
+                                                  workload.footprint_bytes() / 9);
+  cfg.enable_collapse = false;
+  MemtisPolicy policy(cfg);
+  EngineOptions opts;
+  opts.max_accesses = 2'500'000;
+  Engine engine(MachineFor(workload, 1.0 / 9.0), policy, opts);
+  const Metrics m = engine.Run(workload);
+  ASSERT_GT(policy.stats().splits_performed, 0u);
+  ASSERT_GT(m.migration.freed_zero_subpages, 0u);
+  // The late full-footprint phase must have faulted some holes back in.
+  EXPECT_GT(m.migration.demand_faults, 0u);
+  EXPECT_TRUE(engine.mem().CheckConsistency());
+  // Histogram bookkeeping survived the whole split/fault churn.
+  EXPECT_EQ(policy.page_histogram().total(), engine.mem().mapped_4k_pages());
+  EXPECT_EQ(policy.base_histogram().total(), engine.mem().mapped_4k_pages());
+}
+
+class DeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismTest, IdenticalRunsBitForBit) {
+  auto run = [&] {
+    auto workload = MakeWorkload("silo", 0.15);
+    auto policy = MakePolicy(GetParam(), workload->footprint_bytes(),
+                             workload->footprint_bytes() / 3);
+    EngineOptions opts;
+    opts.max_accesses = 400'000;
+    Engine engine(MachineFor(*workload, 1.0 / 3.0), *policy, opts);
+    return engine.Run(*workload);
+  };
+  const Metrics a = run();
+  const Metrics b = run();
+  EXPECT_EQ(a.app_ns, b.app_ns);
+  EXPECT_EQ(a.fast_accesses, b.fast_accesses);
+  EXPECT_EQ(a.migration.migrated_4k(), b.migration.migrated_4k());
+  EXPECT_EQ(a.migration.splits, b.migration.splits);
+  EXPECT_EQ(a.tlb.misses(), b.tlb.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, DeterminismTest,
+                         ::testing::Values("memtis", "hemem", "tpp", "nimble",
+                                           "tiering-0.8"));
+
+}  // namespace
+}  // namespace memtis

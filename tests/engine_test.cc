@@ -1,0 +1,147 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/policies/static_policy.h"
+#include "src/workloads/synthetic.h"
+
+namespace memtis {
+namespace {
+
+SyntheticWorkload::Params SmallSynthetic() {
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 16ull << 20;
+  p.zipf_s = 1.0;
+  return p;
+}
+
+EngineOptions QuickRun(uint64_t accesses = 200'000) {
+  EngineOptions opts;
+  opts.max_accesses = accesses;
+  return opts;
+}
+
+TEST(Engine, RunsToAccessBudget) {
+  StaticPolicy policy(TierId::kFast);
+  Engine engine(MakeDramOnlyMachine(32ull << 20), policy, QuickRun());
+  SyntheticWorkload workload(SmallSynthetic());
+  const Metrics m = engine.Run(workload);
+  EXPECT_GE(m.accesses, 200'000u);
+  EXPECT_GT(m.app_ns, 0u);
+  EXPECT_EQ(m.loads + m.stores, m.accesses);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run = [] {
+    StaticPolicy policy(TierId::kFast);
+    Engine engine(MakeDramOnlyMachine(32ull << 20), policy, QuickRun());
+    SyntheticWorkload workload(SmallSynthetic());
+    return engine.Run(workload);
+  };
+  const Metrics a = run();
+  const Metrics b = run();
+  EXPECT_EQ(a.app_ns, b.app_ns);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.tlb.misses(), b.tlb.misses());
+}
+
+TEST(Engine, CapacityTierIsSlowerThanFastTier) {
+  const MachineConfig machine = MakeNvmMachine(64ull << 20, 64ull << 20);
+  StaticPolicy fast(TierId::kFast);
+  StaticPolicy slow(TierId::kCapacity);
+  Engine fast_engine(machine, fast, QuickRun());
+  Engine slow_engine(machine, slow, QuickRun());
+  SyntheticWorkload w1(SmallSynthetic());
+  SyntheticWorkload w2(SmallSynthetic());
+  const Metrics mf = fast_engine.Run(w1);
+  const Metrics ms = slow_engine.Run(w2);
+  EXPECT_GT(ms.app_ns, mf.app_ns * 2);  // NVM load 300 vs DRAM 100
+  EXPECT_DOUBLE_EQ(mf.fast_hit_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(ms.fast_hit_ratio(), 0.0);
+}
+
+TEST(Engine, ThpReducesTranslationCost) {
+  const MachineConfig machine = MakeDramOnlyMachine(128ull << 20);
+  StaticPolicy thp(TierId::kFast, /*use_thp=*/true);
+  StaticPolicy no_thp(TierId::kFast, /*use_thp=*/false);
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 96ull << 20;  // larger than base-TLB reach
+  p.zipf_s = 0.2;                   // near-uniform: TLB-hostile
+  Engine e1(machine, thp, QuickRun(400'000));
+  Engine e2(machine, no_thp, QuickRun(400'000));
+  SyntheticWorkload w1(p);
+  SyntheticWorkload w2(p);
+  const Metrics m1 = e1.Run(w1);
+  const Metrics m2 = e2.Run(w2);
+  EXPECT_LT(m1.tlb.miss_ratio(), m2.tlb.miss_ratio());
+  EXPECT_LT(m1.app_ns, m2.app_ns);
+}
+
+TEST(Engine, CxlLatencyBetweenDramAndNvm) {
+  SyntheticWorkload::Params p = SmallSynthetic();
+  auto time_with = [&](const MachineConfig& machine) {
+    StaticPolicy policy(TierId::kCapacity);
+    Engine engine(machine, policy, QuickRun());
+    SyntheticWorkload w(p);
+    return engine.Run(w).app_ns;
+  };
+  const uint64_t nvm = time_with(MakeNvmMachine(8ull << 20, 64ull << 20));
+  const uint64_t cxl = time_with(MakeCxlMachine(8ull << 20, 64ull << 20));
+  const uint64_t dram = time_with(MakeDramOnlyMachine(64ull << 20));
+  EXPECT_LT(cxl, nvm);
+  EXPECT_GT(cxl, dram);
+}
+
+TEST(Engine, SnapshotsFollowInterval) {
+  StaticPolicy policy(TierId::kFast);
+  EngineOptions opts = QuickRun();
+  opts.snapshot_interval_ns = 1'000'000;
+  Engine engine(MakeDramOnlyMachine(32ull << 20), policy, opts);
+  SyntheticWorkload workload(SmallSynthetic());
+  const Metrics m = engine.Run(workload);
+  EXPECT_GT(m.timeline.size(), 3u);
+  for (size_t i = 1; i < m.timeline.size(); ++i) {
+    EXPECT_GT(m.timeline[i].t_ns, m.timeline[i - 1].t_ns);
+  }
+}
+
+TEST(Engine, ContentionInflatesRuntime) {
+  Metrics m;
+  m.app_ns = 1'000'000;
+  m.cores = 10;
+  m.cpu_contention = true;
+  m.cpu.Charge(DaemonKind::kSampler, 1'000'000);  // one full core
+  EXPECT_NEAR(m.EffectiveRuntimeNs(), 1'100'000.0, 1.0);
+  m.cpu_contention = false;
+  EXPECT_DOUBLE_EQ(m.EffectiveRuntimeNs(), 1'000'000.0);
+}
+
+TEST(Engine, AllocFreeChurnWorks) {
+  // bwaves-style churn through the App facade must not corrupt state.
+  class ChurnWorkload : public Workload {
+   public:
+    std::string_view name() const override { return "churn"; }
+    uint64_t footprint_bytes() const override { return 8ull << 20; }
+    void Setup(App& app, Rng&) override { region_ = app.Alloc(4ull << 20); }
+    bool Step(App& app, Rng& rng) override {
+      for (int i = 0; i < 64; ++i) {
+        app.Read(region_ + rng.NextBelow(4ull << 20));
+      }
+      app.Free(region_);
+      region_ = app.Alloc(4ull << 20);
+      return true;
+    }
+
+   private:
+    Vaddr region_ = 0;
+  };
+  StaticPolicy policy(TierId::kFast);
+  Engine engine(MakeDramOnlyMachine(32ull << 20), policy, QuickRun(50'000));
+  ChurnWorkload workload;
+  const Metrics m = engine.Run(workload);
+  EXPECT_GE(m.accesses, 50'000u);
+  EXPECT_TRUE(engine.mem().CheckConsistency());
+}
+
+}  // namespace
+}  // namespace memtis

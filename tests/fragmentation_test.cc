@@ -1,0 +1,81 @@
+// Start-up fragmentation: broken huge blocks force THP fallback to base
+// pages, reproducing Table 2's RHP < 100%.
+
+#include <gtest/gtest.h>
+
+#include "src/mem/memory_system.h"
+#include "src/policies/static_policy.h"
+#include "src/sim/engine.h"
+#include "src/workloads/registry.h"
+#include "tests/test_util.h"
+
+namespace memtis {
+namespace {
+
+TEST(Fragmentation, BreaksHugeBlocks) {
+  MemoryConfig cfg;
+  cfg.fast_frames = 8192;      // 16 huge blocks
+  cfg.capacity_frames = 8192;
+  cfg.fragmentation = 0.5;
+  MemorySystem mem(cfg);
+  // Half the huge blocks are broken: at most 8 huge allocations succeed.
+  int huge_ok = 0;
+  while (mem.tier(TierId::kFast).allocator().CanAllocate(BuddyAllocator::kMaxOrder)) {
+    mem.tier(TierId::kFast).allocator().Allocate(BuddyAllocator::kMaxOrder);
+    ++huge_ok;
+  }
+  EXPECT_EQ(huge_ok, 8);
+  // Base allocations still work in the broken blocks.
+  EXPECT_TRUE(mem.tier(TierId::kFast).allocator().CanAllocate(0));
+}
+
+TEST(Fragmentation, ZeroFragmentationIsUnchanged) {
+  MemoryConfig cfg;
+  cfg.fast_frames = 8192;
+  cfg.capacity_frames = 8192;
+  MemorySystem mem(cfg);
+  EXPECT_EQ(mem.tier(TierId::kFast).free_frames(), 8192u);
+  EXPECT_EQ(mem.rss_pages(), 0u);
+}
+
+TEST(Fragmentation, RssExcludesPinnedFrames) {
+  MemoryConfig cfg;
+  cfg.fast_frames = 8192;
+  cfg.capacity_frames = 8192;
+  cfg.fragmentation = 0.25;
+  MemorySystem mem(cfg);
+  EXPECT_EQ(mem.rss_pages(), 0u);  // pins are not application memory
+  mem.AllocateRegion(kHugePageSize, AllocOptions{});
+  EXPECT_EQ(mem.rss_pages(), kSubpagesPerHuge);
+  EXPECT_TRUE(mem.CheckConsistency());
+}
+
+TEST(Fragmentation, ReducesHugePageRatioEndToEnd) {
+  auto workload = MakeWorkload("silo", 0.15);
+  StaticPolicy policy(TierId::kCapacity);
+  MachineConfig machine = MachineFor(*workload, 1.0);
+  // High enough that even with cross-tier spill there are not enough intact
+  // huge blocks for the whole footprint.
+  machine.mem.fragmentation = 0.9;
+  EngineOptions opts;
+  opts.max_accesses = 100'000;
+  Engine engine(machine, policy, opts);
+  engine.Run(*workload);
+  const double rhp = engine.mem().huge_page_ratio();
+  EXPECT_LT(rhp, 1.0);  // some spans fell back to base pages (paper Table 2)
+  EXPECT_GT(rhp, 0.0);
+  EXPECT_TRUE(engine.mem().CheckConsistency());
+}
+
+TEST(Fragmentation, DeterministicForSeed) {
+  MemoryConfig cfg;
+  cfg.fast_frames = 8192;
+  cfg.capacity_frames = 8192;
+  cfg.fragmentation = 0.5;
+  MemorySystem a(cfg);
+  MemorySystem b(cfg);
+  EXPECT_EQ(a.tier(TierId::kFast).free_frames(), b.tier(TierId::kFast).free_frames());
+}
+
+}  // namespace
+}  // namespace memtis

@@ -1,0 +1,102 @@
+// Randomised stress tests: interleave every mutation the memory system and
+// MEMTIS support and audit the invariants continuously.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/memtis/memtis_policy.h"
+#include "src/workloads/registry.h"
+#include "tests/test_util.h"
+
+namespace memtis {
+namespace {
+
+TEST(Fuzz, MemorySystemRandomOps) {
+  Rng rng(2024);
+  MemorySystem mem(MemoryConfig{.fast_frames = 8192, .capacity_frames = 16384});
+  Tlb tlb;
+  mem.AttachTlb(&tlb);
+  std::vector<Vaddr> regions;
+
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 30 || regions.empty()) {
+      // Allocate 1-3 huge pages, random tier preference.
+      if (mem.tier(TierId::kFast).free_frames() +
+              mem.tier(TierId::kCapacity).free_frames() >
+          4 * kSubpagesPerHuge) {
+        AllocOptions opts;
+        opts.preferred = rng.NextBool(0.5) ? TierId::kFast : TierId::kCapacity;
+        opts.use_thp = rng.NextBool(0.8);
+        regions.push_back(
+            mem.AllocateRegion((1 + rng.NextBelow(3)) * kHugePageSize, opts));
+      }
+    } else if (op < 45) {
+      const size_t pick = rng.NextBelow(regions.size());
+      mem.FreeRegion(regions[pick]);
+      regions[pick] = regions.back();
+      regions.pop_back();
+    } else if (op < 70) {
+      // Migrate a random page of a random region.
+      const Vaddr base = regions[rng.NextBelow(regions.size())];
+      const PageIndex index = mem.Lookup(VpnOf(base));
+      if (index != kInvalidPage) {
+        mem.Migrate(index, rng.NextBool(0.5) ? TierId::kFast : TierId::kCapacity);
+      }
+    } else if (op < 85) {
+      // Split a huge page with random written bits.
+      const Vaddr base = regions[rng.NextBelow(regions.size())];
+      const PageIndex index = mem.Lookup(VpnOf(base));
+      if (index != kInvalidPage && mem.page(index).kind == PageKind::kHuge) {
+        PageInfo& page = mem.page(index);
+        for (int j = 0; j < 64; ++j) {
+          page.huge->written.set(rng.NextBelow(kSubpagesPerHuge));
+        }
+        mem.SplitHugePage(index, [&](uint32_t) {
+          return rng.NextBool(0.5) ? TierId::kFast : TierId::kCapacity;
+        });
+      }
+    } else {
+      // Demand-fault a random hole if one exists in this region.
+      const Vaddr base = regions[rng.NextBelow(regions.size())];
+      const auto region = mem.RegionAt(base);
+      ASSERT_TRUE(region.has_value());
+      const Vpn vpn = region->first + rng.NextBelow(region->second);
+      if (mem.Lookup(vpn) == kInvalidPage) {
+        mem.DemandFault(vpn, AllocOptions{});
+      }
+    }
+    if ((step & 63) == 0) {
+      ASSERT_TRUE(mem.CheckConsistency()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(mem.CheckConsistency());
+}
+
+class HistogramAuditTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HistogramAuditTest, IncrementalStateMatchesRecomputation) {
+  // Run MEMTIS over a benchmark, pausing periodically to recompute both
+  // histograms from scratch and compare with the incremental bookkeeping.
+  auto workload = MakeWorkload(GetParam(), 0.12);
+  MemtisConfig cfg = MemtisConfig::ScaledDefaults(workload->footprint_bytes(),
+                                                  workload->footprint_bytes() / 9);
+  MemtisPolicy policy(cfg);
+  EngineOptions opts;
+  opts.max_accesses = 1;
+  Engine engine(MachineFor(*workload, 1.0 / 9.0), policy, opts);
+  for (uint64_t budget = 150'000; budget <= 1'200'000; budget += 150'000) {
+    engine.set_max_accesses(budget);
+    engine.Run(*workload);
+    ASSERT_TRUE(policy.ValidateHistograms(engine.mem())) << "at " << budget;
+    ASSERT_TRUE(engine.mem().CheckConsistency()) << "at " << budget;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, HistogramAuditTest,
+                         ::testing::Values("silo", "btree", "pagerank",
+                                           "603.bwaves", "xsbench"));
+
+}  // namespace
+}  // namespace memtis

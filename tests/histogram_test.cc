@@ -1,0 +1,153 @@
+#include "src/memtis/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace memtis {
+namespace {
+
+TEST(Histogram, BinOfExponentialRanges) {
+  EXPECT_EQ(AccessHistogram::BinOf(0), 0);
+  EXPECT_EQ(AccessHistogram::BinOf(1), 0);
+  EXPECT_EQ(AccessHistogram::BinOf(2), 1);
+  EXPECT_EQ(AccessHistogram::BinOf(3), 1);
+  EXPECT_EQ(AccessHistogram::BinOf(4), 2);
+  EXPECT_EQ(AccessHistogram::BinOf(512), 9);
+  EXPECT_EQ(AccessHistogram::BinOf(1023), 9);
+  EXPECT_EQ(AccessHistogram::BinOf(1024), 10);
+  // Last bin is unbounded.
+  EXPECT_EQ(AccessHistogram::BinOf(1ULL << 15), 15);
+  EXPECT_EQ(AccessHistogram::BinOf(1ULL << 40), 15);
+}
+
+TEST(Histogram, BinFloorInvertsBinOf) {
+  for (int b = 1; b < AccessHistogram::kBins; ++b) {
+    EXPECT_EQ(AccessHistogram::BinOf(AccessHistogram::BinFloor(b)), b);
+    EXPECT_EQ(AccessHistogram::BinOf(AccessHistogram::BinFloor(b) - 1), b - 1);
+  }
+}
+
+TEST(Histogram, AddRemoveMove) {
+  AccessHistogram h;
+  h.Add(3, 10);
+  h.Add(5, 2);
+  EXPECT_EQ(h.count(3), 10u);
+  EXPECT_EQ(h.total(), 12u);
+  h.Move(3, 4, 4);
+  EXPECT_EQ(h.count(3), 6u);
+  EXPECT_EQ(h.count(4), 4u);
+  h.Remove(5, 2);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, CoolShiftsLeftAndMergesBinZero) {
+  AccessHistogram h;
+  h.Add(0, 1);
+  h.Add(1, 2);
+  h.Add(2, 4);
+  h.Add(15, 8);
+  h.Cool();
+  EXPECT_EQ(h.count(0), 3u);  // bin0 + bin1
+  EXPECT_EQ(h.count(1), 4u);
+  EXPECT_EQ(h.count(14), 8u);
+  EXPECT_EQ(h.count(15), 0u);
+  EXPECT_EQ(h.total(), 15u);
+}
+
+TEST(Histogram, CoolingMatchesHalvedHotness) {
+  // Property: for any hotness H >= 2 below the top bin, halving H moves it
+  // exactly one bin down — the invariant that makes Cool() a shift.
+  for (uint64_t h = 2; h < (1ULL << 15); h = h * 3 / 2 + 1) {
+    const int before = AccessHistogram::BinOf(h);
+    const int after = AccessHistogram::BinOf(h / 2);
+    if (before < 15) {
+      EXPECT_EQ(after, before == 0 ? 0 : before - 1) << "H=" << h;
+    }
+  }
+}
+
+TEST(Histogram, ThresholdsFillFastTierFromTop) {
+  AccessHistogram h;
+  h.Add(15, 100);  // hottest
+  h.Add(12, 100);
+  h.Add(8, 1000);  // does not fit
+  const auto t = h.ComputeThresholds(250, 0.9);
+  EXPECT_EQ(t.hot, 9);  // bins 15..9 accumulate 200 <= 250; bin 8 overflows
+  // 200 < 0.9 * 250 -> warm threshold opens one bin below hot.
+  EXPECT_EQ(t.warm, 8);
+  EXPECT_EQ(t.cold, 7);
+}
+
+TEST(Histogram, ThresholdsWarmEqualsHotWhenNearlyFull) {
+  AccessHistogram h;
+  h.Add(10, 240);
+  h.Add(9, 100);
+  const auto t = h.ComputeThresholds(250, 0.9);
+  EXPECT_EQ(t.hot, 10);
+  EXPECT_EQ(t.warm, 10);  // 240 >= 225 = 0.9 * 250
+  EXPECT_EQ(t.cold, 9);
+}
+
+TEST(Histogram, ThresholdsEverythingFits) {
+  AccessHistogram h;
+  h.Add(4, 10);
+  h.Add(2, 10);
+  const auto t = h.ComputeThresholds(1000, 0.9);
+  EXPECT_EQ(t.hot, 0);   // everything is hot
+  EXPECT_EQ(t.warm, -1);  // far from filling the tier
+  EXPECT_EQ(t.cold, -2);  // nothing is ever cold
+}
+
+TEST(Histogram, ThresholdsTopBinStaysHotWhenOversized) {
+  AccessHistogram h;
+  h.Add(15, 1000);
+  // Even when the top bin exceeds the fast tier, it remains the hot set (a
+  // subset of it will occupy the fast tier).
+  const auto t = h.ComputeThresholds(100, 0.9);
+  EXPECT_EQ(t.hot, 15);
+}
+
+TEST(Histogram, UnitsAtOrAbove) {
+  AccessHistogram h;
+  h.Add(3, 5);
+  h.Add(10, 7);
+  EXPECT_EQ(h.UnitsAtOrAbove(0), 12u);
+  EXPECT_EQ(h.UnitsAtOrAbove(4), 7u);
+  EXPECT_EQ(h.UnitsAtOrAbove(11), 0u);
+  EXPECT_EQ(h.UnitsAtOrAbove(-3), 12u);
+}
+
+// Property sweep: thresholds always satisfy the Algorithm 1 invariants.
+class HistogramPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramPropertyTest, Algorithm1Invariants) {
+  const uint64_t seed = GetParam();
+  uint64_t state = seed;
+  AccessHistogram h;
+  for (int b = 0; b < AccessHistogram::kBins; ++b) {
+    h.Add(b, SplitMix64(state) % 1000);
+  }
+  const uint64_t capacity = 1 + SplitMix64(state) % 4000;
+  const auto t = h.ComputeThresholds(capacity, 0.9);
+  // (1) the chosen hot set fits the fast tier (except the degenerate case
+  // where the oversized top bin stays hot);
+  if (h.count(AccessHistogram::kBins - 1) <= capacity) {
+    EXPECT_LE(h.UnitsAtOrAbove(t.hot), capacity);
+  }
+  // (2) the set is maximal: one more bin would overflow (unless all bins hot);
+  if (t.hot > 0) {
+    EXPECT_GT(h.UnitsAtOrAbove(t.hot - 1), capacity);
+  }
+  // (3) ordering of thresholds.
+  EXPECT_LE(t.cold, t.warm);
+  EXPECT_LE(t.warm, t.hot);
+  EXPECT_GE(t.warm, t.hot - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace memtis

@@ -1,0 +1,79 @@
+// End-to-end integration: the paper's comparison setup on scaled-down
+// benchmarks, checking the headline qualitative claims.
+
+#include <gtest/gtest.h>
+
+#include "src/memtis/memtis_policy.h"
+#include "src/memtis/policy_registry.h"
+#include "src/workloads/registry.h"
+#include "tests/test_util.h"
+
+namespace memtis {
+namespace {
+
+double NormalizedPerf(const std::string& system, const std::string& benchmark,
+                      double fast_ratio, uint64_t accesses) {
+  auto baseline_workload = MakeWorkload(benchmark, 0.25);
+  auto baseline = MakePolicy("all-capacity", 0, 0);
+  EngineOptions opts;
+  opts.max_accesses = accesses;
+  Engine baseline_engine(MachineFor(*baseline_workload, fast_ratio), *baseline, opts);
+  const double baseline_ns = baseline_engine.Run(*baseline_workload).EffectiveRuntimeNs();
+
+  auto workload = MakeWorkload(benchmark, 0.25);
+  auto policy = MakePolicy(system, workload->footprint_bytes(),
+                           static_cast<uint64_t>(static_cast<double>(
+                               workload->footprint_bytes()) * fast_ratio));
+  Engine engine(MachineFor(*workload, fast_ratio), *policy, opts);
+  const double ns = engine.Run(*workload).EffectiveRuntimeNs();
+  return baseline_ns / ns;
+}
+
+TEST(Integration, MemtisBeatsAllCapacityOnEveryBenchmark) {
+  for (const auto& benchmark : StandardBenchmarks()) {
+    const double perf = NormalizedPerf("memtis", benchmark, 1.0 / 3.0, 1'200'000);
+    EXPECT_GT(perf, 1.0) << benchmark;
+  }
+}
+
+TEST(Integration, MemtisCompetitiveWithHeMemOnSilo) {
+  // Skewed-huge-page workload: MEMTIS's split should beat HeMem's static
+  // thresholds (paper §6.2.4).
+  const double memtis = NormalizedPerf("memtis", "silo", 1.0 / 9.0, 2'500'000);
+  const double hemem = NormalizedPerf("hemem", "silo", 1.0 / 9.0, 2'500'000);
+  EXPECT_GT(memtis, hemem);
+}
+
+TEST(Integration, MemtisBeatsTppOnCxl) {
+  // Fig. 14's qualitative claim on one benchmark.
+  auto run = [&](const std::string& system) {
+    auto workload = MakeWorkload("silo", 0.25);
+    auto policy = MakePolicy(system, workload->footprint_bytes(),
+                             workload->footprint_bytes() / 9);
+    EngineOptions opts;
+    opts.max_accesses = 2'000'000;
+    Engine engine(MachineFor(*workload, 1.0 / 9.0, /*cxl=*/true), *policy, opts);
+    return engine.Run(*workload).EffectiveRuntimeNs();
+  };
+  EXPECT_LT(run("memtis"), run("tpp"));
+}
+
+TEST(Integration, AllSystemsCompleteAllBenchmarksQuickConfig) {
+  // Smoke over the full (system x benchmark) matrix at small scale.
+  for (const auto& system : ComparisonSystems()) {
+    for (const auto& benchmark : StandardBenchmarks()) {
+      auto workload = MakeWorkload(benchmark, 0.12);
+      auto policy = MakePolicy(system, workload->footprint_bytes(),
+                               workload->footprint_bytes() / 3);
+      EngineOptions opts;
+      opts.max_accesses = 120'000;
+      Engine engine(MachineFor(*workload, 1.0 / 3.0), *policy, opts);
+      const Metrics m = engine.Run(*workload);
+      EXPECT_GE(m.accesses, 100'000u) << system << "/" << benchmark;
+      EXPECT_TRUE(engine.mem().CheckConsistency()) << system << "/" << benchmark;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memtis

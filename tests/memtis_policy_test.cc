@@ -1,0 +1,221 @@
+#include "src/memtis/memtis_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/memtis/policy_registry.h"
+#include "src/workloads/kv_workloads.h"
+#include "src/workloads/spec_workloads.h"
+#include "src/workloads/synthetic.h"
+#include "tests/test_util.h"
+
+namespace memtis {
+namespace {
+
+MemtisConfig QuickConfig(uint64_t footprint, uint64_t fast) {
+  MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint, fast);
+  return cfg;
+}
+
+TEST(MemtisPolicy, FillsFastTierWithHottestPages) {
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 48ull << 20;
+  p.zipf_s = 1.2;
+  p.chunk_pages = kSubpagesPerHuge;
+  SyntheticWorkload workload(p);
+  const uint64_t fast = workload.footprint_bytes() / 3;
+  MemtisPolicy policy(QuickConfig(workload.footprint_bytes(), fast));
+  EngineOptions opts;
+  opts.max_accesses = 2'000'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), policy, opts);
+  const Metrics m = engine.Run(workload);
+  // The strongly-skewed hot set fits the fast tier: most accesses must land
+  // there after warm-up.
+  EXPECT_GT(m.fast_hit_ratio(), 0.6);
+  EXPECT_GT(policy.stats().threshold_adaptations, 0u);
+  EXPECT_GT(policy.stats().coolings, 0u);
+  EXPECT_TRUE(engine.mem().CheckConsistency());
+}
+
+TEST(MemtisPolicy, HistogramTracksMappedPages) {
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 16ull << 20;
+  SyntheticWorkload workload(p);
+  MemtisPolicy policy(QuickConfig(p.footprint_bytes, p.footprint_bytes / 3));
+  EngineOptions opts;
+  opts.max_accesses = 500'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), policy, opts);
+  engine.Run(workload);
+  // Histogram invariant: both histograms count every mapped 4 KiB unit once.
+  EXPECT_EQ(policy.page_histogram().total(), engine.mem().mapped_4k_pages());
+  EXPECT_EQ(policy.base_histogram().total(), engine.mem().mapped_4k_pages());
+}
+
+TEST(MemtisPolicy, HotSetSizeTracksFastTierCapacity) {
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 64ull << 20;
+  p.zipf_s = 0.9;
+  p.chunk_pages = kSubpagesPerHuge;
+  SyntheticWorkload workload(p);
+  const uint64_t fast = workload.footprint_bytes() / 3;
+  MemtisPolicy policy(QuickConfig(workload.footprint_bytes(), fast));
+  EngineOptions opts;
+  opts.max_accesses = 2'000'000;
+  opts.snapshot_interval_ns = 2'000'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), policy, opts);
+  const Metrics m = engine.Run(workload);
+  ASSERT_GT(m.timeline.size(), 4u);
+  // After warm-up the identified hot set tracks the fast tier size. The paper
+  // allows temporary overshoot ("the hot set temporarily exceeds the fast
+  // tier ... MEMTIS can quickly recover", §6.3.1), so check the mean ratio and
+  // bound the overshoot frequency.
+  const uint64_t fast_bytes = engine.mem().tier(TierId::kFast).total_frames() * kPageSize;
+  double ratio_sum = 0.0;
+  size_t over = 0;
+  size_t n = 0;
+  for (size_t i = m.timeline.size() / 2; i < m.timeline.size(); ++i) {
+    const double ratio = static_cast<double>(m.timeline[i].classified.hot_bytes) /
+                         static_cast<double>(fast_bytes);
+    ratio_sum += ratio;
+    over += ratio > 1.25 ? 1 : 0;
+    ++n;
+  }
+  EXPECT_LE(ratio_sum / static_cast<double>(n), 1.1);
+  EXPECT_LT(static_cast<double>(over) / static_cast<double>(n), 0.2);
+}
+
+TEST(MemtisPolicy, SplitsSkewedHugePages) {
+  // Silo-like: low huge-page utilisation -> splits must trigger and raise the
+  // fast-tier hit ratio versus no-split.
+  auto run = [&](bool enable_split) {
+    SiloWorkload::Params wp;
+    wp.footprint_bytes = 64ull << 20;
+    SiloWorkload workload(wp);
+    const uint64_t fast = workload.footprint_bytes() / 9;
+    MemtisConfig cfg = QuickConfig(workload.footprint_bytes(), fast);
+    cfg.enable_split = enable_split;
+    cfg.enable_collapse = false;
+    MemtisPolicy policy(cfg);
+    EngineOptions opts;
+    opts.max_accesses = 3'000'000;
+    Engine engine(MachineFor(workload, 1.0 / 9.0), policy, opts);
+    const Metrics m = engine.Run(workload);
+    EXPECT_TRUE(engine.mem().CheckConsistency());
+    return std::make_pair(m, policy.stats());
+  };
+  auto [with_split, stats_split] = run(true);
+  auto [without_split, stats_ns] = run(false);
+  EXPECT_GT(stats_split.splits_performed, 0u);
+  EXPECT_EQ(stats_ns.splits_performed, 0u);
+  EXPECT_GT(with_split.fast_hit_ratio(), without_split.fast_hit_ratio());
+}
+
+TEST(MemtisPolicy, SplitReducesBtreeRss) {
+  // Paper §6.2.5/Fig. 11: splitting frees never-written subpages.
+  BtreeWorkload::Params wp;
+  wp.footprint_bytes = 64ull << 20;
+  BtreeWorkload workload(wp);
+  const uint64_t fast = workload.footprint_bytes() / 9;
+  MemtisConfig cfg = QuickConfig(workload.footprint_bytes(), fast);
+  cfg.enable_collapse = false;
+  MemtisPolicy policy(cfg);
+  EngineOptions opts;
+  opts.max_accesses = 3'000'000;
+  Engine engine(MachineFor(workload, 1.0 / 9.0), policy, opts);
+  const Metrics m = engine.Run(workload);
+  EXPECT_GT(policy.stats().splits_performed, 0u);
+  EXPECT_GT(m.migration.freed_zero_subpages, 0u);
+  EXPECT_LT(m.final_rss_pages, m.peak_rss_pages);
+}
+
+TEST(MemtisPolicy, NoSplitsWhenUtilizationIsHigh) {
+  // Liblinear-like high utilisation: eHR ~ rHR, no split pressure.
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 48ull << 20;
+  p.zipf_s = 1.1;
+  p.chunk_pages = kSubpagesPerHuge;  // hot huge pages are uniformly hot
+  SyntheticWorkload workload(p);
+  const uint64_t fast = workload.footprint_bytes() / 3;
+  MemtisPolicy policy(QuickConfig(workload.footprint_bytes(), fast));
+  EngineOptions opts;
+  opts.max_accesses = 2'000'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), policy, opts);
+  engine.Run(workload);
+  EXPECT_EQ(policy.stats().splits_performed, 0u);
+}
+
+TEST(MemtisPolicy, WarmSetDoesNotInflateMigrationTraffic) {
+  // Fig. 10's ablation: the warm set exists to cut migration traffic by not
+  // demoting borderline pages. On an oscillating workload the warm-set
+  // variant must not migrate more than the vanilla classifier (the full
+  // magnitude of the reduction is measured by bench/fig10).
+  auto traffic = [&](std::string_view name) {
+    RomsWorkload::Params p;
+    p.footprint_bytes = 48ull << 20;
+    p.phase_accesses = 250'000;  // hot band rotates: warm/hot oscillation
+    RomsWorkload workload(p);
+    auto policy = MakePolicy(name, workload.footprint_bytes(),
+                             workload.footprint_bytes() / 9);
+    EngineOptions opts;
+    opts.max_accesses = 2'500'000;
+    Engine engine(MachineFor(workload, 1.0 / 9.0), *policy, opts);
+    return engine.Run(workload).migration.migrated_4k();
+  };
+  EXPECT_LE(traffic("memtis-ns"), traffic("memtis-vanilla") * 11 / 10);
+}
+
+TEST(MemtisPolicy, BackgroundOperationKeepsCriticalPathSmall) {
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 48ull << 20;
+  p.zipf_s = 1.0;
+  p.chunk_pages = kSubpagesPerHuge;
+  SyntheticWorkload workload(p);
+  MemtisPolicy policy(QuickConfig(p.footprint_bytes, p.footprint_bytes / 3));
+  EngineOptions opts;
+  opts.max_accesses = 1'000'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), policy, opts);
+  const Metrics m = engine.Run(workload);
+  // Critical path time (only TLB shootdowns for MEMTIS) stays under 5% even
+  // through the migration-heavy warm-up.
+  EXPECT_LT(static_cast<double>(m.critical_path_ns),
+            0.05 * static_cast<double>(m.app_ns));
+}
+
+TEST(MemtisPolicy, SamplerStaysUnderCpuCap) {
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 48ull << 20;
+  SyntheticWorkload workload(p);
+  MemtisPolicy policy(QuickConfig(p.footprint_bytes, p.footprint_bytes / 3));
+  EngineOptions opts;
+  opts.max_accesses = 2'000'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), policy, opts);
+  const Metrics m = engine.Run(workload);
+  // ksampled CPU (one core share) must respect the 3% cap within hysteresis.
+  const double share = m.cpu.core_share(DaemonKind::kSampler, m.app_ns);
+  EXPECT_LT(share, policy.sampler().config().cpu_limit + 0.015);
+}
+
+TEST(MemtisPolicy, EstimatesEhrAboveRhrForSkewedHugePages) {
+  SiloWorkload::Params wp;
+  wp.footprint_bytes = 64ull << 20;
+  SiloWorkload workload(wp);
+  const uint64_t fast = workload.footprint_bytes() / 9;
+  MemtisConfig cfg = QuickConfig(workload.footprint_bytes(), fast);
+  cfg.enable_split = false;  // keep the gap visible
+  MemtisPolicy policy(cfg);
+  EngineOptions opts;
+  opts.max_accesses = 2'500'000;
+  Engine engine(MachineFor(workload, 1.0 / 9.0), policy, opts);
+  engine.Run(workload);
+  ASSERT_GT(policy.stats().benefit_estimations, 0u);
+  EXPECT_GT(policy.mean_ehr(), policy.mean_rhr_sampled() + 0.05);
+}
+
+TEST(MemtisConfig, ScaledDefaultsFollowFastTier) {
+  const MemtisConfig small = MemtisConfig::ScaledDefaults(1ull << 30, 64ull << 20);
+  const MemtisConfig large = MemtisConfig::ScaledDefaults(1ull << 30, 512ull << 20);
+  EXPECT_GT(large.adapt_interval_samples, small.adapt_interval_samples);
+  EXPECT_EQ(small.cooling_interval_samples, small.adapt_interval_samples * 4);
+}
+
+}  // namespace
+}  // namespace memtis

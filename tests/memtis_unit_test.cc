@@ -1,0 +1,206 @@
+// Unit-level tests of MemtisPolicy internals against a hand-built
+// PolicyContext: histogram bookkeeping through allocation, sampling, cooling,
+// split and collapse, plus the hybrid-scan and THP-shrinker extensions.
+
+#include <gtest/gtest.h>
+
+#include "src/memtis/memtis_policy.h"
+#include "src/memtis/policy_registry.h"
+#include "src/sim/migration_budget.h"
+#include "src/workloads/kv_workloads.h"
+#include "src/workloads/synthetic.h"
+#include "tests/test_util.h"
+
+namespace memtis {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : mem(MemoryConfig{.fast_frames = 4096, .capacity_frames = 16384}),
+        rng(1),
+        budget(1'000'000, 1'000'000),
+        ctx{mem, tlb, costs, cpu, rng, budget} {}
+
+  MemorySystem mem;
+  Tlb tlb;
+  CostParams costs;
+  CpuAccount cpu;
+  Rng rng;
+  MigrationBudget budget;
+  PolicyContext ctx;
+};
+
+MemtisConfig TestConfig() {
+  MemtisConfig cfg;
+  cfg.adapt_interval_samples = 512;
+  cfg.cooling_interval_samples = 2048;
+  cfg.min_estimate_interval_samples = 1024;
+  return cfg;
+}
+
+// Allocates one huge page through the policy's bookkeeping and returns it.
+PageIndex AllocHuge(Fixture& f, MemtisPolicy& policy, TierId tier) {
+  AllocOptions opts;
+  opts.preferred = tier;
+  const Vaddr addr = f.mem.AllocateRegion(kHugePageSize, opts);
+  const PageIndex index = f.mem.Lookup(VpnOf(addr));
+  policy.OnPageAllocated(f.ctx, index, f.mem.page(index));
+  return index;
+}
+
+TEST(MemtisUnit, AllocationRegistersInBothHistograms) {
+  Fixture f;
+  MemtisPolicy policy(TestConfig());
+  policy.Init(f.ctx);
+  AllocHuge(f, policy, TierId::kFast);
+  EXPECT_EQ(policy.page_histogram().total(), kSubpagesPerHuge);
+  EXPECT_EQ(policy.base_histogram().total(), kSubpagesPerHuge);
+  // All subpage units start cold (bin 0) in the emulated base histogram.
+  EXPECT_EQ(policy.base_histogram().count(0), kSubpagesPerHuge);
+}
+
+TEST(MemtisUnit, InitialHotnessEqualsHotThreshold) {
+  Fixture f;
+  MemtisPolicy policy(TestConfig());
+  policy.Init(f.ctx);
+  const PageIndex index = AllocHuge(f, policy, TierId::kFast);
+  const PageInfo& page = f.mem.page(index);
+  // Fresh pages land in the hot bin (paper §4.2.1), so they are not
+  // immediate demotion candidates.
+  EXPECT_GE(static_cast<int>(page.histogram_bin), policy.hot_threshold_bin());
+}
+
+TEST(MemtisUnit, SamplesMovePagesUpTheHistogram) {
+  Fixture f;
+  MemtisPolicy policy(TestConfig());
+  policy.Init(f.ctx);
+  const PageIndex index = AllocHuge(f, policy, TierId::kCapacity);
+  PageInfo& page = f.mem.page(index);
+  const int bin_before = page.histogram_bin;
+  // Feed enough accesses that the sampler fires repeatedly on one subpage.
+  const Vaddr addr = page.base_vpn << kPageShift;
+  for (int i = 0; i < 20000; ++i) {
+    f.ctx.now_ns += 200;
+    policy.OnAccess(f.ctx, index, page, Access{addr, false});
+  }
+  EXPECT_GT(page.access_count, 0u);
+  EXPECT_GT(static_cast<int>(page.histogram_bin), bin_before);
+  // Subpage 0 carries all the subpage-level hotness.
+  EXPECT_GT(page.huge->subpage_count[0], 0u);
+  EXPECT_EQ(page.huge->subpage_count[1], 0u);
+  // Histogram still counts exactly the mapped units.
+  EXPECT_EQ(policy.page_histogram().total(), f.mem.mapped_4k_pages());
+  EXPECT_EQ(policy.base_histogram().total(), f.mem.mapped_4k_pages());
+}
+
+TEST(MemtisUnit, HotCapacityPageEntersPromotionListAndMigrates) {
+  Fixture f;
+  MemtisPolicy policy(TestConfig());
+  policy.Init(f.ctx);
+  const PageIndex index = AllocHuge(f, policy, TierId::kCapacity);
+  PageInfo& page = f.mem.page(index);
+  const Vaddr addr = page.base_vpn << kPageShift;
+  for (int i = 0; i < 40000 && page.tier == TierId::kCapacity; ++i) {
+    f.ctx.now_ns += 200;
+    policy.OnAccess(f.ctx, index, page, Access{addr, false});
+    policy.Tick(f.ctx);
+  }
+  EXPECT_EQ(page.tier, TierId::kFast);
+  EXPECT_GT(f.mem.migration_stats().promoted_huge, 0u);
+}
+
+TEST(MemtisUnit, FreeRemovesFromHistograms) {
+  Fixture f;
+  MemtisPolicy policy(TestConfig());
+  policy.Init(f.ctx);
+  AllocOptions opts;
+  const Vaddr addr = f.mem.AllocateRegion(2 * kHugePageSize, opts);
+  for (int i = 0; i < 2; ++i) {
+    const PageIndex index = f.mem.Lookup(VpnOf(addr) + i * kSubpagesPerHuge);
+    policy.OnPageAllocated(f.ctx, index, f.mem.page(index));
+  }
+  EXPECT_EQ(policy.page_histogram().total(), 2 * kSubpagesPerHuge);
+  for (int i = 0; i < 2; ++i) {
+    const PageIndex index = f.mem.Lookup(VpnOf(addr) + i * kSubpagesPerHuge);
+    policy.OnPageFreed(f.ctx, index, f.mem.page(index));
+  }
+  f.mem.FreeRegion(addr);
+  EXPECT_EQ(policy.page_histogram().total(), 0u);
+  EXPECT_EQ(policy.base_histogram().total(), 0u);
+}
+
+TEST(MemtisUnit, ShrinkerSplitsMostlyZeroHugePages) {
+  // End-to-end via the engine: btree's bloated huge pages get splintered by
+  // the THP-shrinker variant even though skew-based splitting is off.
+  BtreeWorkload::Params wp;
+  wp.footprint_bytes = 64ull << 20;
+  BtreeWorkload workload(wp);
+  auto policy = MakePolicy("memtis-shrinker", wp.footprint_bytes,
+                           wp.footprint_bytes / 9);
+  EngineOptions opts;
+  opts.max_accesses = 2'000'000;
+  Engine engine(MachineFor(workload, 1.0 / 9.0), *policy, opts);
+  const Metrics m = engine.Run(workload);
+  EXPECT_GT(m.migration.splits, 0u);
+  EXPECT_GT(m.migration.freed_zero_subpages, 0u);
+  EXPECT_LT(m.final_rss_pages, m.peak_rss_pages);
+  EXPECT_TRUE(engine.mem().CheckConsistency());
+}
+
+TEST(MemtisUnit, ShrinkerLeavesFullyWrittenPagesAlone) {
+  // Silo writes every subpage during population: nothing is mostly-zero, so
+  // the shrinker never fires (contrast with skew-based splitting, which does).
+  SiloWorkload::Params wp;
+  wp.footprint_bytes = 48ull << 20;
+  SiloWorkload workload(wp);
+  auto policy = MakePolicy("memtis-shrinker", wp.footprint_bytes,
+                           wp.footprint_bytes / 9);
+  EngineOptions opts;
+  opts.max_accesses = 2'000'000;
+  Engine engine(MachineFor(workload, 1.0 / 9.0), *policy, opts);
+  const Metrics m = engine.Run(workload);
+  EXPECT_EQ(m.migration.splits, 0u);
+}
+
+TEST(MemtisUnit, HybridScanQueuesIdleFastPagesForDemotion) {
+  // Two regions in the fast tier; only one is ever touched. With hybrid
+  // scanning on, the untouched one gets demoted even though PEBS never saw it.
+  class HalfIdleWorkload : public Workload {
+   public:
+    std::string_view name() const override { return "half-idle"; }
+    uint64_t footprint_bytes() const override { return 16ull << 20; }
+    void Setup(App& app, Rng&) override {
+      hot_ = app.Alloc(8ull << 20);
+      idle_ = app.Alloc(8ull << 20);
+    }
+    bool Step(App& app, Rng& rng) override {
+      for (int i = 0; i < 256; ++i) {
+        app.Read(hot_ + rng.NextBelow(8ull << 20));
+      }
+      return true;
+    }
+    Vaddr hot_ = 0;
+    Vaddr idle_ = 0;
+  };
+
+  HalfIdleWorkload workload;
+  MemtisConfig cfg = MemtisConfig::ScaledDefaults(workload.footprint_bytes(),
+                                                  workload.footprint_bytes());
+  cfg.hybrid_scan = true;
+  MemtisPolicy policy(cfg);
+  EngineOptions opts;
+  opts.max_accesses = 1'000'000;
+  // Fast tier big enough for everything: without demotion pressure nothing
+  // would ever leave, so this isolates the hybrid path's contribution of
+  // demotion *candidates* (their actual demotion needs space pressure; use a
+  // tier that just fits both regions, then verify candidates were found by
+  // checking scanner activity).
+  Engine engine(MachineFor(workload, 1.1), policy, opts);
+  const Metrics m = engine.Run(workload);
+  EXPECT_GT(m.cpu.busy(DaemonKind::kScanner), 0u);
+  EXPECT_TRUE(engine.mem().CheckConsistency());
+  EXPECT_EQ(policy.page_histogram().total(), engine.mem().mapped_4k_pages());
+}
+
+}  // namespace
+}  // namespace memtis

@@ -1,0 +1,54 @@
+#include "src/sim/migration_budget.h"
+
+#include <gtest/gtest.h>
+
+namespace memtis {
+namespace {
+
+TEST(MigrationBudget, StartsWithFullBurst) {
+  MigrationBudget budget(/*pages_per_ms=*/100, /*burst=*/500);
+  EXPECT_TRUE(budget.Consume(0, 500));
+  EXPECT_FALSE(budget.Consume(0, 1));
+}
+
+TEST(MigrationBudget, RefillsOverTime) {
+  MigrationBudget budget(100, 500);
+  ASSERT_TRUE(budget.Consume(0, 500));
+  EXPECT_FALSE(budget.Consume(500'000, 100));  // 0.5 ms -> only 50 earned
+  EXPECT_TRUE(budget.Consume(1'000'000, 100));  // 1 ms -> 100 earned
+}
+
+TEST(MigrationBudget, RefillCapsAtBurst) {
+  MigrationBudget budget(100, 500);
+  ASSERT_TRUE(budget.Consume(0, 500));
+  // A long idle period earns at most `burst` tokens.
+  EXPECT_EQ(budget.tokens(1'000'000'000), 500u);
+  EXPECT_TRUE(budget.Consume(1'000'000'000, 500));
+  EXPECT_FALSE(budget.Consume(1'000'000'000, 1));
+}
+
+TEST(MigrationBudget, PartialConsumptionAccumulates) {
+  MigrationBudget budget(1000, 2048);
+  uint64_t granted = 0;
+  for (uint64_t t = 0; t <= 10'000'000; t += 100'000) {  // 10 ms
+    while (budget.Consume(t, 64)) {
+      granted += 64;
+    }
+  }
+  // Burst (2048) + ~10 ms * 1000/ms earned, within rounding.
+  EXPECT_GE(granted, 2048u + 9'000u);
+  EXPECT_LE(granted, 2048u + 10'100u);
+}
+
+TEST(MigrationBudget, HugePageSizedRequests) {
+  MigrationBudget budget(128, 2048);
+  // Four huge pages fit the initial burst; the fifth must wait ~4 ms.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(budget.Consume(0, 512));
+  }
+  EXPECT_FALSE(budget.Consume(1'000'000, 512));
+  EXPECT_TRUE(budget.Consume(4'100'000, 512));
+}
+
+}  // namespace
+}  // namespace memtis

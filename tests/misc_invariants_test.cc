@@ -1,0 +1,116 @@
+// Assorted cross-module invariants not covered by the per-module suites.
+
+#include <gtest/gtest.h>
+
+#include "src/access/damon.h"
+#include "src/common/rng.h"
+#include "src/mem/memory_system.h"
+#include "src/memtis/memtis_policy.h"
+#include "src/workloads/registry.h"
+#include "tests/test_util.h"
+
+namespace memtis {
+namespace {
+
+TEST(MiscInvariants, SplitMix64KnownAnswer) {
+  // Reference values from the SplitMix64 reference implementation (seed 0).
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(SplitMix64(state), 0x06c45d188009454fULL);
+}
+
+TEST(MiscInvariants, SplitThenCollapseRoundTrip) {
+  MemorySystem mem(MemoryConfig{.fast_frames = 2048, .capacity_frames = 2048});
+  const Vaddr start = mem.AllocateRegion(kHugePageSize, AllocOptions{});
+  const Vpn vpn = VpnOf(start);
+  PageInfo& huge = mem.page(mem.Lookup(vpn));
+  huge.huge->written.set();  // every subpage holds data
+  for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
+    huge.huge->subpage_count[j] = static_cast<uint32_t>(j);
+  }
+  ASSERT_EQ(mem.SplitHugePage(mem.Lookup(vpn), [](uint32_t) { return TierId::kFast; }),
+            kSubpagesPerHuge);
+  // All 512 base pages live with carried hotness.
+  EXPECT_EQ(mem.page(mem.Lookup(vpn + 37)).access_count, 37u);
+  ASSERT_TRUE(mem.CollapseToHuge(vpn, TierId::kFast));
+  const PageInfo& rebuilt = mem.page(mem.Lookup(vpn));
+  EXPECT_EQ(rebuilt.kind, PageKind::kHuge);
+  EXPECT_EQ(rebuilt.huge->subpage_count[37], 37u);
+  EXPECT_EQ(rebuilt.access_count,
+            kSubpagesPerHuge * (kSubpagesPerHuge - 1) / 2);
+  EXPECT_TRUE(mem.CheckConsistency());
+}
+
+TEST(MiscInvariants, DamonRegionsStayContiguousUnderChurn) {
+  DamonConfig cfg;
+  cfg.sampling_interval_ns = 1000;
+  cfg.aggregation_interval_ns = 20'000;
+  cfg.min_regions = 8;
+  cfg.max_regions = 64;
+  Damon damon(cfg, 0, 32ull << 20);
+  Rng rng(9);
+  uint64_t now = 0;
+  for (int step = 0; step < 20000; ++step) {
+    now += 400;
+    damon.OnAccess(rng.NextBelow(32ull << 20));
+    damon.Tick(now);
+    if ((step & 1023) == 0) {
+      const auto& regions = damon.regions();
+      ASSERT_EQ(regions.front().start, 0u);
+      ASSERT_EQ(regions.back().end, 32ull << 20);
+      for (size_t i = 1; i < regions.size(); ++i) {
+        ASSERT_EQ(regions[i].start, regions[i - 1].end) << "step " << step;
+        ASSERT_LT(regions[i].start, regions[i].end);
+      }
+    }
+  }
+}
+
+TEST(MiscInvariants, SnapshotWindowsAccountAllAccesses) {
+  auto workload = MakeWorkload("liblinear", 0.1);
+  MemtisPolicy policy(MemtisConfig::ScaledDefaults(workload->footprint_bytes(),
+                                                   workload->footprint_bytes() / 3));
+  EngineOptions opts;
+  opts.max_accesses = 400'000;
+  opts.snapshot_interval_ns = 1'000'000;
+  Engine engine(MachineFor(*workload, 1.0 / 3.0), policy, opts);
+  const Metrics m = engine.Run(*workload);
+  ASSERT_GT(m.timeline.size(), 2u);
+  for (const auto& point : m.timeline) {
+    EXPECT_GE(point.window_fast_ratio, 0.0);
+    EXPECT_LE(point.window_fast_ratio, 1.0);
+    EXPECT_GE(point.window_mops, 0.0);
+    EXPECT_LE(point.rss_pages, engine.mem().tier(TierId::kFast).total_frames() +
+                                   engine.mem().tier(TierId::kCapacity).total_frames());
+  }
+}
+
+TEST(MiscInvariants, HotnessFactorScalingMatchesPaper) {
+  // H_i = C_i for huge pages, C_i * 512 for base pages (paper §4.1.2).
+  PageInfo base;
+  base.kind = PageKind::kBase;
+  base.access_count = 3;
+  PageInfo huge;
+  huge.kind = PageKind::kHuge;
+  huge.access_count = 3;
+  EXPECT_EQ(base.hotness(), 3 * kSubpagesPerHuge);
+  EXPECT_EQ(huge.hotness(), 3u);
+  // So a base page and a huge page with the same per-4KiB access density have
+  // the same hotness factor:
+  huge.access_count = 3 * kSubpagesPerHuge;
+  EXPECT_EQ(base.hotness(), huge.hotness());
+}
+
+TEST(MiscInvariants, EffectiveRuntimeMonotoneInDaemonLoad) {
+  Metrics light;
+  light.app_ns = 1'000'000;
+  light.cores = 20;
+  Metrics heavy = light;
+  light.cpu.Charge(DaemonKind::kMigrator, 100'000);
+  heavy.cpu.Charge(DaemonKind::kMigrator, 10'000'000);
+  EXPECT_LT(light.EffectiveRuntimeNs(), heavy.EffectiveRuntimeNs());
+}
+
+}  // namespace
+}  // namespace memtis

@@ -1,0 +1,130 @@
+#include "src/access/pebs_sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace memtis {
+namespace {
+
+TEST(PebsSampler, SamplesEveryPeriodEvents) {
+  PebsConfig cfg;
+  cfg.load_period = 10;
+  cfg.store_period = 4;
+  PebsSampler sampler(cfg);
+  int load_samples = 0;
+  for (int i = 0; i < 100; ++i) {
+    load_samples += sampler.OnEvent(SampleType::kLlcLoadMiss) ? 1 : 0;
+  }
+  EXPECT_EQ(load_samples, 10);
+  int store_samples = 0;
+  for (int i = 0; i < 100; ++i) {
+    store_samples += sampler.OnEvent(SampleType::kStore) ? 1 : 0;
+  }
+  EXPECT_EQ(store_samples, 25);
+  EXPECT_EQ(sampler.stats().total_samples(), 35u);
+}
+
+TEST(PebsSampler, EventStreamsAreIndependent) {
+  PebsConfig cfg;
+  cfg.load_period = 5;
+  cfg.store_period = 5;
+  PebsSampler sampler(cfg);
+  // Interleave: each stream keeps its own countdown.
+  int samples = 0;
+  for (int i = 0; i < 10; ++i) {
+    samples += sampler.OnEvent(SampleType::kLlcLoadMiss) ? 1 : 0;
+    samples += sampler.OnEvent(SampleType::kStore) ? 1 : 0;
+  }
+  EXPECT_EQ(samples, 4);
+}
+
+TEST(PebsSampler, RaisesPeriodWhenOverBudget) {
+  PebsConfig cfg;
+  cfg.load_period = 10;
+  cfg.sample_cost_ns = 1'000'000;  // absurdly expensive samples
+  cfg.adjust_interval_ns = 1'000'000;
+  cfg.cpu_limit = 0.03;
+  PebsSampler sampler(cfg);
+  uint64_t now = 0;
+  for (int i = 0; i < 1000; ++i) {
+    now += 10'000;
+    if (sampler.OnEvent(SampleType::kLlcLoadMiss)) {
+      sampler.AccountSample(now);
+    }
+  }
+  EXPECT_GT(sampler.period(SampleType::kLlcLoadMiss), cfg.load_period);
+  EXPECT_GT(sampler.stats().period_raises, 0u);
+  EXPECT_GT(sampler.cpu_usage(), cfg.cpu_limit);
+}
+
+TEST(PebsSampler, LowersPeriodWhenUnderBudget) {
+  PebsConfig cfg;
+  cfg.load_period = 1000;
+  cfg.min_period = 2;
+  cfg.sample_cost_ns = 1;  // nearly free samples
+  cfg.adjust_interval_ns = 1'000;
+  PebsSampler sampler(cfg);
+  uint64_t now = 0;
+  for (int i = 0; i < 100000; ++i) {
+    now += 100;
+    if (sampler.OnEvent(SampleType::kLlcLoadMiss)) {
+      sampler.AccountSample(now);
+    }
+  }
+  EXPECT_LT(sampler.period(SampleType::kLlcLoadMiss), cfg.load_period);
+  EXPECT_GT(sampler.stats().period_drops, 0u);
+}
+
+TEST(PebsSampler, PeriodStaysWithinBounds) {
+  PebsConfig cfg;
+  cfg.load_period = 8;
+  cfg.min_period = 4;
+  cfg.max_period = 64;
+  cfg.sample_cost_ns = 1'000'000;
+  cfg.adjust_interval_ns = 1'000;
+  PebsSampler sampler(cfg);
+  uint64_t now = 0;
+  for (int i = 0; i < 100000; ++i) {
+    now += 10;
+    if (sampler.OnEvent(SampleType::kLlcLoadMiss)) {
+      sampler.AccountSample(now);
+    }
+  }
+  EXPECT_LE(sampler.period(SampleType::kLlcLoadMiss), 64u);
+  EXPECT_GE(sampler.period(SampleType::kLlcLoadMiss), 4u);
+}
+
+TEST(PebsSampler, HysteresisPreventsJitterInsideBand) {
+  PebsConfig cfg;
+  cfg.load_period = 100;
+  cfg.sample_cost_ns = 300;
+  cfg.adjust_interval_ns = 1'000'000;
+  cfg.cpu_limit = 0.03;
+  cfg.cpu_hysteresis = 0.5;  // giant band: nothing should ever adjust
+  PebsSampler sampler(cfg);
+  uint64_t now = 0;
+  for (int i = 0; i < 200000; ++i) {
+    now += 100;
+    if (sampler.OnEvent(SampleType::kLlcLoadMiss)) {
+      sampler.AccountSample(now);
+    }
+  }
+  EXPECT_EQ(sampler.stats().period_raises, 0u);
+  EXPECT_EQ(sampler.stats().period_drops, 0u);
+  EXPECT_EQ(sampler.period(SampleType::kLlcLoadMiss), 100u);
+}
+
+TEST(PebsSampler, BusyTimeAccumulates) {
+  PebsConfig cfg;
+  cfg.load_period = 1;
+  cfg.min_period = 1;
+  cfg.sample_cost_ns = 400;
+  PebsSampler sampler(cfg);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sampler.OnEvent(SampleType::kLlcLoadMiss));
+    sampler.AccountSample(1000 * (i + 1));
+  }
+  EXPECT_EQ(sampler.busy_ns(), 4000u);
+}
+
+}  // namespace
+}  // namespace memtis

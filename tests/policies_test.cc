@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "src/memtis/policy_registry.h"
+#include "src/policies/hemem.h"
+#include "src/workloads/synthetic.h"
+#include "tests/test_util.h"
+
+namespace memtis {
+namespace {
+
+SyntheticWorkload::Params HotColdSplit() {
+  // Strong skew at huge-page granularity: a clear hot set about 1/4 of the
+  // footprint; fast tier in tests is 1/3 of the footprint.
+  SyntheticWorkload::Params p;
+  p.footprint_bytes = 48ull << 20;
+  p.zipf_s = 1.1;
+  p.chunk_pages = kSubpagesPerHuge;
+  return p;
+}
+
+class PolicyRunTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyRunTest, RunsAndKeepsMemoryConsistent) {
+  SyntheticWorkload workload(HotColdSplit());
+  auto policy = MakePolicy(GetParam(), workload.footprint_bytes(),
+                           workload.footprint_bytes() / 3);
+  EngineOptions opts;
+  opts.max_accesses = 400'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), *policy, opts);
+  const Metrics m = engine.Run(workload);
+  EXPECT_GE(m.accesses, 400'000u);
+  EXPECT_TRUE(engine.mem().CheckConsistency());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, PolicyRunTest,
+    ::testing::Values("autonuma", "autotiering", "tiering-0.8", "tpp", "nimble",
+                      "multi-clock", "hemem", "memtis", "memtis-ns",
+                      "memtis-vanilla", "all-fast", "all-capacity"));
+
+class PolicyBeatsAllCapacityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyBeatsAllCapacityTest, SkewedWorkloadBeatsNoTiering) {
+  // Any reasonable tiering policy must beat all-capacity on a strongly skewed
+  // workload whose hot set fits the fast tier.
+  auto run = [&](std::string_view name) {
+    SyntheticWorkload workload(HotColdSplit());
+    auto policy = MakePolicy(name, workload.footprint_bytes(),
+                             workload.footprint_bytes() / 3);
+    EngineOptions opts;
+    opts.max_accesses = 1'200'000;
+    Engine engine(MachineFor(workload, 1.0 / 3.0), *policy, opts);
+    return engine.Run(workload).EffectiveRuntimeNs();
+  };
+  const double baseline = run("all-capacity");
+  const double tiered = run(GetParam());
+  EXPECT_LT(tiered, baseline) << GetParam() << " slower than all-capacity";
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, PolicyBeatsAllCapacityTest,
+                         ::testing::Values("autonuma", "tpp", "hemem", "memtis"));
+
+class PolicyNotPathologicalTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyNotPathologicalTest, AtWorstModeratelySlowerThanNoTiering) {
+  // The paper's Fig. 5 shows baselines sometimes land below the all-capacity
+  // line (e.g. PageRank 1:2) — but never catastrophically. Bound the damage.
+  auto run = [&](std::string_view name) {
+    SyntheticWorkload workload(HotColdSplit());
+    auto policy = MakePolicy(name, workload.footprint_bytes(),
+                             workload.footprint_bytes() / 3);
+    EngineOptions opts;
+    opts.max_accesses = 800'000;
+    Engine engine(MachineFor(workload, 1.0 / 3.0), *policy, opts);
+    return engine.Run(workload).EffectiveRuntimeNs();
+  };
+  const double baseline = run("all-capacity");
+  EXPECT_LT(run(GetParam()), baseline * 1.6) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, PolicyNotPathologicalTest,
+                         ::testing::Values("autonuma", "autotiering", "tiering-0.8",
+                                           "tpp", "nimble", "multi-clock", "hemem",
+                                           "memtis"));
+
+TEST(HeMemPolicy, TracksHotSetWithStaticThreshold) {
+  SyntheticWorkload workload(HotColdSplit());
+  HeMemPolicy policy;
+  EngineOptions opts;
+  opts.max_accesses = 1'000'000;
+  opts.snapshot_interval_ns = 1'000'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), policy, opts);
+  const Metrics m = engine.Run(workload);
+  // HeMem must have classified some hot set and promoted pages.
+  bool saw_hot = false;
+  for (const auto& point : m.timeline) {
+    saw_hot |= point.classified.hot_bytes > 0;
+  }
+  EXPECT_TRUE(saw_hot);
+  EXPECT_GT(m.migration.promoted_4k(), 0u);
+}
+
+TEST(HeMemPolicy, SamplingThreadBurnsACore) {
+  SyntheticWorkload workload(HotColdSplit());
+  HeMemPolicy policy;
+  EngineOptions opts;
+  opts.max_accesses = 300'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), policy, opts);
+  const Metrics m = engine.Run(workload);
+  // Spinning sampler: busy time ~ elapsed time (one full core).
+  EXPECT_GT(m.cpu.busy(DaemonKind::kSampler), m.app_ns / 2);
+}
+
+TEST(TppPolicy, ReclaimsFastTierForHeadroom) {
+  SyntheticWorkload workload(HotColdSplit());
+  auto policy = MakePolicy("tpp", workload.footprint_bytes(),
+                           workload.footprint_bytes() / 3);
+  EngineOptions opts;
+  opts.max_accesses = 1'000'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), *policy, opts);
+  const Metrics m = engine.Run(workload);
+  // The reclaim path demotes cold pages to make allocation headroom, and the
+  // fault path promotes hot pages back — both directions must be active.
+  EXPECT_GT(m.migration.demoted_4k(), 0u);
+  EXPECT_GT(m.migration.promoted_4k(), 0u);
+}
+
+TEST(NimblePolicy, GeneratesMoreMigrationTrafficThanMemtis) {
+  // Paper §6.2.4: threshold-1 scanning promotes everything touched.
+  auto traffic = [&](std::string_view name) {
+    SyntheticWorkload::Params p;
+    p.footprint_bytes = 48ull << 20;
+    p.zipf_s = 0.6;  // broad working set >> fast tier
+    p.chunk_pages = kSubpagesPerHuge;
+    SyntheticWorkload workload(p);
+    auto policy = MakePolicy(name, workload.footprint_bytes(),
+                             workload.footprint_bytes() / 9);
+    EngineOptions opts;
+    opts.max_accesses = 1'000'000;
+    Engine engine(MachineFor(workload, 1.0 / 9.0), *policy, opts);
+    return engine.Run(workload).migration.migrated_4k();
+  };
+  EXPECT_GT(traffic("nimble"), 2 * traffic("memtis"));
+}
+
+TEST(AutoNumaPolicy, NeverDemotes) {
+  SyntheticWorkload workload(HotColdSplit());
+  auto policy = MakePolicy("autonuma", 0, 0);
+  EngineOptions opts;
+  opts.max_accesses = 600'000;
+  Engine engine(MachineFor(workload, 1.0 / 3.0), *policy, opts);
+  const Metrics m = engine.Run(workload);
+  EXPECT_EQ(m.migration.demoted_4k(), 0u);
+}
+
+TEST(CriticalPathPolicies, FaultPathMigrationCostsMorePerPage) {
+  // Fault-based promoters block the app for the whole copy; MEMTIS only pays
+  // the TLB shootdown. Compare critical-path ns per migrated 4 KiB page.
+  auto critical_per_page = [&](std::string_view name) {
+    SyntheticWorkload workload(HotColdSplit());
+    auto policy = MakePolicy(name, workload.footprint_bytes(),
+                             workload.footprint_bytes() / 3);
+    EngineOptions opts;
+    opts.max_accesses = 600'000;
+    Engine engine(MachineFor(workload, 1.0 / 3.0), *policy, opts);
+    const Metrics m = engine.Run(workload);
+    EXPECT_GT(m.migration.migrated_4k(), 0u) << name;
+    return static_cast<double>(m.critical_path_ns) /
+           static_cast<double>(m.migration.migrated_4k());
+  };
+  // AutoNUMA is excluded: with a pre-filled fast tier and no demotion it
+  // never migrates at all (the paper's §6.2.2 observation).
+  EXPECT_GT(critical_per_page("tpp"), 2.0 * critical_per_page("memtis"));
+  EXPECT_GT(critical_per_page("autotiering"), 2.0 * critical_per_page("memtis"));
+}
+
+}  // namespace
+}  // namespace memtis

@@ -1,0 +1,125 @@
+// Unit tests for the shared policy mechanics, using a hand-built
+// PolicyContext (no engine).
+
+#include "src/policies/policy_util.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/migration_budget.h"
+
+namespace memtis {
+namespace {
+
+struct ContextFixture {
+  ContextFixture()
+      : mem(MemoryConfig{.fast_frames = 2048, .capacity_frames = 8192}),
+        rng(1),
+        budget(1'000'000, 1'000'000),  // effectively unlimited
+        ctx{mem, tlb, costs, cpu, rng, budget} {}
+
+  MemorySystem mem;
+  Tlb tlb;
+  CostParams costs;
+  CpuAccount cpu;
+  Rng rng;
+  MigrationBudget budget;
+  PolicyContext ctx;
+};
+
+TEST(PolicyUtil, CopyCostDependsOnPageKind) {
+  CostParams costs;
+  PageInfo base;
+  base.kind = PageKind::kBase;
+  PageInfo huge;
+  huge.kind = PageKind::kHuge;
+  EXPECT_EQ(CopyCost(costs, base), costs.migrate_base_ns);
+  EXPECT_EQ(CopyCost(costs, huge), costs.migrate_huge_ns);
+}
+
+TEST(PolicyUtil, MigrateCriticalChargesApp) {
+  ContextFixture f;
+  AllocOptions opts;
+  opts.preferred = TierId::kCapacity;
+  const Vaddr addr = f.mem.AllocateRegion(kHugePageSize, opts);
+  const PageIndex index = f.mem.Lookup(VpnOf(addr));
+  ASSERT_TRUE(MigrateCritical(f.ctx, index, TierId::kFast));
+  EXPECT_EQ(f.ctx.pending_app_ns,
+            f.costs.migrate_huge_ns + f.costs.shootdown_app_ns);
+  EXPECT_EQ(f.cpu.total_busy(), 0u);  // nothing on the daemons
+}
+
+TEST(PolicyUtil, MigrateBackgroundChargesDaemonAndInterference) {
+  ContextFixture f;
+  AllocOptions opts;
+  opts.preferred = TierId::kCapacity;
+  const Vaddr addr = f.mem.AllocateRegion(kHugePageSize, opts);
+  const PageIndex index = f.mem.Lookup(VpnOf(addr));
+  ASSERT_TRUE(MigrateBackground(f.ctx, index, TierId::kFast));
+  EXPECT_EQ(f.cpu.busy(DaemonKind::kMigrator), f.costs.migrate_huge_ns);
+  EXPECT_EQ(f.ctx.pending_app_ns,
+            f.costs.shootdown_app_ns +
+                kSubpagesPerHuge * f.costs.migrate_app_interference_ns);
+}
+
+TEST(PolicyUtil, MigrateBackgroundRespectsBandwidthBudget) {
+  ContextFixture f;
+  MigrationBudget tight(/*pages_per_ms=*/1, /*burst=*/512);
+  PolicyContext ctx{f.mem, f.tlb, f.costs, f.cpu, f.rng, tight};
+  AllocOptions opts;
+  opts.preferred = TierId::kCapacity;
+  const Vaddr a = f.mem.AllocateRegion(kHugePageSize, opts);
+  const Vaddr b = f.mem.AllocateRegion(kHugePageSize, opts);
+  EXPECT_TRUE(MigrateBackground(ctx, f.mem.Lookup(VpnOf(a)), TierId::kFast));
+  // The burst is spent; the second huge page must wait.
+  EXPECT_FALSE(MigrateBackground(ctx, f.mem.Lookup(VpnOf(b)), TierId::kFast));
+  EXPECT_EQ(f.mem.page(f.mem.Lookup(VpnOf(b))).tier, TierId::kCapacity);
+}
+
+TEST(PolicyUtil, WatermarkMath) {
+  ContextFixture f;
+  EXPECT_FALSE(FastBelowWatermark(f.ctx, 0.5));  // tier is empty -> all free
+  f.mem.AllocateRegion(3 * kHugePageSize, AllocOptions{});  // 1536 of 2048 used
+  EXPECT_TRUE(FastBelowWatermark(f.ctx, 0.5));   // 25% free < 50%
+  EXPECT_FALSE(FastBelowWatermark(f.ctx, 0.2));  // 25% free > 20%
+}
+
+TEST(PolicyUtil, HintFaultArmRoundRobin) {
+  ContextFixture f;
+  AllocOptions opts;
+  opts.use_thp = false;
+  f.mem.AllocateRegion(kHugePageSize, opts);  // 512 base pages
+  HintFaultArm arm(/*armed_bit=*/1, /*scan_batch_pages=*/64);
+  arm.ArmBatch(f.ctx);
+  uint64_t armed = 0;
+  f.mem.ForEachLivePage([&](PageIndex, PageInfo& page) {
+    armed += (page.policy_word0 & 1) != 0 ? 1 : 0;
+  });
+  EXPECT_EQ(armed, 64u);
+  // Next batch arms the following 64 (cursor advances).
+  arm.ArmBatch(f.ctx);
+  armed = 0;
+  f.mem.ForEachLivePage([&](PageIndex, PageInfo& page) {
+    armed += (page.policy_word0 & 1) != 0 ? 1 : 0;
+  });
+  EXPECT_EQ(armed, 128u);
+}
+
+TEST(PolicyUtil, ConsumeFaultDisarms) {
+  PageInfo page;
+  page.policy_word0 = 1;
+  HintFaultArm arm(1, 8);
+  EXPECT_TRUE(arm.ConsumeFault(page));
+  EXPECT_EQ(page.policy_word0 & 1, 0u);
+  EXPECT_FALSE(arm.ConsumeFault(page));
+}
+
+TEST(MigrationRateLimiter, WindowedBudget) {
+  MigrationRateLimiter limiter(/*pages=*/100, /*window_ns=*/1000);
+  EXPECT_TRUE(limiter.Allow(0, 60));
+  EXPECT_TRUE(limiter.Allow(10, 40));
+  EXPECT_FALSE(limiter.Allow(20, 1));  // window exhausted
+  EXPECT_TRUE(limiter.Allow(1000, 100));  // new window
+}
+
+}  // namespace
+}  // namespace memtis

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "src/memtis/memtis_policy.h"
+#include "src/memtis/policy_registry.h"
+#include "src/workloads/registry.h"
+
+namespace memtis {
+namespace {
+
+TEST(PolicyRegistry, ComparisonSetMatchesPaperFig5) {
+  const auto& systems = ComparisonSystems();
+  ASSERT_EQ(systems.size(), 7u);
+  EXPECT_EQ(systems.back(), "memtis");
+}
+
+TEST(PolicyRegistry, AllNamesConstruct) {
+  for (const char* name :
+       {"autonuma", "autotiering", "tiering-0.8", "tpp", "nimble", "multi-clock",
+        "hemem", "memtis", "memtis-ns", "memtis-nowarm", "memtis-vanilla",
+        "memtis-hybrid", "all-fast", "all-fast-nothp", "all-capacity"}) {
+    auto policy = MakePolicy(name, 64ull << 20, 16ull << 20);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_FALSE(policy->name().empty());
+  }
+}
+
+TEST(PolicyRegistry, MemtisVariantsDifferInFlags) {
+  auto full = MakePolicy("memtis", 64ull << 20, 16ull << 20);
+  auto ns = MakePolicy("memtis-ns", 64ull << 20, 16ull << 20);
+  // Both are MEMTIS underneath...
+  EXPECT_NE(dynamic_cast<MemtisPolicy*>(full.get()), nullptr);
+  EXPECT_NE(dynamic_cast<MemtisPolicy*>(ns.get()), nullptr);
+  // ...and report the same policy name (they differ only in feature flags).
+  EXPECT_EQ(full->name(), ns->name());
+}
+
+TEST(PolicyRegistry, UnknownNameAborts) {
+  EXPECT_DEATH(MakePolicy("no-such-policy", 1 << 20, 1 << 20), "CHECK failed");
+}
+
+TEST(WorkloadRegistry, UnknownNameAborts) {
+  EXPECT_DEATH(MakeWorkload("no-such-benchmark"), "CHECK failed");
+}
+
+TEST(WorkloadRegistry, ScaleChangesFootprint) {
+  auto small = MakeWorkload("silo", 0.1);
+  auto large = MakeWorkload("silo", 1.0);
+  EXPECT_LT(small->footprint_bytes(), large->footprint_bytes());
+  // Footprints stay huge-page aligned.
+  EXPECT_EQ(small->footprint_bytes() % kHugePageSize, 0u);
+}
+
+TEST(WorkloadRegistry, SeedOffsetChangesLayout) {
+  // Different seed offsets must produce different (but valid) workloads.
+  auto a = MakeWorkload("silo", 0.1, 0);
+  auto b = MakeWorkload("silo", 0.1, 1);
+  EXPECT_EQ(a->footprint_bytes(), b->footprint_bytes());
+}
+
+}  // namespace
+}  // namespace memtis

@@ -1,0 +1,79 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace memtis {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Ema, FirstSampleInitializes) {
+  Ema ema(0.5);
+  EXPECT_FALSE(ema.initialized());
+  ema.Add(10.0);
+  EXPECT_TRUE(ema.initialized());
+  EXPECT_DOUBLE_EQ(ema.value(), 10.0);
+}
+
+TEST(Ema, DecaysTowardNewSamples) {
+  Ema ema(0.5);
+  ema.Add(0.0);
+  ema.Add(8.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 4.0);
+  ema.Add(8.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 6.0);
+}
+
+TEST(GeoMean, MatchesHandComputation) {
+  const std::array<double, 3> values = {1.0, 8.0, 27.0};
+  EXPECT_NEAR(GeoMean(values), 6.0, 1e-9);
+}
+
+TEST(GeoMean, EmptyIsZero) { EXPECT_DOUBLE_EQ(GeoMean({}), 0.0); }
+
+TEST(PearsonCorrelation, PerfectPositive) {
+  const std::array<double, 4> xs = {1, 2, 3, 4};
+  const std::array<double, 4> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, PerfectNegative) {
+  const std::array<double, 4> xs = {1, 2, 3, 4};
+  const std::array<double, 4> ys = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantSideIsZero) {
+  const std::array<double, 3> xs = {1, 1, 1};
+  const std::array<double, 3> ys = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace memtis

@@ -1,0 +1,70 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace memtis {
+namespace {
+
+std::string RenderToString(const Table& table) {
+  std::FILE* f = std::tmpfile();
+  table.Print(f);
+  std::rewind(f);
+  std::string out;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    out += buf;
+  }
+  std::fclose(f);
+  return out;
+}
+
+TEST(Table, FormattersProduceStableStrings) {
+  EXPECT_EQ(Table::Num(1.23456), "1.23");
+  EXPECT_EQ(Table::Num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::Pct(0.5), "50.0%");
+  EXPECT_EQ(Table::Pct(0.12345, 2), "12.35%");
+  EXPECT_EQ(Table::Mib(2.0 * 1024 * 1024), "2.0MiB");
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table("demo");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "22"});
+  const std::string out = RenderToString(table);
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header precedes rows.
+  EXPECT_LT(out.find("name"), out.find("alpha"));
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table("demo");
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NE(RenderToString(table).find("only"), std::string::npos);
+}
+
+TEST(Table, WritesCsv) {
+  Table table("demo");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"alpha", "1.5"});
+  table.AddRow({"with,comma", "2"});
+  std::FILE* f = std::tmpfile();
+  table.WriteCsv(f);
+  std::rewind(f);
+  std::string out;
+  char buf[128];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    out += buf;
+  }
+  std::fclose(f);
+  EXPECT_EQ(out, "name,value\nalpha,1.5\n\"with,comma\",2\n");
+}
+
+}  // namespace
+}  // namespace memtis

@@ -1,0 +1,37 @@
+// Shared helpers for policy/workload tests.
+
+#ifndef MEMTIS_SIM_TESTS_TEST_UTIL_H_
+#define MEMTIS_SIM_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "src/sim/engine.h"
+#include "src/sim/policy.h"
+#include "src/sim/workload.h"
+
+namespace memtis {
+
+// Machine with fast tier = fast_ratio * workload footprint, capacity tier
+// sized generously (footprint + 50 % slack).
+inline MachineConfig MachineFor(const Workload& workload, double fast_ratio,
+                                bool cxl = false) {
+  const uint64_t footprint = workload.footprint_bytes();
+  const uint64_t fast =
+      static_cast<uint64_t>(static_cast<double>(footprint) * fast_ratio);
+  const uint64_t capacity = footprint + footprint / 2;
+  return cxl ? MakeCxlMachine(fast, capacity) : MakeNvmMachine(fast, capacity);
+}
+
+inline Metrics RunPolicy(TieringPolicy& policy, Workload& workload,
+                         const MachineConfig& machine, uint64_t accesses,
+                         uint64_t snapshot_interval_ns = 0) {
+  EngineOptions opts;
+  opts.max_accesses = accesses;
+  opts.snapshot_interval_ns = snapshot_interval_ns;
+  Engine engine(machine, policy, opts);
+  return engine.Run(workload);
+}
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_TESTS_TEST_UTIL_H_

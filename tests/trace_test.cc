@@ -1,0 +1,129 @@
+// Trace record/replay: format round trip and exact run reproduction.
+
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/memtis/policy_registry.h"
+#include "src/sim/engine.h"
+#include "src/trace/replay_workload.h"
+#include "src/workloads/registry.h"
+#include "tests/test_util.h"
+
+namespace memtis {
+namespace {
+
+std::string TempTracePath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/memtis_trace_" + tag + ".bin";
+}
+
+TEST(Trace, RoundTripsAllEventKinds) {
+  const std::string path = TempTracePath("roundtrip");
+  {
+    TraceWriter writer(path);
+    writer.RecordAlloc(4 << 20, /*use_thp=*/true, /*returned=*/0x200000);
+    writer.RecordAccess(0x200040, /*is_write=*/false);
+    writer.RecordAccess(0x201048, /*is_write=*/true);
+    writer.RecordFree(0x200000);
+    writer.Finish();
+  }
+  TraceReader reader(path);
+  EXPECT_EQ(reader.header().num_events, 4u);
+  EXPECT_EQ(reader.header().footprint_bytes, 4u << 20);
+
+  TraceReader::Event event;
+  ASSERT_TRUE(reader.Next(event));
+  EXPECT_EQ(event.kind, TraceReader::Event::Kind::kAlloc);
+  EXPECT_EQ(event.bytes, 4u << 20);
+  EXPECT_TRUE(event.use_thp);
+  EXPECT_EQ(event.addr, 0x200000u);
+
+  ASSERT_TRUE(reader.Next(event));
+  EXPECT_EQ(event.kind, TraceReader::Event::Kind::kRead);
+  EXPECT_EQ(event.addr, 0x200040u);
+
+  ASSERT_TRUE(reader.Next(event));
+  EXPECT_EQ(event.kind, TraceReader::Event::Kind::kWrite);
+  EXPECT_EQ(event.addr, 0x201048u);
+
+  ASSERT_TRUE(reader.Next(event));
+  EXPECT_EQ(event.kind, TraceReader::Event::Kind::kFree);
+  EXPECT_EQ(event.addr, 0x200000u);
+
+  EXPECT_FALSE(reader.Next(event));
+  std::remove(path.c_str());
+}
+
+TEST(Trace, FootprintTracksPeakLiveBytes) {
+  const std::string path = TempTracePath("footprint");
+  {
+    TraceWriter writer(path);
+    writer.RecordAlloc(2 << 20, true, 0);
+    writer.RecordAlloc(2 << 20, true, 2 << 20);
+    writer.RecordFree(0);
+    writer.RecordAlloc(1 << 20, true, 0);  // peak stays 4 MiB
+    writer.Finish();
+  }
+  TraceReader reader(path);
+  EXPECT_EQ(reader.header().footprint_bytes, 4u << 20);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ReplayReproducesRunExactly) {
+  const std::string path = TempTracePath("replay");
+  const double fast_ratio = 1.0 / 3.0;
+
+  // Record a silo run under MEMTIS.
+  Metrics recorded;
+  {
+    auto workload = MakeWorkload("silo", 0.15);
+    auto policy = MakePolicy("memtis", workload->footprint_bytes(),
+                             workload->footprint_bytes() / 3);
+    TraceWriter writer(path);
+    EngineOptions opts;
+    opts.max_accesses = 400'000;
+    opts.trace = &writer;
+    Engine engine(MachineFor(*workload, fast_ratio), *policy, opts);
+    recorded = engine.Run(*workload);
+    writer.Finish();
+  }
+
+  // Replay the trace under the same policy/machine: identical results.
+  {
+    auto probe = MakeWorkload("silo", 0.15);  // for machine sizing only
+    TraceReplayWorkload replay(path);
+    auto policy = MakePolicy("memtis", probe->footprint_bytes(),
+                             probe->footprint_bytes() / 3);
+    EngineOptions opts;
+    opts.max_accesses = 1ull << 40;  // replay runs to the trace's end
+    Engine engine(MachineFor(*probe, fast_ratio), *policy, opts);
+    const Metrics replayed = engine.Run(replay);
+
+    EXPECT_EQ(replayed.accesses, recorded.accesses);
+    EXPECT_EQ(replayed.fast_accesses, recorded.fast_accesses);
+    EXPECT_EQ(replayed.app_ns, recorded.app_ns);
+    EXPECT_EQ(replayed.migration.migrated_4k(), recorded.migration.migrated_4k());
+    EXPECT_EQ(replayed.migration.splits, recorded.migration.splits);
+  }
+
+  // Replay under a different policy: same stream, different placement.
+  {
+    auto probe = MakeWorkload("silo", 0.15);
+    TraceReplayWorkload replay(path);
+    auto policy = MakePolicy("hemem", probe->footprint_bytes(),
+                             probe->footprint_bytes() / 3);
+    EngineOptions opts;
+    opts.max_accesses = 1ull << 40;
+    Engine engine(MachineFor(*probe, fast_ratio), *policy, opts);
+    const Metrics other = engine.Run(replay);
+    EXPECT_EQ(other.accesses, recorded.accesses);
+    EXPECT_NE(other.fast_accesses, recorded.fast_accesses);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace memtis
