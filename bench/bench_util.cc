@@ -1,97 +1,10 @@
 #include "bench/bench_util.h"
 
-#include <cstdlib>
-
-#include "src/common/check.h"
-#include "src/policies/hemem.h"
-
 namespace memtis {
-namespace {
 
-double EnvDouble(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || value[0] == '\0') {
-    return fallback;
-  }
-  return std::atof(value);
-}
-
-}  // namespace
-
-double BenchAccessScale() {
-  static const double kScale = EnvDouble("MEMTIS_BENCH_SCALE", 1.0);
-  return kScale;
-}
-
-double BenchFootprintScale() {
-  static const double kScale = EnvDouble("MEMTIS_BENCH_FOOTPRINT", 0.25);
-  return kScale;
-}
-
-uint64_t DefaultAccesses(uint64_t base) {
-  return static_cast<uint64_t>(static_cast<double>(base) * BenchAccessScale());
-}
-
-int BenchSeeds() {
-  static const int kSeeds =
-      std::max(1, static_cast<int>(EnvDouble("MEMTIS_BENCH_SEEDS", 1.0)));
-  return kSeeds;
-}
-
-RunOutput RunOne(const RunSpec& spec) {
-  const double footprint_scale =
-      spec.footprint_scale > 0.0 ? spec.footprint_scale : BenchFootprintScale();
-  auto workload = MakeWorkload(spec.benchmark, footprint_scale, spec.seed_offset);
-  const uint64_t footprint = workload->footprint_bytes();
-  const uint64_t fast =
-      spec.fast_bytes_override != 0
-          ? spec.fast_bytes_override
-          : static_cast<uint64_t>(static_cast<double>(footprint) * spec.fast_ratio);
-  const uint64_t capacity = footprint + footprint / 2;
-
-  std::unique_ptr<TieringPolicy> policy;
-  if (spec.memtis_tweak != nullptr &&
-      spec.system.rfind("memtis", 0) == 0) {
-    MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint, fast);
-    if (spec.system == "memtis-ns") {
-      cfg.enable_split = false;
-      cfg.enable_collapse = false;
-    }
-    policy = std::make_unique<MemtisPolicy>(spec.memtis_tweak(cfg));
-  } else {
-    policy = MakePolicy(spec.system, footprint, fast);
-  }
-
-  const MachineConfig machine =
-      spec.cxl ? MakeCxlMachine(fast, capacity) : MakeNvmMachine(fast, capacity);
-  EngineOptions opts;
-  opts.max_accesses = spec.accesses != 0 ? spec.accesses : DefaultAccesses();
-  opts.snapshot_interval_ns = spec.snapshot_interval_ns;
-  opts.cpu_contention = spec.cpu_contention;
-  Engine engine(machine, *policy, opts);
-
-  RunOutput out;
-  out.metrics = engine.Run(*workload);
-  out.footprint_bytes = footprint;
-  out.fast_bytes = fast;
-  if (auto* memtis = dynamic_cast<MemtisPolicy*>(policy.get())) {
-    out.is_memtis = true;
-    out.memtis_stats = memtis->stats();
-    out.mean_ehr = memtis->mean_ehr();
-    out.sampler_cpu =
-        out.metrics.cpu.core_share(DaemonKind::kSampler, out.metrics.app_ns);
-    out.pebs_load_period = memtis->sampler().period(SampleType::kLlcLoadMiss);
-    out.pebs_store_period = memtis->sampler().period(SampleType::kStore);
-  }
-  if (auto* hemem = dynamic_cast<HeMemPolicy*>(policy.get())) {
-    out.hemem_overalloc_bytes = hemem->over_allocated_bytes();
-  }
-  return out;
-}
-
-RunOutput RunBaseline(RunSpec spec) {
-  spec.system = "all-capacity";
-  return RunOne(spec);
+ThreadPool& BenchPool() {
+  static ThreadPool* kPool = new ThreadPool();
+  return *kPool;
 }
 
 }  // namespace memtis

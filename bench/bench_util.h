@@ -1,70 +1,51 @@
-// Shared runner for the figure/table reproduction benches.
+// Shared runner glue for the figure/table reproduction benches.
 //
-// Environment knobs:
+// The heavy lifting lives in src/runner/ (JobSpec, RunJob, ThreadPool,
+// sinks); this header keeps the benches' historical vocabulary — RunSpec,
+// RunOutput, RunOne, RunBaseline — as thin aliases over the subsystem so
+// every figure submits cells through the same machinery as memtis_run.
+//
+// Environment knobs (read by src/runner/sweep.cc):
 //   MEMTIS_BENCH_SCALE      multiplies the per-run access budget (default 1.0)
 //   MEMTIS_BENCH_FOOTPRINT  multiplies workload footprints (default 0.25,
 //                           i.e. ~40-64 MiB simulated footprints)
+//   MEMTIS_BENCH_SEEDS      workload seeds averaged per cell (default 1)
+//   MEMTIS_RUNNER_THREADS   thread-pool size for parallel sweeps
 
 #ifndef MEMTIS_SIM_BENCH_BENCH_UTIL_H_
 #define MEMTIS_SIM_BENCH_BENCH_UTIL_H_
 
-#include <cstdint>
-#include <memory>
-#include <string>
+#include <utility>
 
 #include "src/memtis/memtis_policy.h"
 #include "src/memtis/policy_registry.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/sweep.h"
+#include "src/runner/thread_pool.h"
 #include "src/sim/engine.h"
 #include "src/workloads/registry.h"
 
 namespace memtis {
 
-double BenchAccessScale();
-double BenchFootprintScale();
-uint64_t DefaultAccesses(uint64_t base = 3'000'000);
-// Number of workload seeds averaged per cell (env MEMTIS_BENCH_SEEDS, def. 1).
-int BenchSeeds();
+// Historical names, kept so the figure sources read like the paper's tables.
+using RunSpec = JobSpec;
+using RunOutput = JobResult;
 
-struct RunSpec {
-  std::string system;
-  std::string benchmark;
-  double fast_ratio = 1.0 / 3.0;  // fast tier as a fraction of the footprint
-  uint64_t accesses = 0;          // 0 -> DefaultAccesses()
-  bool cxl = false;
-  bool cpu_contention = true;
-  uint64_t snapshot_interval_ns = 0;
-  uint64_t fast_bytes_override = 0;  // nonzero: fixed fast tier (Fig. 6)
-  double footprint_scale = 0.0;      // 0 -> BenchFootprintScale()
-  uint64_t seed_offset = 0;
-  // Optional hook to tweak the MEMTIS config (sensitivity sweeps); applied
-  // only when the system is a MEMTIS variant.
-  MemtisConfig (*memtis_tweak)(MemtisConfig) = nullptr;
-};
+inline RunOutput RunOne(const RunSpec& spec) { return RunJob(spec); }
 
-struct RunOutput {
-  Metrics metrics;
-  uint64_t footprint_bytes = 0;
-  uint64_t fast_bytes = 0;
-  // MEMTIS introspection (valid when the system is a MEMTIS variant).
-  bool is_memtis = false;
-  MemtisPolicy::Stats memtis_stats;
-  double mean_ehr = 0.0;
-  double sampler_cpu = 0.0;
-  uint64_t pebs_load_period = 0;
-  uint64_t pebs_store_period = 0;
-  // HeMem introspection.
-  uint64_t hemem_overalloc_bytes = 0;
-};
-
-RunOutput RunOne(const RunSpec& spec);
+// Baseline spec (all-capacity with THP) matching a system spec.
+inline RunOutput RunBaseline(RunSpec spec) {
+  return RunJob(BaselineSpec(std::move(spec)));
+}
 
 // runtime(baseline) / runtime(system): the paper's normalised performance.
 inline double NormalizedPerf(const RunOutput& system, const RunOutput& baseline) {
   return baseline.metrics.EffectiveRuntimeNs() / system.metrics.EffectiveRuntimeNs();
 }
 
-// Baseline spec (all-capacity with THP) matching a system spec.
-RunOutput RunBaseline(RunSpec spec);
+// The process-wide pool the benches share; sized by MEMTIS_RUNNER_THREADS /
+// hardware_concurrency.
+ThreadPool& BenchPool();
 
 }  // namespace memtis
 

@@ -2,6 +2,11 @@
 // (fast:capacity), NVM capacity tier, all 7 systems, normalised to the
 // all-capacity (all-NVM) + THP baseline. Last rows: geomean per system, and
 // per-cell best/second-best summary.
+//
+// All cells (baselines included) are submitted to the shared runner pool up
+// front and execute in parallel; per-seed normalisation and the seed mean are
+// delegated to SweepAggregator. Results are identical to the old serial loop
+// for any MEMTIS_RUNNER_THREADS value.
 
 #include <cstdio>
 #include <map>
@@ -26,37 +31,58 @@ int Main() {
   }
   table.SetHeader(header);
 
+  const int seeds = BenchSeeds();
+
+  // One declarative sweep covers every cell: per (benchmark, ratio, seed) the
+  // shared all-capacity baseline plus each comparison system.
+  SweepSpec sweep;
+  sweep.systems = ComparisonSystems();
+  sweep.benchmarks = StandardBenchmarks();
+  sweep.fast_ratios.clear();
+  for (const auto& [name, ratio] : kRatios) {
+    sweep.fast_ratios.push_back(ratio);
+  }
+  sweep.seeds = seeds;
+  sweep.include_baseline = true;
+  const SweepRun run = RunSweep(sweep, BenchPool());
+
+  // Per-seed baseline runtimes, then per-seed normalised scores into the
+  // aggregator (keyed by system|benchmark|machine|ratio).
+  std::map<std::string, std::vector<double>> baseline_ns;  // cell -> per-seed
+  for (size_t i = 0; i < run.jobs.size(); ++i) {
+    if (run.jobs[i].system == "all-capacity") {
+      baseline_ns[CellKey(run.jobs[i])].push_back(
+          run.results[i].metrics.EffectiveRuntimeNs());
+    }
+  }
+  SweepAggregator normalized;
+  for (size_t i = 0; i < run.jobs.size(); ++i) {
+    const JobSpec& job = run.jobs[i];
+    if (job.system == "all-capacity") {
+      continue;
+    }
+    JobSpec baseline_key = BaselineSpec(job);
+    const std::vector<double>& base = baseline_ns.at(CellKey(baseline_key));
+    normalized.Add(CellKey(job),
+                   base[job.seed_index] /
+                       run.results[i].metrics.EffectiveRuntimeNs());
+  }
+
   std::map<std::string, std::vector<double>> per_system_scores;
   int memtis_best = 0;
   int cells = 0;
 
-  const int seeds = BenchSeeds();
   for (const auto& benchmark : StandardBenchmarks()) {
     for (const auto& [ratio_name, ratio] : kRatios) {
       std::vector<std::string> row = {benchmark, ratio_name};
       double best = 0.0;
       double memtis_score = 0.0;
-      // One baseline per workload seed, shared by every system.
-      std::vector<double> baseline_ns;
-      for (int seed = 0; seed < seeds; ++seed) {
-        RunSpec spec;
-        spec.benchmark = benchmark;
-        spec.fast_ratio = ratio;
-        spec.seed_offset = static_cast<uint64_t>(seed) * 1000;
-        baseline_ns.push_back(RunBaseline(spec).metrics.EffectiveRuntimeNs());
-      }
       for (const auto& system : ComparisonSystems()) {
-        // Mean over `seeds` workload instantiations (MEMTIS_BENCH_SEEDS).
-        double sum = 0.0;
-        for (int seed = 0; seed < seeds; ++seed) {
-          RunSpec spec;
-          spec.benchmark = benchmark;
-          spec.fast_ratio = ratio;
-          spec.seed_offset = static_cast<uint64_t>(seed) * 1000;
-          spec.system = system;
-          sum += baseline_ns[seed] / RunOne(spec).metrics.EffectiveRuntimeNs();
-        }
-        const double perf = sum / seeds;
+        JobSpec cell;
+        cell.system = system;
+        cell.benchmark = benchmark;
+        cell.fast_ratio = ratio;
+        const double perf = normalized.Mean(CellKey(cell));
         per_system_scores[system].push_back(perf);
         row.push_back(Table::Num(perf));
         if (system == "memtis") {

@@ -1,6 +1,10 @@
 // Fig. 6: Graph500 scalability — RSS grows (paper: 128 GB -> 690 GB) while
 // the fast tier stays fixed (paper: 64 GB). Scaled: base RSS with fast tier =
 // RSS/2, footprint multipliers matching the paper's 128/192/336/690 ratios.
+//
+// Each scale point needs its own footprint/access budget, so the cells are
+// built as explicit JobSpecs and submitted to the shared runner pool in one
+// batch; rows are then assembled from the index-ordered results.
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
@@ -30,19 +34,30 @@ int Main() {
   }
   table.SetHeader(header);
 
+  // Cells per scale point: the baseline followed by each system.
+  std::vector<JobSpec> jobs;
   for (const auto& [label, multiplier] : kScales) {
-    RunSpec spec;
+    JobSpec spec;
     spec.benchmark = "graph500";
     spec.footprint_scale = base_scale * multiplier;
     spec.fast_bytes_override = fast_bytes;
     spec.accesses = DefaultAccesses(
         static_cast<uint64_t>(3'000'000.0 * multiplier));
-    const RunOutput baseline = RunBaseline(spec);
-
-    std::vector<std::string> row = {label};
+    jobs.push_back(BaselineSpec(spec));
     for (const auto& system : ComparisonSystems()) {
       spec.system = system;
-      row.push_back(Table::Num(NormalizedPerf(RunOne(spec), baseline)));
+      jobs.push_back(spec);
+    }
+  }
+  const std::vector<JobResult> results = RunJobs(jobs, BenchPool());
+
+  const size_t row_stride = 1 + ComparisonSystems().size();
+  for (size_t s = 0; s < kScales.size(); ++s) {
+    const JobResult& baseline = results[s * row_stride];
+    std::vector<std::string> row = {kScales[s].first};
+    for (size_t k = 0; k < ComparisonSystems().size(); ++k) {
+      row.push_back(Table::Num(
+          NormalizedPerf(results[s * row_stride + 1 + k], baseline)));
     }
     table.AddRow(row);
   }

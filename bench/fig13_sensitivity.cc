@@ -2,6 +2,12 @@
 // cooling interval, at the 2:1 configuration, each swept from one tenth of
 // the default to ten times it; performance normalised per benchmark to the
 // default setting.
+//
+// The per-cell interval multiplier is captured in each JobSpec's memtis_tweak
+// closure (no globals), so the whole benchmark x multiplier grid runs on the
+// shared pool in one batch.
+
+#include <functional>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
@@ -9,24 +15,28 @@
 namespace memtis {
 namespace {
 
-double g_multiplier = 1.0;
+const std::vector<double> kMultipliers = {0.1, 0.3, 1.0, 3.0, 10.0};
 
-MemtisConfig TweakAdapt(MemtisConfig cfg) {
-  cfg.adapt_interval_samples = std::max<uint64_t>(
-      64, static_cast<uint64_t>(static_cast<double>(cfg.adapt_interval_samples) *
-                                g_multiplier));
-  return cfg;
+std::function<MemtisConfig(MemtisConfig)> TweakAdapt(double multiplier) {
+  return [multiplier](MemtisConfig cfg) {
+    cfg.adapt_interval_samples = std::max<uint64_t>(
+        64, static_cast<uint64_t>(
+                static_cast<double>(cfg.adapt_interval_samples) * multiplier));
+    return cfg;
+  };
 }
 
-MemtisConfig TweakCooling(MemtisConfig cfg) {
-  cfg.cooling_interval_samples = std::max<uint64_t>(
-      256, static_cast<uint64_t>(static_cast<double>(cfg.cooling_interval_samples) *
-                                 g_multiplier));
-  return cfg;
+std::function<MemtisConfig(MemtisConfig)> TweakCooling(double multiplier) {
+  return [multiplier](MemtisConfig cfg) {
+    cfg.cooling_interval_samples = std::max<uint64_t>(
+        256, static_cast<uint64_t>(
+                 static_cast<double>(cfg.cooling_interval_samples) * multiplier));
+    return cfg;
+  };
 }
 
-void Sweep(const char* title, MemtisConfig (*tweak)(MemtisConfig)) {
-  const std::vector<double> kMultipliers = {0.1, 0.3, 1.0, 3.0, 10.0};
+void Sweep(const char* title,
+           std::function<MemtisConfig(MemtisConfig)> (*tweak)(double)) {
   Table table(title);
   std::vector<std::string> header = {"benchmark"};
   for (double m : kMultipliers) {
@@ -34,20 +44,28 @@ void Sweep(const char* title, MemtisConfig (*tweak)(MemtisConfig)) {
   }
   table.SetHeader(header);
 
+  std::vector<JobSpec> jobs;
   for (const auto& benchmark : StandardBenchmarks()) {
-    std::vector<double> runtimes;
     for (double multiplier : kMultipliers) {
-      g_multiplier = multiplier;
-      RunSpec spec;
+      JobSpec spec;
       spec.system = "memtis";
       spec.benchmark = benchmark;
       spec.fast_ratio = 2.0 / 3.0;  // the paper's 2:1 setting
       spec.accesses = DefaultAccesses(2'500'000);
-      spec.memtis_tweak = tweak;
-      runtimes.push_back(RunOne(spec).metrics.EffectiveRuntimeNs());
+      spec.memtis_tweak = tweak(multiplier);
+      jobs.push_back(std::move(spec));
+    }
+  }
+  const std::vector<JobResult> results = RunJobs(jobs, BenchPool());
+
+  for (size_t b = 0; b < StandardBenchmarks().size(); ++b) {
+    std::vector<double> runtimes;
+    for (size_t m = 0; m < kMultipliers.size(); ++m) {
+      runtimes.push_back(
+          results[b * kMultipliers.size() + m].metrics.EffectiveRuntimeNs());
     }
     const double default_runtime = runtimes[2];  // x1.0
-    std::vector<std::string> row = {benchmark};
+    std::vector<std::string> row = {StandardBenchmarks()[b]};
     for (double runtime : runtimes) {
       row.push_back(Table::Num(default_runtime / runtime));
     }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Sanitized build + full test sweep: configures a separate build tree with
+# ASan/UBSan, builds everything, and runs ctest (which includes the
+# memtis_run --smoke runner case). Usage:
+#
+#   scripts/check.sh [build-dir]
+#
+# Env: JOBS overrides the parallelism (default: nproc).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"

@@ -1,0 +1,139 @@
+#include "src/common/json.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace memtis {
+
+JsonWriter::JsonWriter(std::string* out, int indent) : out_(out), indent_(indent) {
+  SIM_CHECK(out != nullptr);
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_->push_back('{');
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndObject() {
+  SIM_CHECK(!counts_.empty() && !pending_key_);
+  const bool empty = counts_.back() == 0;
+  counts_.pop_back();
+  if (!empty) {
+    Newline();
+  }
+  out_->push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_->push_back('[');
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndArray() {
+  SIM_CHECK(!counts_.empty() && !pending_key_);
+  const bool empty = counts_.back() == 0;
+  counts_.pop_back();
+  if (!empty) {
+    Newline();
+  }
+  out_->push_back(']');
+}
+
+void JsonWriter::Key(std::string_view key) {
+  SIM_CHECK(!counts_.empty() && !pending_key_);
+  if (counts_.back() > 0) {
+    out_->push_back(',');
+  }
+  ++counts_.back();
+  Newline();
+  out_->push_back('"');
+  AppendEscaped(out_, key);
+  out_->append(indent_ > 0 ? "\": " : "\":");
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_->push_back('"');
+  AppendEscaped(out_, value);
+  out_->push_back('"');
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_->append(std::to_string(value));
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_->append(std::to_string(value));
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  out_->append(FormatDouble(value));
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_->append(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_->append("null");
+}
+
+std::string JsonWriter::FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void JsonWriter::AppendEscaped(std::string* out, std::string_view raw) {
+  for (char c : raw) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!counts_.empty()) {
+    // Array element (keys handle their own commas inside objects).
+    if (counts_.back() > 0) {
+      out_->push_back(',');
+    }
+    ++counts_.back();
+    Newline();
+  }
+}
+
+void JsonWriter::Newline() {
+  if (indent_ <= 0) {
+    return;
+  }
+  out_->push_back('\n');
+  out_->append(static_cast<size_t>(indent_) * counts_.size(), ' ');
+}
+
+}  // namespace memtis

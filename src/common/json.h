@@ -1,0 +1,66 @@
+// Minimal streaming JSON writer with deterministic output.
+//
+// Emitted bytes depend only on the sequence of calls (insertion-ordered keys,
+// fixed "%.17g" double formatting, no locale dependence), so two runs that
+// serialize the same data produce byte-identical documents — the property the
+// runner's deterministic-parallelism guarantee is checked against.
+
+#ifndef MEMTIS_SIM_SRC_COMMON_JSON_H_
+#define MEMTIS_SIM_SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memtis {
+
+class JsonWriter {
+ public:
+  // Appends to `out` (not owned). `indent` > 0 pretty-prints with that many
+  // spaces per level; 0 emits a compact single-line document.
+  explicit JsonWriter(std::string* out, int indent = 0);
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Key for the next value inside an object.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Key + value conveniences.
+  void Field(std::string_view key, std::string_view value) { Key(key); String(value); }
+  void Field(std::string_view key, const char* value) { Key(key); String(value); }
+  void Field(std::string_view key, int64_t value) { Key(key); Int(value); }
+  void Field(std::string_view key, int value) { Key(key); Int(value); }
+  void Field(std::string_view key, uint64_t value) { Key(key); Uint(value); }
+  void Field(std::string_view key, uint32_t value) { Key(key); Uint(value); }
+  void Field(std::string_view key, double value) { Key(key); Double(value); }
+  void Field(std::string_view key, bool value) { Key(key); Bool(value); }
+
+  // Formats a double exactly as Double() does ("%.17g", round-trippable).
+  static std::string FormatDouble(double value);
+  static void AppendEscaped(std::string* out, std::string_view raw);
+
+ private:
+  void BeforeValue();
+  void Newline();
+
+  std::string* out_;
+  int indent_;
+  // One entry per open container: the number of elements emitted so far.
+  std::vector<uint64_t> counts_;
+  bool pending_key_ = false;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_COMMON_JSON_H_

@@ -20,6 +20,16 @@ const std::vector<std::string>& ComparisonSystems() {
   return kNames;
 }
 
+const std::vector<std::string>& KnownPolicyNames() {
+  static const std::vector<std::string> kNames = {
+      "autonuma",       "autotiering",   "tiering-0.8",    "tpp",
+      "nimble",         "multi-clock",   "hemem",          "memtis",
+      "memtis-ns",      "memtis-vanilla", "memtis-shrinker", "memtis-hybrid",
+      "memtis-nowarm",  "all-fast",      "all-fast-nothp", "all-capacity",
+  };
+  return kNames;
+}
+
 std::unique_ptr<TieringPolicy> MakePolicy(std::string_view name,
                                           uint64_t footprint_bytes,
                                           uint64_t fast_bytes) {

@@ -16,6 +16,10 @@ namespace memtis {
 // The comparison set of the paper's Fig. 5, in its legend order.
 const std::vector<std::string>& ComparisonSystems();
 
+// Every name MakePolicy accepts (used by memtis_run to validate sweeps up
+// front instead of aborting mid-sweep).
+const std::vector<std::string>& KnownPolicyNames();
+
 // Creates a policy by name. `footprint_bytes` and `fast_bytes` size MEMTIS's
 // scaled intervals; baselines ignore them. Known names: autonuma,
 // autotiering, tiering-0.8, tpp, nimble, multi-clock, hemem, memtis,

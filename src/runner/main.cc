@@ -1,0 +1,355 @@
+// memtis_run: CLI front-end of the experiment runner.
+//
+// Describes a sweep (cartesian product over systems x benchmarks x ratios x
+// machines x seeds) with flags and/or a key=value file, executes it on a
+// ThreadPool, and writes JSON or CSV results to stdout or a file. Output is
+// byte-identical for any --threads value (see src/runner/sweep.h).
+//
+// Examples:
+//   memtis_run --systems=memtis,hemem --benchmarks=btree,silo --seeds=2
+//   memtis_run --ratios=1:2,1:8 --baseline --format=csv --out=sweep.csv
+//   memtis_run --config=sweep.conf --threads=8
+//   memtis_run --smoke        # tiny sweep used as a ctest smoke case
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/memtis/policy_registry.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/sweep.h"
+#include "src/runner/thread_pool.h"
+#include "src/workloads/registry.h"
+
+namespace memtis {
+namespace {
+
+struct CliOptions {
+  SweepSpec sweep;
+  SinkOptions sink;
+  std::string format = "json";  // "json" | "csv"
+  std::string out;              // empty or "-" -> stdout
+  int threads = 0;              // 0 -> ThreadPool::DefaultThreadCount()
+  bool quiet = false;
+  bool smoke = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "memtis_run — parallel MEMTIS-sim experiment sweeps\n"
+      "\n"
+      "Sweep axes (comma-separated lists; cartesian product):\n"
+      "  --systems=a,b,..       tiering systems (default: the Fig. 5 set)\n"
+      "  --benchmarks=a,b,..    workloads (default: the 8 paper benchmarks)\n"
+      "  --ratios=1:2,1:8,..    fast:capacity ratios, A:B or a plain fraction\n"
+      "  --machines=nvm,cxl     capacity-tier kinds (default: nvm)\n"
+      "  --seeds=N              repetitions per cell (default: MEMTIS_BENCH_SEEDS)\n"
+      "\n"
+      "Per-job knobs:\n"
+      "  --base-seed=N          seed-derivation base (default 0)\n"
+      "  --accesses=N           access budget per run (default: scaled 3e6)\n"
+      "  --footprint-scale=X    workload footprint multiplier\n"
+      "  --fast-bytes=N         fixed fast-tier bytes (overrides --ratios)\n"
+      "  --snapshot-ns=N        timeline snapshot interval (0 = off)\n"
+      "  --no-contention        disable daemon-CPU contention accounting\n"
+      "  --baseline             add an all-capacity baseline per cell\n"
+      "\n"
+      "Execution and output:\n"
+      "  --threads=N            pool size (default: hardware_concurrency or\n"
+      "                         MEMTIS_RUNNER_THREADS)\n"
+      "  --format=json|csv      output format (default json)\n"
+      "  --indent=N             JSON indent, 0 = compact (default 2)\n"
+      "  --timelines            include per-job timelines in JSON\n"
+      "  --out=FILE             write results to FILE (default stdout)\n"
+      "  --config=FILE          read key=value lines (keys as above, no --);\n"
+      "                         later flags override earlier ones\n"
+      "  --quiet                suppress the progress line\n"
+      "  --smoke                run a tiny fixed sweep (ctest tier-1 case)\n"
+      "  --help                 this text\n");
+}
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream ss(csv);
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+// "A:B" -> A/(A+B) (so 1:2 -> 1/3, 2:1 -> 2/3); otherwise a plain fraction.
+bool ParseRatio(const std::string& text, double* out) {
+  const size_t colon = text.find(':');
+  if (colon != std::string::npos) {
+    const double a = std::atof(text.substr(0, colon).c_str());
+    const double b = std::atof(text.substr(colon + 1).c_str());
+    if (a <= 0.0 || b < 0.0) {
+      return false;
+    }
+    *out = a / (a + b);
+    return true;
+  }
+  *out = std::atof(text.c_str());
+  return *out > 0.0 && *out <= 1.0;
+}
+
+bool Contains(const std::vector<std::string>& names, const std::string& name) {
+  for (const std::string& n : names) {
+    if (n == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ApplyOption(const std::string& key, const std::string& value, CliOptions* cli);
+
+bool ApplyConfigFile(const std::string& path, CliOptions* cli) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "memtis_run: cannot read config file %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Trim leading whitespace; skip blanks and comments.
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') {
+      continue;
+    }
+    const size_t eq = line.find('=', start);
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "memtis_run: %s:%d: expected key=value\n", path.c_str(),
+                   lineno);
+      return false;
+    }
+    std::string key = line.substr(start, eq - start);
+    key.erase(key.find_last_not_of(" \t") + 1);
+    std::string value = line.substr(eq + 1);
+    const size_t vstart = value.find_first_not_of(" \t");
+    value = vstart == std::string::npos ? "" : value.substr(vstart);
+    value.erase(value.find_last_not_of(" \t\r") + 1);
+    if (!ApplyOption(key, value, cli)) {
+      std::fprintf(stderr, "memtis_run: %s:%d: bad option %s=%s\n", path.c_str(),
+                   lineno, key.c_str(), value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ApplyOption(const std::string& key, const std::string& value, CliOptions* cli) {
+  if (key == "systems") {
+    cli->sweep.systems = SplitList(value);
+    return !cli->sweep.systems.empty();
+  }
+  if (key == "benchmarks") {
+    cli->sweep.benchmarks = SplitList(value);
+    return !cli->sweep.benchmarks.empty();
+  }
+  if (key == "ratios") {
+    cli->sweep.fast_ratios.clear();
+    for (const std::string& item : SplitList(value)) {
+      double ratio = 0.0;
+      if (!ParseRatio(item, &ratio)) {
+        std::fprintf(stderr, "memtis_run: bad ratio %s\n", item.c_str());
+        return false;
+      }
+      cli->sweep.fast_ratios.push_back(ratio);
+    }
+    return !cli->sweep.fast_ratios.empty();
+  }
+  if (key == "machines") {
+    cli->sweep.machines = SplitList(value);
+    return !cli->sweep.machines.empty();
+  }
+  if (key == "seeds") {
+    cli->sweep.seeds = std::atoi(value.c_str());
+    return cli->sweep.seeds >= 1;
+  }
+  if (key == "base-seed") {
+    cli->sweep.base_seed = std::strtoull(value.c_str(), nullptr, 10);
+    return true;
+  }
+  if (key == "accesses") {
+    cli->sweep.accesses = std::strtoull(value.c_str(), nullptr, 10);
+    return true;
+  }
+  if (key == "footprint-scale") {
+    cli->sweep.footprint_scale = std::atof(value.c_str());
+    return cli->sweep.footprint_scale > 0.0;
+  }
+  if (key == "fast-bytes") {
+    cli->sweep.fast_bytes_override = std::strtoull(value.c_str(), nullptr, 10);
+    return true;
+  }
+  if (key == "snapshot-ns") {
+    cli->sweep.snapshot_interval_ns = std::strtoull(value.c_str(), nullptr, 10);
+    return true;
+  }
+  if (key == "no-contention") {
+    cli->sweep.cpu_contention = false;
+    return true;
+  }
+  if (key == "baseline") {
+    cli->sweep.include_baseline = true;
+    return true;
+  }
+  if (key == "threads") {
+    cli->threads = std::atoi(value.c_str());
+    return cli->threads >= 0;
+  }
+  if (key == "format") {
+    cli->format = value;
+    return value == "json" || value == "csv";
+  }
+  if (key == "indent") {
+    cli->sink.indent = std::atoi(value.c_str());
+    return cli->sink.indent >= 0;
+  }
+  if (key == "timelines") {
+    cli->sink.timelines = true;
+    return true;
+  }
+  if (key == "out") {
+    cli->out = value;
+    return true;
+  }
+  if (key == "quiet") {
+    cli->quiet = true;
+    return true;
+  }
+  if (key == "config") {
+    return ApplyConfigFile(value, cli);
+  }
+  std::fprintf(stderr, "memtis_run: unknown option '%s'\n", key.c_str());
+  return false;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* cli) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    }
+    if (arg == "--smoke") {
+      cli->smoke = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "memtis_run: unexpected argument '%s'\n", arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    const std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (!ApplyOption(key, value, cli)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Validate(const SweepSpec& sweep) {
+  for (const std::string& system : sweep.systems) {
+    if (!Contains(KnownPolicyNames(), system)) {
+      std::fprintf(stderr, "memtis_run: unknown system '%s' (known:", system.c_str());
+      for (const std::string& name : KnownPolicyNames()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return false;
+    }
+  }
+  for (const std::string& benchmark : sweep.benchmarks) {
+    if (!Contains(StandardBenchmarks(), benchmark)) {
+      std::fprintf(stderr, "memtis_run: unknown benchmark '%s' (known:",
+                   benchmark.c_str());
+      for (const std::string& name : StandardBenchmarks()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return false;
+    }
+  }
+  for (const std::string& machine : sweep.machines) {
+    if (machine != "nvm" && machine != "cxl") {
+      std::fprintf(stderr, "memtis_run: unknown machine '%s' (known: nvm cxl)\n",
+                   machine.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions cli;
+  cli.sweep.seeds = BenchSeeds();
+  if (!ParseArgs(argc, argv, &cli)) {
+    return 2;
+  }
+  if (cli.smoke) {
+    // Fixed tiny sweep exercising two systems, two workloads, and the
+    // baseline path; finishes in seconds so tier-1 ctest can afford it.
+    cli.sweep = SweepSpec{};
+    cli.sweep.systems = {"memtis", "autonuma"};
+    cli.sweep.benchmarks = {"btree", "silo"};
+    cli.sweep.fast_ratios = {1.0 / 3.0};
+    cli.sweep.seeds = 1;
+    cli.sweep.accesses = 60'000;
+    cli.sweep.include_baseline = true;
+    cli.sink.indent = 0;
+    if (cli.out.empty()) {
+      cli.out = "-";
+    }
+  }
+  if (cli.sweep.systems.empty()) {
+    cli.sweep.systems = ComparisonSystems();
+  }
+  if (cli.sweep.benchmarks.empty()) {
+    cli.sweep.benchmarks = StandardBenchmarks();
+  }
+  if (!Validate(cli.sweep)) {
+    return 2;
+  }
+
+  ThreadPool pool(cli.threads);
+  const std::vector<JobSpec> jobs = ExpandJobs(cli.sweep);
+  if (!cli.quiet) {
+    std::fprintf(stderr, "memtis_run: %zu jobs on %d threads\n", jobs.size(),
+                 pool.thread_count());
+  }
+  ProgressFn progress;
+  if (!cli.quiet) {
+    progress = [&jobs](size_t done, size_t total, size_t index) {
+      std::fprintf(stderr, "\r[%zu/%zu] %s/%s", done, total,
+                   jobs[index].system.c_str(), jobs[index].benchmark.c_str());
+      if (done == total) {
+        std::fprintf(stderr, "\n");
+      }
+      std::fflush(stderr);
+    };
+  }
+  const std::vector<JobResult> results = RunJobs(jobs, pool, progress);
+
+  const std::string data = cli.format == "csv"
+                               ? SweepToCsv(jobs, results)
+                               : SweepToJson(cli.sweep, jobs, results, cli.sink);
+  return WriteResultFile(cli.out, data) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace memtis
+
+int main(int argc, char** argv) { return memtis::Main(argc, argv); }

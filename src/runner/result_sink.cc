@@ -1,0 +1,310 @@
+#include "src/runner/result_sink.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/common/json.h"
+#include "src/common/stats.h"
+
+namespace memtis {
+namespace {
+
+void WriteSpecFields(JsonWriter& w, const JobSpec& spec) {
+  w.Field("system", spec.system);
+  w.Field("benchmark", spec.benchmark);
+  w.Field("machine", spec.machine_name());
+  w.Field("fast_ratio", spec.fast_ratio);
+  w.Field("base_seed", spec.base_seed);
+  w.Field("seed_index", spec.seed_index);
+  w.Field("workload_seed_offset", spec.workload_seed_offset());
+  w.Field("engine_seed", spec.engine_seed);
+}
+
+void WriteJob(JsonWriter& w, const JobSpec& spec, const JobResult& result,
+              size_t id, bool include_timeline) {
+  w.BeginObject();
+  w.Field("id", static_cast<uint64_t>(id));
+  WriteSpecFields(w, spec);
+  w.Field("footprint_bytes", result.footprint_bytes);
+  w.Field("fast_bytes", result.fast_bytes);
+  w.Key("metrics");
+  result.metrics.WriteJson(w, include_timeline);
+  if (result.is_memtis) {
+    w.Key("memtis");
+    w.BeginObject();
+    w.Field("mean_ehr", result.mean_ehr);
+    w.Field("sampler_cpu", result.sampler_cpu);
+    w.Field("pebs_load_period", result.pebs_load_period);
+    w.Field("pebs_store_period", result.pebs_store_period);
+    w.Field("coolings", result.memtis_stats.coolings);
+    w.Field("threshold_adaptations", result.memtis_stats.threshold_adaptations);
+    w.Field("splits_performed", result.memtis_stats.splits_performed);
+    w.Field("collapses_performed", result.memtis_stats.collapses_performed);
+    w.EndObject();
+  }
+  if (result.hemem_overalloc_bytes != 0) {
+    w.Field("hemem_overalloc_bytes", result.hemem_overalloc_bytes);
+  }
+  w.EndObject();
+}
+
+void WriteStatTriple(JsonWriter& w, std::string_view key,
+                     const SweepAggregator& agg, std::string_view cell) {
+  w.Key(key);
+  w.BeginObject();
+  w.Field("mean", agg.Mean(cell));
+  w.Field("stddev", agg.Stddev(cell));
+  w.Field("geomean", agg.GeoMeanOf(cell));
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string JobToJson(const JobSpec& spec, const JobResult& result, size_t id,
+                      int indent) {
+  std::string out;
+  JsonWriter w(&out, indent);
+  WriteJob(w, spec, result, id, /*include_timeline=*/true);
+  return out;
+}
+
+void SweepAggregator::Add(std::string_view cell, double value) {
+  for (size_t i = 0; i < order_.size(); ++i) {
+    if (order_[i] == cell) {
+      values_[i].push_back(value);
+      return;
+    }
+  }
+  order_.emplace_back(cell);
+  values_.push_back({value});
+}
+
+const std::vector<double>* SweepAggregator::Find(std::string_view cell) const {
+  for (size_t i = 0; i < order_.size(); ++i) {
+    if (order_[i] == cell) {
+      return &values_[i];
+    }
+  }
+  return nullptr;
+}
+
+bool SweepAggregator::Has(std::string_view cell) const {
+  return Find(cell) != nullptr;
+}
+
+const std::vector<double>& SweepAggregator::values(std::string_view cell) const {
+  const std::vector<double>* found = Find(cell);
+  SIM_CHECK(found != nullptr && "unknown aggregator cell");
+  return *found;
+}
+
+double SweepAggregator::Mean(std::string_view cell) const {
+  const std::vector<double>* found = Find(cell);
+  if (found == nullptr || found->empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : *found) {
+    sum += v;
+  }
+  return sum / static_cast<double>(found->size());
+}
+
+double SweepAggregator::Stddev(std::string_view cell) const {
+  const std::vector<double>* found = Find(cell);
+  if (found == nullptr || found->size() < 2) {
+    return 0.0;
+  }
+  RunningStat stat;
+  for (double v : *found) {
+    stat.Add(v);
+  }
+  return stat.stddev();
+}
+
+double SweepAggregator::GeoMeanOf(std::string_view cell) const {
+  const std::vector<double>* found = Find(cell);
+  if (found == nullptr) {
+    return 0.0;
+  }
+  for (double v : *found) {
+    if (v <= 0.0) {
+      return 0.0;  // geomean undefined for nonpositive values (e.g. 0 ratios)
+    }
+  }
+  return GeoMean(*found);
+}
+
+std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs,
+                        const std::vector<JobResult>& results,
+                        const SinkOptions& options) {
+  SIM_CHECK(jobs.size() == results.size());
+  std::string out;
+  JsonWriter w(&out, options.indent);
+  w.BeginObject();
+  w.Field("schema_version", static_cast<uint64_t>(1));
+
+  w.Key("sweep");
+  w.BeginObject();
+  w.Key("systems");
+  w.BeginArray();
+  for (const std::string& s : sweep.systems) {
+    w.String(s);
+  }
+  w.EndArray();
+  w.Key("benchmarks");
+  w.BeginArray();
+  for (const std::string& b : sweep.benchmarks) {
+    w.String(b);
+  }
+  w.EndArray();
+  w.Key("fast_ratios");
+  w.BeginArray();
+  for (double r : sweep.fast_ratios) {
+    w.Double(r);
+  }
+  w.EndArray();
+  w.Key("machines");
+  w.BeginArray();
+  for (const std::string& m : sweep.machines) {
+    w.String(m);
+  }
+  w.EndArray();
+  w.Field("seeds", sweep.seeds);
+  w.Field("base_seed", sweep.base_seed);
+  w.Field("accesses", sweep.accesses);
+  w.Field("cpu_contention", sweep.cpu_contention);
+  w.Field("snapshot_interval_ns", sweep.snapshot_interval_ns);
+  w.Field("footprint_scale", sweep.footprint_scale);
+  w.Field("fast_bytes_override", sweep.fast_bytes_override);
+  w.Field("include_baseline", sweep.include_baseline);
+  w.EndObject();
+
+  w.Key("jobs");
+  w.BeginArray();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    WriteJob(w, jobs[i], results[i], i, options.timelines);
+  }
+  w.EndArray();
+
+  if (options.aggregates) {
+    SweepAggregator runtime;
+    SweepAggregator mops;
+    SweepAggregator hit_ratio;
+    std::vector<size_t> first_job;  // first job index per cell, insertion order
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const std::string cell = CellKey(jobs[i]);
+      if (!runtime.Has(cell)) {
+        first_job.push_back(i);
+      }
+      runtime.Add(cell, results[i].metrics.EffectiveRuntimeNs());
+      mops.Add(cell, results[i].metrics.Mops());
+      hit_ratio.Add(cell, results[i].metrics.fast_hit_ratio());
+    }
+    w.Key("aggregates");
+    w.BeginArray();
+    for (size_t c = 0; c < runtime.cells().size(); ++c) {
+      const std::string& cell = runtime.cells()[c];
+      const JobSpec& spec = jobs[first_job[c]];
+      w.BeginObject();
+      w.Field("cell", cell);
+      w.Field("system", spec.system);
+      w.Field("benchmark", spec.benchmark);
+      w.Field("machine", spec.machine_name());
+      w.Field("fast_ratio", spec.fast_ratio);
+      w.Field("n", static_cast<uint64_t>(runtime.values(cell).size()));
+      WriteStatTriple(w, "effective_runtime_ns", runtime, cell);
+      WriteStatTriple(w, "mops", mops, cell);
+      WriteStatTriple(w, "fast_hit_ratio", hit_ratio, cell);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
+  w.EndObject();
+  out.push_back('\n');
+  return out;
+}
+
+std::string SweepToCsv(const std::vector<JobSpec>& jobs,
+                       const std::vector<JobResult>& results) {
+  SIM_CHECK(jobs.size() == results.size());
+  std::string out =
+      "id,system,benchmark,machine,fast_ratio,base_seed,seed_index,"
+      "footprint_bytes,fast_bytes,accesses,app_ns,effective_runtime_ns,mops,"
+      "fast_hit_ratio,critical_path_ns,tlb_miss_ratio,tlb_shootdowns,"
+      "promoted_4k,demoted_4k,splits,collapses,final_huge_ratio,mean_ehr,"
+      "sampler_cpu\n";
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const JobSpec& spec = jobs[i];
+    const JobResult& r = results[i];
+    const Metrics& m = r.metrics;
+    out += std::to_string(i);
+    out += ',';
+    out += spec.system;
+    out += ',';
+    out += spec.benchmark;
+    out += ',';
+    out += spec.machine_name();
+    out += ',';
+    out += JsonWriter::FormatDouble(spec.fast_ratio);
+    out += ',';
+    out += std::to_string(spec.base_seed);
+    out += ',';
+    out += std::to_string(spec.seed_index);
+    out += ',';
+    out += std::to_string(r.footprint_bytes);
+    out += ',';
+    out += std::to_string(r.fast_bytes);
+    out += ',';
+    out += std::to_string(m.accesses);
+    out += ',';
+    out += std::to_string(m.app_ns);
+    out += ',';
+    out += JsonWriter::FormatDouble(m.EffectiveRuntimeNs());
+    out += ',';
+    out += JsonWriter::FormatDouble(m.Mops());
+    out += ',';
+    out += JsonWriter::FormatDouble(m.fast_hit_ratio());
+    out += ',';
+    out += std::to_string(m.critical_path_ns);
+    out += ',';
+    out += JsonWriter::FormatDouble(m.tlb.miss_ratio());
+    out += ',';
+    out += std::to_string(m.tlb.shootdowns);
+    out += ',';
+    out += std::to_string(m.migration.promoted_4k());
+    out += ',';
+    out += std::to_string(m.migration.demoted_4k());
+    out += ',';
+    out += std::to_string(m.migration.splits);
+    out += ',';
+    out += std::to_string(m.migration.collapses);
+    out += ',';
+    out += JsonWriter::FormatDouble(m.final_huge_ratio);
+    out += ',';
+    out += JsonWriter::FormatDouble(r.mean_ehr);
+    out += ',';
+    out += JsonWriter::FormatDouble(r.sampler_cpu);
+    out += '\n';
+  }
+  return out;
+}
+
+bool WriteResultFile(const std::string& path, std::string_view data) {
+  if (path.empty() || path == "-") {
+    std::fwrite(data.data(), 1, data.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "memtis_run: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace memtis

@@ -1,0 +1,74 @@
+// Result sinks: serialize finished sweeps to JSON/CSV with stable field
+// ordering, and aggregate per-seed values into mean/stddev/geomean.
+//
+// Sinks consume the (jobs, results) vectors of a SweepRun in job order, so
+// their output inherits RunJobs' determinism: byte-identical for any thread
+// count. Nothing time- or host-dependent (durations, thread counts, dates)
+// is ever serialized. The JSON schema is documented in the README under
+// "Running sweeps".
+
+#ifndef MEMTIS_SIM_SRC_RUNNER_RESULT_SINK_H_
+#define MEMTIS_SIM_SRC_RUNNER_RESULT_SINK_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/runner/sweep.h"
+
+namespace memtis {
+
+// Serializes one job (spec echo + full Metrics + policy introspection).
+std::string JobToJson(const JobSpec& spec, const JobResult& result, size_t id,
+                      int indent = 0);
+
+// Groups values by an opaque cell key (insertion-ordered) and reports
+// mean/stddev/geomean across them. Feed it one value per seed repetition —
+// this is the single seed-averaging implementation; benches must not hand-roll
+// their own accumulation loops.
+class SweepAggregator {
+ public:
+  void Add(std::string_view cell, double value);
+
+  bool Has(std::string_view cell) const;
+  // Cell keys in first-insertion order.
+  const std::vector<std::string>& cells() const { return order_; }
+  const std::vector<double>& values(std::string_view cell) const;
+
+  // Arithmetic mean in insertion order (empty cell -> 0).
+  double Mean(std::string_view cell) const;
+  // Sample standard deviation (n-1 denominator; 0 for n < 2).
+  double Stddev(std::string_view cell) const;
+  double GeoMeanOf(std::string_view cell) const;
+
+ private:
+  std::vector<std::string> order_;
+  std::vector<std::vector<double>> values_;  // parallel to order_
+
+  const std::vector<double>* Find(std::string_view cell) const;
+};
+
+// Serialization options shared by the sinks.
+struct SinkOptions {
+  int indent = 2;           // JSON pretty-print indent (0 = compact)
+  bool timelines = false;   // include each job's Metrics timeline
+  bool aggregates = true;   // include the per-cell aggregate section
+};
+
+// The full sweep document: {"schema_version", "sweep", "jobs", "aggregates"}.
+std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs,
+                        const std::vector<JobResult>& results,
+                        const SinkOptions& options = {});
+
+// One row per job with a fixed header; scalars only (no timelines).
+std::string SweepToCsv(const std::vector<JobSpec>& jobs,
+                       const std::vector<JobResult>& results);
+
+// Writes `data` to `path`, or to stdout when path is empty or "-".
+// Returns false (with a note on stderr) if the file cannot be written.
+bool WriteResultFile(const std::string& path, std::string_view data);
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_RUNNER_RESULT_SINK_H_

@@ -1,0 +1,184 @@
+#include "src/runner/sweep.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include "src/common/check.h"
+#include "src/common/json.h"
+#include "src/memtis/policy_registry.h"
+#include "src/policies/hemem.h"
+#include "src/sim/engine.h"
+#include "src/workloads/registry.h"
+
+namespace memtis {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') {
+    return fallback;
+  }
+  return std::atof(value);
+}
+
+}  // namespace
+
+double BenchAccessScale() {
+  static const double kScale = EnvDouble("MEMTIS_BENCH_SCALE", 1.0);
+  return kScale;
+}
+
+double BenchFootprintScale() {
+  static const double kScale = EnvDouble("MEMTIS_BENCH_FOOTPRINT", 0.25);
+  return kScale;
+}
+
+uint64_t DefaultAccesses(uint64_t base) {
+  return static_cast<uint64_t>(static_cast<double>(base) * BenchAccessScale());
+}
+
+int BenchSeeds() {
+  static const int kSeeds =
+      std::max(1, static_cast<int>(EnvDouble("MEMTIS_BENCH_SEEDS", 1.0)));
+  return kSeeds;
+}
+
+JobResult RunJob(const JobSpec& spec) {
+  const double footprint_scale =
+      spec.footprint_scale > 0.0 ? spec.footprint_scale : BenchFootprintScale();
+  auto workload =
+      MakeWorkload(spec.benchmark, footprint_scale, spec.workload_seed_offset());
+  const uint64_t footprint = workload->footprint_bytes();
+  const uint64_t fast =
+      spec.fast_bytes_override != 0
+          ? spec.fast_bytes_override
+          : static_cast<uint64_t>(static_cast<double>(footprint) * spec.fast_ratio);
+  const uint64_t capacity = footprint + footprint / 2;
+
+  std::unique_ptr<TieringPolicy> policy;
+  if (spec.memtis_tweak != nullptr &&
+      spec.system.rfind("memtis", 0) == 0) {
+    MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint, fast);
+    if (spec.system == "memtis-ns") {
+      cfg.enable_split = false;
+      cfg.enable_collapse = false;
+    }
+    policy = std::make_unique<MemtisPolicy>(spec.memtis_tweak(cfg));
+  } else {
+    policy = MakePolicy(spec.system, footprint, fast);
+  }
+
+  const MachineConfig machine =
+      spec.cxl ? MakeCxlMachine(fast, capacity) : MakeNvmMachine(fast, capacity);
+  EngineOptions opts;
+  opts.max_accesses = spec.accesses != 0 ? spec.accesses : DefaultAccesses();
+  opts.snapshot_interval_ns = spec.snapshot_interval_ns;
+  opts.cpu_contention = spec.cpu_contention;
+  opts.seed = spec.engine_seed;
+  Engine engine(machine, *policy, opts);
+
+  JobResult out;
+  out.metrics = engine.Run(*workload);
+  out.footprint_bytes = footprint;
+  out.fast_bytes = fast;
+  if (auto* memtis = dynamic_cast<MemtisPolicy*>(policy.get())) {
+    out.is_memtis = true;
+    out.memtis_stats = memtis->stats();
+    out.mean_ehr = memtis->mean_ehr();
+    out.sampler_cpu =
+        out.metrics.cpu.core_share(DaemonKind::kSampler, out.metrics.app_ns);
+    out.pebs_load_period = memtis->sampler().period(SampleType::kLlcLoadMiss);
+    out.pebs_store_period = memtis->sampler().period(SampleType::kStore);
+  }
+  if (auto* hemem = dynamic_cast<HeMemPolicy*>(policy.get())) {
+    out.hemem_overalloc_bytes = hemem->over_allocated_bytes();
+  }
+  return out;
+}
+
+JobSpec BaselineSpec(JobSpec spec) {
+  spec.system = "all-capacity";
+  spec.memtis_tweak = nullptr;
+  return spec;
+}
+
+std::vector<JobSpec> ExpandJobs(const SweepSpec& sweep) {
+  SIM_CHECK(!sweep.systems.empty() || sweep.include_baseline);
+  SIM_CHECK(!sweep.benchmarks.empty());
+  SIM_CHECK(!sweep.fast_ratios.empty());
+  SIM_CHECK(!sweep.machines.empty());
+  SIM_CHECK(sweep.seeds >= 1);
+
+  std::vector<JobSpec> jobs;
+  for (const std::string& benchmark : sweep.benchmarks) {
+    for (const std::string& machine : sweep.machines) {
+      SIM_CHECK((machine == "nvm" || machine == "cxl") && "unknown machine type");
+      for (double ratio : sweep.fast_ratios) {
+        for (int seed = 0; seed < sweep.seeds; ++seed) {
+          JobSpec cell;
+          cell.benchmark = benchmark;
+          cell.cxl = machine == "cxl";
+          cell.fast_ratio = ratio;
+          cell.base_seed = sweep.base_seed;
+          cell.seed_index = static_cast<uint32_t>(seed);
+          cell.accesses = sweep.accesses;
+          cell.cpu_contention = sweep.cpu_contention;
+          cell.snapshot_interval_ns = sweep.snapshot_interval_ns;
+          cell.footprint_scale = sweep.footprint_scale;
+          cell.fast_bytes_override = sweep.fast_bytes_override;
+          if (sweep.include_baseline) {
+            JobSpec baseline = cell;
+            baseline.system = "all-capacity";
+            jobs.push_back(std::move(baseline));
+          }
+          for (const std::string& system : sweep.systems) {
+            JobSpec job = cell;
+            job.system = system;
+            jobs.push_back(std::move(job));
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+std::vector<JobResult> RunJobs(const std::vector<JobSpec>& jobs, ThreadPool& pool,
+                               const ProgressFn& progress) {
+  std::vector<JobResult> results(jobs.size());
+  std::mutex progress_mu;
+  size_t done = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    pool.Submit([&jobs, &results, &progress, &progress_mu, &done, i] {
+      results[i] = RunJob(jobs[i]);
+      if (progress != nullptr) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        progress(++done, jobs.size(), i);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
+SweepRun RunSweep(const SweepSpec& sweep, ThreadPool& pool,
+                  const ProgressFn& progress) {
+  SweepRun run;
+  run.jobs = ExpandJobs(sweep);
+  run.results = RunJobs(run.jobs, pool, progress);
+  return run;
+}
+
+std::string CellKey(const JobSpec& spec) {
+  std::string key = spec.system;
+  key += '|';
+  key += spec.benchmark;
+  key += '|';
+  key += spec.machine_name();
+  key += '|';
+  key += JsonWriter::FormatDouble(spec.fast_ratio);
+  return key;
+}
+
+}  // namespace memtis

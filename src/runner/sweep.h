@@ -1,0 +1,150 @@
+// Declarative experiment sweeps: JobSpec (one simulation cell), SweepSpec (a
+// cartesian product of cells), and the parallel executor that runs them on a
+// ThreadPool.
+//
+// JobSpec is the promoted, generalized form of the old bench/bench_util.h
+// RunSpec: every figure/table bench and the memtis_run CLI describe runs with
+// it, so one code path sizes machines, builds policies, and derives seeds.
+//
+// Seed derivation (the single documented scheme — nothing else may offset
+// seeds): a job's workload seed is
+//
+//     workload_default_seed + DeriveSeedOffset(base_seed, seed_index)
+//     DeriveSeedOffset(base, index) = base + index * kSeedStride
+//
+// `base_seed` names the experiment family (0 for the paper reproductions);
+// `seed_index` enumerates the repetitions averaged per cell. The stride keeps
+// repetitions far apart in seed space and reproduces the historical
+// `index * 1000` offsets bit-for-bit at base_seed == 0. The engine's own RNG
+// (placement dither) is seeded independently by `engine_seed` so changing the
+// workload instantiation never silently changes engine-side randomness.
+//
+// Determinism: RunJob is a pure function of its JobSpec (plus the
+// MEMTIS_BENCH_* env scale knobs). RunJobs writes each result into the slot
+// pre-assigned by job index, so sweep output is byte-identical for any thread
+// count and any completion order.
+
+#ifndef MEMTIS_SIM_SRC_RUNNER_SWEEP_H_
+#define MEMTIS_SIM_SRC_RUNNER_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/memtis/memtis_policy.h"
+#include "src/runner/thread_pool.h"
+#include "src/sim/metrics.h"
+
+namespace memtis {
+
+// Environment scale knobs shared by every sweep (see the README's "Running
+// sweeps" section): MEMTIS_BENCH_SCALE multiplies access budgets,
+// MEMTIS_BENCH_FOOTPRINT multiplies workload footprints, MEMTIS_BENCH_SEEDS
+// sets the default repetitions-per-cell.
+double BenchAccessScale();
+double BenchFootprintScale();
+uint64_t DefaultAccesses(uint64_t base = 3'000'000);
+int BenchSeeds();
+
+inline constexpr uint64_t kSeedStride = 1000;
+
+constexpr uint64_t DeriveSeedOffset(uint64_t base_seed, uint32_t seed_index) {
+  return base_seed + static_cast<uint64_t>(seed_index) * kSeedStride;
+}
+
+// One simulation cell: a (system, benchmark, machine, sizing, seed) tuple.
+struct JobSpec {
+  std::string system;
+  std::string benchmark;
+  double fast_ratio = 1.0 / 3.0;  // fast tier as a fraction of the footprint
+  uint64_t accesses = 0;          // 0 -> DefaultAccesses()
+  bool cxl = false;               // capacity tier: false = NVM, true = CXL
+  bool cpu_contention = true;
+  uint64_t snapshot_interval_ns = 0;
+  uint64_t fast_bytes_override = 0;  // nonzero: fixed fast tier (Fig. 6)
+  double footprint_scale = 0.0;      // 0 -> BenchFootprintScale()
+  // Seed plumbing — see the file comment. Do not add ad-hoc offsets.
+  uint64_t base_seed = 0;
+  uint32_t seed_index = 0;
+  uint64_t engine_seed = 42;
+  // Optional hook to tweak the MEMTIS config (sensitivity sweeps); applied
+  // only when the system is a MEMTIS variant. A std::function so sweeps can
+  // capture per-cell state (e.g. Fig. 13's interval multipliers).
+  std::function<MemtisConfig(MemtisConfig)> memtis_tweak;
+
+  uint64_t workload_seed_offset() const {
+    return DeriveSeedOffset(base_seed, seed_index);
+  }
+  const char* machine_name() const { return cxl ? "cxl" : "nvm"; }
+};
+
+// Everything a sink or figure needs from one finished job.
+struct JobResult {
+  Metrics metrics;
+  uint64_t footprint_bytes = 0;
+  uint64_t fast_bytes = 0;
+  // MEMTIS introspection (valid when the system is a MEMTIS variant).
+  bool is_memtis = false;
+  MemtisPolicy::Stats memtis_stats;
+  double mean_ehr = 0.0;
+  double sampler_cpu = 0.0;
+  uint64_t pebs_load_period = 0;
+  uint64_t pebs_store_period = 0;
+  // HeMem introspection.
+  uint64_t hemem_overalloc_bytes = 0;
+};
+
+// Runs one cell to completion. Thread-safe: builds its own workload, policy,
+// and engine, touching no shared mutable state.
+JobResult RunJob(const JobSpec& spec);
+
+// The matching all-capacity (all-NVM/all-CXL + THP) baseline of `spec`.
+JobSpec BaselineSpec(JobSpec spec);
+
+// A cartesian sweep: jobs = benchmarks x machines x fast_ratios x seeds x
+// systems (plus one baseline cell per seed when include_baseline is set).
+struct SweepSpec {
+  std::vector<std::string> systems;
+  std::vector<std::string> benchmarks;
+  std::vector<double> fast_ratios = {1.0 / 3.0};
+  std::vector<std::string> machines = {"nvm"};  // "nvm" and/or "cxl"
+  int seeds = 1;  // repetitions per cell: seed_index 0 .. seeds-1
+  uint64_t base_seed = 0;
+  uint64_t accesses = 0;
+  bool cpu_contention = true;
+  uint64_t snapshot_interval_ns = 0;
+  double footprint_scale = 0.0;
+  uint64_t fast_bytes_override = 0;
+  // Also run the "all-capacity" baseline once per (benchmark, machine, ratio,
+  // seed) so sinks can report normalized performance.
+  bool include_baseline = false;
+};
+
+// Expands the product in a deterministic order: for each benchmark, machine,
+// ratio, and seed_index, the baseline (if requested) followed by each system.
+std::vector<JobSpec> ExpandJobs(const SweepSpec& sweep);
+
+// Called after each job completes (serialized by an internal mutex):
+// (jobs finished so far, total jobs, index of the job that just finished).
+using ProgressFn = std::function<void(size_t, size_t, size_t)>;
+
+// Executes the jobs on the pool; results[i] corresponds to jobs[i].
+std::vector<JobResult> RunJobs(const std::vector<JobSpec>& jobs, ThreadPool& pool,
+                               const ProgressFn& progress = nullptr);
+
+struct SweepRun {
+  std::vector<JobSpec> jobs;
+  std::vector<JobResult> results;  // parallel to jobs
+};
+
+SweepRun RunSweep(const SweepSpec& sweep, ThreadPool& pool,
+                  const ProgressFn& progress = nullptr);
+
+// Stable grouping key for aggregation across seeds:
+// "system|benchmark|machine|ratio" (ratio via JsonWriter::FormatDouble).
+std::string CellKey(const JobSpec& spec);
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_RUNNER_SWEEP_H_

@@ -1,0 +1,102 @@
+#include "src/sim/metrics.h"
+
+#include "src/common/json.h"
+
+namespace memtis {
+namespace {
+
+void WriteClassified(JsonWriter& w, const ClassifiedSizes& c) {
+  w.BeginObject();
+  w.Field("hot_bytes", c.hot_bytes);
+  w.Field("warm_bytes", c.warm_bytes);
+  w.Field("cold_bytes", c.cold_bytes);
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string Metrics::ToJson(int indent) const {
+  std::string out;
+  JsonWriter w(&out, indent);
+  WriteJson(w, /*include_timeline=*/true);
+  return out;
+}
+
+void Metrics::WriteJson(JsonWriter& w, bool include_timeline) const {
+  w.BeginObject();
+
+  w.Field("accesses", accesses);
+  w.Field("loads", loads);
+  w.Field("stores", stores);
+  w.Field("fast_accesses", fast_accesses);
+  w.Field("capacity_accesses", capacity_accesses);
+  w.Field("app_ns", app_ns);
+  w.Field("critical_path_ns", critical_path_ns);
+  w.Field("cores", cores);
+  w.Field("cpu_contention", cpu_contention);
+
+  w.Key("cpu");
+  w.BeginObject();
+  w.Field("sampler_ns", cpu.busy(DaemonKind::kSampler));
+  w.Field("migrator_ns", cpu.busy(DaemonKind::kMigrator));
+  w.Field("scanner_ns", cpu.busy(DaemonKind::kScanner));
+  w.Field("total_busy_ns", cpu.total_busy());
+  w.EndObject();
+
+  w.Key("tlb");
+  w.BeginObject();
+  w.Field("base_hits", tlb.base_hits);
+  w.Field("base_misses", tlb.base_misses);
+  w.Field("huge_hits", tlb.huge_hits);
+  w.Field("huge_misses", tlb.huge_misses);
+  w.Field("shootdowns", tlb.shootdowns);
+  w.Field("invalidated_entries", tlb.invalidated_entries);
+  w.Field("miss_ratio", tlb.miss_ratio());
+  w.EndObject();
+
+  w.Key("migration");
+  w.BeginObject();
+  w.Field("promoted_base", migration.promoted_base);
+  w.Field("promoted_huge", migration.promoted_huge);
+  w.Field("demoted_base", migration.demoted_base);
+  w.Field("demoted_huge", migration.demoted_huge);
+  w.Field("failed_migrations", migration.failed_migrations);
+  w.Field("splits", migration.splits);
+  w.Field("collapses", migration.collapses);
+  w.Field("freed_zero_subpages", migration.freed_zero_subpages);
+  w.Field("demand_faults", migration.demand_faults);
+  w.Field("promoted_4k", migration.promoted_4k());
+  w.Field("demoted_4k", migration.demoted_4k());
+  w.EndObject();
+
+  w.Field("final_rss_pages", final_rss_pages);
+  w.Field("peak_rss_pages", peak_rss_pages);
+  w.Field("final_fast_used_pages", final_fast_used_pages);
+  w.Field("final_huge_ratio", final_huge_ratio);
+
+  // Derived quantities, so sinks never re-implement the formulas.
+  w.Field("fast_hit_ratio", fast_hit_ratio());
+  w.Field("effective_runtime_ns", EffectiveRuntimeNs());
+  w.Field("mops", Mops());
+
+  if (include_timeline) {
+    w.Key("timeline");
+    w.BeginArray();
+    for (const TimelinePoint& p : timeline) {
+      w.BeginObject();
+      w.Field("t_ns", p.t_ns);
+      w.Key("classified");
+      WriteClassified(w, p.classified);
+      w.Field("fast_used_pages", p.fast_used_pages);
+      w.Field("rss_pages", p.rss_pages);
+      w.Field("window_fast_ratio", p.window_fast_ratio);
+      w.Field("window_mops", p.window_mops);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
+  w.EndObject();
+}
+
+}  // namespace memtis

@@ -4,6 +4,7 @@
 #define MEMTIS_SIM_SRC_SIM_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/mem/memory_system.h"
@@ -11,6 +12,8 @@
 #include "src/sim/cpu_account.h"
 
 namespace memtis {
+
+class JsonWriter;
 
 // Sizes of the hot/warm/cold sets as classified by a policy (Fig. 2 / Fig. 9).
 struct ClassifiedSizes {
@@ -79,6 +82,17 @@ struct Metrics {
     const double t = EffectiveRuntimeNs();
     return t == 0.0 ? 0.0 : static_cast<double>(accesses) * 1e3 / t;
   }
+
+  // Serializes every field (counters, cpu/tlb/migration breakdowns, derived
+  // ratios, the full timeline) as a JSON object with stable field ordering —
+  // the wire format of the runner's result sinks (see src/runner/result_sink.h
+  // and the README's "Running sweeps" schema). `indent` as in JsonWriter.
+  std::string ToJson(int indent = 0) const;
+
+  // Same object written into an in-progress document (used by the sinks to
+  // nest metrics inside a job record). `include_timeline` = false drops the
+  // timeline array for compact sweep files.
+  void WriteJson(JsonWriter& w, bool include_timeline = true) const;
 };
 
 }  // namespace memtis

@@ -1,0 +1,129 @@
+// Metrics::ToJson + derived-quantity tests: empty/zero-access runs, the
+// EffectiveRuntimeNs contention path, timelines, and formatting stability.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+#include "src/sim/metrics.h"
+
+namespace memtis {
+namespace {
+
+int Count(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(MetricsToJson, EmptyMetricsSerializeWithAllFieldsAndNoNans) {
+  const Metrics metrics;
+  const std::string json = metrics.ToJson(2);
+
+  // Zero-access run: every derived ratio must degrade to 0, never NaN/inf.
+  EXPECT_DOUBLE_EQ(metrics.fast_hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.EffectiveRuntimeNs(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.Mops(), 0.0);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+
+  for (const char* field :
+       {"\"accesses\"", "\"loads\"", "\"stores\"", "\"fast_accesses\"",
+        "\"capacity_accesses\"", "\"app_ns\"", "\"critical_path_ns\"",
+        "\"cores\"", "\"cpu_contention\"", "\"cpu\"", "\"sampler_ns\"",
+        "\"tlb\"", "\"miss_ratio\"", "\"migration\"", "\"promoted_4k\"",
+        "\"fast_hit_ratio\"", "\"effective_runtime_ns\"", "\"mops\"",
+        "\"timeline\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << "missing field " << field;
+  }
+  EXPECT_NE(json.find("\"timeline\": []"), std::string::npos);
+}
+
+TEST(MetricsToJson, StableFieldOrderingAndDeterminism) {
+  Metrics metrics;
+  metrics.accesses = 123;
+  metrics.app_ns = 456;
+  const std::string a = metrics.ToJson();
+  const std::string b = metrics.ToJson();
+  EXPECT_EQ(a, b);
+  // Spec'd ordering: counters before cpu, cpu before tlb, tlb before
+  // migration, derived fields before the timeline.
+  EXPECT_LT(a.find("\"accesses\""), a.find("\"cpu\""));
+  EXPECT_LT(a.find("\"cpu\""), a.find("\"tlb\""));
+  EXPECT_LT(a.find("\"tlb\""), a.find("\"migration\""));
+  EXPECT_LT(a.find("\"migration\""), a.find("\"effective_runtime_ns\""));
+  EXPECT_LT(a.find("\"effective_runtime_ns\""), a.find("\"timeline\""));
+}
+
+TEST(MetricsToJson, ContentionPathInflatesEffectiveRuntime) {
+  Metrics metrics;
+  metrics.accesses = 1000;
+  metrics.app_ns = 1'000'000;
+  metrics.cores = 10;
+  metrics.cpu.Charge(DaemonKind::kSampler, 2'000'000);
+  metrics.cpu.Charge(DaemonKind::kMigrator, 3'000'000);
+
+  // share = (2e6 + 3e6) / (1e6 * 10) = 0.5 -> runtime inflated by 1.5x.
+  metrics.cpu_contention = true;
+  EXPECT_DOUBLE_EQ(metrics.EffectiveRuntimeNs(), 1'500'000.0);
+  std::string json = metrics.ToJson(2);
+  EXPECT_NE(json.find("\"effective_runtime_ns\": 1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"total_busy_ns\": 5000000"), std::string::npos);
+
+  // Contention off: no inflation, and the serialized value follows.
+  metrics.cpu_contention = false;
+  EXPECT_DOUBLE_EQ(metrics.EffectiveRuntimeNs(), 1'000'000.0);
+  json = metrics.ToJson(2);
+  EXPECT_NE(json.find("\"effective_runtime_ns\": 1000000"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_contention\": false"), std::string::npos);
+}
+
+TEST(MetricsToJson, TimelineEntriesRoundTripCountsAndFields) {
+  Metrics metrics;
+  for (int i = 0; i < 3; ++i) {
+    TimelinePoint p;
+    p.t_ns = static_cast<uint64_t>(i) * 1000;
+    p.classified.hot_bytes = 42;
+    p.window_fast_ratio = 0.25;
+    metrics.timeline.push_back(p);
+  }
+  const std::string json = metrics.ToJson(2);
+  EXPECT_EQ(Count(json, "\"t_ns\""), 3);
+  EXPECT_EQ(Count(json, "\"hot_bytes\": 42"), 3);
+  EXPECT_EQ(Count(json, "\"window_fast_ratio\": 0.25"), 3);
+
+  // WriteJson without the timeline drops the array entirely.
+  std::string compact;
+  JsonWriter w(&compact, 0);
+  metrics.WriteJson(w, /*include_timeline=*/false);
+  EXPECT_EQ(compact.find("timeline"), std::string::npos);
+  EXPECT_NE(compact.find("\"accesses\":0"), std::string::npos);
+}
+
+TEST(MetricsToJson, CompactAndPrettyCarrySameData) {
+  Metrics metrics;
+  metrics.accesses = 7;
+  std::string pretty = metrics.ToJson(2);
+  std::string compact = metrics.ToJson(0);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+  // Strip whitespace from the pretty form; must equal the compact form.
+  std::string stripped;
+  bool in_string = false;
+  for (char c : pretty) {
+    if (c == '"') {
+      in_string = !in_string;
+    }
+    if (in_string || (c != ' ' && c != '\n')) {
+      stripped.push_back(c);
+    }
+  }
+  EXPECT_EQ(stripped, compact);
+}
+
+}  // namespace
+}  // namespace memtis

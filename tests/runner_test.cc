@@ -1,0 +1,176 @@
+// Tests for the experiment-runner subsystem: thread pool, seed derivation,
+// sweep expansion, aggregation, and — the load-bearing guarantee — that a
+// sweep's serialized output is byte-identical for 1 thread and N threads.
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/runner/result_sink.h"
+#include "src/runner/sweep.h"
+#include "src/runner/thread_pool.h"
+
+namespace memtis {
+namespace {
+
+TEST(ThreadPool, ExecutesEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride) {
+  setenv("MEMTIS_RUNNER_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  setenv("MEMTIS_RUNNER_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 1);  // clamped to >= 1
+  unsetenv("MEMTIS_RUNNER_THREADS");
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(SeedDerivation, SingleDocumentedScheme) {
+  EXPECT_EQ(DeriveSeedOffset(0, 0), 0u);
+  // Reproduces the historical index*1000 offsets at base_seed == 0.
+  EXPECT_EQ(DeriveSeedOffset(0, 3), 3 * kSeedStride);
+  EXPECT_EQ(DeriveSeedOffset(7, 2), 7 + 2 * kSeedStride);
+
+  JobSpec spec;
+  spec.base_seed = 5;
+  spec.seed_index = 4;
+  EXPECT_EQ(spec.workload_seed_offset(), 5 + 4 * kSeedStride);
+}
+
+TEST(Sweep, ExpandsCartesianProductInDeterministicOrder) {
+  SweepSpec sweep;
+  sweep.systems = {"memtis", "hemem"};
+  sweep.benchmarks = {"btree", "silo"};
+  sweep.fast_ratios = {0.5, 0.25};
+  sweep.seeds = 3;
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  ASSERT_EQ(jobs.size(), 2u * 2u * 3u * 2u);
+  // benchmark-major, then ratio, then seed, then system.
+  EXPECT_EQ(jobs[0].benchmark, "btree");
+  EXPECT_EQ(jobs[0].fast_ratio, 0.5);
+  EXPECT_EQ(jobs[0].seed_index, 0u);
+  EXPECT_EQ(jobs[0].system, "memtis");
+  EXPECT_EQ(jobs[1].system, "hemem");
+  EXPECT_EQ(jobs[2].seed_index, 1u);
+  EXPECT_EQ(jobs[6].fast_ratio, 0.25);
+  EXPECT_EQ(jobs[12].benchmark, "silo");
+
+  sweep.include_baseline = true;
+  const std::vector<JobSpec> with_baseline = ExpandJobs(sweep);
+  ASSERT_EQ(with_baseline.size(), 2u * 2u * 3u * 3u);
+  EXPECT_EQ(with_baseline[0].system, "all-capacity");
+  EXPECT_EQ(with_baseline[1].system, "memtis");
+}
+
+TEST(Sweep, CellKeyGroupsSeedsAndSeparatesCells) {
+  JobSpec a;
+  a.system = "memtis";
+  a.benchmark = "btree";
+  JobSpec b = a;
+  b.seed_index = 5;  // repetitions share a cell
+  EXPECT_EQ(CellKey(a), CellKey(b));
+  JobSpec c = a;
+  c.fast_ratio = 0.5;
+  EXPECT_NE(CellKey(a), CellKey(c));
+  JobSpec d = a;
+  d.cxl = true;
+  EXPECT_NE(CellKey(a), CellKey(d));
+}
+
+TEST(SweepAggregator, MeanStddevGeomean) {
+  SweepAggregator agg;
+  agg.Add("cell", 2.0);
+  agg.Add("cell", 8.0);
+  agg.Add("other", 1.0);
+  ASSERT_EQ(agg.cells().size(), 2u);
+  EXPECT_TRUE(agg.Has("cell"));
+  EXPECT_FALSE(agg.Has("missing"));
+  EXPECT_DOUBLE_EQ(agg.Mean("cell"), 5.0);
+  EXPECT_DOUBLE_EQ(agg.GeoMeanOf("cell"), 4.0);
+  EXPECT_NEAR(agg.Stddev("cell"), 4.2426406871192848, 1e-12);
+  EXPECT_DOUBLE_EQ(agg.Stddev("other"), 0.0);  // n < 2
+  EXPECT_DOUBLE_EQ(agg.Mean("missing"), 0.0);
+  agg.Add("zeros", 0.0);
+  EXPECT_DOUBLE_EQ(agg.GeoMeanOf("zeros"), 0.0);  // undefined -> 0, no abort
+}
+
+// The tentpole guarantee: the same SweepSpec run with 1 thread and with N
+// threads serializes to byte-identical JSON (and CSV).
+TEST(Sweep, ParallelRunIsByteIdenticalToSerialRun) {
+  SweepSpec sweep;
+  sweep.systems = {"memtis", "autonuma", "hemem"};
+  sweep.benchmarks = {"btree", "silo"};
+  sweep.fast_ratios = {1.0 / 3.0, 1.0 / 9.0};
+  sweep.seeds = 2;
+  sweep.accesses = 30'000;  // tiny budget: 24 jobs stay test-sized
+  sweep.include_baseline = false;
+
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+  const SweepRun run1 = RunSweep(sweep, serial);
+  const SweepRun run4 = RunSweep(sweep, parallel);
+  ASSERT_EQ(run1.jobs.size(), 24u);
+  ASSERT_EQ(run4.jobs.size(), 24u);
+
+  SinkOptions options;
+  options.indent = 0;
+  const std::string json1 = SweepToJson(sweep, run1.jobs, run1.results, options);
+  const std::string json4 = SweepToJson(sweep, run4.jobs, run4.results, options);
+  EXPECT_EQ(json1, json4);
+  EXPECT_EQ(SweepToCsv(run1.jobs, run1.results),
+            SweepToCsv(run4.jobs, run4.results));
+
+  // Sanity: the document actually carries distinct, nontrivial results.
+  EXPECT_NE(json1.find("\"aggregates\""), std::string::npos);
+  std::set<double> runtimes;
+  for (const JobResult& result : run1.results) {
+    EXPECT_GT(result.metrics.accesses, 0u);
+    runtimes.insert(result.metrics.EffectiveRuntimeNs());
+  }
+  EXPECT_GT(runtimes.size(), 1u);
+}
+
+// RunJob must honour the seed derivation: different seed_index, different
+// workload instantiation; same spec, same result.
+TEST(Sweep, SeedIndexVariesWorkloadDeterministically) {
+  JobSpec spec;
+  spec.system = "autonuma";
+  spec.benchmark = "btree";
+  spec.accesses = 20'000;
+
+  const JobResult base1 = RunJob(spec);
+  const JobResult base2 = RunJob(spec);
+  EXPECT_EQ(base1.metrics.app_ns, base2.metrics.app_ns);
+  EXPECT_EQ(base1.metrics.fast_accesses, base2.metrics.fast_accesses);
+
+  JobSpec other = spec;
+  other.seed_index = 1;
+  const JobResult varied = RunJob(other);
+  EXPECT_NE(base1.metrics.app_ns, varied.metrics.app_ns);
+}
+
+}  // namespace
+}  // namespace memtis
