@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Sanitized build + full test sweep: configures a separate build tree with
 # ASan/UBSan, builds everything, and runs ctest (which includes the
-# memtis_run --smoke runner case). Usage:
+# memtis_run --smoke runner case) — first plain, then again with
+# MEMTIS_AUDIT=1 so every engine-driven test runs under the abort-on-violation
+# invariant auditor (src/audit/). Usage:
 #
 #   scripts/check.sh [build-dir]
 #
@@ -18,3 +20,5 @@ cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+echo "== second pass: MEMTIS_AUDIT=1 (runtime invariant auditing) =="
+MEMTIS_AUDIT=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"

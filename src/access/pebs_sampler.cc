@@ -39,9 +39,11 @@ void PebsSampler::MaybeAdjust(uint64_t now_ns) {
   if (ema > config_.cpu_limit + config_.cpu_hysteresis) {
     ScalePeriods(config_.period_step);  // longer period -> fewer samples
     ++stats_.period_raises;
+    stats_.last_period_change_ns = now_ns;
   } else if (ema < config_.cpu_limit - config_.cpu_hysteresis) {
     ScalePeriods(1.0 / config_.period_step);
     ++stats_.period_drops;
+    stats_.last_period_change_ns = now_ns;
   }
 }
 

@@ -45,7 +45,10 @@ struct PebsStats {
   uint64_t samples[kNumSampleTypes] = {0, 0};
   uint64_t period_raises = 0;
   uint64_t period_drops = 0;
+  // Virtual time of the most recent period adaptation (0 = never adapted).
+  uint64_t last_period_change_ns = 0;
   uint64_t total_samples() const { return samples[0] + samples[1]; }
+  uint64_t period_changes() const { return period_raises + period_drops; }
 };
 
 class PebsSampler {
@@ -74,6 +77,13 @@ class PebsSampler {
   uint64_t busy_ns() const { return busy_ns_; }
   const PebsStats& stats() const { return stats_; }
   const PebsConfig& config() const { return config_; }
+
+  // Test-only fault injection: records a phantom sample in the stats without
+  // the owner ever processing it, desynchronizing the sample ledger so the
+  // auditor's histogram-mass/sample-count check fires.
+  void TestOnlyRecordPhantomSample(SampleType type) {
+    ++stats_.samples[static_cast<int>(type)];
+  }
 
  private:
   void MaybeAdjust(uint64_t now_ns);

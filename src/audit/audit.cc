@@ -1,0 +1,364 @@
+#include "src/audit/audit.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/json.h"
+#include "src/memtis/memtis_policy.h"
+
+namespace memtis {
+
+// --- AuditReport --------------------------------------------------------------
+
+void AuditReport::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Field("ok", ok());
+  w.Field("ticks_audited", ticks_audited);
+  w.Field("checks_run", checks_run);
+  w.Field("violations_total", violations_total);
+  w.Key("violations");
+  w.BeginArray();
+  for (const AuditViolation& v : violations) {
+    w.BeginObject();
+    w.Field("invariant", v.invariant);
+    w.Field("detail", v.detail);
+    w.Field("t_ns", v.t_ns);
+    w.Field("tick", v.tick);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string AuditReport::ToJson(int indent) const {
+  std::string out;
+  JsonWriter w(&out, indent);
+  WriteJson(w);
+  return out;
+}
+
+// --- AuditCollector -----------------------------------------------------------
+
+void AuditCollector::Fail(std::string_view invariant, std::string detail) {
+  if (abort_on_violation_) {
+    std::fprintf(stderr,
+                 "AUDIT VIOLATION [%.*s] at t=%" PRIu64 " ns tick=%" PRIu64
+                 ": %s\n",
+                 static_cast<int>(invariant.size()), invariant.data(), t_ns_,
+                 tick_, detail.c_str());
+    std::abort();
+  }
+  ++report_->violations_total;
+  if (report_->violations.size() < max_recorded_) {
+    report_->violations.push_back(AuditViolation{
+        std::string(invariant), std::move(detail), t_ns_, tick_});
+  }
+}
+
+// --- Component checks ---------------------------------------------------------
+
+namespace {
+
+const char* TierName(TierId id) {
+  return id == TierId::kFast ? "fast" : "capacity";
+}
+
+}  // namespace
+
+void CheckFrameConservation(const MemorySystem& mem, AuditCollector& out) {
+  uint64_t recounted_total = 0;
+  for (int t = 0; t < kNumTiers; ++t) {
+    const TierId id = static_cast<TierId>(t);
+    const MemoryTier& tier = mem.tier(id);
+    out.BeginCheck();
+    std::string err;
+    if (!tier.allocator().CheckConsistency(&err)) {
+      out.Fail("frame-conservation",
+               std::string(TierName(id)) + " tier buddy allocator: " + err);
+    }
+    if (tier.used_frames() + tier.free_frames() != tier.total_frames()) {
+      out.Fail("frame-conservation",
+               std::string(TierName(id)) + " tier: used " +
+                   std::to_string(tier.used_frames()) + " + free " +
+                   std::to_string(tier.free_frames()) + " != capacity " +
+                   std::to_string(tier.total_frames()));
+    }
+    const uint64_t recounted = mem.RecountMapped4kInTier(id);
+    recounted_total += recounted;
+    if (recounted + mem.pinned_frames(id) != tier.used_frames()) {
+      out.Fail("frame-conservation",
+               std::string(TierName(id)) + " tier: " +
+                   std::to_string(recounted) + " mapped 4k pages + " +
+                   std::to_string(mem.pinned_frames(id)) +
+                   " pinned frames != " + std::to_string(tier.used_frames()) +
+                   " used frames");
+    }
+  }
+  out.BeginCheck();
+  if (recounted_total != mem.mapped_4k_pages()) {
+    out.Fail("frame-conservation",
+             "mapped_4k counter " + std::to_string(mem.mapped_4k_pages()) +
+                 " != per-tier recount " + std::to_string(recounted_total));
+  }
+}
+
+void CheckPageTableMapping(MemorySystem& mem, AuditCollector& out) {
+  out.BeginCheck();
+  std::string err;
+  if (!mem.CheckConsistency(&err)) {
+    out.Fail("page-table-mapping", err);
+  }
+}
+
+void CheckHugePageAccounting(MemorySystem& mem, AuditCollector& out) {
+  out.BeginCheck();
+  uint64_t failures = 0;
+  mem.ForEachLivePage([&](PageIndex index, PageInfo& page) {
+    if (failures >= 4) {
+      return;  // one audit point reports at most a few pages
+    }
+    if (page.kind == PageKind::kHuge) {
+      if (page.huge == nullptr) {
+        ++failures;
+        out.Fail("huge-page-accounting",
+                 "huge page " + std::to_string(index) + " has no subpage metadata");
+        return;
+      }
+      if (page.base_vpn % kSubpagesPerHuge != 0) {
+        ++failures;
+        out.Fail("huge-page-accounting",
+                 "huge page " + std::to_string(index) + " at unaligned vpn " +
+                     std::to_string(page.base_vpn));
+      }
+      uint64_t subpage_sum = 0;
+      for (uint32_t c : page.huge->subpage_count) {
+        subpage_sum += c;
+      }
+      if (subpage_sum > page.access_count) {
+        ++failures;
+        out.Fail("huge-page-accounting",
+                 "huge page " + std::to_string(index) + ": subpage counters sum " +
+                     std::to_string(subpage_sum) + " > page counter " +
+                     std::to_string(page.access_count));
+      }
+    } else if (page.huge != nullptr) {
+      ++failures;
+      out.Fail("huge-page-accounting",
+               "base page " + std::to_string(index) + " carries huge metadata");
+    }
+  });
+  out.BeginCheck();
+  const MigrationStats& ms = mem.migration_stats();
+  if (ms.demand_faults > ms.freed_zero_subpages) {
+    out.Fail("huge-page-accounting",
+             std::to_string(ms.demand_faults) + " demand faults > " +
+                 std::to_string(ms.freed_zero_subpages) +
+                 " split-freed subpages");
+  }
+}
+
+void CheckTlbCoherence(const Tlb& tlb, const MemorySystem& mem,
+                       AuditCollector& out) {
+  out.BeginCheck();
+  uint64_t entries = 0;
+  uint64_t failures = 0;
+  tlb.ForEachValidEntry([&](Vpn vpn, PageKind kind) {
+    ++entries;
+    if (failures >= 4) {
+      return;
+    }
+    const char* kind_name = kind == PageKind::kHuge ? "huge" : "base";
+    const PageIndex index = mem.Lookup(vpn);
+    if (index == kInvalidPage) {
+      ++failures;
+      out.Fail("tlb-coherence", std::string("stale ") + kind_name +
+                                    " entry for unmapped vpn " +
+                                    std::to_string(vpn));
+      return;
+    }
+    const PageInfo& page = mem.page(index);
+    if (page.kind != kind) {
+      ++failures;
+      out.Fail("tlb-coherence", std::string(kind_name) + " entry for vpn " +
+                                    std::to_string(vpn) +
+                                    " maps a page of the other kind");
+      return;
+    }
+    if (kind == PageKind::kHuge && page.base_vpn != vpn) {
+      ++failures;
+      out.Fail("tlb-coherence",
+               "huge entry vpn " + std::to_string(vpn) +
+                   " resolves to page based at vpn " +
+                   std::to_string(page.base_vpn));
+    }
+  });
+  if (entries > tlb.base_capacity() + tlb.huge_capacity()) {
+    out.Fail("tlb-coherence",
+             std::to_string(entries) + " valid entries exceed capacity " +
+                 std::to_string(tlb.base_capacity() + tlb.huge_capacity()));
+  }
+}
+
+void CheckMigrationLedger(const MigrationBudget& budget, AuditCollector& out) {
+  out.BeginCheck();
+  // Unsigned arithmetic: a faulty ledger still mismatches (mod 2^64).
+  const uint64_t expected =
+      budget.burst() + budget.credited_pages() - budget.consumed_pages();
+  if (budget.tokens_raw() != expected) {
+    out.Fail("migration-budget-ledger",
+             "balance " + std::to_string(budget.tokens_raw()) +
+                 " != burst " + std::to_string(budget.burst()) + " + credited " +
+                 std::to_string(budget.credited_pages()) + " - consumed " +
+                 std::to_string(budget.consumed_pages()));
+  }
+  if (budget.tokens_raw() > budget.burst()) {
+    out.Fail("migration-budget-ledger",
+             "balance " + std::to_string(budget.tokens_raw()) +
+                 " exceeds burst capacity " + std::to_string(budget.burst()));
+  }
+}
+
+void CheckMemtisSampleLedger(const MemtisPolicy& policy, AuditCollector& out) {
+  out.BeginCheck();
+  const PebsSampler& sampler = policy.sampler();
+  const uint64_t produced = sampler.stats().total_samples();
+  if (policy.samples_processed() != produced) {
+    out.Fail("memtis-sample-ledger",
+             "policy processed " + std::to_string(policy.samples_processed()) +
+                 " samples but the sampler produced " + std::to_string(produced));
+  }
+  const uint64_t expected_busy = produced * sampler.config().sample_cost_ns;
+  if (sampler.busy_ns() != expected_busy) {
+    out.Fail("memtis-sample-ledger",
+             "sampler busy time " + std::to_string(sampler.busy_ns()) +
+                 " ns != " + std::to_string(produced) + " samples x " +
+                 std::to_string(sampler.config().sample_cost_ns) + " ns");
+  }
+}
+
+void CheckMemtisHistogramMass(const MemtisPolicy& policy,
+                              const MemorySystem& mem, AuditCollector& out) {
+  out.BeginCheck();
+  const uint64_t mapped = mem.mapped_4k_pages();
+  if (policy.page_histogram().total() != mapped) {
+    out.Fail("memtis-histogram-mass",
+             "page histogram mass " +
+                 std::to_string(policy.page_histogram().total()) + " != " +
+                 std::to_string(mapped) + " mapped 4k pages");
+  }
+  if (policy.base_histogram().total() != mapped) {
+    out.Fail("memtis-histogram-mass",
+             "base histogram mass " +
+                 std::to_string(policy.base_histogram().total()) + " != " +
+                 std::to_string(mapped) + " mapped 4k pages");
+  }
+}
+
+void CheckMemtisHistogramsFull(const MemtisPolicy& policy, MemorySystem& mem,
+                               AuditCollector& out) {
+  out.BeginCheck();
+  std::string err;
+  if (!policy.ValidateHistograms(mem, &err)) {
+    out.Fail("memtis-histogram-full", err);
+  }
+}
+
+// --- InvariantAuditor ---------------------------------------------------------
+
+InvariantAuditor::InvariantAuditor() : InvariantAuditor(Options()) {}
+
+InvariantAuditor::InvariantAuditor(const Options& options)
+    : options_(options),
+      collector_(&report_, options.abort_on_violation,
+                 options.max_recorded_violations) {
+  RegisterDefaultChecks();
+}
+
+void InvariantAuditor::RegisterCheck(std::string name, bool expensive,
+                                     CheckFn fn) {
+  checks_.push_back(Check{std::move(name), expensive, std::move(fn)});
+}
+
+void InvariantAuditor::RegisterDefaultChecks() {
+  RegisterCheck("frame-conservation", false, [](Engine& e, AuditCollector& out) {
+    CheckFrameConservation(e.mem(), out);
+  });
+  RegisterCheck("page-table-mapping", false, [](Engine& e, AuditCollector& out) {
+    CheckPageTableMapping(e.mem(), out);
+  });
+  RegisterCheck("huge-page-accounting", false,
+                [](Engine& e, AuditCollector& out) {
+                  CheckHugePageAccounting(e.mem(), out);
+                });
+  RegisterCheck("tlb-coherence", false, [](Engine& e, AuditCollector& out) {
+    CheckTlbCoherence(e.tlb(), e.mem(), out);
+  });
+  RegisterCheck("tlb-access-ledger", false, [](Engine& e, AuditCollector& out) {
+    out.BeginCheck();
+    const TlbStats& stats = e.tlb().stats();
+    if (stats.hits() + stats.misses() != e.accesses()) {
+      out.Fail("tlb-access-ledger",
+               std::to_string(stats.hits()) + " hits + " +
+                   std::to_string(stats.misses()) + " misses != " +
+                   std::to_string(e.accesses()) + " accesses");
+    }
+  });
+  RegisterCheck("migration-budget-ledger", false,
+                [](Engine& e, AuditCollector& out) {
+                  CheckMigrationLedger(e.ctx().migration_budget, out);
+                });
+  RegisterCheck("memtis-sample-ledger", false,
+                [](Engine& e, AuditCollector& out) {
+                  const auto* p = dynamic_cast<MemtisPolicy*>(&e.policy());
+                  if (p != nullptr) {
+                    CheckMemtisSampleLedger(*p, out);
+                  }
+                });
+  RegisterCheck("memtis-histogram-mass", false,
+                [](Engine& e, AuditCollector& out) {
+                  const auto* p = dynamic_cast<MemtisPolicy*>(&e.policy());
+                  if (p != nullptr) {
+                    CheckMemtisHistogramMass(*p, e.mem(), out);
+                  }
+                });
+  RegisterCheck("memtis-histogram-full", true,
+                [](Engine& e, AuditCollector& out) {
+                  const auto* p = dynamic_cast<MemtisPolicy*>(&e.policy());
+                  if (p != nullptr) {
+                    CheckMemtisHistogramsFull(*p, e.mem(), out);
+                  }
+                });
+}
+
+void InvariantAuditor::OnTick(Engine& engine) {
+  ++ticks_seen_;
+  if (!options_.every_tick) {
+    return;
+  }
+  if (options_.tick_stride > 1 && ticks_seen_ % options_.tick_stride != 0) {
+    return;
+  }
+  ++audits_run_;
+  const bool expensive = options_.expensive_stride != 0 &&
+                         audits_run_ % options_.expensive_stride == 0;
+  AuditNow(engine, expensive);
+  ++report_.ticks_audited;
+}
+
+void InvariantAuditor::OnRunEnd(Engine& engine) {
+  AuditNow(engine, /*include_expensive=*/true);
+}
+
+void InvariantAuditor::AuditNow(Engine& engine, bool include_expensive) {
+  collector_.SetContext(engine.now_ns(), ticks_seen_);
+  for (const Check& check : checks_) {
+    if (check.expensive && !include_expensive) {
+      continue;
+    }
+    check.fn(engine, collector_);
+  }
+}
+
+}  // namespace memtis

@@ -112,27 +112,52 @@ double BuddyAllocator::huge_block_ratio() const {
   return static_cast<double>(huge_free) / static_cast<double>(free_frames_);
 }
 
-bool BuddyAllocator::CheckConsistency() const {
+bool BuddyAllocator::CheckConsistency(std::string* error) const {
+  const auto fail = [error](std::string detail) {
+    if (error != nullptr) {
+      *error = std::move(detail);
+    }
+    return false;
+  };
   std::vector<uint8_t> covered(total_frames_, 0);
   uint64_t counted = 0;
   for (int order = 0; order <= kMaxOrder; ++order) {
     for (FrameId f = free_head_[order]; f != kNil; f = links_[f].next) {
       if (!IsFreeHead(f, order)) {
-        return false;
+        return fail("frame " + std::to_string(f) + " on order-" +
+                    std::to_string(order) + " free list has state " +
+                    std::to_string(state_[f]));
       }
       if ((f & ((1ULL << order) - 1)) != 0) {
-        return false;
+        return fail("misaligned order-" + std::to_string(order) + " free block at " +
+                    std::to_string(f));
       }
       for (uint64_t i = 0; i < (1ULL << order); ++i) {
         if (covered[f + i]) {
-          return false;  // overlap between free blocks
+          return fail("frame " + std::to_string(f + i) +
+                      " covered by two free blocks");
         }
         covered[f + i] = 1;
       }
       counted += 1ULL << order;
     }
   }
-  return counted == free_frames_;
+  if (counted != free_frames_) {
+    return fail("free lists hold " + std::to_string(counted) +
+                " frames but free_frames() is " + std::to_string(free_frames_));
+  }
+  return true;
+}
+
+std::array<uint64_t, BuddyAllocator::kMaxOrder + 1> BuddyAllocator::FreeBlockCounts()
+    const {
+  std::array<uint64_t, kMaxOrder + 1> counts{};
+  for (int order = 0; order <= kMaxOrder; ++order) {
+    for (FrameId f = free_head_[order]; f != kNil; f = links_[f].next) {
+      ++counts[order];
+    }
+  }
+  return counts;
 }
 
 }  // namespace memtis

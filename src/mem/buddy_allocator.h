@@ -8,8 +8,10 @@
 #ifndef MEMTIS_SIM_SRC_MEM_BUDDY_ALLOCATOR_H_
 #define MEMTIS_SIM_SRC_MEM_BUDDY_ALLOCATOR_H_
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/mem/types.h"
@@ -41,9 +43,16 @@ class BuddyAllocator {
   // free space is fully defragmented. Diagnostic only.
   double huge_block_ratio() const;
 
-  // Internal-consistency audit used by tests: walks all free lists and checks
-  // block alignment, no overlaps, and that free_frames() matches.
-  bool CheckConsistency() const;
+  // Internal-consistency audit used by tests and the runtime auditor: walks
+  // all free lists and checks block alignment, no overlaps, and that
+  // free_frames() matches. The diagnostic variant describes the first
+  // inconsistency found in `error` (unchanged when consistent).
+  bool CheckConsistency() const { return CheckConsistency(nullptr); }
+  bool CheckConsistency(std::string* error) const;
+
+  // Number of free blocks currently queued at each order (walks the free
+  // lists; diagnostic/observability only).
+  std::array<uint64_t, kMaxOrder + 1> FreeBlockCounts() const;
 
  private:
   struct Block {

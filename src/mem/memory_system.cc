@@ -33,6 +33,7 @@ MemorySystem::MemorySystem(const MemoryConfig& config)
           }
         }
         ++pinned_frames_;
+        ++pinned_per_tier_[static_cast<int>(tier.id())];
       }
     }
   }
@@ -400,7 +401,23 @@ double MemorySystem::huge_page_ratio() const {
   return static_cast<double>(huge_4k) / static_cast<double>(mapped_4k_);
 }
 
-bool MemorySystem::CheckConsistency() const {
+uint64_t MemorySystem::RecountMapped4kInTier(TierId id) const {
+  uint64_t mapped = 0;
+  for (const PageInfo& p : pages_) {
+    if (p.live && p.tier == id) {
+      mapped += p.size_pages();
+    }
+  }
+  return mapped;
+}
+
+bool MemorySystem::CheckConsistency(std::string* error) const {
+  const auto fail = [error](std::string detail) {
+    if (error != nullptr) {
+      *error = std::move(detail);
+    }
+    return false;
+  };
   uint64_t mapped = 0;
   uint64_t live = 0;
   for (PageIndex i = 0; i < pages_.size(); ++i) {
@@ -413,21 +430,35 @@ bool MemorySystem::CheckConsistency() const {
     mapped += n;
     for (uint64_t j = 0; j < n; ++j) {
       if (p.base_vpn + j >= page_table_.size() || page_table_[p.base_vpn + j] != i) {
-        return false;
+        return fail("page " + std::to_string(i) + " (vpn " +
+                    std::to_string(p.base_vpn) + " + " + std::to_string(j) +
+                    ") not mapped back by the page table");
       }
     }
     if (p.kind == PageKind::kHuge && p.huge == nullptr) {
-      return false;
+      return fail("huge page " + std::to_string(i) + " has no HugePageMeta");
     }
   }
-  if (mapped != mapped_4k_ || live != live_pages_) {
-    return false;
+  if (mapped != mapped_4k_) {
+    return fail("recounted mapped 4k pages " + std::to_string(mapped) +
+                " != tracked " + std::to_string(mapped_4k_));
+  }
+  if (live != live_pages_) {
+    return fail("recounted live pages " + std::to_string(live) + " != tracked " +
+                std::to_string(live_pages_));
   }
   if (mapped + pinned_frames_ != tiers_[0].used_frames() + tiers_[1].used_frames()) {
-    return false;
+    return fail("mapped " + std::to_string(mapped) + " + pinned " +
+                std::to_string(pinned_frames_) + " != used frames " +
+                std::to_string(tiers_[0].used_frames() + tiers_[1].used_frames()));
   }
-  return tiers_[0].allocator().CheckConsistency() &&
-         tiers_[1].allocator().CheckConsistency();
+  std::string buddy_error;
+  for (const MemoryTier& tier : tiers_) {
+    if (!tier.allocator().CheckConsistency(&buddy_error)) {
+      return fail(tier.name() + " tier buddy allocator: " + buddy_error);
+    }
+  }
+  return true;
 }
 
 }  // namespace memtis

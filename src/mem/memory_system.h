@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/mem/page.h"
@@ -153,6 +154,21 @@ class MemorySystem {
   uint64_t live_page_count() const { return live_pages_; }
   uint64_t mapped_4k_pages() const { return mapped_4k_; }
 
+  // --- Audit introspection ----------------------------------------------------
+
+  // Frames permanently pinned by start-up fragmentation, per tier / total.
+  uint64_t pinned_frames(TierId id) const {
+    return pinned_per_tier_[static_cast<int>(id)];
+  }
+  uint64_t pinned_frames_total() const { return pinned_frames_; }
+
+  // 4 KiB pages currently mapped into frames of `id`, recounted from the live
+  // page metadata (O(page slots); audit/diagnostic use).
+  uint64_t RecountMapped4kInTier(TierId id) const;
+
+  // Number of live regions in the virtual address space.
+  uint64_t region_count() const { return regions_.size(); }
+
   // Resident set size in 4 KiB frames (all app-allocated frames, both tiers;
   // excludes frames pinned by start-up fragmentation).
   uint64_t rss_pages() const {
@@ -175,8 +191,11 @@ class MemorySystem {
   const MigrationStats& migration_stats() const { return migration_stats_; }
   MigrationStats& mutable_migration_stats() { return migration_stats_; }
 
-  // Consistency audit for tests: page table <-> pages <-> allocators agree.
-  bool CheckConsistency() const;
+  // Consistency audit for tests and the runtime auditor: page table <-> pages
+  // <-> allocators agree. The diagnostic variant describes the first mismatch
+  // in `error` (unchanged when consistent).
+  bool CheckConsistency() const { return CheckConsistency(nullptr); }
+  bool CheckConsistency(std::string* error) const;
 
  private:
   struct Region {
@@ -209,7 +228,8 @@ class MemorySystem {
   uint64_t live_pages_ = 0;
   uint64_t mapped_4k_ = 0;
 
-  uint64_t pinned_frames_ = 0;  // start-up fragmentation pins
+  uint64_t pinned_frames_ = 0;  // start-up fragmentation pins (total)
+  uint64_t pinned_per_tier_[kNumTiers] = {0, 0};
 
   std::map<Vpn, Region> regions_;         // live regions by start vpn
   std::map<Vpn, uint64_t> free_vpn_ranges_;  // start vpn -> num pages

@@ -54,6 +54,27 @@ class Tlb {
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }
 
+  // Audit introspection: visits every currently valid entry as
+  // fn(Vpn, PageKind). Base entries report the exact vpn; huge entries the
+  // huge-aligned base vpn.
+  template <typename Fn>
+  void ForEachValidEntry(Fn&& fn) const {
+    for (const Vpn tag : base_tags_) {
+      if (tag != 0) {
+        fn(tag - 1, PageKind::kBase);
+      }
+    }
+    for (const Vpn tag : huge_tags_) {
+      if (tag != 0) {
+        // Huge tags store the huge-page number; report the base vpn.
+        fn((tag - 1) << kHugeOrder, PageKind::kHuge);
+      }
+    }
+  }
+
+  uint32_t base_capacity() const { return base_mask_ + 1; }
+  uint32_t huge_capacity() const { return huge_mask_ + 1; }
+
  private:
   static uint32_t RoundPow2(uint32_t v);
 

@@ -88,6 +88,7 @@ void MemtisPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
     return;
   }
   ctx.ChargeDaemon(DaemonKind::kSampler, sampler_.AccountSample(ctx.now_ns));
+  ++samples_processed_;
   SIM_DCHECK(page.cooling_epoch == cool_epoch_);
 
   // Update page (and subpage) hotness and both histograms.
@@ -577,13 +578,15 @@ void MemtisPolicy::RefillDemotionList(PolicyContext& ctx) {
   }
 }
 
-bool MemtisPolicy::ValidateHistograms(MemorySystem& mem) const {
+bool MemtisPolicy::ValidateHistograms(MemorySystem& mem, std::string* error) const {
   AccessHistogram expected_hist;
   AccessHistogram expected_base;
-  bool cached_bins_ok = true;
-  mem.ForEachLivePage([&](PageIndex, PageInfo& page) {
+  PageIndex bad_bin_page = kInvalidPage;
+  mem.ForEachLivePage([&](PageIndex index, PageInfo& page) {
     const int bin = AccessHistogram::BinOf(page.hotness());
-    cached_bins_ok &= bin == page.histogram_bin;
+    if (bin != page.histogram_bin && bad_bin_page == kInvalidPage) {
+      bad_bin_page = index;
+    }
     expected_hist.Add(bin, page.size_pages());
     if (page.kind == PageKind::kHuge) {
       for (uint32_t c : page.huge->subpage_count) {
@@ -594,12 +597,35 @@ bool MemtisPolicy::ValidateHistograms(MemorySystem& mem) const {
     }
   });
   for (int b = 0; b < AccessHistogram::kBins; ++b) {
-    if (expected_hist.count(b) != hist_.count(b) ||
-        expected_base.count(b) != base_hist_.count(b)) {
+    if (expected_hist.count(b) != hist_.count(b)) {
+      if (error != nullptr) {
+        *error = "page histogram bin " + std::to_string(b) + ": tracked " +
+                 std::to_string(hist_.count(b)) + " units, recomputed " +
+                 std::to_string(expected_hist.count(b));
+      }
+      return false;
+    }
+    if (expected_base.count(b) != base_hist_.count(b)) {
+      if (error != nullptr) {
+        *error = "base histogram bin " + std::to_string(b) + ": tracked " +
+                 std::to_string(base_hist_.count(b)) + " units, recomputed " +
+                 std::to_string(expected_base.count(b));
+      }
       return false;
     }
   }
-  return cached_bins_ok;
+  if (bad_bin_page != kInvalidPage) {
+    if (error != nullptr) {
+      *error = "page " + std::to_string(bad_bin_page) +
+               " caches histogram_bin " +
+               std::to_string(mem.page(bad_bin_page).histogram_bin) +
+               " but its hotness maps to bin " +
+               std::to_string(
+                   AccessHistogram::BinOf(mem.page(bad_bin_page).hotness()));
+    }
+    return false;
+  }
+  return true;
 }
 
 ClassifiedSizes MemtisPolicy::Classify(PolicyContext& ctx) {

@@ -14,6 +14,7 @@
 #ifndef MEMTIS_SIM_SRC_MEMTIS_MEMTIS_POLICY_H_
 #define MEMTIS_SIM_SRC_MEMTIS_MEMTIS_POLICY_H_
 
+#include <string>
 #include <vector>
 
 #include "src/access/pebs_sampler.h"
@@ -59,6 +60,7 @@ class MemtisPolicy : public TieringPolicy {
   const PebsSampler& sampler() const { return sampler_; }
   int hot_threshold_bin() const { return thresholds_.hot; }
   int warm_threshold_bin() const { return thresholds_.warm; }
+  int cold_threshold_bin() const { return thresholds_.cold; }
   const AccessHistogram& page_histogram() const { return hist_; }
   const AccessHistogram& base_histogram() const { return base_hist_; }
   // Mean of the window eHR estimates over the whole run (Fig. 12).
@@ -67,10 +69,29 @@ class MemtisPolicy : public TieringPolicy {
     return rhr_stat_.count() == 0 ? 0.0 : rhr_stat_.mean();
   }
 
+  // Samples this policy has drained from the sampler and folded into the
+  // histograms. The audit layer checks this ledger against the sampler's own
+  // sample count: the two advance in lock step, so any drift means samples
+  // were produced but never reached the histogram pipeline (or vice versa).
+  uint64_t samples_processed() const { return samples_processed_; }
+
+  // Queue backlogs, for per-epoch observability.
+  uint64_t promotion_backlog() const { return promotion_list_.size(); }
+  uint64_t demotion_backlog() const { return demotion_list_.size(); }
+  uint64_t split_backlog() const { return split_queue_.size(); }
+
+  // Test-only fault injection: direct sampler access, used to desynchronize
+  // the sample ledger in auditor tests.
+  PebsSampler& TestOnlyMutableSampler() { return sampler_; }
+
   // Test/debug audit: recomputes both histograms from the live page metadata
   // and compares them (and every cached bin) against the incrementally
   // maintained state. O(pages x subpages); returns false on any mismatch.
-  bool ValidateHistograms(MemorySystem& mem) const;
+  // The diagnostic variant describes the first mismatch in `error`.
+  bool ValidateHistograms(MemorySystem& mem) const {
+    return ValidateHistograms(mem, nullptr);
+  }
+  bool ValidateHistograms(MemorySystem& mem, std::string* error) const;
 
  private:
   // Hotness of one 4 KiB unit when treated as a base page (used by the
@@ -111,6 +132,7 @@ class MemtisPolicy : public TieringPolicy {
   uint32_t cool_epoch_ = 0;
 
   // Sample-driven event counters.
+  uint64_t samples_processed_ = 0;  // lifetime ledger (audit cross-check)
   uint64_t samples_since_adapt_ = 0;
   uint64_t samples_since_cool_ = 0;
   uint64_t samples_since_estimate_ = 0;

@@ -11,6 +11,7 @@
 //   memtis_run --config=sweep.conf --threads=8
 //   memtis_run --smoke        # tiny sweep used as a ctest smoke case
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +34,7 @@ struct CliOptions {
   SinkOptions sink;
   std::string format = "json";  // "json" | "csv"
   std::string out;              // empty or "-" -> stdout
+  std::string audit_out;        // --audit-json sink (empty = none)
   int threads = 0;              // 0 -> ThreadPool::DefaultThreadCount()
   bool quiet = false;
   bool smoke = false;
@@ -69,7 +71,15 @@ void PrintUsage() {
       "                         later flags override earlier ones\n"
       "  --quiet                suppress the progress line\n"
       "  --smoke                run a tiny fixed sweep (ctest tier-1 case)\n"
-      "  --help                 this text\n");
+      "  --help                 this text\n"
+      "\n"
+      "Auditing (see README \"Auditing and epoch telemetry\"):\n"
+      "  --audit                run every job under the invariant auditor;\n"
+      "                         exit 1 if any invariant is violated\n"
+      "  --audit-json=FILE      write per-job audit reports + epoch telemetry\n"
+      "                         to FILE (implies --audit; \"-\" = stdout)\n"
+      "  --audit-epoch-ns=N     epoch telemetry cadence in virtual ns\n"
+      "                         (default 1000000 with --audit-json; 0 = off)\n");
 }
 
 std::vector<std::string> SplitList(const std::string& csv) {
@@ -228,6 +238,22 @@ bool ApplyOption(const std::string& key, const std::string& value, CliOptions* c
     cli->quiet = true;
     return true;
   }
+  if (key == "audit") {
+    cli->sweep.audit = true;
+    return true;
+  }
+  if (key == "audit-json") {
+    cli->sweep.audit = true;
+    cli->audit_out = value.empty() ? "-" : value;
+    if (cli->sweep.audit_epoch_interval_ns == 0) {
+      cli->sweep.audit_epoch_interval_ns = 1'000'000;
+    }
+    return true;
+  }
+  if (key == "audit-epoch-ns") {
+    cli->sweep.audit_epoch_interval_ns = std::strtoull(value.c_str(), nullptr, 10);
+    return true;
+  }
   if (key == "config") {
     return ApplyConfigFile(value, cli);
   }
@@ -302,7 +328,12 @@ int Main(int argc, char** argv) {
   if (cli.smoke) {
     // Fixed tiny sweep exercising two systems, two workloads, and the
     // baseline path; finishes in seconds so tier-1 ctest can afford it.
+    // Audit flags survive the reset so --smoke --audit-json works.
+    const bool audit = cli.sweep.audit;
+    const uint64_t audit_epoch_ns = cli.sweep.audit_epoch_interval_ns;
     cli.sweep = SweepSpec{};
+    cli.sweep.audit = audit;
+    cli.sweep.audit_epoch_interval_ns = audit_epoch_ns;
     cli.sweep.systems = {"memtis", "autonuma"};
     cli.sweep.benchmarks = {"btree", "silo"};
     cli.sweep.fast_ratios = {1.0 / 3.0};
@@ -346,7 +377,28 @@ int Main(int argc, char** argv) {
   const std::string data = cli.format == "csv"
                                ? SweepToCsv(jobs, results)
                                : SweepToJson(cli.sweep, jobs, results, cli.sink);
-  return WriteResultFile(cli.out, data) ? 0 : 1;
+  if (!WriteResultFile(cli.out, data)) {
+    return 1;
+  }
+
+  if (cli.sweep.audit) {
+    uint64_t violations = 0;
+    for (const JobResult& r : results) {
+      violations += r.audit_report.violations_total;
+    }
+    if (!cli.audit_out.empty() &&
+        !WriteResultFile(cli.audit_out, AuditToJson(jobs, results, cli.sink))) {
+      return 1;
+    }
+    if (!cli.quiet || violations != 0) {
+      std::fprintf(stderr, "memtis_run: audit %s (%" PRIu64 " violations)\n",
+                   violations == 0 ? "clean" : "FAILED", violations);
+    }
+    if (violations != 0) {
+      return 1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace

@@ -227,6 +227,25 @@ std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs
   return out;
 }
 
+std::string CsvEscape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quotes) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') {
+      out.push_back('"');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 std::string SweepToCsv(const std::vector<JobSpec>& jobs,
                        const std::vector<JobResult>& results) {
   SIM_CHECK(jobs.size() == results.size());
@@ -242,9 +261,9 @@ std::string SweepToCsv(const std::vector<JobSpec>& jobs,
     const Metrics& m = r.metrics;
     out += std::to_string(i);
     out += ',';
-    out += spec.system;
+    out += CsvEscape(spec.system);
     out += ',';
-    out += spec.benchmark;
+    out += CsvEscape(spec.benchmark);
     out += ',';
     out += spec.machine_name();
     out += ',';
@@ -289,6 +308,64 @@ std::string SweepToCsv(const std::vector<JobSpec>& jobs,
     out += JsonWriter::FormatDouble(r.sampler_cpu);
     out += '\n';
   }
+  return out;
+}
+
+std::string AuditToJson(const std::vector<JobSpec>& jobs,
+                        const std::vector<JobResult>& results,
+                        const SinkOptions& options) {
+  SIM_CHECK(jobs.size() == results.size());
+  uint64_t jobs_audited = 0;
+  uint64_t violations_total = 0;
+  for (const JobResult& r : results) {
+    if (r.audited) {
+      ++jobs_audited;
+      violations_total += r.audit_report.violations_total;
+    }
+  }
+
+  std::string out;
+  JsonWriter w(&out, options.indent);
+  w.BeginObject();
+  w.Field("schema_version", static_cast<uint64_t>(1));
+  w.Key("summary");
+  w.BeginObject();
+  w.Field("jobs", static_cast<uint64_t>(jobs.size()));
+  w.Field("jobs_audited", jobs_audited);
+  w.Field("violations_total", violations_total);
+  w.Field("ok", violations_total == 0);
+  w.EndObject();
+  w.Key("jobs");
+  w.BeginArray();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!results[i].audited) {
+      continue;
+    }
+    const JobResult& r = results[i];
+    w.BeginObject();
+    w.Field("id", static_cast<uint64_t>(i));
+    WriteSpecFields(w, jobs[i]);
+    w.Key("report");
+    r.audit_report.WriteJson(w);
+    if (r.epoch_interval_ns != 0) {
+      w.Key("epochs");
+      w.BeginObject();
+      w.Field("interval_ns", r.epoch_interval_ns);
+      w.Field("recorded_total", r.epochs_recorded_total);
+      w.Field("dropped", r.epochs_recorded_total - r.epochs.size());
+      w.Key("samples");
+      w.BeginArray();
+      for (const EpochSample& s : r.epochs) {
+        s.WriteJson(w);
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  out.push_back('\n');
   return out;
 }
 

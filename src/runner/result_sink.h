@@ -65,6 +65,18 @@ std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs
 std::string SweepToCsv(const std::vector<JobSpec>& jobs,
                        const std::vector<JobResult>& results);
 
+// RFC 4180 CSV field escaping: fields containing a comma, double quote, CR,
+// or LF are wrapped in double quotes with embedded quotes doubled; all other
+// fields pass through unchanged.
+std::string CsvEscape(std::string_view field);
+
+// The audit document for --audit-json: per-job invariant reports and (when
+// recorded) epoch telemetry, plus a sweep-level summary. Schema in the
+// README under "Auditing and epoch telemetry".
+std::string AuditToJson(const std::vector<JobSpec>& jobs,
+                        const std::vector<JobResult>& results,
+                        const SinkOptions& options = {});
+
 // Writes `data` to `path`, or to stdout when path is empty or "-".
 // Returns false (with a note on stderr) if the file cannot be written.
 bool WriteResultFile(const std::string& path, std::string_view data);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 
+#include "src/audit/audit_session.h"
 #include "src/common/check.h"
 #include "src/common/json.h"
 #include "src/memtis/policy_registry.h"
@@ -76,10 +78,35 @@ JobResult RunJob(const JobSpec& spec) {
   opts.snapshot_interval_ns = spec.snapshot_interval_ns;
   opts.cpu_contention = spec.cpu_contention;
   opts.seed = spec.engine_seed;
+
+  // Auditing: the spec's request wins (collect mode); otherwise the
+  // MEMTIS_AUDIT env hook may install an abort-on-violation session. One
+  // session per job — RunJob stays thread-safe.
+  std::unique_ptr<AuditSession> audit;
+  if (spec.audit) {
+    AuditSessionOptions audit_opts;
+    audit_opts.record_epochs = spec.audit_epoch_interval_ns != 0;
+    audit_opts.epochs.interval_ns =
+        spec.audit_epoch_interval_ns != 0 ? spec.audit_epoch_interval_ns
+                                          : audit_opts.epochs.interval_ns;
+    audit = std::make_unique<AuditSession>(audit_opts);
+  } else {
+    audit = MakeEnvAuditSession();
+  }
+  opts.audit = audit.get();
   Engine engine(machine, *policy, opts);
 
   JobResult out;
   out.metrics = engine.Run(*workload);
+  if (spec.audit) {
+    out.audited = true;
+    out.audit_report = audit->report();
+    if (const EpochRecorder* recorder = audit->recorder()) {
+      out.epoch_interval_ns = recorder->options().interval_ns;
+      out.epochs_recorded_total = recorder->recorded_total();
+      out.epochs = recorder->samples();
+    }
+  }
   out.footprint_bytes = footprint;
   out.fast_bytes = fast;
   if (auto* memtis = dynamic_cast<MemtisPolicy*>(policy.get())) {
@@ -127,6 +154,8 @@ std::vector<JobSpec> ExpandJobs(const SweepSpec& sweep) {
           cell.snapshot_interval_ns = sweep.snapshot_interval_ns;
           cell.footprint_scale = sweep.footprint_scale;
           cell.fast_bytes_override = sweep.fast_bytes_override;
+          cell.audit = sweep.audit;
+          cell.audit_epoch_interval_ns = sweep.audit_epoch_interval_ns;
           if (sweep.include_baseline) {
             JobSpec baseline = cell;
             baseline.system = "all-capacity";

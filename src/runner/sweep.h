@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "src/audit/audit.h"
+#include "src/audit/epoch_recorder.h"
 #include "src/memtis/memtis_policy.h"
 #include "src/runner/thread_pool.h"
 #include "src/sim/metrics.h"
@@ -68,6 +70,14 @@ struct JobSpec {
   uint64_t base_seed = 0;
   uint32_t seed_index = 0;
   uint64_t engine_seed = 42;
+  // Auditing (src/audit/): when set, the job runs under the invariant auditor
+  // (violations collected into JobResult::audit_report) and, if
+  // audit_epoch_interval_ns != 0, records per-epoch telemetry at that cadence.
+  // Auditing is observation-only — metrics are byte-identical either way
+  // (tests/differential_test.cc). Independent of the MEMTIS_AUDIT env hook,
+  // which additionally audits every job in abort-on-violation mode.
+  bool audit = false;
+  uint64_t audit_epoch_interval_ns = 0;
   // Optional hook to tweak the MEMTIS config (sensitivity sweeps); applied
   // only when the system is a MEMTIS variant. A std::function so sweeps can
   // capture per-cell state (e.g. Fig. 13's interval multipliers).
@@ -93,6 +103,12 @@ struct JobResult {
   uint64_t pebs_store_period = 0;
   // HeMem introspection.
   uint64_t hemem_overalloc_bytes = 0;
+  // Audit outputs (valid when the spec requested auditing).
+  bool audited = false;
+  AuditReport audit_report;
+  uint64_t epoch_interval_ns = 0;
+  uint64_t epochs_recorded_total = 0;
+  std::vector<EpochSample> epochs;
 };
 
 // Runs one cell to completion. Thread-safe: builds its own workload, policy,
@@ -119,6 +135,9 @@ struct SweepSpec {
   // Also run the "all-capacity" baseline once per (benchmark, machine, ratio,
   // seed) so sinks can report normalized performance.
   bool include_baseline = false;
+  // Audit every job (see JobSpec::audit / audit_epoch_interval_ns).
+  bool audit = false;
+  uint64_t audit_epoch_interval_ns = 0;
 };
 
 // Expands the product in a deterministic order: for each benchmark, machine,

@@ -81,6 +81,9 @@ Metrics Engine::Run(Workload& workload) {
   metrics_.peak_rss_pages = std::max(metrics_.peak_rss_pages, mem_.rss_pages());
   metrics_.final_fast_used_pages = mem_.fast_tier_pages();
   metrics_.final_huge_ratio = mem_.huge_page_ratio();
+  if (options_.audit != nullptr) {
+    options_.audit->OnRunEnd(*this);
+  }
   return metrics_;
 }
 
@@ -157,6 +160,9 @@ void Engine::MaybeTickAndSnapshot() {
                              now_ns_ - now_ns_ % options_.tick_quantum_ns +
                                  options_.tick_quantum_ns);
     metrics_.peak_rss_pages = std::max(metrics_.peak_rss_pages, mem_.rss_pages());
+    if (options_.audit != nullptr) {
+      options_.audit->OnTick(*this);
+    }
   }
   if (options_.snapshot_interval_ns != 0 && now_ns_ >= next_snapshot_ns_) {
     TakeSnapshot();

@@ -23,6 +23,21 @@
 namespace memtis {
 
 class TraceWriter;
+class Engine;
+
+// Observation hook driven by the engine: OnTick fires after every daemon tick,
+// OnRunEnd after each Run() returns (with final metrics filled in). The audit
+// layer (src/audit/) implements this to run invariant checks and record
+// per-epoch telemetry. Implementations MUST be observation-only — calling
+// anything that mutates simulation state (allocations, migrations, token
+// refills) would break the bit-for-bit reproducibility the audit layer exists
+// to certify; tests/differential_test.cc enforces this.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void OnTick(Engine& engine) { (void)engine; }
+  virtual void OnRunEnd(Engine& engine) { (void)engine; }
+};
 
 struct MachineConfig {
   MemoryConfig mem;
@@ -48,6 +63,8 @@ struct EngineOptions {
   uint64_t seed = 42;
   // Optional access-trace recording (see src/trace/trace.h). Not owned.
   TraceWriter* trace = nullptr;
+  // Optional audit/observability hook (see src/audit/). Not owned.
+  EngineObserver* audit = nullptr;
 };
 
 class Engine {

@@ -27,12 +27,33 @@ class MigrationBudget {
       return false;
     }
     tokens_ -= pages;
+    consumed_pages_ += pages;
     return true;
   }
 
   uint64_t tokens(uint64_t now_ns) {
     Refill(now_ns);
     return tokens_;
+  }
+
+  // --- Audit introspection (all side-effect free) -----------------------------
+  //
+  // The ledger invariant certified by src/audit/: starting balance (the burst)
+  // plus every credited refill minus every consumed token equals the current
+  // balance. `tokens_raw` deliberately does NOT refill: reading the bucket
+  // during an audit must not change refill rounding, or auditing would perturb
+  // the simulation.
+  uint64_t tokens_raw() const { return tokens_; }
+  uint64_t burst() const { return burst_; }
+  uint64_t rate_per_ms() const { return rate_per_ms_; }
+  uint64_t consumed_pages() const { return consumed_pages_; }
+  uint64_t credited_pages() const { return credited_pages_; }
+  uint64_t last_refill_ns() const { return last_refill_ns_; }
+
+  // Test-only fault injection: skews the balance without touching the ledger,
+  // so the auditor's ledger-balance check fires.
+  void TestOnlyAdjustTokens(int64_t delta) {
+    tokens_ = static_cast<uint64_t>(static_cast<int64_t>(tokens_) + delta);
   }
 
  private:
@@ -42,7 +63,11 @@ class MigrationBudget {
     }
     const uint64_t earned = (now_ns - last_refill_ns_) * rate_per_ms_ / 1'000'000;
     if (earned > 0) {
-      tokens_ = std::min(burst_, tokens_ + earned);
+      const uint64_t target = std::min(burst_, tokens_ + earned);
+      if (target > tokens_) {
+        credited_pages_ += target - tokens_;
+        tokens_ = target;
+      }
       last_refill_ns_ = now_ns;
     }
   }
@@ -51,6 +76,8 @@ class MigrationBudget {
   uint64_t burst_;
   uint64_t tokens_;
   uint64_t last_refill_ns_ = 0;
+  uint64_t consumed_pages_ = 0;
+  uint64_t credited_pages_ = 0;
 };
 
 }  // namespace memtis

@@ -5,12 +5,25 @@
 
 #include <vector>
 
+#include "src/audit/audit.h"
 #include "src/memtis/memtis_policy.h"
 #include "src/workloads/registry.h"
 #include "tests/test_util.h"
 
 namespace memtis {
 namespace {
+
+// Runs the component-level audit checks over a bare memory system + TLB and
+// returns the collected report (empty = all invariants hold).
+AuditReport AuditMemorySystem(MemorySystem& mem, const Tlb& tlb) {
+  AuditReport report;
+  AuditCollector out(&report);
+  CheckFrameConservation(mem, out);
+  CheckPageTableMapping(mem, out);
+  CheckHugePageAccounting(mem, out);
+  CheckTlbCoherence(tlb, mem, out);
+  return report;
+}
 
 TEST(Fuzz, MemorySystemRandomOps) {
   Rng rng(2024);
@@ -68,10 +81,12 @@ TEST(Fuzz, MemorySystemRandomOps) {
       }
     }
     if ((step & 63) == 0) {
-      ASSERT_TRUE(mem.CheckConsistency()) << "step " << step;
+      const AuditReport report = AuditMemorySystem(mem, tlb);
+      ASSERT_TRUE(report.ok()) << "step " << step << ": " << report.ToJson(2);
     }
   }
-  ASSERT_TRUE(mem.CheckConsistency());
+  const AuditReport report = AuditMemorySystem(mem, tlb);
+  ASSERT_TRUE(report.ok()) << report.ToJson(2);
 }
 
 class HistogramAuditTest : public ::testing::TestWithParam<std::string> {};
@@ -89,8 +104,13 @@ TEST_P(HistogramAuditTest, IncrementalStateMatchesRecomputation) {
   for (uint64_t budget = 150'000; budget <= 1'200'000; budget += 150'000) {
     engine.set_max_accesses(budget);
     engine.Run(*workload);
-    ASSERT_TRUE(policy.ValidateHistograms(engine.mem())) << "at " << budget;
-    ASSERT_TRUE(engine.mem().CheckConsistency()) << "at " << budget;
+    AuditReport report;
+    AuditCollector out(&report);
+    CheckMemtisHistogramsFull(policy, engine.mem(), out);
+    CheckMemtisHistogramMass(policy, engine.mem(), out);
+    CheckMemtisSampleLedger(policy, out);
+    CheckPageTableMapping(engine.mem(), out);
+    ASSERT_TRUE(report.ok()) << "at " << budget << ": " << report.ToJson(2);
   }
 }
 

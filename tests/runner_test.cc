@@ -2,6 +2,7 @@
 // sweep expansion, aggregation, and — the load-bearing guarantee — that a
 // sweep's serialized output is byte-identical for 1 thread and N threads.
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <string>
@@ -151,6 +152,64 @@ TEST(Sweep, ParallelRunIsByteIdenticalToSerialRun) {
     runtimes.insert(result.metrics.EffectiveRuntimeNs());
   }
   EXPECT_GT(runtimes.size(), 1u);
+}
+
+TEST(CsvEscape, PassesPlainFieldsThroughUnquoted) {
+  EXPECT_EQ(CsvEscape("memtis"), "memtis");
+  EXPECT_EQ(CsvEscape(""), "");
+  EXPECT_EQ(CsvEscape("603.bwaves"), "603.bwaves");
+  EXPECT_EQ(CsvEscape("a b c"), "a b c");  // spaces need no quoting
+}
+
+TEST(CsvEscape, QuotesSeparatorsAndDoublesEmbeddedQuotes) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(CsvEscape("cr\rlf"), "\"cr\rlf\"");
+  EXPECT_EQ(CsvEscape("\""), "\"\"\"\"");
+  EXPECT_EQ(CsvEscape(","), "\",\"");
+}
+
+TEST(SweepToCsv, EmptySweepEmitsHeaderOnly) {
+  const std::string csv = SweepToCsv({}, {});
+  ASSERT_FALSE(csv.empty());
+  EXPECT_EQ(csv.back(), '\n');
+  // Exactly one line: the header.
+  EXPECT_EQ(csv.find('\n'), csv.size() - 1);
+  EXPECT_EQ(csv.rfind("id,system,benchmark,", 0), 0u);
+}
+
+TEST(SweepToCsv, EscapesHostileSystemAndBenchmarkNames) {
+  JobSpec spec;
+  spec.system = "memtis,v2";          // embedded comma
+  spec.benchmark = "bt\"ree\nnight";  // embedded quote + newline
+  JobResult result;
+  result.metrics.accesses = 7;
+  const std::string csv = SweepToCsv({spec}, {result});
+
+  EXPECT_NE(csv.find("\"memtis,v2\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"bt\"\"ree\nnight\""), std::string::npos) << csv;
+
+  // RFC 4180 line accounting: header + data row + the one embedded newline.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(SweepToCsv, SingleJobRowMatchesHeaderArity) {
+  JobSpec spec;
+  spec.system = "autonuma";
+  spec.benchmark = "btree";
+  JobResult result;
+  result.metrics.accesses = 42;
+  const std::string csv = SweepToCsv({spec}, {result});
+
+  const size_t header_end = csv.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string header = csv.substr(0, header_end);
+  const std::string row = csv.substr(header_end + 1);
+  ASSERT_FALSE(row.empty());
+  // Neither line contains quoted fields here, so commas count columns.
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
 }
 
 // RunJob must honour the seed derivation: different seed_index, different

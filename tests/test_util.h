@@ -4,7 +4,9 @@
 #define MEMTIS_SIM_TESTS_TEST_UTIL_H_
 
 #include <cstdint>
+#include <memory>
 
+#include "src/audit/audit_session.h"
 #include "src/sim/engine.h"
 #include "src/sim/policy.h"
 #include "src/sim/workload.h"
@@ -28,6 +30,10 @@ inline Metrics RunPolicy(TieringPolicy& policy, Workload& workload,
   EngineOptions opts;
   opts.max_accesses = accesses;
   opts.snapshot_interval_ns = snapshot_interval_ns;
+  // MEMTIS_AUDIT=1 runs every test engine under the abort-on-violation
+  // auditor (scripts/check.sh's second ctest pass).
+  const std::unique_ptr<AuditSession> audit = MakeEnvAuditSession();
+  opts.audit = audit.get();
   Engine engine(machine, policy, opts);
   return engine.Run(workload);
 }
