@@ -1,0 +1,260 @@
+// hotpath_bench: wall-clock microbenchmarks of the simulator's hot paths.
+//
+// Five tracked benchmarks (see perf_util.h for the JSON schema):
+//   access_replay         engine access pipeline + MEMTIS sampling, ns/access
+//   cooling_scan          one MemtisPolicy cooling event over a live heap
+//   metrics_recount       the per-snapshot metric getters (huge_page_ratio,
+//                         bloat_pages) that every timeline point pays for
+//   split_collapse_churn  one huge-page split + re-collapse round trip
+//   sweep_wallclock       a small multi-job runner sweep through the pool
+//
+// Usage: hotpath_bench [--smoke] [--benchmarks=a,b] [--out=FILE] [--force]
+//   --smoke  tiny iteration counts (the tier-1 ctest perf smoke); never
+//            writes a file.
+//   --out    also write the JSON to FILE — refused unless the binary was
+//            built in a Release tree (or --force), so tracked BENCH numbers
+//            never come from unoptimized builds.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/perf/perf_util.h"
+#include "src/memtis/memtis_policy.h"
+#include "src/runner/sweep.h"
+#include "src/runner/thread_pool.h"
+#include "src/sim/engine.h"
+#include "src/workloads/registry.h"
+
+#ifndef MEMTIS_PERF_BUILD_TYPE
+#define MEMTIS_PERF_BUILD_TYPE "unknown"
+#endif
+
+namespace memtis {
+namespace {
+
+// A live MEMTIS engine state shared by the engine-level benchmarks: the
+// btree model (huge pages with skewed subpage use) at 1:3 fast:capacity.
+struct MemtisState {
+  std::unique_ptr<Workload> workload;
+  MemtisConfig config;
+  MemtisPolicy policy;
+  Engine engine;
+
+  explicit MemtisState(uint64_t warmup_accesses)
+      : workload(MakeWorkload("btree", 0.12)),
+        config(MemtisConfig::ScaledDefaults(workload->footprint_bytes(),
+                                            workload->footprint_bytes() / 3)),
+        policy(config),
+        engine(MachineForFootprint(workload->footprint_bytes()), policy,
+               [&] {
+                 EngineOptions opts;
+                 opts.max_accesses = warmup_accesses;
+                 return opts;
+               }()) {
+    engine.Run(*workload);
+  }
+
+  static MachineConfig MachineForFootprint(uint64_t footprint) {
+    return MakeNvmMachine(footprint / 3, footprint + footprint / 2);
+  }
+};
+
+PerfResult BenchAccessReplay(bool smoke) {
+  const uint64_t warmup = smoke ? 10'000 : 200'000;
+  const uint64_t timed = smoke ? 10'000 : 2'000'000;
+  MemtisState state(warmup);
+  state.engine.set_max_accesses(warmup + timed);
+  const uint64_t t0 = MonotonicNowNs();
+  state.engine.Run(*state.workload);
+  const uint64_t t1 = MonotonicNowNs();
+  Blackhole(state.engine.metrics().accesses);
+  return PerfResult{"access_replay", "access",
+                    state.engine.metrics().accesses - warmup, t1 - t0};
+}
+
+PerfResult BenchCoolingScan(bool smoke) {
+  const uint64_t iters = smoke ? 5 : 400;
+  // Warm up enough that the heap is populated and some subpages carry
+  // samples; repeated forced coolings quickly drive most counters to zero,
+  // which is exactly the all-cold regime real cooling scans spend most of
+  // their time in.
+  MemtisState state(smoke ? 20'000 : 300'000);
+  const uint64_t t0 = MonotonicNowNs();
+  for (uint64_t i = 0; i < iters; ++i) {
+    state.policy.TestOnlyForceCooling(state.engine.ctx());
+  }
+  const uint64_t t1 = MonotonicNowNs();
+  Blackhole(static_cast<uint64_t>(state.policy.stats().coolings));
+  return PerfResult{"cooling_scan", "cooling_scan", iters, t1 - t0};
+}
+
+PerfResult BenchMetricsRecount(bool smoke) {
+  // A heap shaped like a real mid-run snapshot: many huge pages, a block of
+  // them split into base pages (with demand-fault holes).
+  const uint64_t huge_regions = smoke ? 32 : 384;
+  const uint64_t split_every = 3;  // ~1/3 of huge pages splintered
+  MemorySystem mem(MemoryConfig{
+      .fast_frames = huge_regions * kSubpagesPerHuge,
+      .capacity_frames = huge_regions * kSubpagesPerHuge});
+  std::vector<Vaddr> regions;
+  for (uint64_t i = 0; i < huge_regions; ++i) {
+    regions.push_back(mem.AllocateRegion(kHugePageSize, AllocOptions{}));
+  }
+  for (uint64_t i = 0; i < huge_regions; i += split_every) {
+    const PageIndex index = mem.Lookup(VpnOf(regions[i]));
+    PageInfo& page = mem.page(index);
+    for (uint64_t j = 0; j < kSubpagesPerHuge; j += 2) {
+      mem.NoteSubpageAccess(page, j, /*is_write=*/true);
+    }
+    mem.SplitHugePage(index, [](uint32_t j) {
+      return j % 4 == 0 ? TierId::kFast : TierId::kCapacity;
+    });
+  }
+  const uint64_t iters = smoke ? 50 : 20'000;
+  double acc = 0.0;
+  uint64_t bloat = 0;
+  const uint64_t t0 = MonotonicNowNs();
+  for (uint64_t i = 0; i < iters; ++i) {
+    acc += mem.huge_page_ratio();
+    bloat += mem.bloat_pages();
+  }
+  const uint64_t t1 = MonotonicNowNs();
+  Blackhole(acc);
+  Blackhole(bloat);
+  return PerfResult{"metrics_recount", "snapshot_metrics", iters, t1 - t0};
+}
+
+PerfResult BenchSplitCollapseChurn(bool smoke) {
+  const uint64_t cycles = smoke ? 20 : 4000;
+  MemorySystem mem(MemoryConfig{.fast_frames = 4 * kSubpagesPerHuge,
+                                .capacity_frames = 4 * kSubpagesPerHuge});
+  const Vaddr start = mem.AllocateRegion(kHugePageSize, AllocOptions{});
+  const Vpn vpn = VpnOf(start);
+  {
+    PageInfo& page = mem.page(mem.Lookup(vpn));
+    for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
+      mem.NoteSubpageAccess(page, j, /*is_write=*/true);
+    }
+  }
+  const uint64_t t0 = MonotonicNowNs();
+  for (uint64_t i = 0; i < cycles; ++i) {
+    const PageIndex index = mem.Lookup(vpn);
+    mem.SplitHugePage(index, [](uint32_t) { return TierId::kFast; });
+    if (!mem.CollapseToHuge(vpn, TierId::kFast)) {
+      std::fprintf(stderr, "split_collapse_churn: collapse failed\n");
+      break;
+    }
+  }
+  const uint64_t t1 = MonotonicNowNs();
+  Blackhole(mem.migration_stats().splits);
+  return PerfResult{"split_collapse_churn", "churn_cycle", cycles, t1 - t0};
+}
+
+PerfResult BenchSweepWallclock(bool smoke) {
+  SweepSpec sweep;
+  sweep.systems = {"memtis", "hemem"};
+  sweep.benchmarks = {"btree", "silo"};
+  sweep.seeds = smoke ? 1 : 2;
+  sweep.accesses = smoke ? 5'000 : 150'000;
+  ThreadPool pool;
+  const uint64_t t0 = MonotonicNowNs();
+  const SweepRun run = RunSweep(sweep, pool);
+  const uint64_t t1 = MonotonicNowNs();
+  uint64_t total_accesses = 0;
+  for (const JobResult& r : run.results) {
+    total_accesses += r.metrics.accesses;
+  }
+  Blackhole(total_accesses);
+  return PerfResult{"sweep_wallclock", "job", run.jobs.size(), t1 - t0};
+}
+
+struct Registered {
+  const char* name;
+  PerfResult (*fn)(bool smoke);
+};
+
+constexpr Registered kBenchmarks[] = {
+    {"access_replay", BenchAccessReplay},
+    {"cooling_scan", BenchCoolingScan},
+    {"metrics_recount", BenchMetricsRecount},
+    {"split_collapse_churn", BenchSplitCollapseChurn},
+    {"sweep_wallclock", BenchSweepWallclock},
+};
+
+bool WantBenchmark(const std::string& filter, const char* name) {
+  if (filter.empty()) {
+    return true;
+  }
+  size_t pos = 0;
+  while (pos <= filter.size()) {
+    const size_t comma = filter.find(',', pos);
+    const size_t end = comma == std::string::npos ? filter.size() : comma;
+    if (filter.compare(pos, end - pos, name) == 0) {
+      return true;
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return false;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  bool force = false;
+  std::string out_path;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--force") {
+      force = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--benchmarks=", 0) == 0) {
+      filter = arg.substr(13);
+    } else {
+      std::fprintf(stderr,
+                   "usage: hotpath_bench [--smoke] [--benchmarks=a,b] "
+                   "[--out=FILE] [--force]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  const std::string build_type = MEMTIS_PERF_BUILD_TYPE;
+  if (!out_path.empty() && !smoke && build_type != "Release" && !force) {
+    std::fprintf(stderr,
+                 "hotpath_bench: refusing to write %s from a %s build; "
+                 "tracked perf numbers must come from -DCMAKE_BUILD_TYPE="
+                 "Release (use --force to override)\n",
+                 out_path.c_str(), build_type.c_str());
+    return 1;
+  }
+
+  PerfReporter reporter(smoke, build_type);
+  for (const Registered& bench : kBenchmarks) {
+    if (!WantBenchmark(filter, bench.name)) {
+      continue;
+    }
+    reporter.Add(bench.fn(smoke));
+  }
+
+  std::printf("%s\n", reporter.ToJson(2).c_str());
+  if (!out_path.empty() && !smoke) {
+    if (!reporter.WriteFile(out_path)) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memtis
+
+int main(int argc, char** argv) { return memtis::Main(argc, argv); }

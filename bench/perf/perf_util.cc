@@ -1,0 +1,84 @@
+#include "bench/perf/perf_util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "src/common/json.h"
+
+namespace memtis {
+
+namespace {
+// Sinks for Blackhole: volatile stores cannot be elided.
+volatile uint64_t g_u64_sink = 0;
+volatile double g_double_sink = 0.0;
+}  // namespace
+
+double PerfResult::ns_per_op() const {
+  return ops == 0 ? 0.0
+                  : static_cast<double>(wall_ns) / static_cast<double>(ops);
+}
+
+double PerfResult::ops_per_sec() const {
+  return wall_ns == 0 ? 0.0
+                      : static_cast<double>(ops) * 1e9 /
+                            static_cast<double>(wall_ns);
+}
+
+void PerfReporter::Add(const PerfResult& result) {
+  std::fprintf(stderr, "%-22s %12llu %s ops in %10.3f ms  (%10.1f ns/op)\n",
+               result.name.c_str(),
+               static_cast<unsigned long long>(result.ops), result.unit.c_str(),
+               static_cast<double>(result.wall_ns) / 1e6, result.ns_per_op());
+  results_.push_back(result);
+}
+
+std::string PerfReporter::ToJson(int indent) const {
+  std::string out;
+  JsonWriter w(&out, indent);
+  w.BeginObject();
+  w.Field("schema", "memtis-hotpath-bench");
+  w.Field("schema_version", 1);
+  w.Field("build_type", build_type_);
+  w.Field("smoke", smoke_);
+  w.Key("benchmarks");
+  w.BeginArray();
+  for (const PerfResult& r : results_) {
+    w.BeginObject();
+    w.Field("name", r.name);
+    w.Field("unit", r.unit);
+    w.Field("ops", r.ops);
+    w.Field("wall_ns", r.wall_ns);
+    w.Field("ns_per_op", r.ns_per_op());
+    w.Field("ops_per_sec", r.ops_per_sec());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return out;
+}
+
+bool PerfReporter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string json = ToJson(2);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Blackhole(uint64_t value) { g_u64_sink = value; }
+void Blackhole(double value) { g_double_sink = value; }
+
+}  // namespace memtis

@@ -1,0 +1,70 @@
+// Hot-path microbenchmark harness.
+//
+// Unlike the figure benches (which reproduce paper results in virtual time),
+// bench/perf/ measures *wall-clock* cost of the simulator's own hot paths, so
+// the engine's throughput trajectory is tracked PR-over-PR: scripts/bench.sh
+// runs the suite in a Release tree and writes BENCH_hotpath.json in the
+// stable schema below.
+//
+//   {
+//     "schema": "memtis-hotpath-bench", "schema_version": 1,
+//     "build_type": "Release", "smoke": false,
+//     "benchmarks": [{"name": ..., "unit": ..., "ops": N,
+//                     "wall_ns": N, "ns_per_op": X, "ops_per_sec": X}]
+//   }
+//
+// Wall-clock numbers are inherently machine-dependent; compare runs from the
+// same machine and build type only (bench.sh refuses non-Release trees).
+
+#ifndef MEMTIS_SIM_BENCH_PERF_PERF_UTIL_H_
+#define MEMTIS_SIM_BENCH_PERF_PERF_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memtis {
+
+// One finished microbenchmark: `ops` logical operations (accesses replayed,
+// cooling scans, churn cycles...) took `wall_ns` of real time.
+struct PerfResult {
+  std::string name;
+  std::string unit;  // what one op is: "access", "cooling_scan", ...
+  uint64_t ops = 0;
+  uint64_t wall_ns = 0;
+
+  double ns_per_op() const;
+  double ops_per_sec() const;
+};
+
+// Collects results in registration order and serializes the stable schema.
+class PerfReporter {
+ public:
+  PerfReporter(bool smoke, std::string build_type)
+      : smoke_(smoke), build_type_(std::move(build_type)) {}
+
+  // Records a result and prints a one-line human summary to stderr (stdout is
+  // reserved for the JSON document).
+  void Add(const PerfResult& result);
+
+  std::string ToJson(int indent = 2) const;
+  bool WriteFile(const std::string& path) const;
+
+  const std::vector<PerfResult>& results() const { return results_; }
+
+ private:
+  bool smoke_;
+  std::string build_type_;
+  std::vector<PerfResult> results_;
+};
+
+// Monotonic wall-clock in nanoseconds.
+uint64_t MonotonicNowNs();
+
+// Consumes a computed value so the optimizer cannot elide the timed work.
+void Blackhole(uint64_t value);
+void Blackhole(double value);
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_BENCH_PERF_PERF_UTIL_H_

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Hot-path perf tracking: builds the Release tree, runs bench/perf's
+# hotpath_bench, and writes BENCH_hotpath.json at the repo root (the tracked
+# perf trajectory — see README "Performance"). Usage:
+#
+#   scripts/bench.sh [build-dir] [-- extra hotpath_bench args]
+#
+# Tracked numbers must come from an optimized build: this script configures
+# -DCMAKE_BUILD_TYPE=Release and refuses a pre-existing build dir whose
+# CMakeCache says otherwise (hotpath_bench itself double-checks via an
+# embedded build-type string).
+#
+# Env: JOBS overrides build parallelism (default: nproc).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build-release"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+EXTRA_ARGS=()
+if [[ $# -gt 0 ]]; then
+  if [[ "$1" != "--" ]]; then
+    echo "usage: scripts/bench.sh [build-dir] [-- extra hotpath_bench args]" >&2
+    exit 2
+  fi
+  shift
+  EXTRA_ARGS=("$@")
+fi
+JOBS="${JOBS:-$(nproc)}"
+
+if [[ -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cached_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")"
+  if [[ "$cached_type" != "Release" ]]; then
+    echo "bench.sh: $BUILD_DIR is configured as '${cached_type:-<unset>}', not" >&2
+    echo "Release; tracked perf numbers would be meaningless. Point bench.sh" >&2
+    echo "at a fresh directory or remove $BUILD_DIR first." >&2
+    exit 1
+  fi
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$JOBS" --target hotpath_bench
+"$BUILD_DIR/bench/hotpath_bench" --out=BENCH_hotpath.json "${EXTRA_ARGS[@]}"

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Sanitized build + full test sweep: configures a separate build tree with
-# ASan/UBSan, builds everything, and runs ctest (which includes the
-# memtis_run --smoke runner case) — first plain, then again with
-# MEMTIS_AUDIT=1 so every engine-driven test runs under the abort-on-violation
-# invariant auditor (src/audit/). Usage:
+# ASan/UBSan, builds everything — including the bench/ targets, so perf
+# harness bitrot fails here too — and runs ctest (which includes the
+# memtis_run --smoke runner case and the hotpath_bench --smoke perf smoke) —
+# first plain, then again with MEMTIS_AUDIT=1 so every engine-driven test
+# runs under the abort-on-violation invariant auditor (src/audit/). Usage:
 #
 #   scripts/check.sh [build-dir]
 #

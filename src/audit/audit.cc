@@ -143,6 +143,16 @@ void CheckHugePageAccounting(MemorySystem& mem, AuditCollector& out) {
                      std::to_string(subpage_sum) + " > page counter " +
                      std::to_string(page.access_count));
       }
+      const uint32_t nonzero = page.huge->RecountNonzeroSubpages();
+      if (nonzero != page.huge->nonzero_subpages) {
+        ++failures;
+        out.Fail("huge-page-accounting",
+                 "huge page " + std::to_string(index) +
+                     ": nonzero-subpage summary " +
+                     std::to_string(page.huge->nonzero_subpages) +
+                     " != recount " + std::to_string(nonzero) +
+                     " (the cooling scan-skip relies on this)");
+      }
     } else if (page.huge != nullptr) {
       ++failures;
       out.Fail("huge-page-accounting",
@@ -156,6 +166,44 @@ void CheckHugePageAccounting(MemorySystem& mem, AuditCollector& out) {
              std::to_string(ms.demand_faults) + " demand faults > " +
                  std::to_string(ms.freed_zero_subpages) +
                  " split-freed subpages");
+  }
+}
+
+void CheckIncrementalCounters(const MemorySystem& mem, AuditCollector& out) {
+  out.BeginCheck();
+  const uint64_t huge = mem.RecountLiveHugePages();
+  if (huge != mem.live_huge_pages()) {
+    out.Fail("incremental-counters",
+             "live huge-page counter " + std::to_string(mem.live_huge_pages()) +
+                 " != recount " + std::to_string(huge));
+  }
+  const uint64_t written = mem.RecountWrittenSubpages();
+  if (written != mem.written_subpages()) {
+    out.Fail("incremental-counters",
+             "written-subpage counter " + std::to_string(mem.written_subpages()) +
+                 " != recount " + std::to_string(written));
+  }
+  if (mem.bloat_pages() != mem.RecountBloatPages()) {
+    out.Fail("incremental-counters",
+             "bloat_pages() " + std::to_string(mem.bloat_pages()) +
+                 " != recount " + std::to_string(mem.RecountBloatPages()));
+  }
+  for (int t = 0; t < kNumTiers; ++t) {
+    const TierId id = static_cast<TierId>(t);
+    const uint64_t recounted = mem.RecountMapped4kInTier(id);
+    if (recounted != mem.mapped_4k_in_tier(id)) {
+      out.Fail("incremental-counters",
+               std::string(TierName(id)) + " tier mapped-4k counter " +
+                   std::to_string(mem.mapped_4k_in_tier(id)) + " != recount " +
+                   std::to_string(recounted));
+    }
+  }
+  if (mem.huge_meta_allocated() != mem.huge_meta_pooled() + mem.live_huge_pages()) {
+    out.Fail("incremental-counters",
+             "huge-meta pool conservation: " +
+                 std::to_string(mem.huge_meta_allocated()) + " allocated != " +
+                 std::to_string(mem.huge_meta_pooled()) + " pooled + " +
+                 std::to_string(mem.live_huge_pages()) + " live huge pages");
   }
 }
 
@@ -291,6 +339,10 @@ void InvariantAuditor::RegisterDefaultChecks() {
   RegisterCheck("huge-page-accounting", false,
                 [](Engine& e, AuditCollector& out) {
                   CheckHugePageAccounting(e.mem(), out);
+                });
+  RegisterCheck("incremental-counters", false,
+                [](Engine& e, AuditCollector& out) {
+                  CheckIncrementalCounters(e.mem(), out);
                 });
   RegisterCheck("tlb-coherence", false, [](Engine& e, AuditCollector& out) {
     CheckTlbCoherence(e.tlb(), e.mem(), out);

@@ -106,9 +106,17 @@ void CheckPageTableMapping(MemorySystem& mem, AuditCollector& out);
 
 // Huge/base page accounting: huge pages carry subpage metadata with a
 // huge-aligned base vpn (base pages carry none); per-subpage sample counters
-// never exceed the page counter (cooling floors preserve the direction); and
-// split-generated demand faults never outnumber split-freed subpages.
+// never exceed the page counter (cooling floors preserve the direction); the
+// nonzero-subpage summary the cooling scan-skip relies on matches a recount;
+// and split-generated demand faults never outnumber split-freed subpages.
 void CheckHugePageAccounting(MemorySystem& mem, AuditCollector& out);
+
+// Incremental counters: the O(1) metric counters (live huge pages, written
+// subpages, bloat, per-tier mapped-4k) match from-scratch recounts over the
+// live page metadata, and the HugePageMeta pool conserves its buffers
+// (allocated == pooled + live huge pages). These counters replaced the old
+// full-scan metrics, so this check is what keeps the fast path honest.
+void CheckIncrementalCounters(const MemorySystem& mem, AuditCollector& out);
 
 // TLB coherence: every valid TLB entry translates a currently mapped vpn of
 // the matching page kind (migrations, splits, collapses, and unmaps must have

@@ -62,10 +62,32 @@ PageIndex MemorySystem::NewPageSlot() {
 
 void MemorySystem::ReleasePageSlot(PageIndex index) {
   PageInfo& p = pages_[index];
+  SIM_DCHECK(p.huge == nullptr);  // huge deaths must have recycled the meta
   const uint32_t next_gen = p.generation + 1;
   p = PageInfo{};
   p.generation = next_gen;
   free_slots_.push_back(index);
+}
+
+std::unique_ptr<HugePageMeta> MemorySystem::AcquireHugeMeta(bool zeroed) {
+  if (huge_meta_pool_.empty()) {
+    ++huge_meta_allocated_;
+    return std::make_unique<HugePageMeta>();
+  }
+  std::unique_ptr<HugePageMeta> meta = std::move(huge_meta_pool_.back());
+  huge_meta_pool_.pop_back();
+  if (zeroed) {
+    meta->subpage_count.fill(0);
+    meta->accessed.reset();
+    meta->written.reset();
+    meta->nonzero_subpages = 0;
+  }
+  return meta;
+}
+
+void MemorySystem::RecycleHugeMeta(std::unique_ptr<HugePageMeta> meta) {
+  SIM_DCHECK(meta != nullptr);
+  huge_meta_pool_.push_back(std::move(meta));
 }
 
 void MemorySystem::EnsurePageTable(Vpn end_vpn) {
@@ -107,10 +129,10 @@ void MemorySystem::MapPage(PageIndex index, Vpn vpn, PageKind kind, TierId tier_
   p.alloc_time_ns = now();
   p.policy_word0 = 0;
   p.policy_word1 = 0;
-  if (kind == PageKind::kHuge) {
-    p.huge = std::make_unique<HugePageMeta>();
-  } else {
-    p.huge.reset();
+  SIM_DCHECK(p.huge == nullptr);
+  if (kind == PageKind::kHuge) [[unlikely]] {
+    p.huge = AcquireHugeMeta();
+    ++huge_pages_;  // fresh meta is all-zero: no written_subpages_ change
   }
   const uint64_t n = p.size_pages();
   EnsurePageTable(vpn + n);
@@ -120,6 +142,7 @@ void MemorySystem::MapPage(PageIndex index, Vpn vpn, PageKind kind, TierId tier_
   }
   ++live_pages_;
   mapped_4k_ += n;
+  mapped_4k_tier_[static_cast<int>(tier_id)] += n;
 }
 
 void MemorySystem::UnmapAndFree(PageIndex index) {
@@ -136,8 +159,20 @@ void MemorySystem::UnmapAndFree(PageIndex index) {
   }
   --live_pages_;
   mapped_4k_ -= n;
+  mapped_4k_tier_[static_cast<int>(p.tier)] -= n;
+  if (p.kind == PageKind::kHuge) [[unlikely]] {
+    ReleaseHugeState(p);
+  }
   p.live = false;
   ReleasePageSlot(index);
+}
+
+// Out-of-line huge-page death path: keeps UnmapAndFree small enough to stay
+// inlined in the base-page loops (split/collapse free 512 pages at a time).
+void MemorySystem::ReleaseHugeState(PageInfo& p) {
+  --huge_pages_;
+  written_subpages_ -= p.huge->written.count();
+  RecycleHugeMeta(std::move(p.huge));
 }
 
 Vaddr MemorySystem::AllocateRegion(uint64_t bytes, const AllocOptions& options) {
@@ -148,18 +183,29 @@ Vaddr MemorySystem::AllocateRegion(uint64_t bytes, const AllocOptions& options) 
       (bytes + kHugePageSize - 1) / kHugePageSize * kSubpagesPerHuge;
 
   // Find vpn space: first-fit in the free list, else extend the bump pointer.
+  // The walk is skipped when the request exceeds max_free_range_bound_ (an
+  // upper bound on the largest range) — it provably cannot succeed, so
+  // placement is unchanged. A fruitless walk re-tightens the bound, keeping
+  // alloc-heavy workloads from re-walking the whole list every time.
   Vpn start = 0;
   bool found = false;
-  for (auto it = free_vpn_ranges_.begin(); it != free_vpn_ranges_.end(); ++it) {
-    if (it->second >= num_pages) {
-      start = it->first;
-      const uint64_t remaining = it->second - num_pages;
-      free_vpn_ranges_.erase(it);
-      if (remaining > 0) {
-        free_vpn_ranges_.emplace(start + num_pages, remaining);
+  if (num_pages <= max_free_range_bound_) {
+    uint64_t largest_seen = 0;
+    for (auto it = free_vpn_ranges_.begin(); it != free_vpn_ranges_.end(); ++it) {
+      if (it->second >= num_pages) {
+        start = it->first;
+        const uint64_t remaining = it->second - num_pages;
+        free_vpn_ranges_.erase(it);
+        if (remaining > 0) {
+          free_vpn_ranges_.emplace(start + num_pages, remaining);
+        }
+        found = true;
+        break;
       }
-      found = true;
-      break;
+      largest_seen = std::max(largest_seen, it->second);
+    }
+    if (!found) {
+      max_free_range_bound_ = largest_seen;
     }
   }
   if (!found) {
@@ -222,6 +268,7 @@ void MemorySystem::FreeRegion(Vaddr start) {
     free_vpn_ranges_.erase(next);
   }
   free_vpn_ranges_.emplace(free_start, free_len);
+  max_free_range_bound_ = std::max(max_free_range_bound_, free_len);
 }
 
 bool MemorySystem::InRegion(Vaddr addr) const { return RegionAt(addr).has_value(); }
@@ -272,6 +319,9 @@ bool MemorySystem::Migrate(PageIndex index, TierId dst) {
   } else {
     (promotion ? migration_stats_.promoted_base : migration_stats_.demoted_base) += 1;
   }
+  const uint64_t n = p.size_pages();
+  mapped_4k_tier_[static_cast<int>(p.tier)] -= n;
+  mapped_4k_tier_[static_cast<int>(dst)] += n;
   p.tier = dst;
   p.frame = *frame;
   return true;
@@ -285,12 +335,13 @@ uint64_t MemorySystem::SplitHugePage(PageIndex index,
   SIM_CHECK(p.huge != nullptr);
 
   // Snapshot what we need; the huge PageInfo dies before subpages are mapped.
+  // The meta is moved out (not copied) and recycled once the subpages exist.
   const Vpn base_vpn = p.base_vpn;
   const TierId old_tier = p.tier;
   const FrameId old_frame = p.frame;
   const uint32_t cooling_epoch = p.cooling_epoch;
   const uint64_t alloc_time = p.alloc_time_ns;
-  const HugePageMeta meta = *p.huge;
+  std::unique_ptr<HugePageMeta> meta = std::move(p.huge);
 
   // Unmap the huge page: clear the span, free the order-9 frame, shoot down.
   for (uint64_t i = 0; i < kSubpagesPerHuge; ++i) {
@@ -302,12 +353,15 @@ uint64_t MemorySystem::SplitHugePage(PageIndex index,
   }
   --live_pages_;
   mapped_4k_ -= kSubpagesPerHuge;
+  mapped_4k_tier_[static_cast<int>(old_tier)] -= kSubpagesPerHuge;
+  --huge_pages_;
+  written_subpages_ -= meta->written.count();
   pages_[index].live = false;
   ReleasePageSlot(index);
 
   uint64_t created = 0;
   for (uint32_t j = 0; j < kSubpagesPerHuge; ++j) {
-    if (!meta.written[j]) {
+    if (!meta->written[j]) {
       // All-zero subpage: unmap and free (paper §4.3.3). A later write demand-
       // faults a fresh page.
       ++migration_stats_.freed_zero_subpages;
@@ -321,11 +375,12 @@ uint64_t MemorySystem::SplitHugePage(PageIndex index,
     const PageIndex child = NewPageSlot();
     MapPage(child, base_vpn + j, PageKind::kBase, placed->first, placed->second);
     PageInfo& cp = pages_[child];
-    cp.access_count = meta.subpage_count[j];
+    cp.access_count = meta->subpage_count[j];
     cp.cooling_epoch = cooling_epoch;
     cp.alloc_time_ns = alloc_time;
     ++created;
   }
+  RecycleHugeMeta(std::move(meta));
   ++migration_stats_.splits;
   return created;
 }
@@ -344,14 +399,20 @@ bool MemorySystem::CollapseToHuge(Vpn huge_vpn, TierId dst) {
     return false;
   }
 
-  auto huge_meta = std::make_unique<HugePageMeta>();
+  // Fill a pooled meta while the base pages still exist (they die before the
+  // huge page can be mapped), then install it without copying. The loop below
+  // overwrites every field, so skip the acquire-time zeroing.
+  std::unique_ptr<HugePageMeta> huge_meta = AcquireHugeMeta(/*zeroed=*/false);
   uint64_t total_count = 0;
   uint32_t cooling_epoch = 0;
+  uint32_t nonzero = 0;
   for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
     const PageIndex index = Lookup(huge_vpn + j);
     PageInfo& bp = pages_[index];
-    huge_meta->subpage_count[j] = static_cast<uint32_t>(
-        std::min<uint64_t>(bp.access_count, UINT32_MAX));
+    const uint32_t c =
+        static_cast<uint32_t>(std::min<uint64_t>(bp.access_count, UINT32_MAX));
+    huge_meta->subpage_count[j] = c;  // fresh meta: maintain nonzero locally
+    nonzero += c != 0;
     huge_meta->accessed[j] = bp.access_count > 0;
     huge_meta->written[j] = true;  // collapse candidates were written base pages
     total_count += bp.access_count;
@@ -359,11 +420,14 @@ bool MemorySystem::CollapseToHuge(Vpn huge_vpn, TierId dst) {
     // Free the base page (clears page table span of 1).
     UnmapAndFree(index);
   }
+  huge_meta->nonzero_subpages = nonzero;
 
   const PageIndex index = NewPageSlot();
   MapPage(index, huge_vpn, PageKind::kHuge, dst, *frame);
   PageInfo& hp = pages_[index];
-  *hp.huge = *huge_meta;
+  std::swap(hp.huge, huge_meta);
+  RecycleHugeMeta(std::move(huge_meta));  // the zeroed meta MapPage installed
+  written_subpages_ += hp.huge->written.count();
   hp.access_count = total_count;
   hp.cooling_epoch = cooling_epoch;
   ++migration_stats_.collapses;
@@ -379,26 +443,17 @@ void MemorySystem::ClearAccessedBits() {
 }
 
 uint64_t MemorySystem::bloat_pages() const {
-  uint64_t bloat = 0;
-  for (const PageInfo& p : pages_) {
-    if (p.live && p.kind == PageKind::kHuge) {
-      bloat += kSubpagesPerHuge - p.huge->written.count();
-    }
-  }
-  return bloat;
+  // Never-written subpages over live huge pages, from the incremental
+  // counters (RecountBloatPages is the from-scratch equivalent).
+  return huge_pages_ * kSubpagesPerHuge - written_subpages_;
 }
 
 double MemorySystem::huge_page_ratio() const {
   if (mapped_4k_ == 0) {
     return 0.0;
   }
-  uint64_t huge_4k = 0;
-  for (const PageInfo& p : pages_) {
-    if (p.live && p.kind == PageKind::kHuge) {
-      huge_4k += kSubpagesPerHuge;
-    }
-  }
-  return static_cast<double>(huge_4k) / static_cast<double>(mapped_4k_);
+  return static_cast<double>(huge_pages_ * kSubpagesPerHuge) /
+         static_cast<double>(mapped_4k_);
 }
 
 uint64_t MemorySystem::RecountMapped4kInTier(TierId id) const {
@@ -411,6 +466,36 @@ uint64_t MemorySystem::RecountMapped4kInTier(TierId id) const {
   return mapped;
 }
 
+uint64_t MemorySystem::RecountLiveHugePages() const {
+  uint64_t huge = 0;
+  for (const PageInfo& p : pages_) {
+    if (p.live && p.kind == PageKind::kHuge) {
+      ++huge;
+    }
+  }
+  return huge;
+}
+
+uint64_t MemorySystem::RecountWrittenSubpages() const {
+  uint64_t written = 0;
+  for (const PageInfo& p : pages_) {
+    if (p.live && p.kind == PageKind::kHuge) {
+      written += p.huge->written.count();
+    }
+  }
+  return written;
+}
+
+uint64_t MemorySystem::RecountBloatPages() const {
+  uint64_t bloat = 0;
+  for (const PageInfo& p : pages_) {
+    if (p.live && p.kind == PageKind::kHuge) {
+      bloat += kSubpagesPerHuge - p.huge->written.count();
+    }
+  }
+  return bloat;
+}
+
 bool MemorySystem::CheckConsistency(std::string* error) const {
   const auto fail = [error](std::string detail) {
     if (error != nullptr) {
@@ -420,6 +505,9 @@ bool MemorySystem::CheckConsistency(std::string* error) const {
   };
   uint64_t mapped = 0;
   uint64_t live = 0;
+  uint64_t huge = 0;
+  uint64_t written = 0;
+  uint64_t mapped_tier[kNumTiers] = {0, 0};
   for (PageIndex i = 0; i < pages_.size(); ++i) {
     const PageInfo& p = pages_[i];
     if (!p.live) {
@@ -428,6 +516,7 @@ bool MemorySystem::CheckConsistency(std::string* error) const {
     ++live;
     const uint64_t n = p.size_pages();
     mapped += n;
+    mapped_tier[static_cast<int>(p.tier)] += n;
     for (uint64_t j = 0; j < n; ++j) {
       if (p.base_vpn + j >= page_table_.size() || page_table_[p.base_vpn + j] != i) {
         return fail("page " + std::to_string(i) + " (vpn " +
@@ -435,8 +524,12 @@ bool MemorySystem::CheckConsistency(std::string* error) const {
                     ") not mapped back by the page table");
       }
     }
-    if (p.kind == PageKind::kHuge && p.huge == nullptr) {
-      return fail("huge page " + std::to_string(i) + " has no HugePageMeta");
+    if (p.kind == PageKind::kHuge) {
+      if (p.huge == nullptr) {
+        return fail("huge page " + std::to_string(i) + " has no HugePageMeta");
+      }
+      ++huge;
+      written += p.huge->written.count();
     }
   }
   if (mapped != mapped_4k_) {
@@ -446,6 +539,26 @@ bool MemorySystem::CheckConsistency(std::string* error) const {
   if (live != live_pages_) {
     return fail("recounted live pages " + std::to_string(live) + " != tracked " +
                 std::to_string(live_pages_));
+  }
+  if (huge != huge_pages_) {
+    return fail("recounted huge pages " + std::to_string(huge) + " != tracked " +
+                std::to_string(huge_pages_));
+  }
+  if (written != written_subpages_) {
+    return fail("recounted written subpages " + std::to_string(written) +
+                " != tracked " + std::to_string(written_subpages_));
+  }
+  for (int t = 0; t < kNumTiers; ++t) {
+    if (mapped_tier[t] != mapped_4k_tier_[t]) {
+      return fail("recounted mapped 4k in tier " + std::to_string(t) + " " +
+                  std::to_string(mapped_tier[t]) + " != tracked " +
+                  std::to_string(mapped_4k_tier_[t]));
+    }
+  }
+  if (huge_meta_allocated_ != huge_meta_pool_.size() + huge_pages_) {
+    return fail("huge-meta pool leak: " + std::to_string(huge_meta_allocated_) +
+                " allocated != " + std::to_string(huge_meta_pool_.size()) +
+                " pooled + " + std::to_string(huge_pages_) + " live");
   }
   if (mapped + pinned_frames_ != tiers_[0].used_frames() + tiers_[1].used_frames()) {
     return fail("mapped " + std::to_string(mapped) + " + pinned " +

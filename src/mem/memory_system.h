@@ -137,10 +137,17 @@ class MemorySystem {
 
   // --- Iteration / accounting -------------------------------------------------
 
+  // Visits every live page. `fn` must not create or free pages: the loop
+  // stops after visiting live_page_count() pages, so mutating the page
+  // population mid-scan would skip (or double-visit) pages. All current
+  // callers are scans that only read or update per-page state in place.
   template <typename Fn>  // Fn(PageIndex, PageInfo&)
   void ForEachLivePage(Fn&& fn) {
-    for (PageIndex i = 0; i < pages_.size(); ++i) {
+    uint64_t remaining = live_pages_;
+    const PageIndex slots = static_cast<PageIndex>(pages_.size());
+    for (PageIndex i = 0; i < slots && remaining > 0; ++i) {
       if (pages_[i].live) {
+        --remaining;
         fn(i, pages_[i]);
       }
     }
@@ -154,6 +161,38 @@ class MemorySystem {
   uint64_t live_page_count() const { return live_pages_; }
   uint64_t mapped_4k_pages() const { return mapped_4k_; }
 
+  // Records a ground-truth subpage touch on a huge page (the kernel knows
+  // written pages exactly; splits free never-written subpages). All
+  // accessed/written bit mutations MUST go through here so the incremental
+  // written-subpage counter stays consistent with the bitsets.
+  void NoteSubpageAccess(PageInfo& page, uint64_t subpage, bool is_write) {
+    page.huge->accessed.set(subpage);
+    if (is_write && !page.huge->written.test(subpage)) {
+      page.huge->written.set(subpage);
+      ++written_subpages_;
+    }
+  }
+
+  // --- Incremental accounting -------------------------------------------------
+  //
+  // Maintained at MapPage/UnmapAndFree/Migrate/SplitHugePage/CollapseToHuge
+  // so the per-snapshot metrics (huge_page_ratio, bloat_pages, per-tier
+  // mapped-4k) are O(1) instead of O(page slots). The Recount* methods below
+  // recompute each from the live page metadata; the audit layer
+  // (src/audit/audit.cc, "incremental-counters") cross-checks them every tick.
+
+  uint64_t live_huge_pages() const { return huge_pages_; }
+  uint64_t written_subpages() const { return written_subpages_; }
+  uint64_t mapped_4k_in_tier(TierId id) const {
+    return mapped_4k_tier_[static_cast<int>(id)];
+  }
+
+  // HugePageMeta pool introspection (metas are recycled across
+  // split/collapse churn instead of round-tripping through the heap).
+  // Conservation: allocated == pooled + live huge pages.
+  uint64_t huge_meta_allocated() const { return huge_meta_allocated_; }
+  uint64_t huge_meta_pooled() const { return huge_meta_pool_.size(); }
+
   // --- Audit introspection ----------------------------------------------------
 
   // Frames permanently pinned by start-up fragmentation, per tier / total.
@@ -162,9 +201,12 @@ class MemorySystem {
   }
   uint64_t pinned_frames_total() const { return pinned_frames_; }
 
-  // 4 KiB pages currently mapped into frames of `id`, recounted from the live
-  // page metadata (O(page slots); audit/diagnostic use).
+  // From-scratch recounts of the incremental counters above (O(page slots);
+  // audit/diagnostic use only — hot paths read the counters).
   uint64_t RecountMapped4kInTier(TierId id) const;
+  uint64_t RecountLiveHugePages() const;
+  uint64_t RecountWrittenSubpages() const;
+  uint64_t RecountBloatPages() const;
 
   // Number of live regions in the virtual address space.
   uint64_t region_count() const { return regions_.size(); }
@@ -208,6 +250,14 @@ class MemorySystem {
   PageIndex NewPageSlot();
   void ReleasePageSlot(PageIndex index);
 
+  // HugePageMeta pool: Acquire returns a zeroed meta (recycled if possible),
+  // Recycle returns one for reuse. Every huge-page death must recycle.
+  // zeroed=false skips re-zeroing a pooled buffer — only for callers that
+  // overwrite every field before the meta becomes visible (collapse).
+  std::unique_ptr<HugePageMeta> AcquireHugeMeta(bool zeroed = true);
+  void RecycleHugeMeta(std::unique_ptr<HugePageMeta> meta);
+  void ReleaseHugeState(PageInfo& p);
+
   // Allocates one page of `kind` honoring tier preference/fallback; returns
   // nullopt if no tier can hold it.
   std::optional<std::pair<TierId, FrameId>> AllocFrame(PageKind kind,
@@ -228,12 +278,27 @@ class MemorySystem {
   uint64_t live_pages_ = 0;
   uint64_t mapped_4k_ = 0;
 
+  // Incremental counters (see "Incremental accounting" above).
+  uint64_t huge_pages_ = 0;                      // live huge pages
+  uint64_t mapped_4k_tier_[kNumTiers] = {0, 0};  // mapped 4k per tier
+  uint64_t written_subpages_ = 0;  // set written bits over live huge pages
+
+  // Recycled HugePageMeta buffers + lifetime allocation count.
+  std::vector<std::unique_ptr<HugePageMeta>> huge_meta_pool_;
+  uint64_t huge_meta_allocated_ = 0;
+
   uint64_t pinned_frames_ = 0;  // start-up fragmentation pins (total)
   uint64_t pinned_per_tier_[kNumTiers] = {0, 0};
 
   std::map<Vpn, Region> regions_;         // live regions by start vpn
   std::map<Vpn, uint64_t> free_vpn_ranges_;  // start vpn -> num pages
   Vpn vpn_bump_ = 0;                      // next fresh vpn when free list empty
+  // Upper bound on the largest free-range length: raised when FreeRegion
+  // inserts a range, re-tightened when a first-fit walk comes up empty.
+  // AllocateRegion skips the O(ranges) walk entirely when the request
+  // provably cannot fit — the walk's outcome is unchanged otherwise, so
+  // first-fit placement stays byte-identical.
+  uint64_t max_free_range_bound_ = 0;
 
   MigrationStats migration_stats_;
 };

@@ -28,6 +28,27 @@ struct HugePageMeta {
   // accounting: never-written subpages are freed on split (paper §4.3.3).
   std::bitset<kSubpagesPerHuge> accessed;
   std::bitset<kSubpagesPerHuge> written;
+  // Number of nonzero subpage_count entries. Every mutation of subpage_count
+  // must keep this in sync (use SetSubpageCount or adjust explicitly): the
+  // cooling scan skips the 512-entry inner loop when it is 0, which is only
+  // byte-identical while this summary is exact.
+  uint32_t nonzero_subpages = 0;
+
+  // Sets one subpage counter while maintaining nonzero_subpages.
+  void SetSubpageCount(uint32_t j, uint32_t count) {
+    if ((subpage_count[j] != 0) != (count != 0)) {
+      nonzero_subpages += count != 0 ? 1 : -1;
+    }
+    subpage_count[j] = count;
+  }
+
+  uint32_t RecountNonzeroSubpages() const {
+    uint32_t n = 0;
+    for (uint32_t c : subpage_count) {
+      n += c != 0 ? 1 : 0;
+    }
+    return n;
+  }
 
   uint32_t accessed_count() const { return static_cast<uint32_t>(accessed.count()); }
 };

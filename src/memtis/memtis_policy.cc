@@ -22,8 +22,13 @@ void MemtisPolicy::AccountPageAdded(PolicyContext& ctx, PageInfo& page) {
   page.histogram_bin = static_cast<uint8_t>(bin);
   hist_.Add(bin, page.size_pages());
   if (page.kind == PageKind::kHuge) {
-    for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
-      base_hist_.Add(AccessHistogram::BinOf(UnitHotness(page.huge->subpage_count[j])), 1);
+    if (page.huge->nonzero_subpages == 0) {
+      // All subpage counters are zero: 512 units land in BinOf(0) at once.
+      base_hist_.Add(AccessHistogram::BinOf(0), kSubpagesPerHuge);
+    } else {
+      for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
+        base_hist_.Add(AccessHistogram::BinOf(UnitHotness(page.huge->subpage_count[j])), 1);
+      }
     }
   } else {
     base_hist_.Add(bin, 1);
@@ -34,9 +39,13 @@ void MemtisPolicy::AccountPageRemoved(PolicyContext& ctx, PageInfo& page) {
   (void)ctx;
   hist_.Remove(page.histogram_bin, page.size_pages());
   if (page.kind == PageKind::kHuge) {
-    for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
-      base_hist_.Remove(
-          AccessHistogram::BinOf(UnitHotness(page.huge->subpage_count[j])), 1);
+    if (page.huge->nonzero_subpages == 0) {
+      base_hist_.Remove(AccessHistogram::BinOf(0), kSubpagesPerHuge);
+    } else {
+      for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
+        base_hist_.Remove(
+            AccessHistogram::BinOf(UnitHotness(page.huge->subpage_count[j])), 1);
+      }
     }
   } else {
     base_hist_.Remove(page.histogram_bin, 1);
@@ -72,9 +81,14 @@ void MemtisPolicy::SyncCooling(PageInfo& page) const {
   // scans; the eager scan keeps everyone else in sync.
   const uint32_t shift = std::min(behind, 63u);
   page.access_count >>= shift;
-  if (page.kind == PageKind::kHuge) {
+  if (page.kind == PageKind::kHuge && page.huge->nonzero_subpages != 0) {
     for (auto& c : page.huge->subpage_count) {
-      c >>= shift;
+      if (c != 0) {
+        c >>= shift;
+        if (c == 0) {
+          --page.huge->nonzero_subpages;
+        }
+      }
     }
   }
   page.cooling_epoch = cool_epoch_;
@@ -98,6 +112,9 @@ void MemtisPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
   if (page.kind == PageKind::kHuge) {
     uint32_t& c = page.huge->subpage_count[SubpageIndexOf(VpnOf(access.addr))];
     unit_old = UnitHotness(c);
+    if (c == 0) {
+      ++page.huge->nonzero_subpages;
+    }
     ++c;
     unit_new = UnitHotness(c);
   } else {
@@ -196,22 +213,32 @@ void MemtisPolicy::CoolingEvent(PolicyContext& ctx) {
 
     if (page.kind == PageKind::kHuge) {
       // Cool subpages, correct the base-page histogram, and recompute the
-      // skewness factor S_i = sum(H_ij^2) / U_i^2 (paper Eq. 3).
+      // skewness factor S_i = sum(H_ij^2) / U_i^2 (paper Eq. 3). When every
+      // subpage counter is zero the whole inner loop is a no-op (a shift of 0
+      // is 0, BinOf(0) equals the shifted bin, and h > 0 never holds), so the
+      // nonzero_subpages summary lets all-cold huge pages skip the 512
+      // iterations without changing any state.
       uint32_t hot_subs = 0;
       double h2_sum = 0.0;
-      for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
-        uint32_t& c = page.huge->subpage_count[j];
-        const int sp_prev = AccessHistogram::BinOf(UnitHotness(c));
-        const int sp_shifted = sp_prev > 0 ? sp_prev - 1 : 0;
-        c >>= 1;
-        const uint64_t h = UnitHotness(c);
-        const int sp_actual = AccessHistogram::BinOf(h);
-        if (sp_actual != sp_shifted) {
-          base_hist_.Move(sp_shifted, sp_actual, 1);
-        }
-        if (h >= base_hot_floor && h > 0) {
-          ++hot_subs;
-          h2_sum += static_cast<double>(h) * static_cast<double>(h);
+      if (page.huge->nonzero_subpages != 0) {
+        for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
+          uint32_t& c = page.huge->subpage_count[j];
+          const int sp_prev = AccessHistogram::BinOf(UnitHotness(c));
+          const int sp_shifted = sp_prev > 0 ? sp_prev - 1 : 0;
+          const bool was_nonzero = c != 0;
+          c >>= 1;
+          if (was_nonzero && c == 0) {
+            --page.huge->nonzero_subpages;
+          }
+          const uint64_t h = UnitHotness(c);
+          const int sp_actual = AccessHistogram::BinOf(h);
+          if (sp_actual != sp_shifted) {
+            base_hist_.Move(sp_shifted, sp_actual, 1);
+          }
+          if (h >= base_hot_floor && h > 0) {
+            ++hot_subs;
+            h2_sum += static_cast<double>(h) * static_cast<double>(h);
+          }
         }
       }
       if (page.access_count > 0) {

@@ -84,6 +84,11 @@ class MemtisPolicy : public TieringPolicy {
   // the sample ledger in auditor tests.
   PebsSampler& TestOnlyMutableSampler() { return sampler_; }
 
+  // Test/bench-only: runs one cooling event immediately (normally cooling
+  // fires every cooling_interval_samples). Used by bench/perf/hotpath_bench
+  // to measure the cooling-scan cost in isolation.
+  void TestOnlyForceCooling(PolicyContext& ctx) { CoolingEvent(ctx); }
+
   // Test/debug audit: recomputes both histograms from the live page metadata
   // and compares them (and every cached bin) against the incrementally
   // maintained state. O(pages x subpages); returns false on any mismatch.

@@ -50,7 +50,11 @@ Engine::Engine(const MachineConfig& machine, TieringPolicy& policy,
                         machine.costs.migrate_burst_pages),
       ctx_{mem_, tlb_, costs_, metrics_.cpu, rng_, migration_budget_},
       next_tick_ns_(options.tick_quantum_ns),
-      next_snapshot_ns_(options.snapshot_interval_ns) {
+      next_snapshot_ns_(options.snapshot_interval_ns != 0
+                            ? options.snapshot_interval_ns
+                            : UINT64_MAX),
+      trace_(options.trace) {
+  UpdateNextEvent();
   metrics_.cores = machine.cores;
   metrics_.cpu_contention = options.cpu_contention;
   mem_.AttachTlb(&tlb_);
@@ -96,8 +100,8 @@ void Engine::DrainPendingAppTime() {
 }
 
 void Engine::DoAccess(Vaddr addr, bool is_write) {
-  if (options_.trace != nullptr) {
-    options_.trace->RecordAccess(addr, is_write);
+  if (trace_ != nullptr) {
+    trace_->RecordAccess(addr, is_write);
   }
   const Vpn vpn = VpnOf(addr);
   PageIndex index = mem_.Lookup(vpn);
@@ -128,11 +132,7 @@ void Engine::DoAccess(Vaddr addr, bool is_write) {
   // Ground-truth subpage bookkeeping (the kernel knows written pages exactly;
   // splits free never-written subpages).
   if (page.kind == PageKind::kHuge) {
-    const uint64_t sub = SubpageIndexOf(vpn);
-    page.huge->accessed.set(sub);
-    if (is_write) {
-      page.huge->written.set(sub);
-    }
+    mem_.NoteSubpageAccess(page, SubpageIndexOf(vpn), is_write);
   }
 
   ++metrics_.accesses;
@@ -147,7 +147,13 @@ void Engine::DoAccess(Vaddr addr, bool is_write) {
   policy_.OnAccess(ctx_, index, page, Access{addr, is_write});
   DrainPendingAppTime();
 
-  MaybeTickAndSnapshot();
+  if (now_ns_ >= next_event_ns_) {
+    MaybeTickAndSnapshot();
+  }
+}
+
+void Engine::UpdateNextEvent() {
+  next_event_ns_ = std::min(next_tick_ns_, next_snapshot_ns_);
 }
 
 void Engine::MaybeTickAndSnapshot() {
@@ -164,10 +170,16 @@ void Engine::MaybeTickAndSnapshot() {
       options_.audit->OnTick(*this);
     }
   }
-  if (options_.snapshot_interval_ns != 0 && now_ns_ >= next_snapshot_ns_) {
+  if (now_ns_ >= next_snapshot_ns_) {
     TakeSnapshot();
-    next_snapshot_ns_ += options_.snapshot_interval_ns;
+    // Skip ahead like the tick path: a long app stall must not trigger a
+    // burst of stale-window snapshots on the following accesses.
+    const uint64_t interval = options_.snapshot_interval_ns;
+    next_snapshot_ns_ =
+        std::max(next_snapshot_ns_ + interval,
+                 now_ns_ - now_ns_ % interval + interval);
   }
+  UpdateNextEvent();
 }
 
 void Engine::TakeSnapshot() {

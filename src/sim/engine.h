@@ -108,10 +108,16 @@ class Engine {
   MigrationBudget migration_budget_;
   PolicyContext ctx_;
 
+  void UpdateNextEvent();
+
   bool started_ = false;
   uint64_t now_ns_ = 0;
   uint64_t next_tick_ns_;
-  uint64_t next_snapshot_ns_;
+  uint64_t next_snapshot_ns_;  // UINT64_MAX when snapshots are disabled
+  // min(next_tick_ns_, next_snapshot_ns_): the access hot path compares
+  // against this single deadline instead of re-evaluating both schedules.
+  uint64_t next_event_ns_;
+  TraceWriter* trace_;  // cached options_.trace (hoists the per-access load)
   uint64_t window_accesses_ = 0;
   uint64_t window_fast_ = 0;
   uint64_t window_start_ns_ = 0;

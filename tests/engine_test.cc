@@ -105,6 +105,54 @@ TEST(Engine, SnapshotsFollowInterval) {
   }
 }
 
+TEST(Engine, SnapshotBurstAfterStallSkipsAhead) {
+  // A long app stall (here: a big allocation that advances virtual time past
+  // dozens of snapshot intervals) must produce at most one snapshot per
+  // interval afterwards — not a burst of back-to-back stale-window snapshots
+  // on the accesses following the stall.
+  class StallWorkload : public Workload {
+   public:
+    std::string_view name() const override { return "stall"; }
+    uint64_t footprint_bytes() const override { return 128ull << 20; }
+    void Setup(App& app, Rng&) override { region_ = app.Alloc(2ull << 20); }
+    bool Step(App& app, Rng& rng) override {
+      ++steps_;
+      if (steps_ == 10) {
+        // ~32 huge pages x 512 x 300 ns = ~4.9 ms stall (many intervals).
+        app.Alloc(64ull << 20, /*use_thp=*/true);
+      }
+      for (int i = 0; i < 64; ++i) {
+        app.Read(region_ + rng.NextBelow(2ull << 20));
+      }
+      return true;
+    }
+
+   private:
+    Vaddr region_ = 0;
+    int steps_ = 0;
+  };
+  constexpr uint64_t kInterval = 100'000;
+  StaticPolicy policy(TierId::kFast, /*use_thp=*/true);
+  EngineOptions opts = QuickRun(60'000);
+  opts.snapshot_interval_ns = kInterval;
+  Engine engine(MakeDramOnlyMachine(256ull << 20), policy, opts);
+  StallWorkload workload;
+  const Metrics m = engine.Run(workload);
+  ASSERT_GT(m.timeline.size(), 3u);
+  bool saw_stall = false;
+  for (size_t i = 1; i < m.timeline.size(); ++i) {
+    const uint64_t prev = m.timeline[i - 1].t_ns;
+    const uint64_t cur = m.timeline[i].t_ns;
+    ASSERT_GT(cur, prev);
+    // Never two snapshots inside the same interval bucket (the burst bug's
+    // signature was runs of snapshots a single access apart).
+    EXPECT_GT(cur / kInterval, prev / kInterval)
+        << "snapshots " << i - 1 << " and " << i << " share a bucket";
+    saw_stall = saw_stall || cur - prev > 10 * kInterval;
+  }
+  EXPECT_TRUE(saw_stall) << "test never exercised the multi-interval stall";
+}
+
 TEST(Engine, ContentionInflatesRuntime) {
   Metrics m;
   m.app_ns = 1'000'000;

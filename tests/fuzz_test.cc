@@ -21,6 +21,7 @@ AuditReport AuditMemorySystem(MemorySystem& mem, const Tlb& tlb) {
   CheckFrameConservation(mem, out);
   CheckPageTableMapping(mem, out);
   CheckHugePageAccounting(mem, out);
+  CheckIncrementalCounters(mem, out);
   CheckTlbCoherence(tlb, mem, out);
   return report;
 }
@@ -64,7 +65,8 @@ TEST(Fuzz, MemorySystemRandomOps) {
       if (index != kInvalidPage && mem.page(index).kind == PageKind::kHuge) {
         PageInfo& page = mem.page(index);
         for (int j = 0; j < 64; ++j) {
-          page.huge->written.set(rng.NextBelow(kSubpagesPerHuge));
+          mem.NoteSubpageAccess(page, rng.NextBelow(kSubpagesPerHuge),
+                                /*is_write=*/true);
         }
         mem.SplitHugePage(index, [&](uint32_t) {
           return rng.NextBool(0.5) ? TierId::kFast : TierId::kCapacity;
@@ -85,6 +87,52 @@ TEST(Fuzz, MemorySystemRandomOps) {
       ASSERT_TRUE(report.ok()) << "step " << step << ": " << report.ToJson(2);
     }
   }
+  const AuditReport report = AuditMemorySystem(mem, tlb);
+  ASSERT_TRUE(report.ok()) << report.ToJson(2);
+  // The pool must conserve buffers even after thousands of random ops.
+  EXPECT_EQ(mem.huge_meta_allocated(),
+            mem.huge_meta_pooled() + mem.RecountLiveHugePages());
+}
+
+TEST(Fuzz, HugePageMetaPoolRecycles) {
+  // Split/collapse churn on a steady-state set of huge pages must reuse
+  // pooled HugePageMeta buffers instead of growing the allocation count.
+  Rng rng(77);
+  MemorySystem mem(MemoryConfig{.fast_frames = 8192, .capacity_frames = 8192});
+  Tlb tlb;
+  mem.AttachTlb(&tlb);
+  std::vector<Vaddr> regions;
+  for (int i = 0; i < 4; ++i) {
+    const Vaddr base = mem.AllocateRegion(kHugePageSize, AllocOptions{});
+    regions.push_back(base);
+    // Write every subpage so splits keep all 512 children mapped (unwritten
+    // subpages would be freed) and collapse preconditions always hold.
+    PageInfo& page = mem.page(mem.Lookup(VpnOf(base)));
+    for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
+      mem.NoteSubpageAccess(page, j, /*is_write=*/true);
+    }
+  }
+  const uint64_t allocated_after_warmup = mem.huge_meta_allocated();
+  ASSERT_GE(allocated_after_warmup, 4u);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const Vaddr base = regions[rng.NextBelow(regions.size())];
+    const PageIndex index = mem.Lookup(VpnOf(base));
+    ASSERT_NE(index, kInvalidPage);
+    if (mem.page(index).kind == PageKind::kHuge) {
+      mem.SplitHugePage(index, [&](uint32_t) {
+        return rng.NextBool(0.5) ? TierId::kFast : TierId::kCapacity;
+      });
+    } else {
+      ASSERT_TRUE(mem.CollapseToHuge(VpnOf(base), TierId::kFast));
+    }
+    // Conservation: every buffer is either pooled or owned by a live page.
+    ASSERT_EQ(mem.huge_meta_allocated(),
+              mem.huge_meta_pooled() + mem.live_huge_pages());
+  }
+  // Steady-state churn may need at most one extra buffer per collapse in
+  // flight; it must not scale with the cycle count.
+  EXPECT_LE(mem.huge_meta_allocated(), allocated_after_warmup + regions.size());
+  EXPECT_TRUE(mem.CheckConsistency());
   const AuditReport report = AuditMemorySystem(mem, tlb);
   ASSERT_TRUE(report.ok()) << report.ToJson(2);
 }

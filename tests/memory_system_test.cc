@@ -110,8 +110,8 @@ TEST(MemorySystem, SplitHugePageFreesZeroSubpages) {
   PageInfo& page = mem.page(index);
   // Only 10 subpages were ever written.
   for (uint32_t j = 0; j < 10; ++j) {
-    page.huge->written.set(j);
-    page.huge->subpage_count[j] = 100;
+    mem.NoteSubpageAccess(page, j, /*is_write=*/true);
+    page.huge->SetSubpageCount(j, 100);
   }
   const uint64_t rss_before = mem.rss_pages();
   const uint64_t created = mem.SplitHugePage(
@@ -135,7 +135,7 @@ TEST(MemorySystem, DemandFaultRepopulatesSplitHole) {
   MemorySystem mem(SmallConfig());
   const Vaddr start = mem.AllocateRegion(kHugePageSize, AllocOptions{});
   const PageIndex index = mem.Lookup(VpnOf(start));
-  mem.page(index).huge->written.set(0);
+  mem.NoteSubpageAccess(mem.page(index), 0, /*is_write=*/true);
   mem.SplitHugePage(mem.Lookup(VpnOf(start)),
                     [](uint32_t) { return TierId::kFast; });
   const Vpn hole = VpnOf(start) + 7;
@@ -153,7 +153,7 @@ TEST(MemorySystem, StalePageRefIsRejectedAfterSplit) {
   const Vaddr start = mem.AllocateRegion(kHugePageSize, AllocOptions{});
   const PageIndex index = mem.Lookup(VpnOf(start));
   const PageRef ref = mem.page(index).ref(index);
-  mem.page(index).huge->written.set(0);
+  mem.NoteSubpageAccess(mem.page(index), 0, /*is_write=*/true);
   mem.SplitHugePage(index, [](uint32_t) { return TierId::kFast; });
   EXPECT_EQ(mem.Deref(ref), nullptr);
 }
@@ -194,9 +194,11 @@ TEST(MemorySystem, BloatAccountsUnwrittenHugeSubpages) {
   const Vaddr start = mem.AllocateRegion(kHugePageSize, AllocOptions{});
   PageInfo& page = mem.page(mem.Lookup(VpnOf(start)));
   EXPECT_EQ(mem.bloat_pages(), kSubpagesPerHuge);
-  page.huge->written.set(3);
-  page.huge->written.set(4);
+  mem.NoteSubpageAccess(page, 3, /*is_write=*/true);
+  mem.NoteSubpageAccess(page, 4, /*is_write=*/true);
+  mem.NoteSubpageAccess(page, 4, /*is_write=*/true);  // idempotent re-write
   EXPECT_EQ(mem.bloat_pages(), kSubpagesPerHuge - 2);
+  EXPECT_EQ(mem.bloat_pages(), mem.RecountBloatPages());
 }
 
 TEST(MemorySystem, RegionAtFindsExtent) {

@@ -25,9 +25,9 @@ TEST(MiscInvariants, SplitThenCollapseRoundTrip) {
   const Vaddr start = mem.AllocateRegion(kHugePageSize, AllocOptions{});
   const Vpn vpn = VpnOf(start);
   PageInfo& huge = mem.page(mem.Lookup(vpn));
-  huge.huge->written.set();  // every subpage holds data
   for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
-    huge.huge->subpage_count[j] = static_cast<uint32_t>(j);
+    mem.NoteSubpageAccess(huge, j, /*is_write=*/true);  // every subpage has data
+    huge.huge->SetSubpageCount(static_cast<uint32_t>(j), static_cast<uint32_t>(j));
   }
   ASSERT_EQ(mem.SplitHugePage(mem.Lookup(vpn), [](uint32_t) { return TierId::kFast; }),
             kSubpagesPerHuge);
