@@ -73,8 +73,10 @@ BENCHMARK(BM_ZipfSample);
 
 void BM_PebsOnEvent(benchmark::State& state) {
   PebsSampler sampler;
+  uint64_t now_ns = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.OnEvent(SampleType::kLlcLoadMiss));
+    benchmark::DoNotOptimize(sampler.OnEvent(SampleType::kLlcLoadMiss, now_ns));
+    now_ns += 10;
   }
 }
 BENCHMARK(BM_PebsOnEvent);

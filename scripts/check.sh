@@ -4,7 +4,9 @@
 # harness bitrot fails here too — and runs ctest (which includes the
 # memtis_run --smoke runner case and the hotpath_bench --smoke perf smoke) —
 # first plain, then again with MEMTIS_AUDIT=1 so every engine-driven test
-# runs under the abort-on-violation invariant auditor (src/audit/). Usage:
+# runs under the abort-on-violation invariant auditor (src/audit/), and
+# finally a targeted MEMTIS_FAULTS=storm pass that drives the fault-injection
+# stress tests (src/fault/) under the dense all-site preset. Usage:
 #
 #   scripts/check.sh [build-dir]
 #
@@ -23,3 +25,6 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 echo "== second pass: MEMTIS_AUDIT=1 (runtime invariant auditing) =="
 MEMTIS_AUDIT=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+echo "== third pass: MEMTIS_FAULTS=storm (fault-injection stress, audited) =="
+MEMTIS_AUDIT=1 MEMTIS_FAULTS=storm ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -j"$JOBS" -R '(Fault|Fuzz|memtis_run_smoke)'

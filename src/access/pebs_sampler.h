@@ -14,6 +14,7 @@
 
 #include "src/access/sample.h"
 #include "src/common/stats.h"
+#include "src/fault/fault.h"
 #include "src/mem/types.h"
 
 namespace memtis {
@@ -39,15 +40,30 @@ struct PebsConfig {
   uint64_t adjust_interval_ns = 2'000'000;
   // Multiplicative step applied to the period on each adjustment.
   double period_step = 1.25;
+
+  // Sample-buffer overflow model. 0 = unbounded buffer (no overflow, the
+  // default — byte-identical to the pre-overflow-model sampler). When > 0,
+  // at most `buffer_capacity` records accumulate between ksampled drains
+  // (every `drain_interval_ns` of virtual time); records arriving into a
+  // full buffer are dropped and counted, never delivered.
+  uint64_t buffer_capacity = 0;
+  uint64_t drain_interval_ns = 200'000;
 };
 
 struct PebsStats {
-  uint64_t samples[kNumSampleTypes] = {0, 0};
+  uint64_t samples[kNumSampleTypes] = {0, 0};  // delivered to the owner
+  // Records lost before delivery, by cause: buffer overflow (capacity model)
+  // and injected kSampleDrop faults. Dropped records are never delivered, so
+  // the owner's sample ledger stays exact: processed == total_samples().
+  uint64_t dropped[kNumSampleTypes] = {0, 0};
+  uint64_t overflow_drops = 0;
+  uint64_t fault_drops = 0;
   uint64_t period_raises = 0;
   uint64_t period_drops = 0;
   // Virtual time of the most recent period adaptation (0 = never adapted).
   uint64_t last_period_change_ns = 0;
   uint64_t total_samples() const { return samples[0] + samples[1]; }
+  uint64_t total_dropped() const { return dropped[0] + dropped[1]; }
   uint64_t period_changes() const { return period_raises + period_drops; }
 };
 
@@ -55,16 +71,21 @@ class PebsSampler {
  public:
   explicit PebsSampler(const PebsConfig& config = {});
 
-  // Counts one hardware event; returns true when this event is sampled (the
-  // caller then has a SampleRecord to process). Kept branch-light: one
+  // Fault injector hosting the kSampleDrop site. Not owned; nullptr (the
+  // default) disables injected drops.
+  void AttachFaults(FaultInjector* faults) { faults_ = faults; }
+
+  // Counts one hardware event; returns true when this event is sampled AND
+  // the record survives to delivery (the caller then has a SampleRecord to
+  // process). Records lost to buffer overflow or an injected fault return
+  // false and are counted in stats().dropped. Kept branch-light: one
   // decrement per access on the common path.
-  bool OnEvent(SampleType type) {
+  bool OnEvent(SampleType type, uint64_t now_ns) {
     if (--countdown_[static_cast<int>(type)] > 0) {
       return false;
     }
     countdown_[static_cast<int>(type)] = period_[static_cast<int>(type)];
-    ++stats_.samples[static_cast<int>(type)];
-    return true;
+    return Deliver(type, now_ns);
   }
 
   // Called by the owner after processing a sampled record, with the current
@@ -86,6 +107,32 @@ class PebsSampler {
   }
 
  private:
+  // A record fired; decide whether it reaches the owner. Stays inline so the
+  // no-faults unbounded-buffer configuration costs two predictable branches.
+  bool Deliver(SampleType type, uint64_t now_ns) {
+    const int idx = static_cast<int>(type);
+    if (faults_ != nullptr &&
+        faults_->ShouldInject(FaultSite::kSampleDrop, now_ns)) [[unlikely]] {
+      ++stats_.dropped[idx];
+      ++stats_.fault_drops;
+      return false;
+    }
+    if (config_.buffer_capacity > 0) [[unlikely]] {
+      if (now_ns >= last_drain_ns_ + config_.drain_interval_ns) {
+        buffer_fill_ = 0;
+        last_drain_ns_ = now_ns;
+      }
+      if (buffer_fill_ >= config_.buffer_capacity) {
+        ++stats_.dropped[idx];
+        ++stats_.overflow_drops;
+        return false;
+      }
+      ++buffer_fill_;
+    }
+    ++stats_.samples[idx];
+    return true;
+  }
+
   void MaybeAdjust(uint64_t now_ns);
   void ScalePeriods(double factor);
 
@@ -95,8 +142,11 @@ class PebsSampler {
   uint64_t busy_ns_ = 0;
   uint64_t window_busy_ns_ = 0;
   uint64_t last_adjust_ns_ = 0;
+  uint64_t buffer_fill_ = 0;
+  uint64_t last_drain_ns_ = 0;
   Ema usage_ema_;
   PebsStats stats_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace memtis

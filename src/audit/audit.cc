@@ -361,6 +361,18 @@ void InvariantAuditor::RegisterDefaultChecks() {
                 [](Engine& e, AuditCollector& out) {
                   CheckMigrationLedger(e.ctx().migration_budget, out);
                 });
+  RegisterCheck("fault-accounting", false, [](Engine& e, AuditCollector& out) {
+    // Every injected migrate-abort rolled back exactly one Migrate call, so
+    // the memory system's abort counter must track the injector's 1:1.
+    out.BeginCheck();
+    const uint64_t injected = e.faults().stats().by(FaultSite::kMigrateAbort);
+    const uint64_t aborted = e.mem().migration_stats().aborted_migrations;
+    if (injected != aborted) {
+      out.Fail("fault-accounting",
+               std::to_string(injected) + " injected migrate-aborts != " +
+                   std::to_string(aborted) + " aborted migrations");
+    }
+  });
   RegisterCheck("memtis-sample-ledger", false,
                 [](Engine& e, AuditCollector& out) {
                   const auto* p = dynamic_cast<MemtisPolicy*>(&e.policy());

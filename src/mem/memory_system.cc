@@ -99,8 +99,15 @@ void MemorySystem::EnsurePageTable(Vpn end_vpn) {
 std::optional<std::pair<TierId, FrameId>> MemorySystem::AllocFrame(
     PageKind kind, const AllocOptions& options) {
   const int order = kind == PageKind::kHuge ? BuddyAllocator::kMaxOrder : 0;
-  if (auto frame = tier(options.preferred).allocator().Allocate(order)) {
-    return std::make_pair(options.preferred, *frame);
+  // kAllocFail blocks only the preferred-tier attempt: the fallback below is
+  // never injected, so a sized machine degrades (wrong-tier placement) rather
+  // than tripping the machine-exhausted aborts in AllocateRegion/DemandFault.
+  const bool preferred_blocked =
+      faults_ != nullptr && faults_->ShouldInject(FaultSite::kAllocFail, now());
+  if (!preferred_blocked) {
+    if (auto frame = tier(options.preferred).allocator().Allocate(order)) {
+      return std::make_pair(options.preferred, *frame);
+    }
   }
   if (options.allow_other_tier) {
     const TierId other = OtherTier(options.preferred);
@@ -309,6 +316,15 @@ bool MemorySystem::Migrate(PageIndex index, TierId dst) {
     ++migration_stats_.failed_migrations;
     return false;
   }
+  if (faults_ != nullptr &&
+      faults_->ShouldInject(FaultSite::kMigrateAbort, now())) {
+    // Mid-copy abort: the reserved destination frame goes back and the page
+    // is untouched — still mapped at its source tier/frame, no TLB shootdown
+    // (the mapping never changed). See DESIGN.md, "rollback contract".
+    tier(dst).allocator().Free(*frame, order);
+    ++migration_stats_.aborted_migrations;
+    return false;
+  }
   tier(p.tier).allocator().Free(p.frame, order);
   if (tlb_ != nullptr) {
     tlb_->Shootdown(p.base_vpn, p.size_pages());
@@ -325,6 +341,20 @@ bool MemorySystem::Migrate(PageIndex index, TierId dst) {
   p.tier = dst;
   p.frame = *frame;
   return true;
+}
+
+uint64_t MemorySystem::ShrinkTier(TierId id, uint64_t frames) {
+  MemoryTier& t = tier(id);
+  uint64_t pinned = 0;
+  while (pinned < frames) {
+    if (!t.allocator().Allocate(0).has_value()) {
+      break;  // tier has no free frame left; shrink as far as possible
+    }
+    ++pinned;
+  }
+  pinned_frames_ += pinned;
+  pinned_per_tier_[static_cast<int>(id)] += pinned;
+  return pinned;
 }
 
 uint64_t MemorySystem::SplitHugePage(PageIndex index,

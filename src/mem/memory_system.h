@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/mem/page.h"
 #include "src/mem/tier.h"
 #include "src/mem/tlb.h"
@@ -51,7 +52,8 @@ struct MigrationStats {
   uint64_t promoted_huge = 0;   // huge pages moved capacity -> fast
   uint64_t demoted_base = 0;
   uint64_t demoted_huge = 0;
-  uint64_t failed_migrations = 0;  // destination frame unavailable
+  uint64_t failed_migrations = 0;   // destination frame unavailable
+  uint64_t aborted_migrations = 0;  // injected mid-copy abort, rolled back
   uint64_t splits = 0;
   uint64_t collapses = 0;
   uint64_t freed_zero_subpages = 0;  // bloat reclaimed by splits
@@ -76,6 +78,9 @@ class MemorySystem {
   void AttachTlb(Tlb* tlb) { tlb_ = tlb; }
   // Clock source for PageInfo::alloc_time_ns. Not owned.
   void AttachClock(const uint64_t* now_ns) { now_ns_ = now_ns; }
+  // Fault injector hosting the kAllocFail / kMigrateAbort sites. Not owned;
+  // nullptr (the default) means those sites never fire.
+  void AttachFaults(FaultInjector* faults) { faults_ = faults; }
 
   // --- Regions ---------------------------------------------------------------
 
@@ -134,6 +139,12 @@ class MemorySystem {
   // `tier`. Fails (returns false) unless all 512 are live base pages and a
   // huge frame is available.
   bool CollapseToHuge(Vpn huge_vpn, TierId tier);
+
+  // Hot-shrinks a tier by pinning up to `frames` free 4 KiB frames (as if the
+  // hardware or another tenant claimed them). Pins are permanent, accounted
+  // like start-up fragmentation pins, and invisible to rss_pages(). Returns
+  // the number actually pinned (less when the tier has fewer free frames).
+  uint64_t ShrinkTier(TierId id, uint64_t frames);
 
   // --- Iteration / accounting -------------------------------------------------
 
@@ -271,6 +282,7 @@ class MemorySystem {
   MemoryTier tiers_[kNumTiers];
   Tlb* tlb_ = nullptr;
   const uint64_t* now_ns_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 
   std::vector<PageInfo> pages_;
   std::vector<PageIndex> free_slots_;

@@ -10,7 +10,7 @@
 namespace memtis {
 
 void MemtisPolicy::Init(PolicyContext& ctx) {
-  (void)ctx;
+  sampler_.AttachFaults(ctx.faults);
   // Initial thresholds per paper §4.2.1: T_hot = T_warm = 1, T_cold = 0.
   thresholds_ = AccessHistogram::Thresholds{.hot = 1, .warm = 1, .cold = 0};
   base_hot_bin_ = 1;
@@ -98,7 +98,7 @@ void MemtisPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
                             const Access& access) {
   const SampleType type =
       access.is_write ? SampleType::kStore : SampleType::kLlcLoadMiss;
-  if (!sampler_.OnEvent(type)) {
+  if (!sampler_.OnEvent(type, ctx.now_ns)) {
     return;
   }
   ctx.ChargeDaemon(DaemonKind::kSampler, sampler_.AccountSample(ctx.now_ns));

@@ -6,7 +6,7 @@ void HeMemPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
                            const Access& access) {
   const SampleType type =
       access.is_write ? SampleType::kStore : SampleType::kLlcLoadMiss;
-  if (!sampler_.OnEvent(type)) {
+  if (!sampler_.OnEvent(type, ctx.now_ns)) {
     return;
   }
   ctx.ChargeDaemon(DaemonKind::kSampler, sampler_.AccountSample(ctx.now_ns));

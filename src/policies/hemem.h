@@ -46,6 +46,8 @@ class HeMemPolicy : public TieringPolicy {
 
   std::string_view name() const override { return "hemem"; }
 
+  void Init(PolicyContext& ctx) override { sampler_.AttachFaults(ctx.faults); }
+
   void OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
                 const Access& access) override;
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/memtis/policy_registry.h"
 #include "src/runner/result_sink.h"
 #include "src/runner/sweep.h"
@@ -79,7 +80,16 @@ void PrintUsage() {
       "  --audit-json=FILE      write per-job audit reports + epoch telemetry\n"
       "                         to FILE (implies --audit; \"-\" = stdout)\n"
       "  --audit-epoch-ns=N     epoch telemetry cadence in virtual ns\n"
-      "                         (default 1000000 with --audit-json; 0 = off)\n");
+      "                         (default 1000000 with --audit-json; 0 = off)\n"
+      "\n"
+      "Fault injection (see README \"Fault injection\"):\n"
+      "  --faults=SPEC          inject faults into every job. SPEC is \"storm\"\n"
+      "                         (dense preset), \"none\", or comma-separated\n"
+      "                         site=prob[@start-end][/max] entries over sites\n"
+      "                         alloc-fail migrate-abort sample-drop\n"
+      "                         budget-starve tier-shrink, plus seed=N,\n"
+      "                         shrink-step=F, shrink-cap=F\n"
+      "                         e.g. --faults=migrate-abort=0.1,seed=7\n");
 }
 
 std::vector<std::string> SplitList(const std::string& csv) {
@@ -254,6 +264,16 @@ bool ApplyOption(const std::string& key, const std::string& value, CliOptions* c
     cli->sweep.audit_epoch_interval_ns = std::strtoull(value.c_str(), nullptr, 10);
     return true;
   }
+  if (key == "faults") {
+    FaultPlan plan;
+    std::string error;
+    if (!FaultPlan::Parse(value, &plan, &error)) {
+      std::fprintf(stderr, "memtis_run: bad --faults spec: %s\n", error.c_str());
+      return false;
+    }
+    cli->sweep.faults = value;
+    return true;
+  }
   if (key == "config") {
     return ApplyConfigFile(value, cli);
   }
@@ -328,12 +348,15 @@ int Main(int argc, char** argv) {
   if (cli.smoke) {
     // Fixed tiny sweep exercising two systems, two workloads, and the
     // baseline path; finishes in seconds so tier-1 ctest can afford it.
-    // Audit flags survive the reset so --smoke --audit-json works.
+    // Audit and fault flags survive the reset so --smoke --audit-json and
+    // --smoke --faults=storm work.
     const bool audit = cli.sweep.audit;
     const uint64_t audit_epoch_ns = cli.sweep.audit_epoch_interval_ns;
+    const std::string faults = cli.sweep.faults;
     cli.sweep = SweepSpec{};
     cli.sweep.audit = audit;
     cli.sweep.audit_epoch_interval_ns = audit_epoch_ns;
+    cli.sweep.faults = faults;
     cli.sweep.systems = {"memtis", "autonuma"};
     cli.sweep.benchmarks = {"btree", "silo"};
     cli.sweep.fast_ratios = {1.0 / 3.0};

@@ -19,6 +19,9 @@ void WriteSpecFields(JsonWriter& w, const JobSpec& spec) {
   w.Field("seed_index", spec.seed_index);
   w.Field("workload_seed_offset", spec.workload_seed_offset());
   w.Field("engine_seed", spec.engine_seed);
+  if (!spec.faults.empty()) {
+    w.Field("faults", spec.faults);
+  }
 }
 
 void WriteJob(JsonWriter& w, const JobSpec& spec, const JobResult& result,

@@ -78,6 +78,11 @@ JobResult RunJob(const JobSpec& spec) {
   opts.snapshot_interval_ns = spec.snapshot_interval_ns;
   opts.cpu_contention = spec.cpu_contention;
   opts.seed = spec.engine_seed;
+  if (!spec.faults.empty()) {
+    std::string fault_error;
+    SIM_CHECK(FaultPlan::Parse(spec.faults, &opts.faults, &fault_error) &&
+              "bad JobSpec::faults spec (validate at the CLI)");
+  }
 
   // Auditing: the spec's request wins (collect mode); otherwise the
   // MEMTIS_AUDIT env hook may install an abort-on-violation session. One
@@ -156,6 +161,7 @@ std::vector<JobSpec> ExpandJobs(const SweepSpec& sweep) {
           cell.fast_bytes_override = sweep.fast_bytes_override;
           cell.audit = sweep.audit;
           cell.audit_epoch_interval_ns = sweep.audit_epoch_interval_ns;
+          cell.faults = sweep.faults;
           if (sweep.include_baseline) {
             JobSpec baseline = cell;
             baseline.system = "all-capacity";

@@ -78,6 +78,10 @@ struct JobSpec {
   // which additionally audits every job in abort-on-violation mode.
   bool audit = false;
   uint64_t audit_epoch_interval_ns = 0;
+  // Fault-injection spec (FaultPlan::Parse grammar; "" or "none" = fault-free,
+  // "storm" = the dense preset). Parsed into EngineOptions::faults by RunJob;
+  // a malformed spec aborts the job loudly — validate at the CLI instead.
+  std::string faults;
   // Optional hook to tweak the MEMTIS config (sensitivity sweeps); applied
   // only when the system is a MEMTIS variant. A std::function so sweeps can
   // capture per-cell state (e.g. Fig. 13's interval multipliers).
@@ -138,6 +142,8 @@ struct SweepSpec {
   // Audit every job (see JobSpec::audit / audit_epoch_interval_ns).
   bool audit = false;
   uint64_t audit_epoch_interval_ns = 0;
+  // Fault-injection spec applied to every job (see JobSpec::faults).
+  std::string faults;
 };
 
 // Expands the product in a deterministic order: for each benchmark, machine,

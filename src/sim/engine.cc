@@ -48,7 +48,9 @@ Engine::Engine(const MachineConfig& machine, TieringPolicy& policy,
       rng_(options.seed),
       migration_budget_(machine.costs.migrate_bandwidth_pages_per_ms,
                         machine.costs.migrate_burst_pages),
-      ctx_{mem_, tlb_, costs_, metrics_.cpu, rng_, migration_budget_},
+      fault_injector_(options.faults, options.seed),
+      ctx_{mem_, tlb_, costs_, metrics_.cpu, rng_, migration_budget_,
+           &fault_injector_},
       next_tick_ns_(options.tick_quantum_ns),
       next_snapshot_ns_(options.snapshot_interval_ns != 0
                             ? options.snapshot_interval_ns
@@ -59,6 +61,16 @@ Engine::Engine(const MachineConfig& machine, TieringPolicy& policy,
   metrics_.cpu_contention = options.cpu_contention;
   mem_.AttachTlb(&tlb_);
   mem_.AttachClock(&now_ns_);
+  mem_.AttachFaults(&fault_injector_);
+  migration_budget_.AttachFaults(&fault_injector_);
+  if (fault_injector_.enabled() &&
+      options_.faults.site(FaultSite::kTierShrink).active()) {
+    const double frames = static_cast<double>(machine.mem.fast_frames);
+    fault_shrink_step_frames_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(frames * options_.faults.tier_shrink_step));
+    fault_shrink_cap_frames_ =
+        static_cast<uint64_t>(frames * options_.faults.tier_shrink_cap);
+  }
 }
 
 Metrics Engine::Run(Workload& workload) {
@@ -81,6 +93,7 @@ Metrics Engine::Run(Workload& workload) {
   metrics_.app_ns = now_ns_;
   metrics_.tlb = tlb_.stats();
   metrics_.migration = mem_.migration_stats();
+  metrics_.faults = fault_injector_.stats();
   metrics_.final_rss_pages = mem_.rss_pages();
   metrics_.peak_rss_pages = std::max(metrics_.peak_rss_pages, mem_.rss_pages());
   metrics_.final_fast_used_pages = mem_.fast_tier_pages();
@@ -156,9 +169,24 @@ void Engine::UpdateNextEvent() {
   next_event_ns_ = std::min(next_tick_ns_, next_snapshot_ns_);
 }
 
+void Engine::MaybeShrinkFastTier() {
+  if (fault_shrunk_frames_ >= fault_shrink_cap_frames_) {
+    return;  // cumulative cap reached; the site stops rolling entirely
+  }
+  if (!fault_injector_.ShouldInject(FaultSite::kTierShrink, now_ns_)) {
+    return;
+  }
+  const uint64_t want = std::min(fault_shrink_step_frames_,
+                                 fault_shrink_cap_frames_ - fault_shrunk_frames_);
+  fault_shrunk_frames_ += mem_.ShrinkTier(TierId::kFast, want);
+}
+
 void Engine::MaybeTickAndSnapshot() {
   if (now_ns_ >= next_tick_ns_) {
     ctx_.now_ns = now_ns_;
+    if (fault_shrink_cap_frames_ != 0) [[unlikely]] {
+      MaybeShrinkFastTier();
+    }
     policy_.Tick(ctx_);
     DrainPendingAppTime();
     // Skip ahead if the app stalled far past several quanta.

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "src/common/rng.h"
+#include "src/fault/fault.h"
 #include "src/mem/memory_system.h"
 #include "src/mem/tlb.h"
 #include "src/sim/cost_model.h"
@@ -65,6 +66,10 @@ struct EngineOptions {
   TraceWriter* trace = nullptr;
   // Optional audit/observability hook (see src/audit/). Not owned.
   EngineObserver* audit = nullptr;
+  // Fault-injection schedule (see src/fault/). The default (no active site)
+  // leaves every injection point inert and the run byte-identical to a
+  // fault-free build.
+  FaultPlan faults;
 };
 
 class Engine {
@@ -92,11 +97,13 @@ class Engine {
   TieringPolicy& policy() { return policy_; }
   Metrics& metrics() { return metrics_; }
   PolicyContext& ctx() { return ctx_; }
+  const FaultInjector& faults() const { return fault_injector_; }
 
  private:
   void DrainPendingAppTime();
   void MaybeTickAndSnapshot();
   void TakeSnapshot();
+  void MaybeShrinkFastTier();
 
   EngineOptions options_;
   CostParams costs_;
@@ -106,6 +113,7 @@ class Engine {
   Rng rng_;
   Metrics metrics_;
   MigrationBudget migration_budget_;
+  FaultInjector fault_injector_;
   PolicyContext ctx_;
 
   void UpdateNextEvent();
@@ -118,6 +126,11 @@ class Engine {
   // against this single deadline instead of re-evaluating both schedules.
   uint64_t next_event_ns_;
   TraceWriter* trace_;  // cached options_.trace (hoists the per-access load)
+  // kTierShrink bookkeeping: frames pinned so far and the plan's per-step /
+  // cumulative-cap sizes resolved against the fast tier (0 when inert).
+  uint64_t fault_shrunk_frames_ = 0;
+  uint64_t fault_shrink_step_frames_ = 0;
+  uint64_t fault_shrink_cap_frames_ = 0;
   uint64_t window_accesses_ = 0;
   uint64_t window_fast_ = 0;
   uint64_t window_start_ns_ = 0;

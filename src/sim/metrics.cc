@@ -61,6 +61,7 @@ void Metrics::WriteJson(JsonWriter& w, bool include_timeline) const {
   w.Field("demoted_base", migration.demoted_base);
   w.Field("demoted_huge", migration.demoted_huge);
   w.Field("failed_migrations", migration.failed_migrations);
+  w.Field("aborted_migrations", migration.aborted_migrations);
   w.Field("splits", migration.splits);
   w.Field("collapses", migration.collapses);
   w.Field("freed_zero_subpages", migration.freed_zero_subpages);
@@ -68,6 +69,9 @@ void Metrics::WriteJson(JsonWriter& w, bool include_timeline) const {
   w.Field("promoted_4k", migration.promoted_4k());
   w.Field("demoted_4k", migration.demoted_4k());
   w.EndObject();
+
+  w.Key("faults");
+  faults.WriteJson(w);
 
   w.Field("final_rss_pages", final_rss_pages);
   w.Field("peak_rss_pages", peak_rss_pages);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/mem/memory_system.h"
 #include "src/mem/tlb.h"
 #include "src/sim/cpu_account.h"
@@ -52,6 +53,8 @@ struct Metrics {
   CpuAccount cpu;
   TlbStats tlb;
   MigrationStats migration;
+  // Injection counters for the run's FaultPlan (all zero when fault-free).
+  FaultStats faults;
 
   uint64_t final_rss_pages = 0;
   uint64_t peak_rss_pages = 0;

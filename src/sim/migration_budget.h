@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "src/fault/fault.h"
+
 namespace memtis {
 
 class MigrationBudget {
@@ -20,8 +22,19 @@ class MigrationBudget {
   MigrationBudget(uint64_t pages_per_ms, uint64_t burst_pages)
       : rate_per_ms_(pages_per_ms), burst_(burst_pages), tokens_(burst_pages) {}
 
+  // Fault injector hosting the kBudgetStarve site. Not owned; nullptr (the
+  // default) disables starvation spikes.
+  void AttachFaults(FaultInjector* faults) { faults_ = faults; }
+
   // Attempts to consume `pages` tokens at virtual time `now_ns`.
   bool Consume(uint64_t now_ns, uint64_t pages) {
+    if (faults_ != nullptr &&
+        faults_->ShouldInject(FaultSite::kBudgetStarve, now_ns)) {
+      // Starvation spike: deny as if tokens were exhausted. Neither the
+      // balance nor the refill clock moves, so the audited ledger invariant
+      // (burst + credited - consumed == tokens) is untouched.
+      return false;
+    }
     Refill(now_ns);
     if (tokens_ < pages) {
       return false;
@@ -78,6 +91,7 @@ class MigrationBudget {
   uint64_t last_refill_ns_ = 0;
   uint64_t consumed_pages_ = 0;
   uint64_t credited_pages_ = 0;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace memtis

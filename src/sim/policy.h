@@ -30,6 +30,9 @@ struct PolicyContext {
   CpuAccount& cpu;
   Rng& rng;
   MigrationBudget& migration_budget;
+  // The run's fault injector (src/fault/); nullptr in bare test contexts.
+  // Policies that own a PebsSampler attach it here during Init.
+  FaultInjector* faults = nullptr;
   uint64_t now_ns = 0;
 
   // Critical-path time the policy wants charged to the app for the current

@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "src/audit/audit.h"
+#include "src/fault/fault.h"
 #include "src/memtis/memtis_policy.h"
+#include "src/memtis/policy_registry.h"
 #include "src/workloads/registry.h"
 #include "tests/test_util.h"
 
@@ -135,6 +139,43 @@ TEST(Fuzz, HugePageMetaPoolRecycles) {
   EXPECT_TRUE(mem.CheckConsistency());
   const AuditReport report = AuditMemorySystem(mem, tlb);
   ASSERT_TRUE(report.ok()) << report.ToJson(2);
+}
+
+TEST(Fuzz, FaultStormSurvivesEveryPolicy) {
+  // Every registered policy must degrade gracefully under a dense fault plan:
+  // no crash, no invariant violation. MEMTIS_FAULTS overrides the plan
+  // (scripts/check.sh's third pass sets it explicitly; "none" skips).
+  const char* env = std::getenv("MEMTIS_FAULTS");
+  const std::string spec =
+      (env != nullptr && env[0] != '\0') ? env : std::string("storm");
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(spec, &plan, &error)) << spec << ": " << error;
+  if (!plan.enabled()) {
+    GTEST_SKIP() << "MEMTIS_FAULTS=" << spec << " disables the storm";
+  }
+  for (const std::string& name : KnownPolicyNames()) {
+    for (const uint64_t seed : {11ull, 1011ull}) {
+      auto workload = MakeWorkload("btree", 0.12);
+      auto policy = MakePolicy(name, workload->footprint_bytes(),
+                               workload->footprint_bytes() / 3);
+      EngineOptions opts;
+      opts.max_accesses = 80'000;
+      opts.seed = seed;
+      opts.faults = plan;
+      AuditSession audit;  // collect mode: report inspected below
+      opts.audit = &audit;
+      Engine engine(MachineFor(*workload, 1.0 / 3.0), *policy, opts);
+      const Metrics metrics = engine.Run(*workload);
+      ASSERT_TRUE(audit.report().ok())
+          << "reproducer: policy=" << name << " benchmark=btree seed=" << seed
+          << " faults=" << plan.ToSpec() << "\n"
+          << audit.report().ToJson(2);
+      // A dense plan on a live policy must actually exercise the plane.
+      EXPECT_GT(metrics.faults.total_injected(), 0u)
+          << name << " seed " << seed;
+    }
+  }
 }
 
 class HistogramAuditTest : public ::testing::TestWithParam<std::string> {};

@@ -1,0 +1,117 @@
+// Golden-metrics regression tests: fault-free runs of three systems on two
+// workloads, byte-compared against committed JSON. Any unintended behaviour
+// change in the simulator — including one introduced by the fault plane,
+// which must be inert when no site is active — shows up as a golden diff.
+//
+// Regenerate intentionally changed goldens with either of
+//   build/tests/golden_metrics_test --regen
+//   MEMTIS_GOLDEN_REGEN=1 build/tests/golden_metrics_test
+// and review the diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+#include "src/runner/sweep.h"
+
+namespace {
+bool g_regen = false;
+}  // namespace
+
+namespace memtis {
+namespace {
+
+struct GoldenCell {
+  const char* system;
+  const char* benchmark;
+};
+
+// Three families of system (MEMTIS, userspace HeMem, kernel AutoNUMA) by two
+// workloads with different page-size behaviour.
+constexpr GoldenCell kCells[] = {
+    {"memtis", "btree"},   {"memtis", "silo"},   {"hemem", "btree"},
+    {"hemem", "silo"},     {"autonuma", "btree"}, {"autonuma", "silo"},
+};
+
+std::string GoldenPath(const GoldenCell& cell) {
+  return std::string(GOLDEN_DIR) + "/" + cell.system + "_" + cell.benchmark +
+         ".json";
+}
+
+std::string RenderCell(const GoldenCell& cell) {
+  JobSpec spec;
+  spec.system = cell.system;
+  spec.benchmark = cell.benchmark;
+  spec.accesses = 200'000;
+  // Pin the sizing explicitly so the MEMTIS_BENCH_* env knobs cannot shift
+  // golden output between machines.
+  spec.footprint_scale = 0.25;
+  const JobResult result = RunJob(spec);
+  return result.metrics.ToJson(2) + "\n";
+}
+
+class GoldenMetricsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenMetricsTest, MatchesCommittedJson) {
+  const GoldenCell& cell = kCells[GetParam()];
+  const std::string path = GoldenPath(cell);
+  const std::string rendered = RenderCell(cell);
+
+  if (g_regen) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    return;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — run golden_metrics_test --regen (and commit the result)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  // Byte-for-byte: Metrics::ToJson has stable field order and float
+  // formatting, so any diff is a real behaviour or schema change.
+  EXPECT_EQ(rendered, expected.str())
+      << cell.system << "/" << cell.benchmark
+      << " diverged from " << path
+      << " — if intended, regen with --regen and commit the diff";
+}
+
+std::string CellName(const ::testing::TestParamInfo<int>& info) {
+  std::string name = kCells[info.param].system;
+  name += "_";
+  name += kCells[info.param].benchmark;
+  for (char& c : name) {
+    if (c == '-' || c == '.') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, GoldenMetricsTest,
+                         ::testing::Range(0, static_cast<int>(std::size(kCells))),
+                         CellName);
+
+}  // namespace
+}  // namespace memtis
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen") {
+      g_regen = true;
+    }
+  }
+  const char* env = std::getenv("MEMTIS_GOLDEN_REGEN");
+  if (env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+    g_regen = true;
+  }
+  return RUN_ALL_TESTS();
+}

@@ -12,12 +12,12 @@ TEST(PebsSampler, SamplesEveryPeriodEvents) {
   PebsSampler sampler(cfg);
   int load_samples = 0;
   for (int i = 0; i < 100; ++i) {
-    load_samples += sampler.OnEvent(SampleType::kLlcLoadMiss) ? 1 : 0;
+    load_samples += sampler.OnEvent(SampleType::kLlcLoadMiss, 0) ? 1 : 0;
   }
   EXPECT_EQ(load_samples, 10);
   int store_samples = 0;
   for (int i = 0; i < 100; ++i) {
-    store_samples += sampler.OnEvent(SampleType::kStore) ? 1 : 0;
+    store_samples += sampler.OnEvent(SampleType::kStore, 0) ? 1 : 0;
   }
   EXPECT_EQ(store_samples, 25);
   EXPECT_EQ(sampler.stats().total_samples(), 35u);
@@ -31,8 +31,8 @@ TEST(PebsSampler, EventStreamsAreIndependent) {
   // Interleave: each stream keeps its own countdown.
   int samples = 0;
   for (int i = 0; i < 10; ++i) {
-    samples += sampler.OnEvent(SampleType::kLlcLoadMiss) ? 1 : 0;
-    samples += sampler.OnEvent(SampleType::kStore) ? 1 : 0;
+    samples += sampler.OnEvent(SampleType::kLlcLoadMiss, 0) ? 1 : 0;
+    samples += sampler.OnEvent(SampleType::kStore, 0) ? 1 : 0;
   }
   EXPECT_EQ(samples, 4);
 }
@@ -47,7 +47,7 @@ TEST(PebsSampler, RaisesPeriodWhenOverBudget) {
   uint64_t now = 0;
   for (int i = 0; i < 1000; ++i) {
     now += 10'000;
-    if (sampler.OnEvent(SampleType::kLlcLoadMiss)) {
+    if (sampler.OnEvent(SampleType::kLlcLoadMiss, now)) {
       sampler.AccountSample(now);
     }
   }
@@ -66,7 +66,7 @@ TEST(PebsSampler, LowersPeriodWhenUnderBudget) {
   uint64_t now = 0;
   for (int i = 0; i < 100000; ++i) {
     now += 100;
-    if (sampler.OnEvent(SampleType::kLlcLoadMiss)) {
+    if (sampler.OnEvent(SampleType::kLlcLoadMiss, now)) {
       sampler.AccountSample(now);
     }
   }
@@ -85,7 +85,7 @@ TEST(PebsSampler, PeriodStaysWithinBounds) {
   uint64_t now = 0;
   for (int i = 0; i < 100000; ++i) {
     now += 10;
-    if (sampler.OnEvent(SampleType::kLlcLoadMiss)) {
+    if (sampler.OnEvent(SampleType::kLlcLoadMiss, now)) {
       sampler.AccountSample(now);
     }
   }
@@ -104,13 +104,114 @@ TEST(PebsSampler, HysteresisPreventsJitterInsideBand) {
   uint64_t now = 0;
   for (int i = 0; i < 200000; ++i) {
     now += 100;
-    if (sampler.OnEvent(SampleType::kLlcLoadMiss)) {
+    if (sampler.OnEvent(SampleType::kLlcLoadMiss, now)) {
       sampler.AccountSample(now);
     }
   }
   EXPECT_EQ(sampler.stats().period_raises, 0u);
   EXPECT_EQ(sampler.stats().period_drops, 0u);
   EXPECT_EQ(sampler.period(SampleType::kLlcLoadMiss), 100u);
+}
+
+TEST(PebsSampler, TinyBufferOverflowDropsAreCounted) {
+  PebsConfig cfg;
+  cfg.load_period = 1;
+  cfg.min_period = 1;
+  cfg.buffer_capacity = 4;
+  cfg.drain_interval_ns = 1'000'000;  // never drained within this test
+  PebsSampler sampler(cfg);
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    delivered += sampler.OnEvent(SampleType::kLlcLoadMiss, 100) ? 1 : 0;
+  }
+  // Only the first `buffer_capacity` records fit; the rest overflow.
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(sampler.stats().total_samples(), 4u);
+  EXPECT_EQ(sampler.stats().total_dropped(), 6u);
+  EXPECT_EQ(sampler.stats().overflow_drops, 6u);
+  EXPECT_EQ(sampler.stats().fault_drops, 0u);
+  EXPECT_EQ(sampler.stats().dropped[static_cast<int>(SampleType::kLlcLoadMiss)],
+            6u);
+}
+
+TEST(PebsSampler, DrainEmptiesTheBuffer) {
+  PebsConfig cfg;
+  cfg.load_period = 1;
+  cfg.min_period = 1;
+  cfg.buffer_capacity = 2;
+  cfg.drain_interval_ns = 1'000;
+  PebsSampler sampler(cfg);
+  // Fill the buffer at t=0, overflow once, then cross the drain interval:
+  // capacity is available again.
+  EXPECT_TRUE(sampler.OnEvent(SampleType::kLlcLoadMiss, 0));
+  EXPECT_TRUE(sampler.OnEvent(SampleType::kLlcLoadMiss, 0));
+  EXPECT_FALSE(sampler.OnEvent(SampleType::kLlcLoadMiss, 0));
+  EXPECT_TRUE(sampler.OnEvent(SampleType::kLlcLoadMiss, 2'000));
+  EXPECT_EQ(sampler.stats().total_samples(), 3u);
+  EXPECT_EQ(sampler.stats().overflow_drops, 1u);
+}
+
+TEST(PebsSampler, OverflowDropsTrackPerTypeCounts) {
+  PebsConfig cfg;
+  cfg.load_period = 1;
+  cfg.store_period = 1;
+  cfg.min_period = 1;
+  cfg.buffer_capacity = 1;
+  cfg.drain_interval_ns = 1'000'000;
+  PebsSampler sampler(cfg);
+  EXPECT_TRUE(sampler.OnEvent(SampleType::kLlcLoadMiss, 5));
+  EXPECT_FALSE(sampler.OnEvent(SampleType::kStore, 5));
+  EXPECT_FALSE(sampler.OnEvent(SampleType::kLlcLoadMiss, 5));
+  EXPECT_EQ(sampler.stats().dropped[static_cast<int>(SampleType::kStore)], 1u);
+  EXPECT_EQ(sampler.stats().dropped[static_cast<int>(SampleType::kLlcLoadMiss)],
+            1u);
+}
+
+TEST(PebsSampler, InjectedFaultDropsRecordsBeforeDelivery) {
+  FaultPlan plan;
+  plan.site(FaultSite::kSampleDrop).probability = 1.0;
+  FaultInjector faults(plan, /*run_seed=*/7);
+  PebsConfig cfg;
+  cfg.load_period = 1;
+  cfg.min_period = 1;
+  PebsSampler sampler(cfg);
+  sampler.AttachFaults(&faults);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(sampler.OnEvent(SampleType::kLlcLoadMiss, 10 * i));
+  }
+  EXPECT_EQ(sampler.stats().total_samples(), 0u);
+  EXPECT_EQ(sampler.stats().fault_drops, 8u);
+  EXPECT_EQ(faults.stats().by(FaultSite::kSampleDrop), 8u);
+}
+
+TEST(PebsSampler, PeriodCountersMoveUnderForcedLoadWithTinyBuffer) {
+  // Over-budget adaptation must still work when most records overflow: the
+  // controller only charges CPU for delivered samples.
+  PebsConfig cfg;
+  cfg.load_period = 2;
+  cfg.min_period = 2;
+  cfg.sample_cost_ns = 1'000'000;
+  cfg.adjust_interval_ns = 1'000'000;
+  cfg.cpu_limit = 0.03;
+  cfg.buffer_capacity = 2;
+  cfg.drain_interval_ns = 5'000;
+  PebsSampler sampler(cfg);
+  uint64_t now = 0;
+  uint64_t delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    now += 10'000;
+    // A burst of events lands between drains: some records must overflow.
+    for (int j = 0; j < 8; ++j) {
+      if (sampler.OnEvent(SampleType::kLlcLoadMiss, now)) {
+        ++delivered;
+        sampler.AccountSample(now);
+      }
+    }
+  }
+  EXPECT_GT(sampler.stats().period_raises, 0u);
+  EXPECT_GT(sampler.stats().total_dropped(), 0u);
+  EXPECT_EQ(sampler.stats().total_samples(), delivered);
+  EXPECT_EQ(sampler.busy_ns(), delivered * cfg.sample_cost_ns);
 }
 
 TEST(PebsSampler, BusyTimeAccumulates) {
@@ -120,7 +221,7 @@ TEST(PebsSampler, BusyTimeAccumulates) {
   cfg.sample_cost_ns = 400;
   PebsSampler sampler(cfg);
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(sampler.OnEvent(SampleType::kLlcLoadMiss));
+    ASSERT_TRUE(sampler.OnEvent(SampleType::kLlcLoadMiss, 1000ull * (i + 1)));
     sampler.AccountSample(1000 * (i + 1));
   }
   EXPECT_EQ(sampler.busy_ns(), 4000u);
