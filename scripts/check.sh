@@ -4,9 +4,11 @@
 # harness bitrot fails here too — and runs ctest (which includes the
 # memtis_run --smoke runner case and the hotpath_bench --smoke perf smoke) —
 # first plain, then again with MEMTIS_AUDIT=1 so every engine-driven test
-# runs under the abort-on-violation invariant auditor (src/audit/), and
-# finally a targeted MEMTIS_FAULTS=storm pass that drives the fault-injection
-# stress tests (src/fault/) under the dense all-site preset. Usage:
+# runs under the abort-on-violation invariant auditor (src/audit/), then a
+# targeted MEMTIS_FAULTS=storm pass that drives the fault-injection stress
+# tests (src/fault/) under the dense all-site preset, and finally a
+# crash-injection sweep that SIM_CHECK-aborts one supervised cell
+# (MEMTIS_CRASH_CELL) and asserts the sweep completes around it. Usage:
 #
 #   scripts/check.sh [build-dir]
 #
@@ -28,3 +30,21 @@ MEMTIS_AUDIT=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 echo "== third pass: MEMTIS_FAULTS=storm (fault-injection stress, audited) =="
 MEMTIS_AUDIT=1 MEMTIS_FAULTS=storm ctest --test-dir "$BUILD_DIR" \
     --output-on-failure -j"$JOBS" -R '(Fault|Fuzz|memtis_run_smoke)'
+echo "== fourth pass: crash-injection sweep (supervised cell isolation) =="
+MEMTIS_RUN="$BUILD_DIR/src/runner/memtis_run"
+CRASH_FP="$("$MEMTIS_RUN" --smoke --list-cells | awk '{print $1; exit}')"
+CRASH_OUT="$BUILD_DIR/crash_injection_sweep.json"
+if MEMTIS_CRASH_CELL="$CRASH_FP" "$MEMTIS_RUN" --smoke --quiet \
+    --supervise --keep-going --out="$CRASH_OUT"; then
+  echo "check.sh: FAIL: crash-injected sweep exited 0" >&2
+  exit 1
+fi
+grep -q '"cells_failed":1' "$CRASH_OUT" || {
+  echo "check.sh: FAIL: expected exactly one failed cell" >&2
+  exit 1
+}
+grep -q '"kind":"crash"' "$CRASH_OUT" || {
+  echo "check.sh: FAIL: crash failure kind not reported" >&2
+  exit 1
+}
+echo "crash-injection sweep: one cell failed, sweep completed (as intended)"

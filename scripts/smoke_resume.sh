@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# End-to-end resilience smoke (registered as the `smoke_resume` ctest case).
+#
+# For thread counts 1 and 4:
+#   1. run the supervised smoke sweep uninterrupted (reference bytes);
+#   2. rerun it with one cell crash-injected (MEMTIS_CRASH_CELL) and one cell
+#      deadline-overrunning (MEMTIS_HANG_CELL + --job-timeout-ms), checking
+#      the sweep still finishes, exits nonzero, and reports both failures
+#      with reproducer command lines;
+#   3. resume from the checkpoint manifest without injection and check the
+#      output is byte-identical to the uninterrupted reference.
+# Finally the two references are compared across thread counts.
+set -euo pipefail
+
+MEMTIS_RUN="${1:?usage: smoke_resume.sh <path-to-memtis_run>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "smoke_resume: FAIL: $*" >&2
+  exit 1
+}
+
+for T in 1 4; do
+  FULL="$WORK/full$T.json"
+  PARTIAL="$WORK/partial$T.json"
+  RESUMED="$WORK/resumed$T.json"
+  MANIFEST="$WORK/manifest$T.jsonl"
+
+  "$MEMTIS_RUN" --smoke --quiet --supervise --threads="$T" --out="$FULL" \
+    || fail "uninterrupted supervised sweep failed (threads=$T)"
+
+  # Victim cells: crash memtis/btree, hang autonuma/silo.
+  "$MEMTIS_RUN" --smoke --list-cells > "$WORK/cells.txt"
+  CRASH_FP=$(awk '/system=memtis;benchmark=btree/ {print $1; exit}' "$WORK/cells.txt")
+  HANG_FP=$(awk '/system=autonuma;benchmark=silo/ {print $1; exit}' "$WORK/cells.txt")
+  [ -n "$CRASH_FP" ] && [ -n "$HANG_FP" ] || fail "victim cells not found in --list-cells"
+
+  set +e
+  MEMTIS_CRASH_CELL="$CRASH_FP" MEMTIS_HANG_CELL="$HANG_FP" \
+    "$MEMTIS_RUN" --smoke --quiet --supervise --keep-going \
+    --job-timeout-ms=3000 --threads="$T" --resume="$MANIFEST" \
+    --out="$PARTIAL" 2> "$WORK/partial$T.stderr"
+  STATUS=$?
+  set -e
+  [ "$STATUS" -ne 0 ] || fail "injected sweep exited 0 (threads=$T)"
+  grep -q '"cells_failed":2' "$PARTIAL" || fail "expected 2 failed cells (threads=$T)"
+  grep -q '"kind":"crash"' "$PARTIAL" || fail "crash failure not reported (threads=$T)"
+  grep -q '"kind":"timeout"' "$PARTIAL" || fail "timeout failure not reported (threads=$T)"
+  grep -q 'memtis_run --supervise' "$PARTIAL" || fail "reproducer cmdline missing (threads=$T)"
+  grep -q 'repro: memtis_run' "$WORK/partial$T.stderr" \
+    || fail "failure summary missing reproducers (threads=$T)"
+
+  # Clean resume: the two injected cells re-run, everything else reloads.
+  "$MEMTIS_RUN" --smoke --quiet --supervise --keep-going \
+    --job-timeout-ms=3000 --threads="$T" --resume="$MANIFEST" \
+    --out="$RESUMED" \
+    || fail "resumed sweep failed (threads=$T)"
+  cmp -s "$FULL" "$RESUMED" \
+    || fail "resumed output differs from uninterrupted run (threads=$T)"
+done
+
+cmp -s "$WORK/full1.json" "$WORK/full4.json" \
+  || fail "supervised sweep output differs across thread counts"
+
+echo "smoke_resume: OK"

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/json.h"
+#include "src/common/json_parse.h"
 #include "src/memtis/memtis_policy.h"
 
 namespace memtis {
@@ -37,6 +38,27 @@ std::string AuditReport::ToJson(int indent) const {
   JsonWriter w(&out, indent);
   WriteJson(w);
   return out;
+}
+
+bool AuditReport::FromJson(const JsonValue& v, AuditReport* out) {
+  if (!v.is_object()) {
+    return false;
+  }
+  *out = AuditReport();
+  out->ticks_audited = v.GetUint("ticks_audited");
+  out->checks_run = v.GetUint("checks_run");
+  out->violations_total = v.GetUint("violations_total");
+  if (const JsonValue* violations = v.Find("violations");
+      violations != nullptr) {
+    out->violations.reserve(violations->size());
+    for (size_t i = 0; i < violations->size(); ++i) {
+      const JsonValue& entry = violations->at(i);
+      out->violations.push_back(AuditViolation{
+          entry.GetString("invariant"), entry.GetString("detail"),
+          entry.GetUint("t_ns"), entry.GetUint("tick")});
+    }
+  }
+  return true;
 }
 
 // --- AuditCollector -----------------------------------------------------------

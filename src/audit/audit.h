@@ -29,6 +29,7 @@
 namespace memtis {
 
 class JsonWriter;
+class JsonValue;
 class MemtisPolicy;
 
 // One failed invariant, with the virtual-time context it fired in.
@@ -51,6 +52,11 @@ struct AuditReport {
 
   void WriteJson(JsonWriter& w) const;
   std::string ToJson(int indent = 0) const;
+
+  // Inverse of WriteJson, used by the runner's result codec so supervised
+  // children can stream audit outcomes back over the pipe and --resume can
+  // reload them. Returns false when `v` is not a JSON object.
+  static bool FromJson(const JsonValue& v, AuditReport* out);
 };
 
 // Sink the Check* functions report into. Carries the virtual-time context and

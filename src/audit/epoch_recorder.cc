@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/json.h"
+#include "src/common/json_parse.h"
 #include "src/memtis/memtis_policy.h"
 
 namespace memtis {
@@ -41,6 +42,44 @@ void EpochSample::WriteJson(JsonWriter& w) const {
     w.Field("split_backlog", split_backlog);
   }
   w.EndObject();
+}
+
+bool EpochSample::FromJson(const JsonValue& v, EpochSample* out) {
+  if (!v.is_object()) {
+    return false;
+  }
+  *out = EpochSample();
+  out->epoch = v.GetUint("epoch");
+  out->t_ns = v.GetUint("t_ns");
+  out->accesses = v.GetUint("accesses");
+  out->promoted_4k = v.GetUint("promoted_4k");
+  out->demoted_4k = v.GetUint("demoted_4k");
+  out->splits = v.GetUint("splits");
+  out->collapses = v.GetUint("collapses");
+  out->demand_faults = v.GetUint("demand_faults");
+  out->shootdowns = v.GetUint("shootdowns");
+  out->samples = v.GetUint("samples");
+  out->period_raises = v.GetUint("period_raises");
+  out->period_drops = v.GetUint("period_drops");
+  out->fast_used_pages = v.GetUint("fast_used_pages");
+  out->rss_pages = v.GetUint("rss_pages");
+  out->memtis = v.GetBool("memtis");
+  if (out->memtis) {
+    out->load_period = v.GetUint("load_period");
+    out->store_period = v.GetUint("store_period");
+    out->hot_bin = static_cast<int>(v.GetInt("hot_bin", -1));
+    out->warm_bin = static_cast<int>(v.GetInt("warm_bin", -1));
+    out->cold_bin = static_cast<int>(v.GetInt("cold_bin", -1));
+    if (const JsonValue* bins = v.Find("hist_bins"); bins != nullptr) {
+      for (size_t i = 0; i < out->hist_bins.size() && i < bins->size(); ++i) {
+        out->hist_bins[i] = bins->at(i).AsUint();
+      }
+    }
+    out->promotion_backlog = v.GetUint("promotion_backlog");
+    out->demotion_backlog = v.GetUint("demotion_backlog");
+    out->split_backlog = v.GetUint("split_backlog");
+  }
+  return true;
 }
 
 EpochRecorder::EpochRecorder() : EpochRecorder(Options()) {}

@@ -19,6 +19,7 @@
 namespace memtis {
 
 class JsonWriter;
+class JsonValue;
 
 // One epoch's worth of telemetry. Event counters are deltas over the epoch;
 // occupancy, periods, thresholds, bins, and backlogs are sampled at its end.
@@ -55,6 +56,10 @@ struct EpochSample {
   uint64_t split_backlog = 0;
 
   void WriteJson(JsonWriter& w) const;
+
+  // Inverse of WriteJson (the MEMTIS block is only present when `memtis`),
+  // for the runner's result codec. Returns false when `v` is not an object.
+  static bool FromJson(const JsonValue& v, EpochSample* out);
 };
 
 // EngineObserver that emits an EpochSample every `interval_ns` of virtual time

@@ -1,0 +1,35 @@
+#include "src/common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace memtis {
+namespace {
+
+std::atomic<CheckFailureHook> g_hook{nullptr};
+std::atomic<void*> g_hook_arg{nullptr};
+
+}  // namespace
+
+void SetCheckFailureHook(CheckFailureHook hook, void* arg) {
+  // Argument first: a concurrent failing check may observe the new hook, and
+  // must never see it paired with a stale argument.
+  g_hook_arg.store(arg, std::memory_order_release);
+  g_hook.store(hook, std::memory_order_release);
+}
+
+void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
+  // Claim the hook so a second failing check (e.g. from another thread while
+  // abort() unwinds signal handlers) cannot re-enter it.
+  const CheckFailureHook hook =
+      g_hook.exchange(nullptr, std::memory_order_acq_rel);
+  if (hook != nullptr) {
+    hook(expr, file, line, g_hook_arg.load(std::memory_order_acquire));
+  }
+  std::abort();
+}
+
+}  // namespace memtis

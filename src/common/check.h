@@ -8,15 +8,24 @@
 #ifndef MEMTIS_SIM_SRC_COMMON_CHECK_H_
 #define MEMTIS_SIM_SRC_COMMON_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace memtis {
 
-[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
-  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
-  std::abort();
-}
+// Invoked (at most once, first failure wins) just before a failed SIM_CHECK
+// aborts the process. The job supervisor's forked children install a hook
+// that reports the failing expression back through the result pipe so the
+// parent can attach it to the structured JobFailure instead of scraping
+// stderr (src/runner/supervisor.*). Keep hooks minimal: the process is about
+// to abort, so only write/flush-style work belongs here. A plain function
+// pointer (not std::function) so installation itself cannot allocate.
+using CheckFailureHook = void (*)(const char* expr, const char* file, int line,
+                                  void* arg);
+
+// Installs the process-wide hook (nullptr clears it). Not thread-safe against
+// concurrent failing checks by design — the first CheckFailed claims the hook
+// and every path ends in abort().
+void SetCheckFailureHook(CheckFailureHook hook, void* arg);
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
 
 }  // namespace memtis
 

@@ -1,0 +1,85 @@
+// Minimal recursive-descent JSON parser — the inverse of JsonWriter.
+//
+// Exists for the runner's resilience plane: supervised children stream their
+// results back as JSON over a pipe, and checkpoint manifests are JSONL files
+// reloaded on --resume (src/runner/job_codec.*, src/runner/manifest.*). The
+// parser therefore favours fidelity over generality:
+//
+//  - Numbers keep their raw token. AsUint()/AsInt() re-parse with
+//    strtoull/strtoll so 64-bit counters round-trip exactly (a double would
+//    lose precision past 2^53); AsDouble() uses strtod, which inverts
+//    JsonWriter's "%.17g" formatting bit-for-bit.
+//  - Object keys keep insertion order (matching the writer) and lookups are
+//    linear — documents here are small, field-addressed records.
+//  - Input is untrusted (a crashed child may truncate mid-document, manifest
+//    files may be corrupt), so Parse() returns an error instead of aborting,
+//    and nesting depth is capped.
+
+#ifndef MEMTIS_SIM_SRC_COMMON_JSON_PARSE_H_
+#define MEMTIS_SIM_SRC_COMMON_JSON_PARSE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace memtis {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses exactly one JSON document (trailing whitespace allowed, trailing
+  // garbage is an error). Returns false with a position-annotated message in
+  // `*error` (when non-null) on malformed input.
+  static bool Parse(std::string_view text, JsonValue* out,
+                    std::string* error = nullptr);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  // Scalar accessors: return `fallback` on kind mismatch rather than abort —
+  // callers validate presence separately when a field is load-bearing.
+  bool AsBool(bool fallback = false) const;
+  double AsDouble(double fallback = 0.0) const;
+  uint64_t AsUint(uint64_t fallback = 0) const;
+  int64_t AsInt(int64_t fallback = 0) const;
+  const std::string& AsString() const;  // empty string on mismatch
+
+  // Array access.
+  size_t size() const { return items_.size(); }
+  const JsonValue& at(size_t i) const;
+
+  // Object access: nullptr when the key is absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Object field conveniences: fallback when absent or mistyped.
+  bool GetBool(std::string_view key, bool fallback = false) const;
+  double GetDouble(std::string_view key, double fallback = 0.0) const;
+  uint64_t GetUint(std::string_view key, uint64_t fallback = 0) const;
+  int64_t GetInt(std::string_view key, int64_t fallback = 0) const;
+  std::string GetString(std::string_view key,
+                        std::string_view fallback = "") const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // raw number token, or decoded string contents
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_COMMON_JSON_PARSE_H_

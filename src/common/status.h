@@ -1,0 +1,71 @@
+// Failure taxonomy for the resilience plane (src/runner/supervisor.*).
+//
+// Every way a supervised sweep cell can end other than success gets one kind,
+// with a stable wire name (manifest/JSON) and a recoverability class:
+// recoverable failures are worth a bounded deterministic retry (the fault may
+// be transient or attempt-seed-dependent), fatal ones are not (retrying a
+// cancelled or misconfigured cell only burns time).
+
+#ifndef MEMTIS_SIM_SRC_COMMON_STATUS_H_
+#define MEMTIS_SIM_SRC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string_view>
+
+namespace memtis {
+
+enum class FailureKind : int {
+  kNone = 0,      // no failure (placeholder in default-constructed records)
+  kCrash,         // child died on a signal (SIGSEGV, SIGABRT from SIM_CHECK...)
+  kExit,          // child exited with a nonzero status
+  kTimeout,       // wall-clock deadline overrun; watchdog SIGKILLed the child
+  kProtocol,      // child exited 0 but its result pipe payload was unusable
+  kCancelled,     // never ran: SIGINT drain or fail-fast dropped it
+  kInvalidSpec,   // the cell itself is malformed (caught before running)
+};
+
+constexpr std::string_view FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kCrash: return "crash";
+    case FailureKind::kExit: return "exit";
+    case FailureKind::kTimeout: return "timeout";
+    case FailureKind::kProtocol: return "protocol";
+    case FailureKind::kCancelled: return "cancelled";
+    case FailureKind::kInvalidSpec: return "invalid-spec";
+  }
+  return "unknown";
+}
+
+constexpr std::optional<FailureKind> FailureKindFromName(std::string_view name) {
+  for (const FailureKind kind :
+       {FailureKind::kNone, FailureKind::kCrash, FailureKind::kExit,
+        FailureKind::kTimeout, FailureKind::kProtocol, FailureKind::kCancelled,
+        FailureKind::kInvalidSpec}) {
+    if (FailureKindName(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+// Recoverable = a fresh attempt (with the attempt index folded into the
+// engine seed, see src/runner/sweep.h) has a real chance of succeeding.
+constexpr bool IsRecoverable(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kCrash:
+    case FailureKind::kExit:
+    case FailureKind::kTimeout:
+    case FailureKind::kProtocol:
+      return true;
+    case FailureKind::kNone:
+    case FailureKind::kCancelled:
+    case FailureKind::kInvalidSpec:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_COMMON_STATUS_H_

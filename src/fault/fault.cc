@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "src/common/json.h"
+#include "src/common/json_parse.h"
 
 namespace memtis {
 namespace {
@@ -225,6 +226,20 @@ void FaultStats::WriteJson(JsonWriter& w) const {
     w.EndObject();
   }
   w.EndObject();
+}
+
+bool FaultStats::FromJson(const JsonValue& v, FaultStats* out) {
+  if (!v.is_object()) {
+    return false;
+  }
+  *out = FaultStats();
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    if (const JsonValue* site = v.Find(kSiteNames[i]); site != nullptr) {
+      out->rolls[i] = site->GetUint("rolls");
+      out->injected[i] = site->GetUint("injected");
+    }
+  }
+  return true;
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t run_seed)

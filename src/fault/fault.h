@@ -33,6 +33,7 @@
 namespace memtis {
 
 class JsonWriter;
+class JsonValue;
 
 // Every injection point in the simulator. Keep FaultSiteName in sync.
 enum class FaultSite : int {
@@ -134,6 +135,12 @@ struct FaultStats {
   }
 
   void WriteJson(JsonWriter& w) const;
+
+  // Inverse of WriteJson (per-site rolls/injected counters; the derived
+  // totals are recomputed). Used by the runner's result codec so supervised
+  // children round-trip fault accounting losslessly. Returns false when `v`
+  // is not a JSON object.
+  static bool FromJson(const JsonValue& v, FaultStats* out);
 };
 
 // Evaluates a FaultPlan at the injection sites. One injector per run, owned

@@ -1,0 +1,239 @@
+#include "src/runner/job_codec.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/json.h"
+#include "src/common/json_parse.h"
+
+namespace memtis {
+namespace {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t ResolvedAccesses(const JobSpec& spec) {
+  return spec.accesses != 0 ? spec.accesses : DefaultAccesses();
+}
+
+double ResolvedFootprintScale(const JobSpec& spec) {
+  return spec.footprint_scale > 0.0 ? spec.footprint_scale
+                                    : BenchFootprintScale();
+}
+
+}  // namespace
+
+std::string CanonicalJobSpec(const JobSpec& spec) {
+  std::string out;
+  out.reserve(192);
+  out += "system=";
+  out += spec.system;
+  out += ";benchmark=";
+  out += spec.benchmark;
+  out += ";machine=";
+  out += spec.machine_name();
+  out += ";ratio=";
+  out += JsonWriter::FormatDouble(spec.fast_ratio);
+  out += ";accesses=";
+  out += std::to_string(ResolvedAccesses(spec));
+  out += ";contention=";
+  out += spec.cpu_contention ? '1' : '0';
+  out += ";snapshot_ns=";
+  out += std::to_string(spec.snapshot_interval_ns);
+  out += ";fast_bytes=";
+  out += std::to_string(spec.fast_bytes_override);
+  out += ";fscale=";
+  out += JsonWriter::FormatDouble(ResolvedFootprintScale(spec));
+  out += ";base_seed=";
+  out += std::to_string(spec.base_seed);
+  out += ";seed_index=";
+  out += std::to_string(spec.seed_index);
+  out += ";engine_seed=";
+  out += std::to_string(spec.engine_seed);
+  out += ";audit=";
+  out += spec.audit ? '1' : '0';
+  out += ";epoch_ns=";
+  out += std::to_string(spec.audit_epoch_interval_ns);
+  out += ";faults=";
+  out += spec.faults;
+  out += ";tweak=";
+  out += spec.memtis_tweak != nullptr ? '1' : '0';
+  return out;
+}
+
+std::string JobFingerprint(const JobSpec& spec) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, Fnv1a64(CanonicalJobSpec(spec)));
+  return buf;
+}
+
+void WriteJobResultJson(JsonWriter& w, const JobResult& result) {
+  w.BeginObject();
+  w.Field("v", static_cast<uint64_t>(1));
+  w.Field("footprint_bytes", result.footprint_bytes);
+  w.Field("fast_bytes", result.fast_bytes);
+  w.Key("metrics");
+  result.metrics.WriteJson(w, /*include_timeline=*/true);
+  w.Field("is_memtis", result.is_memtis);
+  if (result.is_memtis) {
+    w.Key("memtis_stats");
+    w.BeginObject();
+    w.Field("coolings", result.memtis_stats.coolings);
+    w.Field("threshold_adaptations", result.memtis_stats.threshold_adaptations);
+    w.Field("benefit_estimations", result.memtis_stats.benefit_estimations);
+    w.Field("split_rounds_triggered", result.memtis_stats.split_rounds_triggered);
+    w.Field("splits_performed", result.memtis_stats.splits_performed);
+    w.Field("split_subpages_to_fast", result.memtis_stats.split_subpages_to_fast);
+    w.Field("collapses_performed", result.memtis_stats.collapses_performed);
+    w.Field("last_ehr", result.memtis_stats.last_ehr);
+    w.Field("last_rhr", result.memtis_stats.last_rhr);
+    w.EndObject();
+    w.Field("mean_ehr", result.mean_ehr);
+    w.Field("sampler_cpu", result.sampler_cpu);
+    w.Field("pebs_load_period", result.pebs_load_period);
+    w.Field("pebs_store_period", result.pebs_store_period);
+  }
+  if (result.hemem_overalloc_bytes != 0) {
+    w.Field("hemem_overalloc_bytes", result.hemem_overalloc_bytes);
+  }
+  w.Field("audited", result.audited);
+  if (result.audited) {
+    w.Key("audit_report");
+    result.audit_report.WriteJson(w);
+    w.Field("epoch_interval_ns", result.epoch_interval_ns);
+    w.Field("epochs_recorded_total", result.epochs_recorded_total);
+    w.Key("epochs");
+    w.BeginArray();
+    for (const EpochSample& sample : result.epochs) {
+      sample.WriteJson(w);
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+}
+
+bool ReadJobResultJson(const JsonValue& v, JobResult* out) {
+  if (!v.is_object()) {
+    return false;
+  }
+  *out = JobResult();
+  out->footprint_bytes = v.GetUint("footprint_bytes");
+  out->fast_bytes = v.GetUint("fast_bytes");
+  const JsonValue* metrics = v.Find("metrics");
+  if (metrics == nullptr || !Metrics::FromJson(*metrics, &out->metrics)) {
+    return false;
+  }
+  out->is_memtis = v.GetBool("is_memtis");
+  if (out->is_memtis) {
+    if (const JsonValue* s = v.Find("memtis_stats"); s != nullptr) {
+      out->memtis_stats.coolings = s->GetUint("coolings");
+      out->memtis_stats.threshold_adaptations =
+          s->GetUint("threshold_adaptations");
+      out->memtis_stats.benefit_estimations = s->GetUint("benefit_estimations");
+      out->memtis_stats.split_rounds_triggered =
+          s->GetUint("split_rounds_triggered");
+      out->memtis_stats.splits_performed = s->GetUint("splits_performed");
+      out->memtis_stats.split_subpages_to_fast =
+          s->GetUint("split_subpages_to_fast");
+      out->memtis_stats.collapses_performed = s->GetUint("collapses_performed");
+      out->memtis_stats.last_ehr = s->GetDouble("last_ehr");
+      out->memtis_stats.last_rhr = s->GetDouble("last_rhr");
+    }
+    out->mean_ehr = v.GetDouble("mean_ehr");
+    out->sampler_cpu = v.GetDouble("sampler_cpu");
+    out->pebs_load_period = v.GetUint("pebs_load_period");
+    out->pebs_store_period = v.GetUint("pebs_store_period");
+  }
+  out->hemem_overalloc_bytes = v.GetUint("hemem_overalloc_bytes");
+  out->audited = v.GetBool("audited");
+  if (out->audited) {
+    if (const JsonValue* report = v.Find("audit_report"); report != nullptr) {
+      AuditReport::FromJson(*report, &out->audit_report);
+    }
+    out->epoch_interval_ns = v.GetUint("epoch_interval_ns");
+    out->epochs_recorded_total = v.GetUint("epochs_recorded_total");
+    if (const JsonValue* epochs = v.Find("epochs"); epochs != nullptr) {
+      out->epochs.reserve(epochs->size());
+      for (size_t i = 0; i < epochs->size(); ++i) {
+        EpochSample sample;
+        if (EpochSample::FromJson(epochs->at(i), &sample)) {
+          out->epochs.push_back(std::move(sample));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void WriteJobFailureJson(JsonWriter& w, const JobFailure& failure) {
+  w.BeginObject();
+  w.Field("kind", FailureKindName(failure.kind));
+  w.Field("exit_status", failure.exit_status);
+  w.Field("signal", failure.signal);
+  w.Field("check_expr", failure.check_expr);
+  w.Field("stderr_tail", failure.stderr_tail);
+  w.Field("reproducer_cmdline", failure.reproducer_cmdline);
+  w.Field("message", failure.message);
+  w.EndObject();
+}
+
+bool ReadJobFailureJson(const JsonValue& v, JobFailure* out) {
+  if (!v.is_object()) {
+    return false;
+  }
+  *out = JobFailure();
+  out->kind =
+      FailureKindFromName(v.GetString("kind")).value_or(FailureKind::kCrash);
+  out->exit_status = static_cast<int>(v.GetInt("exit_status"));
+  out->signal = static_cast<int>(v.GetInt("signal"));
+  out->check_expr = v.GetString("check_expr");
+  out->stderr_tail = v.GetString("stderr_tail");
+  out->reproducer_cmdline = v.GetString("reproducer_cmdline");
+  out->message = v.GetString("message");
+  return true;
+}
+
+std::string ReproducerCmdline(const JobSpec& spec, int attempt) {
+  std::string cmd = "memtis_run --supervise";
+  cmd += " --systems=" + spec.system;
+  cmd += " --benchmarks=" + spec.benchmark;
+  cmd += " --machines=";
+  cmd += spec.machine_name();
+  if (spec.fast_bytes_override != 0) {
+    cmd += " --fast-bytes=" + std::to_string(spec.fast_bytes_override);
+  } else {
+    cmd += " --ratios=" + JsonWriter::FormatDouble(spec.fast_ratio);
+  }
+  // One cell: collapse the seed axis into base-seed so seed_index 0 of the
+  // repro derives this cell's exact workload_seed_offset.
+  cmd += " --seeds=1 --base-seed=" + std::to_string(spec.workload_seed_offset());
+  cmd += " --engine-seed=" +
+         std::to_string(AttemptEngineSeed(spec.engine_seed, attempt));
+  cmd += " --accesses=" + std::to_string(ResolvedAccesses(spec));
+  cmd += " --footprint-scale=" +
+         JsonWriter::FormatDouble(ResolvedFootprintScale(spec));
+  if (spec.snapshot_interval_ns != 0) {
+    cmd += " --snapshot-ns=" + std::to_string(spec.snapshot_interval_ns);
+  }
+  if (!spec.cpu_contention) {
+    cmd += " --no-contention";
+  }
+  if (spec.audit) {
+    cmd += " --audit";
+    if (spec.audit_epoch_interval_ns != 0) {
+      cmd += " --audit-epoch-ns=" + std::to_string(spec.audit_epoch_interval_ns);
+    }
+  }
+  if (!spec.faults.empty()) {
+    cmd += " --faults=" + spec.faults;
+  }
+  return cmd;
+}
+
+}  // namespace memtis

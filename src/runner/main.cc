@@ -12,6 +12,7 @@
 //   memtis_run --smoke        # tiny sweep used as a ctest smoke case
 
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,8 @@
 
 #include "src/fault/fault.h"
 #include "src/memtis/policy_registry.h"
+#include "src/runner/job_codec.h"
+#include "src/runner/resilient.h"
 #include "src/runner/result_sink.h"
 #include "src/runner/sweep.h"
 #include "src/runner/thread_pool.h"
@@ -30,19 +33,31 @@
 namespace memtis {
 namespace {
 
+volatile std::sig_atomic_t g_interrupted = 0;
+
 struct CliOptions {
   SweepSpec sweep;
   SinkOptions sink;
+  ExecOptions exec;
   std::string format = "json";  // "json" | "csv"
   std::string out;              // empty or "-" -> stdout
   std::string audit_out;        // --audit-json sink (empty = none)
   int threads = 0;              // 0 -> ThreadPool::DefaultThreadCount()
   bool quiet = false;
   bool smoke = false;
+  bool list_cells = false;
 };
 
-void PrintUsage() {
-  std::printf(
+// True when any resilience feature is in play: execution goes through
+// RunJobsResilient and output uses the outcome-aware schema_version 2 sinks.
+bool ResilientMode(const CliOptions& cli) {
+  return NeedsSupervision(cli.exec) || !cli.exec.manifest_path.empty() ||
+         cli.exec.keep_going;
+}
+
+void PrintUsage(std::FILE* to = stdout) {
+  std::fprintf(
+      to,
       "memtis_run — parallel MEMTIS-sim experiment sweeps\n"
       "\n"
       "Sweep axes (comma-separated lists; cartesian product):\n"
@@ -73,6 +88,24 @@ void PrintUsage() {
       "  --quiet                suppress the progress line\n"
       "  --smoke                run a tiny fixed sweep (ctest tier-1 case)\n"
       "  --help                 this text\n"
+      "\n"
+      "Resilient sweeps (see README \"Resilient sweeps\"):\n"
+      "  --supervise            run each cell in a forked child: a crash or\n"
+      "                         SIM_CHECK abort downs only that cell\n"
+      "  --job-timeout-ms=N     per-attempt wall-clock deadline; on overrun\n"
+      "                         the child is SIGKILLed (implies --supervise)\n"
+      "  --retries=N            retry a failed cell up to N times with a\n"
+      "                         deterministic attempt-derived engine seed\n"
+      "                         (implies --supervise)\n"
+      "  --backoff-ms=N         exponential backoff base between attempts\n"
+      "                         (default 100; deterministic, capped at 10s)\n"
+      "  --resume=FILE          JSONL checkpoint manifest: completed cells are\n"
+      "                         appended as they finish and skipped on rerun\n"
+      "  --keep-going           keep running after a cell fails (default:\n"
+      "                         first failure cancels the queued cells)\n"
+      "  --engine-seed=N        engine RNG seed for every cell (default 42)\n"
+      "  --list-cells           print each cell's fingerprint and canonical\n"
+      "                         spec, then exit (for MEMTIS_CRASH_CELL etc.)\n"
       "\n"
       "Auditing (see README \"Auditing and epoch telemetry\"):\n"
       "  --audit                run every job under the invariant auditor;\n"
@@ -274,6 +307,44 @@ bool ApplyOption(const std::string& key, const std::string& value, CliOptions* c
     cli->sweep.faults = value;
     return true;
   }
+  if (key == "supervise") {
+    cli->exec.supervise = true;
+    return true;
+  }
+  if (key == "job-timeout-ms") {
+    cli->exec.job_timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
+    cli->exec.supervise = true;
+    return cli->exec.job_timeout_ms > 0;
+  }
+  if (key == "retries") {
+    const int retries = std::atoi(value.c_str());
+    if (retries < 0) {
+      return false;
+    }
+    cli->exec.max_attempts = retries + 1;
+    cli->exec.supervise = true;
+    return true;
+  }
+  if (key == "backoff-ms") {
+    cli->exec.backoff_base_ms = std::strtoull(value.c_str(), nullptr, 10);
+    return true;
+  }
+  if (key == "resume") {
+    cli->exec.manifest_path = value;
+    return !value.empty();
+  }
+  if (key == "keep-going") {
+    cli->exec.keep_going = true;
+    return true;
+  }
+  if (key == "engine-seed") {
+    cli->sweep.engine_seed = std::strtoull(value.c_str(), nullptr, 10);
+    return true;
+  }
+  if (key == "list-cells") {
+    cli->list_cells = true;
+    return true;
+  }
   if (key == "config") {
     return ApplyConfigFile(value, cli);
   }
@@ -343,20 +414,24 @@ int Main(int argc, char** argv) {
   CliOptions cli;
   cli.sweep.seeds = BenchSeeds();
   if (!ParseArgs(argc, argv, &cli)) {
+    std::fprintf(stderr, "\n");
+    PrintUsage(stderr);
     return 2;
   }
   if (cli.smoke) {
     // Fixed tiny sweep exercising two systems, two workloads, and the
     // baseline path; finishes in seconds so tier-1 ctest can afford it.
-    // Audit and fault flags survive the reset so --smoke --audit-json and
-    // --smoke --faults=storm work.
+    // Audit, fault, and seed flags survive the reset so --smoke --audit-json,
+    // --smoke --faults=storm, and the supervised smoke_resume case work.
     const bool audit = cli.sweep.audit;
     const uint64_t audit_epoch_ns = cli.sweep.audit_epoch_interval_ns;
     const std::string faults = cli.sweep.faults;
+    const uint64_t engine_seed = cli.sweep.engine_seed;
     cli.sweep = SweepSpec{};
     cli.sweep.audit = audit;
     cli.sweep.audit_epoch_interval_ns = audit_epoch_ns;
     cli.sweep.faults = faults;
+    cli.sweep.engine_seed = engine_seed;
     cli.sweep.systems = {"memtis", "autonuma"};
     cli.sweep.benchmarks = {"btree", "silo"};
     cli.sweep.fast_ratios = {1.0 / 3.0};
@@ -378,8 +453,33 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
-  ThreadPool pool(cli.threads);
   const std::vector<JobSpec> jobs = ExpandJobs(cli.sweep);
+  if (cli.list_cells) {
+    for (const JobSpec& job : jobs) {
+      std::printf("%s %s\n", JobFingerprint(job).c_str(),
+                  CanonicalJobSpec(job).c_str());
+    }
+    return 0;
+  }
+
+  std::map<std::string, ManifestEntry> preloaded;
+  if (!cli.exec.manifest_path.empty()) {
+    ManifestLoadStats stats;
+    std::string error;
+    if (!LoadManifest(cli.exec.manifest_path, &preloaded, &stats, &error)) {
+      std::fprintf(stderr, "memtis_run: %s\n", error.c_str());
+      return 2;
+    }
+    if (!cli.quiet && stats.lines_total > 0) {
+      std::fprintf(stderr,
+                   "memtis_run: resume: %zu manifest entr%s"
+                   " (%zu line%s skipped)\n",
+                   stats.entries, stats.entries == 1 ? "y" : "ies",
+                   stats.lines_skipped, stats.lines_skipped == 1 ? "" : "s");
+    }
+  }
+
+  ThreadPool pool(cli.threads);
   if (!cli.quiet) {
     std::fprintf(stderr, "memtis_run: %zu jobs on %d threads\n", jobs.size(),
                  pool.thread_count());
@@ -395,31 +495,81 @@ int Main(int argc, char** argv) {
       std::fflush(stderr);
     };
   }
-  const std::vector<JobResult> results = RunJobs(jobs, pool, progress);
 
-  const std::string data = cli.format == "csv"
-                               ? SweepToCsv(jobs, results)
+  // SIGINT drains in-flight cells, flushes the manifest, and still writes the
+  // partial report (supervised children ignore SIGINT so the terminal's
+  // process-group delivery cannot kill them mid-cell).
+  g_interrupted = 0;
+  std::signal(SIGINT, [](int) { g_interrupted = 1; });
+  cli.exec.cancelled = [] { return g_interrupted != 0; };
+
+  std::string manifest_error;
+  const std::vector<CellOutcome> outcomes = RunJobsResilient(
+      jobs, pool, cli.exec, preloaded, progress, &manifest_error);
+  std::signal(SIGINT, SIG_DFL);
+  if (!manifest_error.empty()) {
+    std::fprintf(stderr, "memtis_run: WARNING: checkpointing disabled: %s\n",
+                 manifest_error.c_str());
+  }
+  if (g_interrupted != 0) {
+    std::fprintf(stderr, "\nmemtis_run: interrupted — reporting partial results\n");
+  }
+
+  const bool resilient = ResilientMode(cli);
+  if (!resilient && g_interrupted != 0) {
+    // The v1 schema has no way to mark missing cells; don't write a document
+    // that silently mixes real and never-run results.
+    return 130;
+  }
+  size_t cells_missing = 0;
+  uint64_t violations = 0;
+  for (const CellOutcome& outcome : outcomes) {
+    if (!outcome.ok) {
+      ++cells_missing;
+    } else {
+      violations += outcome.result.audit_report.violations_total;
+    }
+  }
+
+  std::string data;
+  if (resilient) {
+    data = cli.format == "csv" ? SweepToCsv(jobs, outcomes)
+                               : SweepToJson(cli.sweep, jobs, outcomes, cli.sink);
+  } else {
+    // Legacy mode: every cell ran in-process (a crash would have taken the
+    // whole process), so the schema_version 1 document is unchanged.
+    std::vector<JobResult> results;
+    results.reserve(outcomes.size());
+    for (const CellOutcome& outcome : outcomes) {
+      results.push_back(outcome.result);
+    }
+    data = cli.format == "csv" ? SweepToCsv(jobs, results)
                                : SweepToJson(cli.sweep, jobs, results, cli.sink);
+  }
   if (!WriteResultFile(cli.out, data)) {
     return 1;
   }
 
   if (cli.sweep.audit) {
-    uint64_t violations = 0;
-    for (const JobResult& r : results) {
-      violations += r.audit_report.violations_total;
-    }
     if (!cli.audit_out.empty() &&
-        !WriteResultFile(cli.audit_out, AuditToJson(jobs, results, cli.sink))) {
+        !WriteResultFile(cli.audit_out, AuditToJson(jobs, outcomes, cli.sink))) {
       return 1;
     }
     if (!cli.quiet || violations != 0) {
       std::fprintf(stderr, "memtis_run: audit %s (%" PRIu64 " violations)\n",
                    violations == 0 ? "clean" : "FAILED", violations);
     }
-    if (violations != 0) {
-      return 1;
-    }
+  }
+
+  const std::string failures = FailureSummary(jobs, outcomes);
+  if (!failures.empty()) {
+    std::fprintf(stderr, "memtis_run: %s", failures.c_str());
+  }
+  if (g_interrupted != 0) {
+    return 130;
+  }
+  if (cells_missing != 0 || violations != 0) {
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,124 @@
+#include "src/runner/resilient.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "src/runner/job_codec.h"
+
+namespace memtis {
+
+bool NeedsSupervision(const ExecOptions& exec) {
+  return exec.supervise || exec.job_timeout_ms > 0 || exec.max_attempts > 1;
+}
+
+std::vector<CellOutcome> RunJobsResilient(
+    const std::vector<JobSpec>& jobs, ThreadPool& pool, const ExecOptions& exec,
+    const std::map<std::string, ManifestEntry>& preloaded,
+    const ProgressFn& progress, std::string* manifest_error) {
+  std::vector<CellOutcome> outcomes(jobs.size());
+  std::vector<std::string> fingerprints;
+  fingerprints.reserve(jobs.size());
+  for (const JobSpec& job : jobs) {
+    fingerprints.push_back(JobFingerprint(job));
+  }
+
+  ManifestWriter writer;
+  if (!exec.manifest_path.empty()) {
+    std::string open_error;
+    if (!writer.Open(exec.manifest_path, &open_error) &&
+        manifest_error != nullptr) {
+      *manifest_error = open_error;  // run anyway; checkpointing is lost
+    }
+  }
+
+  const bool supervise = NeedsSupervision(exec);
+  SupervisorOptions sup;
+  sup.job_timeout_ms = exec.job_timeout_ms;
+  sup.max_attempts = exec.max_attempts < 1 ? 1 : exec.max_attempts;
+  sup.backoff_base_ms = exec.backoff_base_ms;
+
+  std::mutex progress_mu;
+  size_t done = 0;
+  const size_t total = jobs.size();
+  const auto report = [&](size_t index) {
+    if (progress != nullptr) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      progress(++done, total, index);
+    } else {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      ++done;
+    }
+  };
+
+  // Resume pass: trust only ok manifest entries; failed cells re-run.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const auto it = preloaded.find(fingerprints[i]);
+    if (it == preloaded.end() || !it->second.ok) {
+      continue;
+    }
+    CellOutcome& out = outcomes[i];
+    out.ok = true;
+    out.from_manifest = true;
+    out.attempts = it->second.attempts;
+    out.result = it->second.result;
+    report(i);
+  }
+
+  std::atomic<bool> abort_requested{false};
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (outcomes[i].from_manifest) {
+      continue;
+    }
+    pool.Submit([&, i] {
+      if (abort_requested.load(std::memory_order_relaxed) ||
+          (exec.cancelled != nullptr && exec.cancelled())) {
+        // Leave the outcome untouched; the post-Wait pass marks it
+        // kCancelled. Cancel once so the queue drains instead of spinning
+        // through every remaining cell's header.
+        if (!abort_requested.exchange(true)) {
+          pool.RequestCancel();
+        }
+        return;
+      }
+      SupervisedOutcome run;
+      if (supervise) {
+        run = RunJobSupervised(jobs[i], sup);
+      } else {
+        run.result = RunJob(jobs[i]);
+        run.ok = true;
+        run.attempts = 1;
+      }
+      if (writer.is_open()) {
+        writer.Append(fingerprints[i], jobs[i], run);
+      }
+      CellOutcome& out = outcomes[i];
+      out.ok = run.ok;
+      out.ran = true;
+      out.attempts = run.attempts;
+      out.result = std::move(run.result);
+      out.failure = std::move(run.failure);
+      report(i);
+      if (!run.ok && !exec.keep_going &&
+          !abort_requested.exchange(true)) {
+        pool.RequestCancel();
+      }
+    });
+  }
+  pool.Wait();
+  writer.Close();
+
+  // Cells dropped by fail-fast or SIGINT: structured "never ran" records with
+  // a reproducer, so a report can still point at every missing cell.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    CellOutcome& out = outcomes[i];
+    if (out.ran || out.from_manifest) {
+      continue;
+    }
+    out.failure.kind = FailureKind::kCancelled;
+    out.failure.message = "cell never ran (sweep cancelled)";
+    out.failure.reproducer_cmdline = ReproducerCmdline(jobs[i], 0);
+  }
+  return outcomes;
+}
+
+}  // namespace memtis

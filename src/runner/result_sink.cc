@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/common/json.h"
 #include "src/common/stats.h"
+#include "src/runner/job_codec.h"
 
 namespace memtis {
 namespace {
@@ -25,9 +26,12 @@ void WriteSpecFields(JsonWriter& w, const JobSpec& spec) {
 }
 
 void WriteJob(JsonWriter& w, const JobSpec& spec, const JobResult& result,
-              size_t id, bool include_timeline) {
+              size_t id, bool include_timeline, int attempts = -1) {
   w.BeginObject();
   w.Field("id", static_cast<uint64_t>(id));
+  if (attempts >= 0) {
+    w.Field("attempts", attempts);
+  }
   WriteSpecFields(w, spec);
   w.Field("footprint_bytes", result.footprint_bytes);
   w.Field("fast_bytes", result.fast_bytes);
@@ -60,6 +64,81 @@ void WriteStatTriple(JsonWriter& w, std::string_view key,
   w.Field("stddev", agg.Stddev(cell));
   w.Field("geomean", agg.GeoMeanOf(cell));
   w.EndObject();
+}
+
+void WriteSweepBlock(JsonWriter& w, const SweepSpec& sweep) {
+  w.Key("sweep");
+  w.BeginObject();
+  w.Key("systems");
+  w.BeginArray();
+  for (const std::string& s : sweep.systems) {
+    w.String(s);
+  }
+  w.EndArray();
+  w.Key("benchmarks");
+  w.BeginArray();
+  for (const std::string& b : sweep.benchmarks) {
+    w.String(b);
+  }
+  w.EndArray();
+  w.Key("fast_ratios");
+  w.BeginArray();
+  for (double r : sweep.fast_ratios) {
+    w.Double(r);
+  }
+  w.EndArray();
+  w.Key("machines");
+  w.BeginArray();
+  for (const std::string& m : sweep.machines) {
+    w.String(m);
+  }
+  w.EndArray();
+  w.Field("seeds", sweep.seeds);
+  w.Field("base_seed", sweep.base_seed);
+  w.Field("accesses", sweep.accesses);
+  w.Field("cpu_contention", sweep.cpu_contention);
+  w.Field("snapshot_interval_ns", sweep.snapshot_interval_ns);
+  w.Field("footprint_scale", sweep.footprint_scale);
+  w.Field("fast_bytes_override", sweep.fast_bytes_override);
+  w.Field("include_baseline", sweep.include_baseline);
+  w.EndObject();
+}
+
+// Aggregates over (spec, result) pairs in job order — the legacy path passes
+// every job, the outcome-aware path only completed ones.
+void WriteAggregates(JsonWriter& w, const std::vector<const JobSpec*>& specs,
+                     const std::vector<const JobResult*>& results) {
+  SweepAggregator runtime;
+  SweepAggregator mops;
+  SweepAggregator hit_ratio;
+  std::vector<size_t> first_job;  // first pair index per cell, insertion order
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const std::string cell = CellKey(*specs[i]);
+    if (!runtime.Has(cell)) {
+      first_job.push_back(i);
+    }
+    runtime.Add(cell, results[i]->metrics.EffectiveRuntimeNs());
+    mops.Add(cell, results[i]->metrics.Mops());
+    hit_ratio.Add(cell, results[i]->metrics.fast_hit_ratio());
+  }
+  w.Key("aggregates");
+  w.BeginArray();
+  for (size_t c = 0; c < runtime.cells().size(); ++c) {
+    const std::string& cell = runtime.cells()[c];
+    const JobSpec& spec = *specs[first_job[c]];
+    w.BeginObject();
+    w.Field("cell", cell);
+    w.Field("system", spec.system);
+    w.Field("benchmark", spec.benchmark);
+    w.Field("machine", spec.machine_name());
+    w.Field("fast_ratio", spec.fast_ratio);
+    w.Field("n", static_cast<uint64_t>(runtime.values(cell).size()));
+    WriteStatTriple(w, "effective_runtime_ns", runtime, cell);
+    WriteStatTriple(w, "mops", mops, cell);
+    WriteStatTriple(w, "fast_hit_ratio", hit_ratio, cell);
+    w.EndObject();
+  }
+  w.EndArray();
 }
 
 }  // namespace
@@ -147,42 +226,7 @@ std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs
   JsonWriter w(&out, options.indent);
   w.BeginObject();
   w.Field("schema_version", static_cast<uint64_t>(1));
-
-  w.Key("sweep");
-  w.BeginObject();
-  w.Key("systems");
-  w.BeginArray();
-  for (const std::string& s : sweep.systems) {
-    w.String(s);
-  }
-  w.EndArray();
-  w.Key("benchmarks");
-  w.BeginArray();
-  for (const std::string& b : sweep.benchmarks) {
-    w.String(b);
-  }
-  w.EndArray();
-  w.Key("fast_ratios");
-  w.BeginArray();
-  for (double r : sweep.fast_ratios) {
-    w.Double(r);
-  }
-  w.EndArray();
-  w.Key("machines");
-  w.BeginArray();
-  for (const std::string& m : sweep.machines) {
-    w.String(m);
-  }
-  w.EndArray();
-  w.Field("seeds", sweep.seeds);
-  w.Field("base_seed", sweep.base_seed);
-  w.Field("accesses", sweep.accesses);
-  w.Field("cpu_contention", sweep.cpu_contention);
-  w.Field("snapshot_interval_ns", sweep.snapshot_interval_ns);
-  w.Field("footprint_scale", sweep.footprint_scale);
-  w.Field("fast_bytes_override", sweep.fast_bytes_override);
-  w.Field("include_baseline", sweep.include_baseline);
-  w.EndObject();
+  WriteSweepBlock(w, sweep);
 
   w.Key("jobs");
   w.BeginArray();
@@ -192,37 +236,93 @@ std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs
   w.EndArray();
 
   if (options.aggregates) {
-    SweepAggregator runtime;
-    SweepAggregator mops;
-    SweepAggregator hit_ratio;
-    std::vector<size_t> first_job;  // first job index per cell, insertion order
+    std::vector<const JobSpec*> specs;
+    std::vector<const JobResult*> result_ptrs;
+    specs.reserve(jobs.size());
+    result_ptrs.reserve(jobs.size());
     for (size_t i = 0; i < jobs.size(); ++i) {
-      const std::string cell = CellKey(jobs[i]);
-      if (!runtime.Has(cell)) {
-        first_job.push_back(i);
+      specs.push_back(&jobs[i]);
+      result_ptrs.push_back(&results[i]);
+    }
+    WriteAggregates(w, specs, result_ptrs);
+  }
+
+  w.EndObject();
+  out.push_back('\n');
+  return out;
+}
+
+std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs,
+                        const std::vector<CellOutcome>& outcomes,
+                        const SinkOptions& options) {
+  SIM_CHECK(jobs.size() == outcomes.size());
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t not_run = 0;
+  for (const CellOutcome& out : outcomes) {
+    if (out.ok) {
+      ++completed;
+    } else if (out.ran) {
+      ++failed;
+    } else {
+      ++not_run;
+    }
+  }
+
+  std::string out;
+  JsonWriter w(&out, options.indent);
+  w.BeginObject();
+  w.Field("schema_version", static_cast<uint64_t>(2));
+  WriteSweepBlock(w, sweep);
+
+  w.Key("summary");
+  w.BeginObject();
+  w.Field("cells_total", static_cast<uint64_t>(jobs.size()));
+  w.Field("cells_completed", completed);
+  w.Field("cells_failed", failed);
+  w.Field("cells_not_run", not_run);
+  w.EndObject();
+
+  w.Key("jobs");
+  w.BeginArray();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!outcomes[i].ok) {
+      continue;
+    }
+    WriteJob(w, jobs[i], outcomes[i].result, i, options.timelines,
+             outcomes[i].attempts);
+  }
+  w.EndArray();
+
+  w.Key("failures");
+  w.BeginArray();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (outcomes[i].ok) {
+      continue;
+    }
+    w.BeginObject();
+    w.Field("id", static_cast<uint64_t>(i));
+    WriteSpecFields(w, jobs[i]);
+    w.Field("fingerprint", JobFingerprint(jobs[i]));
+    w.Field("status", outcomes[i].ran ? "failed" : "not-run");
+    w.Field("attempts", outcomes[i].attempts);
+    w.Key("failure");
+    WriteJobFailureJson(w, outcomes[i].failure);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  if (options.aggregates) {
+    std::vector<const JobSpec*> specs;
+    std::vector<const JobResult*> result_ptrs;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (!outcomes[i].ok) {
+        continue;
       }
-      runtime.Add(cell, results[i].metrics.EffectiveRuntimeNs());
-      mops.Add(cell, results[i].metrics.Mops());
-      hit_ratio.Add(cell, results[i].metrics.fast_hit_ratio());
+      specs.push_back(&jobs[i]);
+      result_ptrs.push_back(&outcomes[i].result);
     }
-    w.Key("aggregates");
-    w.BeginArray();
-    for (size_t c = 0; c < runtime.cells().size(); ++c) {
-      const std::string& cell = runtime.cells()[c];
-      const JobSpec& spec = jobs[first_job[c]];
-      w.BeginObject();
-      w.Field("cell", cell);
-      w.Field("system", spec.system);
-      w.Field("benchmark", spec.benchmark);
-      w.Field("machine", spec.machine_name());
-      w.Field("fast_ratio", spec.fast_ratio);
-      w.Field("n", static_cast<uint64_t>(runtime.values(cell).size()));
-      WriteStatTriple(w, "effective_runtime_ns", runtime, cell);
-      WriteStatTriple(w, "mops", mops, cell);
-      WriteStatTriple(w, "fast_hit_ratio", hit_ratio, cell);
-      w.EndObject();
-    }
-    w.EndArray();
+    WriteAggregates(w, specs, result_ptrs);
   }
 
   w.EndObject();
@@ -249,67 +349,142 @@ std::string CsvEscape(std::string_view field) {
   return out;
 }
 
+namespace {
+
+constexpr const char kCsvHeader[] =
+    "id,system,benchmark,machine,fast_ratio,base_seed,seed_index,"
+    "footprint_bytes,fast_bytes,accesses,app_ns,effective_runtime_ns,mops,"
+    "fast_hit_ratio,critical_path_ns,tlb_miss_ratio,tlb_shootdowns,"
+    "promoted_4k,demoted_4k,splits,collapses,final_huge_ratio,mean_ehr,"
+    "sampler_cpu";
+
+// One CSV row; attempts >= 0 appends the outcome-aware trailing column.
+void AppendCsvRow(std::string& out, size_t id, const JobSpec& spec,
+                  const JobResult& r, int attempts) {
+  const Metrics& m = r.metrics;
+  out += std::to_string(id);
+  out += ',';
+  out += CsvEscape(spec.system);
+  out += ',';
+  out += CsvEscape(spec.benchmark);
+  out += ',';
+  out += spec.machine_name();
+  out += ',';
+  out += JsonWriter::FormatDouble(spec.fast_ratio);
+  out += ',';
+  out += std::to_string(spec.base_seed);
+  out += ',';
+  out += std::to_string(spec.seed_index);
+  out += ',';
+  out += std::to_string(r.footprint_bytes);
+  out += ',';
+  out += std::to_string(r.fast_bytes);
+  out += ',';
+  out += std::to_string(m.accesses);
+  out += ',';
+  out += std::to_string(m.app_ns);
+  out += ',';
+  out += JsonWriter::FormatDouble(m.EffectiveRuntimeNs());
+  out += ',';
+  out += JsonWriter::FormatDouble(m.Mops());
+  out += ',';
+  out += JsonWriter::FormatDouble(m.fast_hit_ratio());
+  out += ',';
+  out += std::to_string(m.critical_path_ns);
+  out += ',';
+  out += JsonWriter::FormatDouble(m.tlb.miss_ratio());
+  out += ',';
+  out += std::to_string(m.tlb.shootdowns);
+  out += ',';
+  out += std::to_string(m.migration.promoted_4k());
+  out += ',';
+  out += std::to_string(m.migration.demoted_4k());
+  out += ',';
+  out += std::to_string(m.migration.splits);
+  out += ',';
+  out += std::to_string(m.migration.collapses);
+  out += ',';
+  out += JsonWriter::FormatDouble(m.final_huge_ratio);
+  out += ',';
+  out += JsonWriter::FormatDouble(r.mean_ehr);
+  out += ',';
+  out += JsonWriter::FormatDouble(r.sampler_cpu);
+  if (attempts >= 0) {
+    out += ',';
+    out += std::to_string(attempts);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
 std::string SweepToCsv(const std::vector<JobSpec>& jobs,
                        const std::vector<JobResult>& results) {
   SIM_CHECK(jobs.size() == results.size());
-  std::string out =
-      "id,system,benchmark,machine,fast_ratio,base_seed,seed_index,"
-      "footprint_bytes,fast_bytes,accesses,app_ns,effective_runtime_ns,mops,"
-      "fast_hit_ratio,critical_path_ns,tlb_miss_ratio,tlb_shootdowns,"
-      "promoted_4k,demoted_4k,splits,collapses,final_huge_ratio,mean_ehr,"
-      "sampler_cpu\n";
+  std::string out = kCsvHeader;
+  out += '\n';
   for (size_t i = 0; i < jobs.size(); ++i) {
+    AppendCsvRow(out, i, jobs[i], results[i], /*attempts=*/-1);
+  }
+  return out;
+}
+
+std::string SweepToCsv(const std::vector<JobSpec>& jobs,
+                       const std::vector<CellOutcome>& outcomes) {
+  SIM_CHECK(jobs.size() == outcomes.size());
+  std::string out = kCsvHeader;
+  out += ",attempts\n";
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!outcomes[i].ok) {
+      continue;
+    }
+    AppendCsvRow(out, i, jobs[i], outcomes[i].result, outcomes[i].attempts);
+  }
+  return out;
+}
+
+std::string FailureSummary(const std::vector<JobSpec>& jobs,
+                           const std::vector<CellOutcome>& outcomes) {
+  SIM_CHECK(jobs.size() == outcomes.size());
+  size_t failed = 0;
+  size_t not_run = 0;
+  for (const CellOutcome& out : outcomes) {
+    if (out.ok) {
+      continue;
+    }
+    if (out.ran) {
+      ++failed;
+    } else {
+      ++not_run;
+    }
+  }
+  if (failed == 0 && not_run == 0) {
+    return {};
+  }
+  std::string out = std::to_string(failed) + " cell(s) failed, " +
+                    std::to_string(not_run) + " never ran (of " +
+                    std::to_string(jobs.size()) + " total):\n";
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const CellOutcome& cell = outcomes[i];
+    if (cell.ok) {
+      continue;
+    }
     const JobSpec& spec = jobs[i];
-    const JobResult& r = results[i];
-    const Metrics& m = r.metrics;
-    out += std::to_string(i);
-    out += ',';
-    out += CsvEscape(spec.system);
-    out += ',';
-    out += CsvEscape(spec.benchmark);
-    out += ',';
-    out += spec.machine_name();
-    out += ',';
-    out += JsonWriter::FormatDouble(spec.fast_ratio);
-    out += ',';
-    out += std::to_string(spec.base_seed);
-    out += ',';
-    out += std::to_string(spec.seed_index);
-    out += ',';
-    out += std::to_string(r.footprint_bytes);
-    out += ',';
-    out += std::to_string(r.fast_bytes);
-    out += ',';
-    out += std::to_string(m.accesses);
-    out += ',';
-    out += std::to_string(m.app_ns);
-    out += ',';
-    out += JsonWriter::FormatDouble(m.EffectiveRuntimeNs());
-    out += ',';
-    out += JsonWriter::FormatDouble(m.Mops());
-    out += ',';
-    out += JsonWriter::FormatDouble(m.fast_hit_ratio());
-    out += ',';
-    out += std::to_string(m.critical_path_ns);
-    out += ',';
-    out += JsonWriter::FormatDouble(m.tlb.miss_ratio());
-    out += ',';
-    out += std::to_string(m.tlb.shootdowns);
-    out += ',';
-    out += std::to_string(m.migration.promoted_4k());
-    out += ',';
-    out += std::to_string(m.migration.demoted_4k());
-    out += ',';
-    out += std::to_string(m.migration.splits);
-    out += ',';
-    out += std::to_string(m.migration.collapses);
-    out += ',';
-    out += JsonWriter::FormatDouble(m.final_huge_ratio);
-    out += ',';
-    out += JsonWriter::FormatDouble(r.mean_ehr);
-    out += ',';
-    out += JsonWriter::FormatDouble(r.sampler_cpu);
+    out += "  [" + std::to_string(i) + "] " + spec.system + "/" +
+           spec.benchmark + "/" + spec.machine_name() +
+           " ratio=" + JsonWriter::FormatDouble(spec.fast_ratio) +
+           " seed_index=" + std::to_string(spec.seed_index) + ": ";
+    out += FailureKindName(cell.failure.kind);
+    if (!cell.failure.message.empty()) {
+      out += " — " + cell.failure.message;
+    }
+    if (cell.attempts > 1) {
+      out += " (after " + std::to_string(cell.attempts) + " attempts)";
+    }
     out += '\n';
+    if (!cell.failure.reproducer_cmdline.empty()) {
+      out += "      repro: " + cell.failure.reproducer_cmdline + '\n';
+    }
   }
   return out;
 }
@@ -370,6 +545,21 @@ std::string AuditToJson(const std::vector<JobSpec>& jobs,
   w.EndObject();
   out.push_back('\n');
   return out;
+}
+
+std::string AuditToJson(const std::vector<JobSpec>& jobs,
+                        const std::vector<CellOutcome>& outcomes,
+                        const SinkOptions& options) {
+  SIM_CHECK(jobs.size() == outcomes.size());
+  // Failed/never-run cells have no audit output; a default (audited = false)
+  // result drops them from the document while keeping job ids aligned.
+  std::vector<JobResult> results(outcomes.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].ok) {
+      results[i] = outcomes[i].result;
+    }
+  }
+  return AuditToJson(jobs, results, options);
 }
 
 bool WriteResultFile(const std::string& path, std::string_view data) {

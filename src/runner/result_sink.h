@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/runner/resilient.h"
 #include "src/runner/sweep.h"
 
 namespace memtis {
@@ -61,9 +62,31 @@ std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs
                         const std::vector<JobResult>& results,
                         const SinkOptions& options = {});
 
+// Outcome-aware sweep document (schema_version 2) for resilient runs: jobs
+// that completed appear in "jobs" (with their attempt count), failed and
+// never-run cells appear in "failures" with fingerprints and reproducer
+// command lines, and a "summary" block counts
+// cells_total/cells_completed/cells_failed/cells_not_run. Aggregates cover
+// completed cells only. Nothing records *how* a completed cell's result was
+// obtained (live vs manifest), so a resumed sweep serializes byte-identically
+// to an uninterrupted one.
+std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs,
+                        const std::vector<CellOutcome>& outcomes,
+                        const SinkOptions& options = {});
+
 // One row per job with a fixed header; scalars only (no timelines).
 std::string SweepToCsv(const std::vector<JobSpec>& jobs,
                        const std::vector<JobResult>& results);
+
+// Outcome-aware CSV: completed cells only, with a trailing attempts column.
+std::string SweepToCsv(const std::vector<JobSpec>& jobs,
+                       const std::vector<CellOutcome>& outcomes);
+
+// Human-readable report of every failed or never-run cell, one block per
+// cell with its kind, message, and reproducer command line. Empty string
+// when everything completed.
+std::string FailureSummary(const std::vector<JobSpec>& jobs,
+                           const std::vector<CellOutcome>& outcomes);
 
 // RFC 4180 CSV field escaping: fields containing a comma, double quote, CR,
 // or LF are wrapped in double quotes with embedded quotes doubled; all other
@@ -75,6 +98,11 @@ std::string CsvEscape(std::string_view field);
 // README under "Auditing and epoch telemetry".
 std::string AuditToJson(const std::vector<JobSpec>& jobs,
                         const std::vector<JobResult>& results,
+                        const SinkOptions& options = {});
+
+// Outcome-aware audit document: audited completed cells only.
+std::string AuditToJson(const std::vector<JobSpec>& jobs,
+                        const std::vector<CellOutcome>& outcomes,
                         const SinkOptions& options = {});
 
 // Writes `data` to `path`, or to stdout when path is empty or "-".

@@ -1,0 +1,340 @@
+#include "src/runner/supervisor.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "src/common/check.h"
+#include "src/common/json.h"
+#include "src/common/json_parse.h"
+#include "src/runner/job_codec.h"
+
+namespace memtis {
+namespace {
+
+// Pipe payload tags: the child's first byte says what follows.
+//   'R' + JSON  — a complete JobResult (success; child then _exit(0)s)
+//   'C' + JSON  — a SIM_CHECK failure record, written by the check hook just
+//                 before abort(); the JSON is {"expr","file","line"}.
+constexpr char kTagResult = 'R';
+constexpr char kTagCheck = 'C';
+
+constexpr uint64_t kBackoffCapMs = 10'000;
+// Safety cap for MEMTIS_HANG_CELL when no watchdog is armed: exit instead of
+// wedging a test run forever.
+constexpr int kHangSafetyCapSeconds = 600;
+
+uint64_t NowMs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1'000'000;
+}
+
+void SleepMs(uint64_t ms) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1'000'000);
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+void WriteFully(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // the parent is gone; nothing useful left to do
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+}
+
+// Check-failure hook installed in the child: streams the failing expression
+// through the result pipe (tagged 'C') so the parent attaches it to the
+// structured JobFailure instead of fishing it out of stderr.
+void ReportCheckThroughPipe(const char* expr, const char* file, int line,
+                            void* arg) {
+  const int fd = static_cast<int>(reinterpret_cast<intptr_t>(arg));
+  std::string payload(1, kTagCheck);
+  JsonWriter w(&payload, 0);
+  w.BeginObject();
+  w.Field("expr", expr);
+  w.Field("file", file);
+  w.Field("line", line);
+  w.EndObject();
+  WriteFully(fd, payload.data(), payload.size());
+}
+
+// MEMTIS_CRASH_CELL / MEMTIS_HANG_CELL matching: "<fingerprint>[:N]" where N
+// bounds the crashing attempts (crash while attempt < N; default all).
+bool HookMatches(const char* env_name, const std::string& fingerprint,
+                 int attempt) {
+  const char* value = std::getenv(env_name);
+  if (value == nullptr || value[0] == '\0') {
+    return false;
+  }
+  std::string_view spec(value);
+  int max_crashing_attempts = -1;  // -1 = every attempt
+  if (const size_t colon = spec.find(':'); colon != std::string_view::npos) {
+    max_crashing_attempts = std::atoi(std::string(spec.substr(colon + 1)).c_str());
+    spec = spec.substr(0, colon);
+  }
+  if (spec != fingerprint) {
+    return false;
+  }
+  return max_crashing_attempts < 0 || attempt < max_crashing_attempts;
+}
+
+[[noreturn]] void RunChild(const JobSpec& spec, const std::string& fingerprint,
+                           int attempt, int result_fd, int stderr_fd) {
+  // SIGINT belongs to the sweep driver: a ^C cancels queued cells while
+  // in-flight children drain, so children must outlive the terminal's
+  // process-group-wide SIGINT.
+  std::signal(SIGINT, SIG_IGN);
+  dup2(stderr_fd, STDERR_FILENO);
+  close(stderr_fd);
+  SetCheckFailureHook(ReportCheckThroughPipe,
+                      reinterpret_cast<void*>(static_cast<intptr_t>(result_fd)));
+
+  if (HookMatches("MEMTIS_HANG_CELL", fingerprint, attempt)) {
+    std::fprintf(stderr, "MEMTIS_HANG_CELL: cell %s attempt %d hanging\n",
+                 fingerprint.c_str(), attempt);
+    for (int i = 0; i < kHangSafetyCapSeconds * 20; ++i) {
+      SleepMs(50);
+    }
+    _exit(86);
+  }
+  if (HookMatches("MEMTIS_CRASH_CELL", fingerprint, attempt)) {
+    std::fprintf(stderr, "MEMTIS_CRASH_CELL: cell %s attempt %d crashing\n",
+                 fingerprint.c_str(), attempt);
+    // Through SIM_CHECK on purpose: the injected crash exercises the same
+    // hook-report-then-abort path a real invariant failure takes.
+    SIM_CHECK(false && "MEMTIS_CRASH_CELL injected crash");
+  }
+
+  const JobResult result = RunJob(spec);
+  std::string payload(1, kTagResult);
+  JsonWriter w(&payload, 0);
+  WriteJobResultJson(w, result);
+  WriteFully(result_fd, payload.data(), payload.size());
+  close(result_fd);
+  // _exit, not exit: the forked child shares the parent's heap and must not
+  // run atexit handlers, flush shared streams, or trip leak detection on
+  // objects owned by parent threads that do not exist here.
+  _exit(0);
+}
+
+struct PipeReader {
+  int fd = -1;
+  bool open = false;
+  std::string data;
+  size_t cap = 0;  // 0 = unbounded; otherwise keep only the last `cap` bytes
+
+  void Drain() {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        data.append(buf, static_cast<size_t>(n));
+        if (cap != 0 && data.size() > cap) {
+          data.erase(0, data.size() - cap);
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return;  // no more for now
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      close(fd);
+      open = false;
+      return;  // EOF or hard error: stop watching this pipe
+    }
+  }
+};
+
+// One forked attempt. Fills either outcome->result (ok) or outcome->failure
+// (everything but the reproducer, which the retry loop owns).
+void RunAttempt(const JobSpec& spec, const std::string& fingerprint,
+                int attempt, const SupervisorOptions& options,
+                SupervisedOutcome* outcome) {
+  outcome->ok = false;
+  outcome->failure = JobFailure();
+
+  int result_pipe[2];
+  int stderr_pipe[2];
+  if (pipe(result_pipe) != 0 || pipe(stderr_pipe) != 0) {
+    outcome->failure.kind = FailureKind::kProtocol;
+    outcome->failure.message =
+        std::string("pipe() failed: ") + std::strerror(errno);
+    return;
+  }
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    for (const int fd : {result_pipe[0], result_pipe[1], stderr_pipe[0],
+                         stderr_pipe[1]}) {
+      close(fd);
+    }
+    outcome->failure.kind = FailureKind::kProtocol;
+    outcome->failure.message =
+        std::string("fork() failed: ") + std::strerror(errno);
+    return;
+  }
+  if (pid == 0) {
+    close(result_pipe[0]);
+    close(stderr_pipe[0]);
+    RunChild(spec, fingerprint, attempt, result_pipe[1], stderr_pipe[1]);
+  }
+
+  close(result_pipe[1]);
+  close(stderr_pipe[1]);
+  // Drain() reads until EAGAIN, so the parent's read ends must be
+  // non-blocking (the child's write ends stay blocking — a full pipe must
+  // backpressure the child, not drop its payload).
+  fcntl(result_pipe[0], F_SETFL, O_NONBLOCK);
+  fcntl(stderr_pipe[0], F_SETFL, O_NONBLOCK);
+  PipeReader result{result_pipe[0], true, {}, 0};
+  PipeReader err{stderr_pipe[0], true, {}, options.stderr_tail_bytes};
+
+  const bool has_deadline = options.job_timeout_ms > 0;
+  const uint64_t deadline_ms = NowMs() + options.job_timeout_ms;
+  bool timed_out = false;
+
+  while (result.open || err.open) {
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    for (PipeReader* reader : {&result, &err}) {
+      if (reader->open) {
+        fds[nfds].fd = reader->fd;
+        fds[nfds].events = POLLIN;
+        fds[nfds].revents = 0;
+        ++nfds;
+      }
+    }
+    int timeout = -1;
+    if (has_deadline && !timed_out) {
+      const uint64_t now = NowMs();
+      timeout = now >= deadline_ms ? 0 : static_cast<int>(deadline_ms - now);
+    }
+    const int rc = poll(fds, nfds, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (rc == 0) {
+      // Watchdog fired: down the child, then keep draining until EOF so the
+      // stderr tail and any partial payload survive into the failure record.
+      timed_out = true;
+      kill(pid, SIGKILL);
+      continue;
+    }
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if (fds[i].revents == 0) {
+        continue;
+      }
+      PipeReader* reader = fds[i].fd == result.fd ? &result : &err;
+      reader->Drain();
+    }
+  }
+
+  int status = 0;
+  while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+
+  JobFailure& failure = outcome->failure;
+  failure.stderr_tail = err.data;
+  if (!result.data.empty() && result.data[0] == kTagCheck) {
+    JsonValue check;
+    if (JsonValue::Parse(result.data.substr(1), &check, nullptr)) {
+      failure.check_expr = check.GetString("expr") + " at " +
+                           check.GetString("file") + ":" +
+                           std::to_string(check.GetInt("line"));
+    }
+  }
+
+  if (timed_out) {
+    failure.kind = FailureKind::kTimeout;
+    failure.signal = SIGKILL;
+    failure.message = "deadline of " + std::to_string(options.job_timeout_ms) +
+                      " ms exceeded; child SIGKILLed";
+    return;
+  }
+  if (WIFSIGNALED(status)) {
+    failure.kind = FailureKind::kCrash;
+    failure.signal = WTERMSIG(status);
+    failure.message =
+        std::string("child killed by signal ") + std::to_string(failure.signal);
+    if (!failure.check_expr.empty()) {
+      failure.message += " (SIM_CHECK: " + failure.check_expr + ")";
+    }
+    return;
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+    failure.kind = FailureKind::kExit;
+    failure.exit_status = WEXITSTATUS(status);
+    failure.message =
+        "child exited with status " + std::to_string(failure.exit_status);
+    return;
+  }
+  // Clean exit: the payload must be a parseable tagged result.
+  if (result.data.empty() || result.data[0] != kTagResult) {
+    failure.kind = FailureKind::kProtocol;
+    failure.message = "child exited 0 without a result payload";
+    return;
+  }
+  JsonValue doc;
+  std::string parse_error;
+  if (!JsonValue::Parse(result.data.substr(1), &doc, &parse_error) ||
+      !ReadJobResultJson(doc, &outcome->result)) {
+    failure.kind = FailureKind::kProtocol;
+    failure.message = "unparseable result payload: " + parse_error;
+    return;
+  }
+  failure = JobFailure();
+  outcome->ok = true;
+}
+
+}  // namespace
+
+SupervisedOutcome RunJobSupervised(const JobSpec& spec,
+                                   const SupervisorOptions& options) {
+  const std::string fingerprint = JobFingerprint(spec);
+  const int max_attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+
+  SupervisedOutcome outcome;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0 && options.backoff_base_ms > 0) {
+      const uint64_t backoff = options.backoff_base_ms << (attempt - 1);
+      SleepMs(backoff < kBackoffCapMs ? backoff : kBackoffCapMs);
+    }
+    JobSpec attempt_spec = spec;
+    attempt_spec.engine_seed = AttemptEngineSeed(spec.engine_seed, attempt);
+    RunAttempt(attempt_spec, fingerprint, attempt, options, &outcome);
+    outcome.attempts = attempt + 1;
+    if (outcome.ok) {
+      return outcome;
+    }
+    outcome.failure.reproducer_cmdline = ReproducerCmdline(spec, attempt);
+    if (!IsRecoverable(outcome.failure.kind)) {
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace memtis

@@ -1,0 +1,94 @@
+// Crash isolation for sweep cells: runs one RunJob in a forked child with a
+// wall-clock watchdog, streaming the JobResult back over a pipe as JSON.
+//
+// The supervision contract (see DESIGN.md "Job supervision"):
+//
+//  - Isolation. Everything RunJob can do wrong — SIGSEGV, a SIM_CHECK abort,
+//    an audit-session abort, a runaway loop — downs only the forked child.
+//    The parent turns the corpse into a structured JobFailure{kind, exit
+//    status, signal, stderr tail, reproducer} and the sweep continues.
+//  - Fidelity. A supervised success is byte-identical to an in-process run:
+//    the child serializes the complete JobResult (metrics + timeline + audit
+//    report + epochs) with the lossless codec in job_codec.h, so sinks cannot
+//    tell the difference. tests/runner_test.cc holds this property.
+//  - Deadlines. job_timeout_ms > 0 arms a watchdog; on overrun the child is
+//    SIGKILLed and the failure kind is kTimeout.
+//  - Deterministic retries. Up to max_attempts attempts per cell; attempt k
+//    reruns the cell with engine_seed' = DeriveSeedOffset(engine_seed, k) —
+//    the same documented scheme that spaces workload seeds — so every retry
+//    is reproducible from (spec, attempt) alone and the failure's reproducer
+//    command line pins the exact attempt seed. Backoff between attempts is
+//    deterministic too: backoff_base_ms << (attempt - 1), capped.
+//  - SIM_CHECK reporting. The child installs a check-failure hook
+//    (src/common/check.h) that writes the failing expression through the
+//    result pipe before aborting, so JobFailure::check_expr carries the
+//    precise invariant even when stderr is noisy.
+//
+// Test-only injection hooks, honoured inside the supervised child (never in
+// in-process runs):
+//
+//   MEMTIS_CRASH_CELL=<fingerprint>[:N]  SIM_CHECK-fail the cell with that
+//       JobFingerprint on attempts 0..N-1 (default: every attempt). With N=1
+//       and max_attempts >= 2 a cell crashes once and then succeeds —
+//       deterministically — which is how the retry tests are built.
+//   MEMTIS_HANG_CELL=<fingerprint>       spin in the named cell until the
+//       watchdog kills it (a bounded safety cap exits eventually if no
+//       deadline was armed).
+
+#ifndef MEMTIS_SIM_SRC_RUNNER_SUPERVISOR_H_
+#define MEMTIS_SIM_SRC_RUNNER_SUPERVISOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/runner/sweep.h"
+
+namespace memtis {
+
+// Structured description of one failed (or never-run) sweep cell.
+struct JobFailure {
+  FailureKind kind = FailureKind::kNone;
+  int exit_status = 0;        // kExit: the child's exit code
+  int signal = 0;             // kCrash/kTimeout: the terminating signal
+  std::string check_expr;     // failing SIM_CHECK expression, when reported
+  std::string stderr_tail;    // last bytes of the child's stderr
+  std::string reproducer_cmdline;  // memtis_run invocation reproducing it
+  std::string message;        // one-line human summary
+};
+
+struct SupervisorOptions {
+  // Wall-clock deadline per attempt in milliseconds; 0 disarms the watchdog.
+  uint64_t job_timeout_ms = 0;
+  // Total attempts per cell (>= 1). Only recoverable failures (see
+  // src/common/status.h) are retried.
+  int max_attempts = 1;
+  // Deterministic exponential backoff before attempt k > 0:
+  // min(backoff_base_ms << (k - 1), 10'000) ms. 0 disables sleeping.
+  uint64_t backoff_base_ms = 0;
+  // How much of the child's stderr to keep for JobFailure::stderr_tail.
+  size_t stderr_tail_bytes = 4096;
+};
+
+struct SupervisedOutcome {
+  bool ok = false;
+  int attempts = 0;    // attempts actually made (>= 1)
+  JobResult result;    // valid when ok
+  JobFailure failure;  // kind != kNone when !ok
+};
+
+// The engine seed attempt `attempt` of a cell runs with (attempt 0 is the
+// spec's own seed; documented alongside DeriveSeedOffset in sweep.h).
+inline constexpr uint64_t AttemptEngineSeed(uint64_t engine_seed, int attempt) {
+  return DeriveSeedOffset(engine_seed, static_cast<uint32_t>(attempt));
+}
+
+// Runs one cell under supervision, retrying per `options`. Thread-safe: safe
+// to call concurrently from multiple ThreadPool workers (each call forks its
+// own child).
+SupervisedOutcome RunJobSupervised(const JobSpec& spec,
+                                   const SupervisorOptions& options);
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_RUNNER_SUPERVISOR_H_

@@ -154,6 +154,7 @@ std::vector<JobSpec> ExpandJobs(const SweepSpec& sweep) {
           cell.fast_ratio = ratio;
           cell.base_seed = sweep.base_seed;
           cell.seed_index = static_cast<uint32_t>(seed);
+          cell.engine_seed = sweep.engine_seed;
           cell.accesses = sweep.accesses;
           cell.cpu_contention = sweep.cpu_contention;
           cell.snapshot_interval_ns = sweep.snapshot_interval_ns;

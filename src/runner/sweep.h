@@ -19,6 +19,11 @@
 // (placement dither) is seeded independently by `engine_seed` so changing the
 // workload instantiation never silently changes engine-side randomness.
 //
+// Supervised retries reuse the same scheme on the engine axis: attempt k of a
+// cell runs with DeriveSeedOffset(engine_seed, k) (attempt 0 is the spec's
+// own seed), so a retried cell is reproducible from (spec, attempt) alone —
+// see src/runner/supervisor.h.
+//
 // Determinism: RunJob is a pure function of its JobSpec (plus the
 // MEMTIS_BENCH_* env scale knobs). RunJobs writes each result into the slot
 // pre-assigned by job index, so sweep output is byte-identical for any thread
@@ -131,6 +136,7 @@ struct SweepSpec {
   std::vector<std::string> machines = {"nvm"};  // "nvm" and/or "cxl"
   int seeds = 1;  // repetitions per cell: seed_index 0 .. seeds-1
   uint64_t base_seed = 0;
+  uint64_t engine_seed = 42;  // propagated to every cell's JobSpec::engine_seed
   uint64_t accesses = 0;
   bool cpu_contention = true;
   uint64_t snapshot_interval_ns = 0;

@@ -1,6 +1,7 @@
 #include "src/sim/metrics.h"
 
 #include "src/common/json.h"
+#include "src/common/json_parse.h"
 
 namespace memtis {
 namespace {
@@ -101,6 +102,79 @@ void Metrics::WriteJson(JsonWriter& w, bool include_timeline) const {
   }
 
   w.EndObject();
+}
+
+bool Metrics::FromJson(const JsonValue& v, Metrics* out) {
+  if (!v.is_object()) {
+    return false;
+  }
+  *out = Metrics();
+  out->accesses = v.GetUint("accesses");
+  out->loads = v.GetUint("loads");
+  out->stores = v.GetUint("stores");
+  out->fast_accesses = v.GetUint("fast_accesses");
+  out->capacity_accesses = v.GetUint("capacity_accesses");
+  out->app_ns = v.GetUint("app_ns");
+  out->critical_path_ns = v.GetUint("critical_path_ns");
+  out->cores = static_cast<uint32_t>(v.GetUint("cores", out->cores));
+  out->cpu_contention = v.GetBool("cpu_contention", out->cpu_contention);
+
+  if (const JsonValue* cpu = v.Find("cpu"); cpu != nullptr) {
+    out->cpu.Charge(DaemonKind::kSampler, cpu->GetUint("sampler_ns"));
+    out->cpu.Charge(DaemonKind::kMigrator, cpu->GetUint("migrator_ns"));
+    out->cpu.Charge(DaemonKind::kScanner, cpu->GetUint("scanner_ns"));
+  }
+
+  if (const JsonValue* tlb = v.Find("tlb"); tlb != nullptr) {
+    out->tlb.base_hits = tlb->GetUint("base_hits");
+    out->tlb.base_misses = tlb->GetUint("base_misses");
+    out->tlb.huge_hits = tlb->GetUint("huge_hits");
+    out->tlb.huge_misses = tlb->GetUint("huge_misses");
+    out->tlb.shootdowns = tlb->GetUint("shootdowns");
+    out->tlb.invalidated_entries = tlb->GetUint("invalidated_entries");
+  }
+
+  if (const JsonValue* mig = v.Find("migration"); mig != nullptr) {
+    out->migration.promoted_base = mig->GetUint("promoted_base");
+    out->migration.promoted_huge = mig->GetUint("promoted_huge");
+    out->migration.demoted_base = mig->GetUint("demoted_base");
+    out->migration.demoted_huge = mig->GetUint("demoted_huge");
+    out->migration.failed_migrations = mig->GetUint("failed_migrations");
+    out->migration.aborted_migrations = mig->GetUint("aborted_migrations");
+    out->migration.splits = mig->GetUint("splits");
+    out->migration.collapses = mig->GetUint("collapses");
+    out->migration.freed_zero_subpages = mig->GetUint("freed_zero_subpages");
+    out->migration.demand_faults = mig->GetUint("demand_faults");
+  }
+
+  if (const JsonValue* faults = v.Find("faults"); faults != nullptr) {
+    FaultStats::FromJson(*faults, &out->faults);
+  }
+
+  out->final_rss_pages = v.GetUint("final_rss_pages");
+  out->peak_rss_pages = v.GetUint("peak_rss_pages");
+  out->final_fast_used_pages = v.GetUint("final_fast_used_pages");
+  out->final_huge_ratio = v.GetDouble("final_huge_ratio");
+
+  if (const JsonValue* timeline = v.Find("timeline"); timeline != nullptr) {
+    out->timeline.reserve(timeline->size());
+    for (size_t i = 0; i < timeline->size(); ++i) {
+      const JsonValue& p = timeline->at(i);
+      TimelinePoint point;
+      point.t_ns = p.GetUint("t_ns");
+      if (const JsonValue* c = p.Find("classified"); c != nullptr) {
+        point.classified.hot_bytes = c->GetUint("hot_bytes");
+        point.classified.warm_bytes = c->GetUint("warm_bytes");
+        point.classified.cold_bytes = c->GetUint("cold_bytes");
+      }
+      point.fast_used_pages = p.GetUint("fast_used_pages");
+      point.rss_pages = p.GetUint("rss_pages");
+      point.window_fast_ratio = p.GetDouble("window_fast_ratio");
+      point.window_mops = p.GetDouble("window_mops");
+      out->timeline.push_back(point);
+    }
+  }
+  return true;
 }
 
 }  // namespace memtis

@@ -15,6 +15,7 @@
 namespace memtis {
 
 class JsonWriter;
+class JsonValue;
 
 // Sizes of the hot/warm/cold sets as classified by a policy (Fig. 2 / Fig. 9).
 struct ClassifiedSizes {
@@ -96,6 +97,14 @@ struct Metrics {
   // nest metrics inside a job record). `include_timeline` = false drops the
   // timeline array for compact sweep files.
   void WriteJson(JsonWriter& w, bool include_timeline = true) const;
+
+  // Lossless inverse of WriteJson, used by the supervisor pipe protocol and
+  // the --resume manifest (src/runner/job_codec.*): every raw counter and the
+  // timeline are reconstructed bit-for-bit (integers re-parsed as uint64,
+  // doubles via the round-trippable "%.17g" format). Derived fields
+  // (fast_hit_ratio, effective_runtime_ns, mops) are recomputed, never read.
+  // Returns false when `v` is not a JSON object.
+  static bool FromJson(const JsonValue& v, Metrics* out);
 };
 
 }  // namespace memtis

@@ -3,14 +3,25 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "src/audit/audit.h"
+#include "src/common/json.h"
 #include "src/fault/fault.h"
 #include "src/memtis/memtis_policy.h"
 #include "src/memtis/policy_registry.h"
+#include "src/runner/job_codec.h"
+#include "src/runner/manifest.h"
+#include "src/runner/resilient.h"
+#include "src/runner/supervisor.h"
+#include "src/runner/sweep.h"
+#include "src/runner/thread_pool.h"
 #include "src/workloads/registry.h"
 #include "tests/test_util.h"
 
@@ -175,6 +186,156 @@ TEST(Fuzz, FaultStormSurvivesEveryPolicy) {
       EXPECT_GT(metrics.faults.total_injected(), 0u)
           << name << " seed " << seed;
     }
+  }
+}
+
+// Fuzzes the --resume checkpoint manifest: random specs and outcomes are
+// written, random torn/garbage lines are interleaved at the tail, and the
+// loader must recover exactly the valid last-wins image — never abort, never
+// mistake a truncated record for a completed cell.
+TEST(Fuzz, ManifestRoundTripSurvivesTornLines) {
+  const std::string path =
+      ::testing::TempDir() + "memtis_fuzz_manifest.jsonl";
+  std::remove(path.c_str());
+  std::mt19937_64 rng(20260807);
+
+  const std::vector<std::string> systems = {"memtis", "autonuma", "hemem"};
+  std::map<std::string, bool> expected_ok;        // fingerprint -> ok
+  std::map<std::string, std::string> expected_result;  // serialized bytes
+  std::vector<std::string> valid_lines;
+  size_t lines_written = 0;
+
+  {
+    ManifestWriter writer;
+    ASSERT_TRUE(writer.Open(path));
+    for (int i = 0; i < 64; ++i) {
+      JobSpec spec;
+      spec.system = systems[rng() % systems.size()];
+      spec.benchmark = "btree";
+      spec.fast_ratio = 1.0 / static_cast<double>(2 + rng() % 8);
+      spec.base_seed = rng() % 4;
+      spec.seed_index = static_cast<uint32_t>(rng() % 3);
+      spec.accesses = 10'000 + rng() % 50'000;
+
+      SupervisedOutcome outcome;
+      outcome.ok = (rng() % 4) != 0;
+      outcome.attempts = 1 + static_cast<int>(rng() % 3);
+      if (outcome.ok) {
+        outcome.result.footprint_bytes = rng();
+        outcome.result.fast_bytes = rng();
+        outcome.result.mean_ehr =
+            static_cast<double>(rng()) / static_cast<double>(rng() | 1);
+        outcome.result.metrics.app_ns = rng();
+        outcome.result.metrics.fast_accesses = rng();
+      } else {
+        outcome.failure.kind =
+            (rng() % 2) ? FailureKind::kCrash : FailureKind::kTimeout;
+        outcome.failure.signal = (rng() % 2) ? 6 : 9;
+        outcome.failure.message = "fuzzed failure";
+        outcome.failure.stderr_tail = "line1\nline2 \"quoted\"";
+      }
+
+      const std::string fp = JobFingerprint(spec);
+      writer.Append(fp, spec, outcome);
+      ++lines_written;
+      expected_ok[fp] = outcome.ok;  // map semantics mirror last-wins
+      if (outcome.ok) {
+        std::string bytes;
+        JsonWriter w(&bytes, 0);
+        WriteJobResultJson(w, outcome.result);
+        expected_result[fp] = bytes;
+      } else {
+        expected_result.erase(fp);
+      }
+    }
+    writer.Close();
+  }
+
+  // Capture the valid lines so torn variants can be synthesized from them.
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) valid_lines.push_back(line);
+    }
+    ASSERT_EQ(valid_lines.size(), lines_written);
+  }
+
+  // Append garbage: strict prefixes of real records (every nonempty prefix of
+  // a one-line JSON object is unparseable) plus free-form junk.
+  size_t garbage = 0;
+  {
+    std::ofstream tail(path, std::ios::app);
+    for (int i = 0; i < 16; ++i) {
+      const std::string& src = valid_lines[rng() % valid_lines.size()];
+      tail << src.substr(0, 1 + rng() % (src.size() - 1)) << "\n";
+      ++garbage;
+    }
+    tail << "not json at all\n";
+    ++garbage;
+    // And one genuinely torn final record, no trailing newline.
+    const std::string& src = valid_lines[0];
+    tail << src.substr(0, src.size() / 2);
+    ++garbage;
+  }
+
+  std::map<std::string, ManifestEntry> loaded;
+  ManifestLoadStats stats;
+  ASSERT_TRUE(LoadManifest(path, &loaded, &stats));
+  EXPECT_EQ(stats.lines_total, lines_written + garbage);
+  EXPECT_EQ(stats.lines_skipped, garbage);
+  ASSERT_EQ(loaded.size(), expected_ok.size());
+  for (const auto& [fp, ok] : expected_ok) {
+    ASSERT_NE(loaded.find(fp), loaded.end()) << fp;
+    EXPECT_EQ(loaded.at(fp).ok, ok) << fp;
+    if (ok) {
+      std::string bytes;
+      JsonWriter w(&bytes, 0);
+      WriteJobResultJson(w, loaded.at(fp).result);
+      EXPECT_EQ(bytes, expected_result.at(fp)) << fp;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// A supervised sweep under the dense fault-injection preset: every cell runs
+// in a forked child with the storm active and must come back ok — zero parent
+// deaths, zero invariant violations, faults actually firing in every cell.
+TEST(Fuzz, SupervisedStormSweepKeepsParentAlive) {
+  const char* env = std::getenv("MEMTIS_FAULTS");
+  const std::string spec =
+      (env != nullptr && env[0] != '\0') ? env : std::string("storm");
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(spec, &plan, &error)) << spec << ": " << error;
+  if (!plan.enabled()) {
+    GTEST_SKIP() << "MEMTIS_FAULTS=" << spec << " disables the storm";
+  }
+
+  SweepSpec sweep;
+  sweep.systems = {"memtis", "autonuma"};
+  sweep.benchmarks = {"btree"};
+  sweep.accesses = 60'000;
+  sweep.audit = true;
+  sweep.faults = spec;
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+
+  ExecOptions exec;
+  exec.supervise = true;
+  ThreadPool pool(4);
+  const std::vector<CellOutcome> outcomes = RunJobsResilient(jobs, pool, exec);
+
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok)
+        << jobs[i].system << "/" << jobs[i].benchmark << ": "
+        << outcomes[i].failure.message << "\n"
+        << outcomes[i].failure.stderr_tail;
+    EXPECT_EQ(outcomes[i].attempts, 1);
+    EXPECT_TRUE(outcomes[i].result.audit_report.ok())
+        << outcomes[i].result.audit_report.ToJson(2);
+    EXPECT_GT(outcomes[i].result.metrics.faults.total_injected(), 0u)
+        << jobs[i].system;
   }
 }
 

@@ -4,13 +4,26 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/common/json.h"
+#include "src/common/json_parse.h"
+#include "src/common/status.h"
+#include "src/runner/job_codec.h"
+#include "src/runner/manifest.h"
+#include "src/runner/resilient.h"
 #include "src/runner/result_sink.h"
+#include "src/runner/supervisor.h"
 #include "src/runner/sweep.h"
 #include "src/runner/thread_pool.h"
 
@@ -171,7 +184,8 @@ TEST(CsvEscape, QuotesSeparatorsAndDoublesEmbeddedQuotes) {
 }
 
 TEST(SweepToCsv, EmptySweepEmitsHeaderOnly) {
-  const std::string csv = SweepToCsv({}, {});
+  const std::string csv =
+      SweepToCsv(std::vector<JobSpec>{}, std::vector<JobResult>{});
   ASSERT_FALSE(csv.empty());
   EXPECT_EQ(csv.back(), '\n');
   // Exactly one line: the header.
@@ -229,6 +243,357 @@ TEST(Sweep, SeedIndexVariesWorkloadDeterministically) {
   other.seed_index = 1;
   const JobResult varied = RunJob(other);
   EXPECT_NE(base1.metrics.app_ns, varied.metrics.app_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience plane: supervision, retries, manifests, resume.
+// ---------------------------------------------------------------------------
+
+// Sets an environment variable for the enclosing scope and restores the
+// previous state on destruction (the MEMTIS_CRASH_CELL/MEMTIS_HANG_CELL
+// injection hooks are read by supervised children via the environment).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+std::string SerializeResult(const JobResult& result) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  WriteJobResultJson(w, result);
+  return out;
+}
+
+// A cheap cell that exercises the full codec surface (MEMTIS introspection +
+// audit report + epoch telemetry).
+JobSpec SmallSpec() {
+  JobSpec spec;
+  spec.system = "memtis";
+  spec.benchmark = "btree";
+  spec.accesses = 30'000;
+  spec.audit = true;
+  spec.audit_epoch_interval_ns = 50'000'000;
+  return spec;
+}
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(ThreadPool, RequestCancelDropsQueuedWorkAndIgnoresLateSubmits) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  pool.Submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+    ran.fetch_add(1);
+  });
+  // Make sure the single worker is inside the blocker, not still queued.
+  while (!started.load()) std::this_thread::yield();
+  // Queued behind the blocker; all dropped by the cancel below.
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { ran.fetch_add(1); });
+  }
+  pool.RequestCancel();
+  EXPECT_TRUE(pool.cancel_requested());
+  release.store(true);
+  pool.Wait();
+  // The in-flight task drains normally; the queued ones never run.
+  EXPECT_EQ(ran.load(), 1);
+
+  pool.Submit([&] { ran.fetch_add(1); });  // no-op after cancellation
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Supervisor, SupervisedSuccessIsByteIdenticalToInProcessRun) {
+  const JobSpec spec = SmallSpec();
+  const JobResult in_process = RunJob(spec);
+
+  const SupervisedOutcome out = RunJobSupervised(spec, SupervisorOptions{});
+  ASSERT_TRUE(out.ok) << out.failure.message;
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(SerializeResult(out.result), SerializeResult(in_process));
+}
+
+TEST(Supervisor, InjectedCrashReportsKindAndCheckExprAndReproducer) {
+  const JobSpec spec = SmallSpec();
+  ScopedEnv crash("MEMTIS_CRASH_CELL", JobFingerprint(spec));
+
+  const SupervisedOutcome out = RunJobSupervised(spec, SupervisorOptions{});
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.failure.kind, FailureKind::kCrash);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_NE(out.failure.check_expr.find("MEMTIS_CRASH_CELL"), std::string::npos)
+      << out.failure.check_expr;
+  EXPECT_NE(out.failure.reproducer_cmdline.find("--benchmarks=btree"),
+            std::string::npos)
+      << out.failure.reproducer_cmdline;
+}
+
+TEST(Supervisor, DeadlineOverrunReportsTimeoutWithReproducer) {
+  const JobSpec spec = SmallSpec();
+  ScopedEnv hang("MEMTIS_HANG_CELL", JobFingerprint(spec));
+
+  SupervisorOptions options;
+  options.job_timeout_ms = 300;
+  const SupervisedOutcome out = RunJobSupervised(spec, options);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.failure.kind, FailureKind::kTimeout);
+  EXPECT_EQ(out.failure.signal, SIGKILL);
+  EXPECT_NE(out.failure.reproducer_cmdline.find("memtis_run --supervise"),
+            std::string::npos)
+      << out.failure.reproducer_cmdline;
+  EXPECT_NE(out.failure.reproducer_cmdline.find("--benchmarks=btree"),
+            std::string::npos)
+      << out.failure.reproducer_cmdline;
+}
+
+// A cell that crashes on attempt 0 only must succeed on attempt 1 with the
+// documented retry seed — byte-identical to running the spec in-process with
+// that seed folded in by hand.
+TEST(Supervisor, RetryAfterInjectedCrashIsDeterministic) {
+  const JobSpec spec = SmallSpec();
+  ScopedEnv crash("MEMTIS_CRASH_CELL", JobFingerprint(spec) + ":1");
+
+  SupervisorOptions options;
+  options.max_attempts = 2;
+  options.backoff_base_ms = 0;
+  const SupervisedOutcome out = RunJobSupervised(spec, options);
+  ASSERT_TRUE(out.ok) << out.failure.message;
+  EXPECT_EQ(out.attempts, 2);
+
+  JobSpec retried = spec;
+  retried.engine_seed = AttemptEngineSeed(spec.engine_seed, 1);
+  EXPECT_EQ(SerializeResult(out.result), SerializeResult(RunJob(retried)));
+}
+
+TEST(ResilientSweep, RetriedSweepIsByteIdenticalAcrossThreadCounts) {
+  SweepSpec sweep;
+  sweep.systems = {"memtis", "autonuma"};
+  sweep.benchmarks = {"btree"};
+  sweep.accesses = 30'000;
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  ASSERT_EQ(jobs.size(), 2u);
+  ScopedEnv crash("MEMTIS_CRASH_CELL", JobFingerprint(jobs[0]) + ":1");
+
+  ExecOptions exec;
+  exec.supervise = true;
+  exec.max_attempts = 2;
+  exec.backoff_base_ms = 0;
+
+  ThreadPool serial(1);
+  const std::vector<CellOutcome> out1 = RunJobsResilient(jobs, serial, exec);
+  ThreadPool parallel(4);
+  const std::vector<CellOutcome> out4 = RunJobsResilient(jobs, parallel, exec);
+
+  ASSERT_TRUE(out1[0].ok && out4[0].ok);
+  EXPECT_EQ(out1[0].attempts, 2);
+  EXPECT_EQ(out4[0].attempts, 2);
+  SinkOptions opts;
+  opts.indent = 0;
+  EXPECT_EQ(SweepToJson(sweep, jobs, out1, opts),
+            SweepToJson(sweep, jobs, out4, opts));
+  EXPECT_EQ(SweepToCsv(jobs, out1), SweepToCsv(jobs, out4));
+}
+
+// The acceptance property: interrupt a sweep (one cell crashed), then resume
+// from its manifest without injection — the resumed aggregate must serialize
+// to exactly the bytes of the never-interrupted run.
+TEST(ResilientSweep, ResumeReproducesUninterruptedBytes) {
+  SweepSpec sweep;
+  sweep.systems = {"memtis", "autonuma"};
+  sweep.benchmarks = {"btree"};
+  sweep.accesses = 30'000;
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  ASSERT_EQ(jobs.size(), 2u);
+
+  ExecOptions exec;
+  exec.supervise = true;
+  exec.keep_going = true;
+  exec.manifest_path = TempPath("memtis_resume_test.jsonl");
+
+  SinkOptions opts;
+  opts.indent = 0;
+
+  ThreadPool pool(2);
+  std::string reference;
+  {
+    ExecOptions plain;
+    plain.supervise = true;
+    const std::vector<CellOutcome> full = RunJobsResilient(jobs, pool, plain);
+    ASSERT_TRUE(full[0].ok && full[1].ok);
+    reference = SweepToJson(sweep, jobs, full, opts);
+  }
+
+  {  // Interrupted run: the memtis cell crashes, the other completes.
+    ScopedEnv crash("MEMTIS_CRASH_CELL", JobFingerprint(jobs[0]));
+    ThreadPool pool2(2);
+    const std::vector<CellOutcome> partial =
+        RunJobsResilient(jobs, pool2, exec);
+    EXPECT_FALSE(partial[0].ok);
+    EXPECT_EQ(partial[0].failure.kind, FailureKind::kCrash);
+    ASSERT_TRUE(partial[1].ok);
+    EXPECT_NE(SweepToJson(sweep, jobs, partial, opts), reference);
+  }
+
+  std::map<std::string, ManifestEntry> preloaded;
+  ManifestLoadStats stats;
+  ASSERT_TRUE(LoadManifest(exec.manifest_path, &preloaded, &stats));
+  // Both cells were appended (the crash too); only the ok one is reused.
+  EXPECT_EQ(stats.entries, 2u);
+
+  ThreadPool pool3(2);
+  const std::vector<CellOutcome> resumed =
+      RunJobsResilient(jobs, pool3, exec, preloaded);
+  ASSERT_TRUE(resumed[0].ok && resumed[1].ok);
+  EXPECT_FALSE(resumed[0].from_manifest);  // failed entry re-ran
+  EXPECT_TRUE(resumed[1].from_manifest);   // ok entry reloaded
+  EXPECT_EQ(SweepToJson(sweep, jobs, resumed, opts), reference);
+  std::remove(exec.manifest_path.c_str());
+}
+
+TEST(Manifest, MissingFileIsEmptySuccess) {
+  std::map<std::string, ManifestEntry> entries;
+  ManifestLoadStats stats;
+  std::string error;
+  EXPECT_TRUE(LoadManifest(TempPath("memtis_no_such_manifest.jsonl"), &entries,
+                           &stats, &error));
+  EXPECT_TRUE(entries.empty());
+  EXPECT_EQ(stats.lines_total, 0u);
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(Manifest, ToleratesTruncatedTailAndDeduplicatesLastWins) {
+  const std::string path = TempPath("memtis_manifest_tail.jsonl");
+  const JobSpec spec_a = SmallSpec();
+  JobSpec spec_b = SmallSpec();
+  spec_b.system = "autonuma";
+  spec_b.accesses = 20'000;
+
+  SupervisedOutcome ok_a;
+  ok_a.ok = true;
+  ok_a.attempts = 1;
+  ok_a.result = RunJob(spec_a);
+  SupervisedOutcome failed_b;
+  failed_b.attempts = 2;
+  failed_b.failure.kind = FailureKind::kTimeout;
+  failed_b.failure.signal = SIGKILL;
+  failed_b.failure.message = "deadline exceeded";
+  SupervisedOutcome ok_a_retried = ok_a;
+  ok_a_retried.attempts = 3;
+
+  {
+    ManifestWriter writer;
+    ASSERT_TRUE(writer.Open(path));
+    writer.Append(JobFingerprint(spec_a), spec_a, ok_a);
+    writer.Append(JobFingerprint(spec_b), spec_b, failed_b);
+    writer.Append(JobFingerprint(spec_a), spec_a, ok_a_retried);
+    writer.Close();
+  }
+  {  // Simulate a SIGKILL mid-append: a torn, unterminated final record.
+    std::ofstream tail(path, std::ios::app);
+    tail << "{\"v\":1,\"fingerprint\":\"dead";
+  }
+
+  std::map<std::string, ManifestEntry> entries;
+  ManifestLoadStats stats;
+  ASSERT_TRUE(LoadManifest(path, &entries, &stats));
+  EXPECT_EQ(stats.lines_total, 4u);
+  EXPECT_EQ(stats.lines_skipped, 1u);
+  ASSERT_EQ(entries.size(), 2u);
+
+  const ManifestEntry& a = entries.at(JobFingerprint(spec_a));
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(a.attempts, 3);  // last-wins
+  EXPECT_EQ(SerializeResult(a.result), SerializeResult(ok_a.result));
+
+  const ManifestEntry& b = entries.at(JobFingerprint(spec_b));
+  EXPECT_FALSE(b.ok);
+  EXPECT_EQ(b.failure.kind, FailureKind::kTimeout);
+  EXPECT_EQ(b.failure.signal, SIGKILL);
+  std::remove(path.c_str());
+}
+
+TEST(ResilientSweep, FailFastCancelsRemainingCellsWithReproducers) {
+  SweepSpec sweep;
+  sweep.systems = {"memtis", "autonuma", "hemem"};
+  sweep.benchmarks = {"btree"};
+  sweep.accesses = 30'000;
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  ASSERT_EQ(jobs.size(), 3u);
+  ScopedEnv crash("MEMTIS_CRASH_CELL", JobFingerprint(jobs[0]));
+
+  ExecOptions exec;
+  exec.supervise = true;  // keep_going stays false: first failure cancels
+  ThreadPool pool(1);
+  const std::vector<CellOutcome> outcomes = RunJobsResilient(jobs, pool, exec);
+
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_TRUE(outcomes[0].ran);
+  size_t cancelled = 0;
+  for (const CellOutcome& cell : outcomes) {
+    if (!cell.ran) {
+      EXPECT_EQ(cell.failure.kind, FailureKind::kCancelled);
+      EXPECT_NE(cell.failure.reproducer_cmdline.find("memtis_run"),
+                std::string::npos);
+      ++cancelled;
+    }
+  }
+  EXPECT_GE(cancelled, 1u);
+
+  const std::string summary = FailureSummary(jobs, outcomes);
+  EXPECT_NE(summary.find("repro: memtis_run"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("crash"), std::string::npos) << summary;
+}
+
+TEST(JobCodec, FailureRoundTripsThroughJson) {
+  JobFailure failure;
+  failure.kind = FailureKind::kCrash;
+  failure.exit_status = 0;
+  failure.signal = SIGABRT;
+  failure.check_expr = "frames_used <= frames_total";
+  failure.stderr_tail = "tail with \"quotes\" and\nnewlines";
+  failure.reproducer_cmdline = "memtis_run --systems=memtis";
+  failure.message = "child died";
+
+  std::string json;
+  JsonWriter w(&json, 0);
+  WriteJobFailureJson(w, failure);
+
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(json, &parsed));
+  JobFailure back;
+  ASSERT_TRUE(ReadJobFailureJson(parsed, &back));
+  EXPECT_EQ(back.kind, failure.kind);
+  EXPECT_EQ(back.signal, failure.signal);
+  EXPECT_EQ(back.check_expr, failure.check_expr);
+  EXPECT_EQ(back.stderr_tail, failure.stderr_tail);
+  EXPECT_EQ(back.reproducer_cmdline, failure.reproducer_cmdline);
+  EXPECT_EQ(back.message, failure.message);
 }
 
 }  // namespace
