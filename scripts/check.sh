@@ -8,7 +8,10 @@
 # targeted MEMTIS_FAULTS=storm pass that drives the fault-injection stress
 # tests (src/fault/) under the dense all-site preset, and finally a
 # crash-injection sweep that SIM_CHECK-aborts one supervised cell
-# (MEMTIS_CRASH_CELL) and asserts the sweep completes around it. Usage:
+# (MEMTIS_CRASH_CELL) and asserts the sweep completes around it, and a fifth
+# pass running a 3-tenant churn colocation (src/tenant/) under MEMTIS_AUDIT=1
+# so the per-tenant conservation/quota invariants are exercised end to end.
+# Usage:
 #
 #   scripts/check.sh [build-dir]
 #
@@ -48,3 +51,21 @@ grep -q '"kind":"crash"' "$CRASH_OUT" || {
   exit 1
 }
 echo "crash-injection sweep: one cell failed, sweep completed (as intended)"
+echo "== fifth pass: 3-tenant churn colocation under MEMTIS_AUDIT=1 =="
+# A colocated fairness run with a fast-quota'd tenant, a weighted tenant, and
+# a churner that arrives mid-run and departs after its access budget — under
+# the abort-on-violation auditor, so any per-tenant conservation, quota, or
+# borrow-window violation (including at the churn boundaries) kills the run.
+COLO_OUT="$BUILD_DIR/colocate_churn.json"
+MEMTIS_AUDIT=1 "$MEMTIS_RUN" --quiet --accesses=120000 \
+    "--colocate=silo,quota=0.5,weight=2;pagerank,quota=0.25;btree,name=churner,arrive=5000000,accesses=30000" \
+    --out="$COLO_OUT"
+grep -q '"kind":"colocation"' "$COLO_OUT" || {
+  echo "check.sh: FAIL: colocation report missing" >&2
+  exit 1
+}
+grep -q '"slowdown":' "$COLO_OUT" || {
+  echo "check.sh: FAIL: colocation report lacks per-tenant slowdowns" >&2
+  exit 1
+}
+echo "3-tenant churn colocation: audit clean, fairness report written"

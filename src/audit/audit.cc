@@ -335,6 +335,97 @@ void CheckMemtisHistogramsFull(const MemtisPolicy& policy, MemorySystem& mem,
   }
 }
 
+void CheckTenantConservation(MemorySystem& mem, AuditCollector& out) {
+  out.BeginCheck();
+  // Single pass over live pages; per-tenant RecountTenantMapped4k would be
+  // O(pages x tenants).
+  const TenantId count = mem.tenant_count();
+  std::vector<uint64_t> recount(static_cast<size_t>(count) * kNumTiers, 0);
+  bool unknown_owner = false;
+  mem.ForEachLivePage([&](PageIndex index, PageInfo& p) {
+    if (p.tenant >= count) {
+      out.Fail("tenant-conservation",
+               "page " + std::to_string(index) + " owned by unregistered tenant " +
+                   std::to_string(p.tenant));
+      unknown_owner = true;
+      return;
+    }
+    recount[p.tenant * kNumTiers + static_cast<int>(p.tier)] += p.size_pages();
+  });
+  if (unknown_owner) {
+    return;
+  }
+  uint64_t sum_tier[kNumTiers] = {0, 0};
+  for (TenantId id = 0; id < count; ++id) {
+    const TenantFrameStats& t = mem.tenant_stats(id);
+    for (int tier = 0; tier < kNumTiers; ++tier) {
+      sum_tier[tier] += t.mapped_4k_tier[tier];
+      if (recount[id * kNumTiers + tier] != t.mapped_4k_tier[tier]) {
+        out.Fail("tenant-conservation",
+                 "tenant " + std::to_string(id) + " tier " + std::to_string(tier) +
+                     " counter " + std::to_string(t.mapped_4k_tier[tier]) +
+                     " != recount " + std::to_string(recount[id * kNumTiers + tier]));
+      }
+    }
+    if (t.fast_pages() > t.effective_fast_limit()) {
+      out.Fail("tenant-conservation",
+               "tenant " + std::to_string(id) + " fast usage " +
+                   std::to_string(t.fast_pages()) + " exceeds limit " +
+                   std::to_string(t.effective_fast_limit()) + " (quota " +
+                   std::to_string(t.quota_frames) + ", borrow " +
+                   std::to_string(t.borrow_frames) + ")");
+    }
+    if (t.budget.active) {
+      if (t.budget.burst + t.budget.credited_pages - t.budget.consumed_pages !=
+              t.budget.tokens ||
+          t.budget.tokens > t.budget.burst) {
+        out.Fail("tenant-conservation",
+                 "tenant " + std::to_string(id) + " promotion-budget ledger: burst " +
+                     std::to_string(t.budget.burst) + " + credited " +
+                     std::to_string(t.budget.credited_pages) + " - consumed " +
+                     std::to_string(t.budget.consumed_pages) + " != tokens " +
+                     std::to_string(t.budget.tokens));
+      }
+    }
+  }
+  for (int tier = 0; tier < kNumTiers; ++tier) {
+    if (sum_tier[tier] != mem.mapped_4k_in_tier(static_cast<TierId>(tier))) {
+      out.Fail("tenant-conservation",
+               "per-tenant mapped 4k in tier " + std::to_string(tier) +
+                   " sums to " + std::to_string(sum_tier[tier]) + " != global " +
+                   std::to_string(mem.mapped_4k_in_tier(static_cast<TierId>(tier))));
+    }
+  }
+}
+
+void CheckMemtisTenantHistograms(const MemtisPolicy& policy,
+                                 const MemorySystem& mem, AuditCollector& out) {
+  out.BeginCheck();
+  const auto& hists = policy.tenant_histograms();
+  uint64_t slice_sum = 0;
+  for (size_t id = 0; id < hists.size(); ++id) {
+    const uint64_t mass = hists[id].total();
+    slice_sum += mass;
+    const uint64_t mapped =
+        id < mem.tenant_count()
+            ? mem.tenant_mapped_4k(static_cast<TenantId>(id), TierId::kFast) +
+                  mem.tenant_mapped_4k(static_cast<TenantId>(id), TierId::kCapacity)
+            : 0;
+    if (mass != mapped) {
+      out.Fail("memtis-tenant-histograms",
+               "tenant " + std::to_string(id) + " histogram mass " +
+                   std::to_string(mass) + " != " + std::to_string(mapped) +
+                   " mapped 4k pages");
+    }
+  }
+  if (slice_sum != policy.page_histogram().total()) {
+    out.Fail("memtis-tenant-histograms",
+             "tenant histogram slices sum to " + std::to_string(slice_sum) +
+                 " != global page histogram mass " +
+                 std::to_string(policy.page_histogram().total()));
+  }
+}
+
 // --- InvariantAuditor ---------------------------------------------------------
 
 InvariantAuditor::InvariantAuditor() : InvariantAuditor(Options()) {}
@@ -395,6 +486,9 @@ void InvariantAuditor::RegisterDefaultChecks() {
                    std::to_string(aborted) + " aborted migrations");
     }
   });
+  RegisterCheck("tenant-conservation", false, [](Engine& e, AuditCollector& out) {
+    CheckTenantConservation(e.mem(), out);
+  });
   RegisterCheck("memtis-sample-ledger", false,
                 [](Engine& e, AuditCollector& out) {
                   const auto* p = dynamic_cast<MemtisPolicy*>(&e.policy());
@@ -407,6 +501,13 @@ void InvariantAuditor::RegisterDefaultChecks() {
                   const auto* p = dynamic_cast<MemtisPolicy*>(&e.policy());
                   if (p != nullptr) {
                     CheckMemtisHistogramMass(*p, e.mem(), out);
+                  }
+                });
+  RegisterCheck("memtis-tenant-histograms", false,
+                [](Engine& e, AuditCollector& out) {
+                  const auto* p = dynamic_cast<MemtisPolicy*>(&e.policy());
+                  if (p != nullptr) {
+                    CheckMemtisTenantHistograms(*p, e.mem(), out);
                   }
                 });
   RegisterCheck("memtis-histogram-full", true,

@@ -149,6 +149,19 @@ void CheckMemtisHistogramMass(const MemtisPolicy& policy,
 void CheckMemtisHistogramsFull(const MemtisPolicy& policy, MemorySystem& mem,
                                AuditCollector& out);
 
+// Tenant conservation: every tenant's per-tier page counters match a
+// from-scratch recount over page ownership, the per-tenant counters sum back
+// to the global per-tier counters, fast usage never exceeds
+// max(quota, borrow window), and each armed promotion bucket's ledger balances
+// (burst + credited - consumed == tokens <= burst).
+void CheckTenantConservation(MemorySystem& mem, AuditCollector& out);
+
+// MEMTIS per-tenant histogram mass: the per-tenant page histograms partition
+// the global one — each tenant's mass equals its mapped 4 KiB pages and the
+// slices sum to the global histogram's total.
+void CheckMemtisTenantHistograms(const MemtisPolicy& policy,
+                                 const MemorySystem& mem, AuditCollector& out);
+
 // --- Engine-driven auditor ----------------------------------------------------
 
 // EngineObserver that runs a registered set of invariant checks at daemon-tick

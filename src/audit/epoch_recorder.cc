@@ -24,6 +24,14 @@ void EpochSample::WriteJson(JsonWriter& w) const {
   w.Field("period_drops", period_drops);
   w.Field("fast_used_pages", fast_used_pages);
   w.Field("rss_pages", rss_pages);
+  if (!tenant_fast_pages.empty()) {
+    w.Key("tenant_fast_pages");
+    w.BeginArray();
+    for (const uint64_t pages : tenant_fast_pages) {
+      w.Uint(pages);
+    }
+    w.EndArray();
+  }
   w.Field("memtis", memtis);
   if (memtis) {
     w.Field("load_period", load_period);
@@ -63,6 +71,12 @@ bool EpochSample::FromJson(const JsonValue& v, EpochSample* out) {
   out->period_drops = v.GetUint("period_drops");
   out->fast_used_pages = v.GetUint("fast_used_pages");
   out->rss_pages = v.GetUint("rss_pages");
+  if (const JsonValue* tenants = v.Find("tenant_fast_pages"); tenants != nullptr) {
+    out->tenant_fast_pages.reserve(tenants->size());
+    for (size_t i = 0; i < tenants->size(); ++i) {
+      out->tenant_fast_pages.push_back(tenants->at(i).AsUint());
+    }
+  }
   out->memtis = v.GetBool("memtis");
   if (out->memtis) {
     out->load_period = v.GetUint("load_period");
@@ -119,6 +133,13 @@ void EpochRecorder::Record(Engine& engine) {
   sample.t_ns = engine.now_ns();
   sample.fast_used_pages = engine.mem().fast_tier_pages();
   sample.rss_pages = engine.mem().rss_pages();
+  if (engine.mem().tenant_count() > 1) {
+    sample.tenant_fast_pages.reserve(engine.mem().tenant_count());
+    for (TenantId id = 0; id < engine.mem().tenant_count(); ++id) {
+      sample.tenant_fast_pages.push_back(
+          engine.mem().tenant_mapped_4k(id, TierId::kFast));
+    }
+  }
 
   const auto* policy = dynamic_cast<MemtisPolicy*>(&engine.policy());
   if (policy != nullptr) {

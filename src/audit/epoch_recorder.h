@@ -43,6 +43,11 @@ struct EpochSample {
   uint64_t fast_used_pages = 0;
   uint64_t rss_pages = 0;
 
+  // Per-tenant fast-tier occupancy (index = TenantId), the fairness report's
+  // occupancy timeline. Recorded — and serialized — only when the run
+  // registered tenants beyond the default, so legacy documents are unchanged.
+  std::vector<uint64_t> tenant_fast_pages;
+
   // MEMTIS-specific state (zero / -1 when the policy is not MEMTIS).
   bool memtis = false;
   uint64_t load_period = 0;

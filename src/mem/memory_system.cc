@@ -97,14 +97,24 @@ void MemorySystem::EnsurePageTable(Vpn end_vpn) {
 }
 
 std::optional<std::pair<TierId, FrameId>> MemorySystem::AllocFrame(
-    PageKind kind, const AllocOptions& options) {
+    PageKind kind, const AllocOptions& options, TenantId tenant) {
   const int order = kind == PageKind::kHuge ? BuddyAllocator::kMaxOrder : 0;
   // kAllocFail blocks only the preferred-tier attempt: the fallback below is
   // never injected, so a sized machine degrades (wrong-tier placement) rather
   // than tripping the machine-exhausted aborts in AllocateRegion/DemandFault.
   const bool preferred_blocked =
       faults_ != nullptr && faults_->ShouldInject(FaultSite::kAllocFail, now());
-  if (!preferred_blocked) {
+  // A preferred-fast placement that would push the tenant past its fast-tier
+  // limit is redirected to the capacity tier. The fallback INTO fast (when the
+  // preferred capacity tier is exhausted) stays ungated: denying it would OOM
+  // a machine with free memory — it opens a borrow window instead (MapPage).
+  bool quota_blocked = false;
+  if (options.preferred == TierId::kFast &&
+      !FastQuotaAllows(tenant, kind == PageKind::kHuge ? kSubpagesPerHuge : 1)) {
+    quota_blocked = true;
+    ++tenants_[tenant].quota_denied_allocs;
+  }
+  if (!preferred_blocked && !quota_blocked) {
     if (auto frame = tier(options.preferred).allocator().Allocate(order)) {
       return std::make_pair(options.preferred, *frame);
     }
@@ -119,14 +129,16 @@ std::optional<std::pair<TierId, FrameId>> MemorySystem::AllocFrame(
 }
 
 void MemorySystem::MapPage(PageIndex index, Vpn vpn, PageKind kind, TierId tier_id,
-                           FrameId frame) {
+                           FrameId frame, TenantId tenant) {
   PageInfo& p = pages_[index];
   SIM_DCHECK(!p.live);
+  SIM_DCHECK(tenant < tenants_.size());
   p.base_vpn = vpn;
   p.kind = kind;
   p.tier = tier_id;
   p.frame = frame;
   p.live = true;
+  p.tenant = tenant;
   p.access_count = 0;
   p.cooling_epoch = 0;
   p.histogram_bin = 0xff;
@@ -150,6 +162,10 @@ void MemorySystem::MapPage(PageIndex index, Vpn vpn, PageKind kind, TierId tier_
   ++live_pages_;
   mapped_4k_ += n;
   mapped_4k_tier_[static_cast<int>(tier_id)] += n;
+  tenants_[tenant].mapped_4k_tier[static_cast<int>(tier_id)] += n;
+  if (tier_id == TierId::kFast) {
+    TenantBorrowExtend(tenant);
+  }
 }
 
 void MemorySystem::UnmapAndFree(PageIndex index) {
@@ -167,6 +183,10 @@ void MemorySystem::UnmapAndFree(PageIndex index) {
   --live_pages_;
   mapped_4k_ -= n;
   mapped_4k_tier_[static_cast<int>(p.tier)] -= n;
+  tenants_[p.tenant].mapped_4k_tier[static_cast<int>(p.tier)] -= n;
+  if (p.tier == TierId::kFast) {
+    TenantBorrowRatchet(p.tenant);
+  }
   if (p.kind == PageKind::kHuge) [[unlikely]] {
     ReleaseHugeState(p);
   }
@@ -220,23 +240,26 @@ Vaddr MemorySystem::AllocateRegion(uint64_t bytes, const AllocOptions& options) 
     vpn_bump_ += num_pages;
   }
 
+  const TenantId tenant = current_tenant_;
   for (uint64_t offset = 0; offset < num_pages; offset += kSubpagesPerHuge) {
     const Vpn vpn = start + offset;
     if (options.use_thp) {
-      if (auto placed = AllocFrame(PageKind::kHuge, options)) {
-        MapPage(NewPageSlot(), vpn, PageKind::kHuge, placed->first, placed->second);
+      if (auto placed = AllocFrame(PageKind::kHuge, options, tenant)) {
+        MapPage(NewPageSlot(), vpn, PageKind::kHuge, placed->first, placed->second,
+                tenant);
         continue;
       }
     }
     // THP disabled or no huge frame available anywhere: fall back to base pages.
     for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
-      auto placed = AllocFrame(PageKind::kBase, options);
+      auto placed = AllocFrame(PageKind::kBase, options, tenant);
       SIM_CHECK(placed.has_value());  // machine must be sized for the workload
-      MapPage(NewPageSlot(), vpn + j, PageKind::kBase, placed->first, placed->second);
+      MapPage(NewPageSlot(), vpn + j, PageKind::kBase, placed->first, placed->second,
+              tenant);
     }
   }
 
-  regions_.emplace(start, Region{start, num_pages});
+  regions_.emplace(start, Region{start, num_pages, tenant});
   return start << kPageShift;
 }
 
@@ -295,11 +318,13 @@ std::optional<std::pair<Vpn, uint64_t>> MemorySystem::RegionAt(Vaddr addr) const
 
 PageIndex MemorySystem::DemandFault(Vpn vpn, const AllocOptions& options) {
   SIM_CHECK_EQ(Lookup(vpn), kInvalidPage);
-  SIM_CHECK(InRegion(vpn << kPageShift));
-  auto placed = AllocFrame(PageKind::kBase, options);
+  const Region* region = RegionContaining(vpn);
+  SIM_CHECK(region != nullptr);
+  const TenantId tenant = region->tenant;  // owner, even if current changed
+  auto placed = AllocFrame(PageKind::kBase, options, tenant);
   SIM_CHECK(placed.has_value());
   const PageIndex index = NewPageSlot();
-  MapPage(index, vpn, PageKind::kBase, placed->first, placed->second);
+  MapPage(index, vpn, PageKind::kBase, placed->first, placed->second, tenant);
   ++migration_stats_.demand_faults;
   return index;
 }
@@ -309,6 +334,26 @@ bool MemorySystem::Migrate(PageIndex index, TierId dst) {
   SIM_DCHECK(p.live);
   if (p.tier == dst) {
     return true;
+  }
+  const TenantId tenant = p.tenant;
+  // Promotion gates (demotions are never gated; the steal path's inner
+  // demotions are exempt via in_steal_). Order: quota, then self-steal, then
+  // the tenant's weighted promotion-bandwidth bucket.
+  if (dst == TierId::kFast && !in_steal_) {
+    const uint64_t need = p.size_pages();
+    if (!FastQuotaAllows(tenant, need)) {
+      if (!StealForPromotion(tenant, need)) {
+        ++tenants_[tenant].quota_denied_promotions;
+        ++migration_stats_.failed_migrations;
+        return false;
+      }
+      ++tenants_[tenant].quota_steals;
+    }
+    if (!tenants_[tenant].budget.Consume(now(), need)) {
+      ++tenants_[tenant].budget_denied_promotions;
+      ++migration_stats_.failed_migrations;
+      return false;
+    }
   }
   const int order = p.kind == PageKind::kHuge ? BuddyAllocator::kMaxOrder : 0;
   auto frame = tier(dst).allocator().Allocate(order);
@@ -338,9 +383,92 @@ bool MemorySystem::Migrate(PageIndex index, TierId dst) {
   const uint64_t n = p.size_pages();
   mapped_4k_tier_[static_cast<int>(p.tier)] -= n;
   mapped_4k_tier_[static_cast<int>(dst)] += n;
+  tenants_[tenant].mapped_4k_tier[static_cast<int>(p.tier)] -= n;
+  tenants_[tenant].mapped_4k_tier[static_cast<int>(dst)] += n;
+  // A promotion passed the quota gate above, so it never needs to extend the
+  // borrow window (the audit invariant would flag an enforcement bug if it
+  // did); a demotion shrinks fast usage and ratchets the window.
+  if (!promotion) {
+    TenantBorrowRatchet(tenant);
+  }
   p.tier = dst;
   p.frame = *frame;
   return true;
+}
+
+bool MemorySystem::StealForPromotion(TenantId tenant, uint64_t frames) {
+  SIM_DCHECK(!in_steal_);
+  in_steal_ = true;
+  bool ok = true;
+  while (!FastQuotaAllows(tenant, frames)) {
+    // Deterministic victim: the tenant's coldest live fast page, ties broken
+    // by lowest page slot (ForEachLivePage visits slots in order).
+    PageIndex victim = kInvalidPage;
+    uint64_t coldest = UINT64_MAX;
+    ForEachLivePage([&](PageIndex i, PageInfo& p) {
+      if (p.tenant == tenant && p.tier == TierId::kFast && p.hotness() < coldest) {
+        coldest = p.hotness();
+        victim = i;
+      }
+    });
+    if (victim == kInvalidPage || !Migrate(victim, TierId::kCapacity)) {
+      ok = false;  // no same-tenant fast victim, or capacity tier is full
+      break;
+    }
+  }
+  in_steal_ = false;
+  return ok;
+}
+
+void MemorySystem::TenantBorrowExtend(TenantId tenant) {
+  TenantFrameStats& t = tenants_[tenant];
+  if (t.fast_pages() > t.quota_frames && t.fast_pages() > t.borrow_frames) {
+    t.borrow_frames = t.fast_pages();
+  }
+}
+
+void MemorySystem::TenantBorrowRatchet(TenantId tenant) {
+  TenantFrameStats& t = tenants_[tenant];
+  if (t.borrow_frames == 0) {
+    return;
+  }
+  if (t.fast_pages() <= t.quota_frames) {
+    t.borrow_frames = 0;  // back under quota: the window closes
+  } else if (t.borrow_frames > t.fast_pages()) {
+    t.borrow_frames = t.fast_pages();  // tighten to current usage
+  }
+}
+
+const MemorySystem::Region* MemorySystem::RegionContaining(Vpn vpn) const {
+  auto it = regions_.upper_bound(vpn);
+  if (it == regions_.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (vpn >= it->second.start_vpn + it->second.num_pages) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+uint64_t MemorySystem::RecountTenantMapped4k(TenantId tenant, TierId tier) const {
+  uint64_t mapped = 0;
+  for (const PageInfo& p : pages_) {
+    if (p.live && p.tenant == tenant && p.tier == tier) {
+      mapped += p.size_pages();
+    }
+  }
+  return mapped;
+}
+
+std::vector<Vaddr> MemorySystem::TenantRegionStarts(TenantId tenant) const {
+  std::vector<Vaddr> starts;
+  for (const auto& [start_vpn, region] : regions_) {
+    if (region.tenant == tenant) {
+      starts.push_back(start_vpn << kPageShift);
+    }
+  }
+  return starts;
 }
 
 uint64_t MemorySystem::ShrinkTier(TierId id, uint64_t frames) {
@@ -371,6 +499,7 @@ uint64_t MemorySystem::SplitHugePage(PageIndex index,
   const FrameId old_frame = p.frame;
   const uint32_t cooling_epoch = p.cooling_epoch;
   const uint64_t alloc_time = p.alloc_time_ns;
+  const TenantId tenant = p.tenant;  // children inherit ownership
   std::unique_ptr<HugePageMeta> meta = std::move(p.huge);
 
   // Unmap the huge page: clear the span, free the order-9 frame, shoot down.
@@ -384,6 +513,10 @@ uint64_t MemorySystem::SplitHugePage(PageIndex index,
   --live_pages_;
   mapped_4k_ -= kSubpagesPerHuge;
   mapped_4k_tier_[static_cast<int>(old_tier)] -= kSubpagesPerHuge;
+  tenants_[tenant].mapped_4k_tier[static_cast<int>(old_tier)] -= kSubpagesPerHuge;
+  if (old_tier == TierId::kFast) {
+    TenantBorrowRatchet(tenant);
+  }
   --huge_pages_;
   written_subpages_ -= meta->written.count();
   pages_[index].live = false;
@@ -400,10 +533,11 @@ uint64_t MemorySystem::SplitHugePage(PageIndex index,
     AllocOptions opts;
     opts.preferred = subpage_tier(j);
     opts.allow_other_tier = true;
-    auto placed = AllocFrame(PageKind::kBase, opts);
+    auto placed = AllocFrame(PageKind::kBase, opts, tenant);
     SIM_CHECK(placed.has_value());  // we just freed 512 frames; cannot fail
     const PageIndex child = NewPageSlot();
-    MapPage(child, base_vpn + j, PageKind::kBase, placed->first, placed->second);
+    MapPage(child, base_vpn + j, PageKind::kBase, placed->first, placed->second,
+            tenant);
     PageInfo& cp = pages_[child];
     cp.access_count = meta->subpage_count[j];
     cp.cooling_epoch = cooling_epoch;
@@ -417,10 +551,23 @@ uint64_t MemorySystem::SplitHugePage(PageIndex index,
 
 bool MemorySystem::CollapseToHuge(Vpn huge_vpn, TierId dst) {
   SIM_CHECK_EQ(SubpageIndexOf(huge_vpn), 0u);
-  // Validate: all 512 vpns are live base pages.
+  // Validate: all 512 vpns are live base pages. Regions never share a huge
+  // span, so all 512 belong to one tenant — the collapse result inherits it.
+  uint64_t fast_base = 0;
   for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
     const PageIndex index = Lookup(huge_vpn + j);
     if (index == kInvalidPage || pages_[index].kind != PageKind::kBase) {
+      return false;
+    }
+    fast_base += pages_[index].tier == TierId::kFast ? 1 : 0;
+  }
+  const TenantId tenant = pages_[Lookup(huge_vpn)].tenant;
+  // Quota gate on the net fast-tier growth: collapsing into fast replaces
+  // `fast_base` fast frames with 512, which must still fit under the limit.
+  if (dst == TierId::kFast && fast_base < kSubpagesPerHuge) {
+    const TenantFrameStats& t = tenants_[tenant];
+    if (t.fast_pages() - fast_base + kSubpagesPerHuge > t.effective_fast_limit()) {
+      ++tenants_[tenant].quota_denied_promotions;
       return false;
     }
   }
@@ -453,7 +600,7 @@ bool MemorySystem::CollapseToHuge(Vpn huge_vpn, TierId dst) {
   huge_meta->nonzero_subpages = nonzero;
 
   const PageIndex index = NewPageSlot();
-  MapPage(index, huge_vpn, PageKind::kHuge, dst, *frame);
+  MapPage(index, huge_vpn, PageKind::kHuge, dst, *frame, tenant);
   PageInfo& hp = pages_[index];
   std::swap(hp.huge, huge_meta);
   RecycleHugeMeta(std::move(huge_meta));  // the zeroed meta MapPage installed
@@ -538,6 +685,7 @@ bool MemorySystem::CheckConsistency(std::string* error) const {
   uint64_t huge = 0;
   uint64_t written = 0;
   uint64_t mapped_tier[kNumTiers] = {0, 0};
+  std::vector<uint64_t> tenant_tier(tenants_.size() * kNumTiers, 0);
   for (PageIndex i = 0; i < pages_.size(); ++i) {
     const PageInfo& p = pages_[i];
     if (!p.live) {
@@ -547,6 +695,11 @@ bool MemorySystem::CheckConsistency(std::string* error) const {
     const uint64_t n = p.size_pages();
     mapped += n;
     mapped_tier[static_cast<int>(p.tier)] += n;
+    if (p.tenant >= tenants_.size()) {
+      return fail("page " + std::to_string(i) + " owned by unregistered tenant " +
+                  std::to_string(p.tenant));
+    }
+    tenant_tier[p.tenant * kNumTiers + static_cast<int>(p.tier)] += n;
     for (uint64_t j = 0; j < n; ++j) {
       if (p.base_vpn + j >= page_table_.size() || page_table_[p.base_vpn + j] != i) {
         return fail("page " + std::to_string(i) + " (vpn " +
@@ -583,6 +736,47 @@ bool MemorySystem::CheckConsistency(std::string* error) const {
       return fail("recounted mapped 4k in tier " + std::to_string(t) + " " +
                   std::to_string(mapped_tier[t]) + " != tracked " +
                   std::to_string(mapped_4k_tier_[t]));
+    }
+  }
+  // Per-tenant conservation: tracked counters match a recount, sum back to the
+  // global per-tier counters, and fast usage respects quota/borrow.
+  for (size_t id = 0; id < tenants_.size(); ++id) {
+    const TenantFrameStats& t = tenants_[id];
+    for (int tier_i = 0; tier_i < kNumTiers; ++tier_i) {
+      if (tenant_tier[id * kNumTiers + tier_i] != t.mapped_4k_tier[tier_i]) {
+        return fail("tenant " + std::to_string(id) + " recounted mapped 4k in tier " +
+                    std::to_string(tier_i) + " " +
+                    std::to_string(tenant_tier[id * kNumTiers + tier_i]) +
+                    " != tracked " + std::to_string(t.mapped_4k_tier[tier_i]));
+      }
+    }
+    if (t.fast_pages() > t.effective_fast_limit()) {
+      return fail("tenant " + std::to_string(id) + " fast usage " +
+                  std::to_string(t.fast_pages()) + " exceeds limit " +
+                  std::to_string(t.effective_fast_limit()) + " (quota " +
+                  std::to_string(t.quota_frames) + ", borrow " +
+                  std::to_string(t.borrow_frames) + ")");
+    }
+    if (t.budget.active &&
+        (t.budget.burst + t.budget.credited_pages - t.budget.consumed_pages !=
+             t.budget.tokens ||
+         t.budget.tokens > t.budget.burst)) {
+      return fail("tenant " + std::to_string(id) + " budget ledger broken: burst " +
+                  std::to_string(t.budget.burst) + " + credited " +
+                  std::to_string(t.budget.credited_pages) + " - consumed " +
+                  std::to_string(t.budget.consumed_pages) + " != tokens " +
+                  std::to_string(t.budget.tokens));
+    }
+  }
+  for (int tier_i = 0; tier_i < kNumTiers; ++tier_i) {
+    uint64_t sum = 0;
+    for (size_t id = 0; id < tenants_.size(); ++id) {
+      sum += tenants_[id].mapped_4k_tier[tier_i];
+    }
+    if (sum != mapped_4k_tier_[tier_i]) {
+      return fail("per-tenant mapped 4k in tier " + std::to_string(tier_i) +
+                  " sums to " + std::to_string(sum) + " != global " +
+                  std::to_string(mapped_4k_tier_[tier_i]));
     }
   }
   if (huge_meta_allocated_ != huge_meta_pool_.size() + huge_pages_) {

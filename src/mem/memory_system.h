@@ -13,6 +13,7 @@
 #ifndef MEMTIS_SIM_SRC_MEM_MEMORY_SYSTEM_H_
 #define MEMTIS_SIM_SRC_MEM_MEMORY_SYSTEM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -64,6 +65,81 @@ struct MigrationStats {
   uint64_t migrated_4k() const { return promoted_4k() + demoted_4k(); }
 };
 
+// Per-tenant promotion-bandwidth token bucket, arbitrating the machine's
+// migration budget across tenants by weight. Integer scheme identical to
+// MigrationBudget (src/sim/migration_budget.h) so the audited ledger invariant
+// (burst + credited - consumed == tokens <= burst) carries over. Inactive by
+// default: a bucket that was never configured admits every promotion.
+struct TenantBudget {
+  bool active = false;
+  uint64_t rate_per_ms = 0;
+  uint64_t burst = 0;
+  uint64_t tokens = 0;
+  uint64_t last_refill_ns = 0;
+  uint64_t consumed_pages = 0;
+  uint64_t credited_pages = 0;
+
+  void Configure(uint64_t rate, uint64_t burst_pages) {
+    active = true;
+    rate_per_ms = rate;
+    burst = burst_pages;
+    tokens = burst_pages;
+  }
+
+  bool Consume(uint64_t now_ns, uint64_t pages) {
+    if (!active) {
+      return true;
+    }
+    Refill(now_ns);
+    if (tokens < pages) {
+      return false;
+    }
+    tokens -= pages;
+    consumed_pages += pages;
+    return true;
+  }
+
+  void Refill(uint64_t now_ns) {
+    if (now_ns <= last_refill_ns) {
+      return;
+    }
+    const uint64_t earned = (now_ns - last_refill_ns) * rate_per_ms / 1'000'000;
+    if (earned > 0) {
+      const uint64_t target = std::min(burst, tokens + earned);
+      if (target > tokens) {
+        credited_pages += target - tokens;
+        tokens = target;
+      }
+      last_refill_ns = now_ns;
+    }
+  }
+};
+
+// Per-tenant frame accounting and fast-tier quota state. The audit layer
+// (src/audit/, "tenant-conservation") certifies that these counters sum to the
+// global per-tier counters, match a from-scratch recount, and that fast usage
+// never exceeds max(quota_frames, borrow_frames) — the borrow window opened by
+// SetTenantFastQuota lowering a quota below current usage (or by a
+// capacity-exhausted allocation falling back to the fast tier) and ratcheted
+// shut as the tenant's fast usage decreases.
+struct TenantFrameStats {
+  uint64_t mapped_4k_tier[kNumTiers] = {0, 0};
+  uint64_t quota_frames = UINT64_MAX;  // fast-tier cap in 4 KiB frames
+  uint64_t borrow_frames = 0;          // explicit borrow window (0 = closed)
+  uint64_t quota_denied_allocs = 0;      // fast placements redirected by quota
+  uint64_t quota_denied_promotions = 0;  // promotions denied (steal impossible)
+  uint64_t quota_steals = 0;  // promotions satisfied by self-demotion first
+  uint64_t budget_denied_promotions = 0;  // weighted-share bucket denials
+  TenantBudget budget;
+
+  uint64_t fast_pages() const {
+    return mapped_4k_tier[static_cast<int>(TierId::kFast)];
+  }
+  uint64_t effective_fast_limit() const {
+    return std::max(quota_frames, borrow_frames);
+  }
+};
+
 class MemorySystem {
  public:
   explicit MemorySystem(const MemoryConfig& config);
@@ -81,6 +157,65 @@ class MemorySystem {
   // Fault injector hosting the kAllocFail / kMigrateAbort sites. Not owned;
   // nullptr (the default) means those sites never fire.
   void AttachFaults(FaultInjector* faults) { faults_ = faults; }
+
+  // --- Tenants ---------------------------------------------------------------
+  //
+  // The co-location plane (src/tenant/) registers N tenants; every region (and
+  // the pages backing it) is owned by the tenant that was current when it was
+  // allocated. Quotas are enforced here — at AllocFrame and Migrate time — so
+  // no policy can promote a tenant past its fast-tier share, and the migration
+  // budget is arbitrated per tenant by the optional TenantBudget buckets. A
+  // run that never calls any of these behaves exactly as before: everything
+  // belongs to kDefaultTenant, whose quota is unlimited and whose bucket is
+  // inactive.
+
+  // Sets the tenant that owns subsequently allocated regions (registering it
+  // if needed). The scheduler calls this before each tenant's batch.
+  void SetCurrentTenant(TenantId tenant) {
+    EnsureTenant(tenant);
+    current_tenant_ = tenant;
+  }
+  TenantId current_tenant() const { return current_tenant_; }
+
+  // Registered tenants (ids 0 .. tenant_count()-1). Always >= 1: the default
+  // tenant exists from construction.
+  TenantId tenant_count() const { return static_cast<TenantId>(tenants_.size()); }
+
+  // Caps `tenant`'s fast-tier usage at `frames` 4 KiB frames. Lowering the
+  // quota below current usage opens a borrow window at the current usage:
+  // the audit invariant tolerates the existing overage, but new fast growth is
+  // denied and the window ratchets shut as the tenant's fast pages drain.
+  void SetTenantFastQuota(TenantId tenant, uint64_t frames) {
+    EnsureTenant(tenant);
+    TenantFrameStats& t = tenants_[tenant];
+    t.quota_frames = frames;
+    t.borrow_frames = t.fast_pages() > frames ? t.fast_pages() : 0;
+  }
+
+  // Arms `tenant`'s promotion-bandwidth bucket (its weighted share of the
+  // machine's migration budget). Promotions of the tenant's pages draw from it
+  // in addition to the policy's global budget; demotions are exempt.
+  void SetTenantPromotionBudget(TenantId tenant, uint64_t rate_per_ms,
+                                uint64_t burst_pages) {
+    EnsureTenant(tenant);
+    tenants_[tenant].budget.Configure(rate_per_ms, burst_pages);
+  }
+
+  const TenantFrameStats& tenant_stats(TenantId tenant) const {
+    return tenants_[tenant];
+  }
+  uint64_t tenant_mapped_4k(TenantId tenant, TierId tier) const {
+    return tenants_[tenant].mapped_4k_tier[static_cast<int>(tier)];
+  }
+
+  // From-scratch recount of one tenant's mapped 4 KiB pages in `tier` (audit
+  // use; hot paths read the counters).
+  uint64_t RecountTenantMapped4k(TenantId tenant, TierId tier) const;
+
+  // Start addresses of the live regions owned by `tenant`, in address order.
+  // The scheduler frees these (via the engine, so policies observe the frees)
+  // when a tenant departs mid-run.
+  std::vector<Vaddr> TenantRegionStarts(TenantId tenant) const;
 
   // --- Regions ---------------------------------------------------------------
 
@@ -254,6 +389,7 @@ class MemorySystem {
   struct Region {
     Vpn start_vpn;
     uint64_t num_pages;
+    TenantId tenant = kDefaultTenant;  // owner; stamped onto every page mapped
   };
 
   uint64_t now() const { return now_ns_ != nullptr ? *now_ns_ : 0; }
@@ -270,14 +406,46 @@ class MemorySystem {
   void ReleaseHugeState(PageInfo& p);
 
   // Allocates one page of `kind` honoring tier preference/fallback; returns
-  // nullopt if no tier can hold it.
+  // nullopt if no tier can hold it. A preferred-fast attempt that would push
+  // `tenant` past its quota is redirected to the capacity tier (the
+  // capacity-exhausted fallback INTO fast is still allowed and opens a borrow
+  // window — denying it would OOM a machine with free memory).
   std::optional<std::pair<TierId, FrameId>> AllocFrame(PageKind kind,
-                                                       const AllocOptions& options);
+                                                       const AllocOptions& options,
+                                                       TenantId tenant);
 
-  void MapPage(PageIndex index, Vpn vpn, PageKind kind, TierId tier, FrameId frame);
+  void MapPage(PageIndex index, Vpn vpn, PageKind kind, TierId tier, FrameId frame,
+               TenantId tenant);
   void UnmapAndFree(PageIndex index);
 
   void EnsurePageTable(Vpn end_vpn);
+
+  // Registers tenant ids 0..tenant (idempotent).
+  void EnsureTenant(TenantId tenant) {
+    if (tenant >= tenants_.size()) {
+      tenants_.resize(static_cast<size_t>(tenant) + 1);
+    }
+  }
+
+  // True when `tenant` may grow its fast-tier usage by `frames` pages.
+  bool FastQuotaAllows(TenantId tenant, uint64_t frames) const {
+    const TenantFrameStats& t = tenants_[tenant];
+    const uint64_t limit = t.effective_fast_limit();
+    return t.fast_pages() <= limit && frames <= limit - t.fast_pages();
+  }
+
+  // Demotes `tenant`'s coldest fast pages until `frames` fast frames fit under
+  // the quota (deterministic victim order: min hotness, then lowest slot).
+  // Returns false when not enough same-tenant victims exist.
+  bool StealForPromotion(TenantId tenant, uint64_t frames);
+
+  // Borrow-window maintenance, called after a tenant's fast usage changes.
+  void TenantBorrowExtend(TenantId tenant);   // fast grew past quota (fallback)
+  void TenantBorrowRatchet(TenantId tenant);  // fast shrank: tighten/close
+
+  // The region containing vpn (the map key at or below vpn whose extent
+  // covers it), or nullptr.
+  const Region* RegionContaining(Vpn vpn) const;
 
   MemoryTier tiers_[kNumTiers];
   Tlb* tlb_ = nullptr;
@@ -313,6 +481,14 @@ class MemorySystem {
   uint64_t max_free_range_bound_ = 0;
 
   MigrationStats migration_stats_;
+
+  // Per-tenant accounting; index = TenantId. Slot 0 (the default tenant)
+  // always exists, so legacy single-workload runs never branch differently.
+  std::vector<TenantFrameStats> tenants_ = std::vector<TenantFrameStats>(1);
+  TenantId current_tenant_ = kDefaultTenant;
+  // Re-entrancy guard: StealForPromotion demotes via Migrate; those inner
+  // demotions must not recurse into another steal or draw tenant budget.
+  bool in_steal_ = false;
 };
 
 }  // namespace memtis

@@ -60,6 +60,9 @@ struct PageInfo {
   FrameId frame = 0;
   bool live = false;
   uint32_t generation = 0;
+  // Owning tenant (kDefaultTenant outside the co-location plane). Stamped at
+  // MapPage time from the owning region; split/collapse children inherit it.
+  TenantId tenant = kDefaultTenant;
 
   // Hotness counter C_i. The hotness factor H_i is derived:
   // huge page -> C_i, base page -> C_i * kSubpagesPerHuge (paper §4.1.2).

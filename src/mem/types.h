@@ -37,6 +37,13 @@ enum class PageKind : uint8_t {
   kHuge = 1,
 };
 
+// Tenant owning a region/page in the co-location plane (src/tenant/). Tenant 0
+// is the default owner: a run that never registers tenants is, by
+// construction, a single-tenant run of tenant 0 with an unlimited quota, so
+// every legacy code path stays byte-identical.
+using TenantId = uint16_t;
+inline constexpr TenantId kDefaultTenant = 0;
+
 // Index of a PageInfo inside MemorySystem. Indices are recycled, so any
 // reference held across page lifetime must be a PageRef (index + generation).
 using PageIndex = uint32_t;

@@ -21,6 +21,7 @@ void MemtisPolicy::AccountPageAdded(PolicyContext& ctx, PageInfo& page) {
   const int bin = AccessHistogram::BinOf(page.hotness());
   page.histogram_bin = static_cast<uint8_t>(bin);
   hist_.Add(bin, page.size_pages());
+  TenantHist(page).Add(bin, page.size_pages());
   if (page.kind == PageKind::kHuge) {
     if (page.huge->nonzero_subpages == 0) {
       // All subpage counters are zero: 512 units land in BinOf(0) at once.
@@ -38,6 +39,7 @@ void MemtisPolicy::AccountPageAdded(PolicyContext& ctx, PageInfo& page) {
 void MemtisPolicy::AccountPageRemoved(PolicyContext& ctx, PageInfo& page) {
   (void)ctx;
   hist_.Remove(page.histogram_bin, page.size_pages());
+  TenantHist(page).Remove(page.histogram_bin, page.size_pages());
   if (page.kind == PageKind::kHuge) {
     if (page.huge->nonzero_subpages == 0) {
       base_hist_.Remove(AccessHistogram::BinOf(0), kSubpagesPerHuge);
@@ -129,6 +131,7 @@ void MemtisPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
   const int page_bin = AccessHistogram::BinOf(page.hotness());
   if (page_bin != page.histogram_bin) {
     hist_.Move(page.histogram_bin, page_bin, page.size_pages());
+    TenantHist(page).Move(page.histogram_bin, page_bin, page.size_pages());
     page.histogram_bin = static_cast<uint8_t>(page_bin);
   }
 
@@ -187,6 +190,9 @@ void MemtisPolicy::CoolingEvent(PolicyContext& ctx) {
   ++cool_epoch_;
   hist_.Cool();
   base_hist_.Cool();
+  for (AccessHistogram& th : tenant_hists_) {
+    th.Cool();  // all tenants cool together (one global cooling clock)
+  }
   for (auto& bucket : skew_buckets_) {
     bucket.clear();
   }
@@ -208,6 +214,7 @@ void MemtisPolicy::CoolingEvent(PolicyContext& ctx) {
     const int actual_bin = AccessHistogram::BinOf(page.hotness());
     if (actual_bin != shifted_bin) {
       hist_.Move(shifted_bin, actual_bin, page.size_pages());
+      TenantHist(page).Move(shifted_bin, actual_bin, page.size_pages());
     }
     page.histogram_bin = static_cast<uint8_t>(actual_bin);
 
@@ -477,6 +484,7 @@ void MemtisPolicy::HybridScan(PolicyContext& ctx) {
           const int bin = AccessHistogram::BinOf(page.hotness());
           if (bin != old_bin) {
             hist_.Move(old_bin, bin, page.size_pages());
+            TenantHist(page).Move(old_bin, bin, page.size_pages());
             if (page.kind == PageKind::kBase) {
               base_hist_.Move(old_bin, bin, 1);
             }

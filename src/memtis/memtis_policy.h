@@ -63,6 +63,15 @@ class MemtisPolicy : public TieringPolicy {
   int cold_threshold_bin() const { return thresholds_.cold; }
   const AccessHistogram& page_histogram() const { return hist_; }
   const AccessHistogram& base_histogram() const { return base_hist_; }
+
+  // Per-tenant page histograms (the paper's per-memcg scoping): hist_
+  // partitioned by page ownership, maintained at the same five mutation
+  // sites. Observation-only — thresholds still come from the global hist_ —
+  // so runs that never register tenants stay byte-identical. Index = TenantId;
+  // grown lazily, so it can be shorter than the memory system's tenant count.
+  const std::vector<AccessHistogram>& tenant_histograms() const {
+    return tenant_hists_;
+  }
   // Mean of the window eHR estimates over the whole run (Fig. 12).
   double mean_ehr() const { return ehr_stat_.count() == 0 ? 0.0 : ehr_stat_.mean(); }
   double mean_rhr_sampled() const {
@@ -129,8 +138,17 @@ class MemtisPolicy : public TieringPolicy {
   MemtisConfig config_;
   PebsSampler sampler_;
 
+  // The owning tenant's slice of hist_ (lazily grown by page.tenant).
+  AccessHistogram& TenantHist(const PageInfo& page) {
+    if (page.tenant >= tenant_hists_.size()) {
+      tenant_hists_.resize(static_cast<size_t>(page.tenant) + 1);
+    }
+    return tenant_hists_[page.tenant];
+  }
+
   AccessHistogram hist_;       // OS-page histogram (4 KiB units per page size)
   AccessHistogram base_hist_;  // emulated base-page histogram
+  std::vector<AccessHistogram> tenant_hists_;  // hist_ split by owner
   AccessHistogram::Thresholds thresholds_;
   int base_hot_bin_ = 1;  // T_hot over the emulated base-page histogram
 

@@ -28,6 +28,7 @@
 #include "src/runner/result_sink.h"
 #include "src/runner/sweep.h"
 #include "src/runner/thread_pool.h"
+#include "src/tenant/colocate.h"
 #include "src/workloads/registry.h"
 
 namespace memtis {
@@ -42,6 +43,7 @@ struct CliOptions {
   std::string format = "json";  // "json" | "csv"
   std::string out;              // empty or "-" -> stdout
   std::string audit_out;        // --audit-json sink (empty = none)
+  std::string colocate;         // --colocate tenant spec (empty = sweep mode)
   int threads = 0;              // 0 -> ThreadPool::DefaultThreadCount()
   bool quiet = false;
   bool smoke = false;
@@ -49,7 +51,7 @@ struct CliOptions {
 };
 
 // True when any resilience feature is in play: execution goes through
-// RunJobsResilient and output uses the outcome-aware schema_version 2 sinks.
+// RunJobsResilient and output uses the outcome-aware schema_version 4 sinks.
 bool ResilientMode(const CliOptions& cli) {
   return NeedsSupervision(cli.exec) || !cli.exec.manifest_path.empty() ||
          cli.exec.keep_going;
@@ -114,6 +116,19 @@ void PrintUsage(std::FILE* to = stdout) {
       "                         to FILE (implies --audit; \"-\" = stdout)\n"
       "  --audit-epoch-ns=N     epoch telemetry cadence in virtual ns\n"
       "                         (default 1000000 with --audit-json; 0 = off)\n"
+      "\n"
+      "Co-location (see README \"Co-location and tenants\"):\n"
+      "  --colocate=SPEC        run one colocated job over N tenants plus a\n"
+      "                         solo baseline per tenant, and report each\n"
+      "                         tenant's interference slowdown. SPEC is\n"
+      "                         ;-separated tenants of ,-separated key=value\n"
+      "                         fields (first field = the workload): name,\n"
+      "                         quota (fast-tier fraction), weight, arrive,\n"
+      "                         depart (virtual ns), accesses, phase-period,\n"
+      "                         phase-low, scale. Uses the first --systems,\n"
+      "                         --ratios, and --machines entry; resilient\n"
+      "                         sweep flags do not apply.\n"
+      "                         e.g. --colocate=\"silo,quota=0.5;pagerank\"\n"
       "\n"
       "Fault injection (see README \"Fault injection\"):\n"
       "  --faults=SPEC          inject faults into every job. SPEC is \"storm\"\n"
@@ -297,6 +312,16 @@ bool ApplyOption(const std::string& key, const std::string& value, CliOptions* c
     cli->sweep.audit_epoch_interval_ns = std::strtoull(value.c_str(), nullptr, 10);
     return true;
   }
+  if (key == "colocate") {
+    ColocateSpec spec;
+    std::string error;
+    if (!ColocateSpec::Parse(value, &spec, &error)) {
+      std::fprintf(stderr, "memtis_run: bad --colocate spec: %s\n", error.c_str());
+      return false;
+    }
+    cli->colocate = value;
+    return true;
+  }
   if (key == "faults") {
     FaultPlan plan;
     std::string error;
@@ -350,6 +375,55 @@ bool ApplyOption(const std::string& key, const std::string& value, CliOptions* c
   }
   std::fprintf(stderr, "memtis_run: unknown option '%s'\n", key.c_str());
   return false;
+}
+
+// --colocate mode: one colocated job + per-tenant solo baselines instead of a
+// sweep. Shares the first entry of each sweep axis; see RunColocation.
+int ColocateMain(const CliOptions& cli) {
+  ColocateSpec spec;
+  std::string error;
+  if (!ColocateSpec::Parse(cli.colocate, &spec, &error)) {
+    std::fprintf(stderr, "memtis_run: bad --colocate spec: %s\n", error.c_str());
+    return 2;
+  }
+  JobSpec base;
+  base.system = cli.sweep.systems.empty() ? "memtis" : cli.sweep.systems[0];
+  if (!Contains(KnownPolicyNames(), base.system)) {
+    std::fprintf(stderr, "memtis_run: unknown system '%s'\n", base.system.c_str());
+    return 2;
+  }
+  base.fast_ratio = cli.sweep.fast_ratios[0];
+  base.cxl = !cli.sweep.machines.empty() && cli.sweep.machines[0] == "cxl";
+  base.accesses = cli.sweep.accesses;
+  base.cpu_contention = cli.sweep.cpu_contention;
+  base.snapshot_interval_ns = cli.sweep.snapshot_interval_ns;
+  base.fast_bytes_override = cli.sweep.fast_bytes_override;
+  base.footprint_scale = cli.sweep.footprint_scale;
+  base.base_seed = cli.sweep.base_seed;
+  base.engine_seed = cli.sweep.engine_seed;
+  base.audit_epoch_interval_ns = cli.sweep.audit_epoch_interval_ns;
+  base.faults = cli.sweep.faults;
+
+  ThreadPool pool(cli.threads);
+  if (!cli.quiet) {
+    std::fprintf(stderr,
+                 "memtis_run: colocating %zu tenants (%s) + solo baselines\n",
+                 spec.tenants.size(), base.system.c_str());
+  }
+  const ColocateResult result = RunColocation(spec, base, pool);
+
+  const std::string data = cli.format == "csv"
+                               ? ColocationToCsv(spec, result)
+                               : ColocationToJson(spec, base, result, cli.sink);
+  if (!WriteResultFile(cli.out, data)) {
+    return 1;
+  }
+  const uint64_t violations = result.audit_report.violations_total;
+  if (!cli.quiet || violations != 0) {
+    std::fprintf(stderr, "memtis_run: audit %s (%" PRIu64 " violations)\n",
+                 violations == 0 ? "clean" : "FAILED", violations);
+  }
+  return violations == 0 ? 0 : 1;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* cli) {
@@ -442,6 +516,9 @@ int Main(int argc, char** argv) {
     if (cli.out.empty()) {
       cli.out = "-";
     }
+  }
+  if (!cli.colocate.empty()) {
+    return ColocateMain(cli);
   }
   if (cli.sweep.systems.empty()) {
     cli.sweep.systems = ComparisonSystems();
@@ -537,7 +614,7 @@ int Main(int argc, char** argv) {
                                : SweepToJson(cli.sweep, jobs, outcomes, cli.sink);
   } else {
     // Legacy mode: every cell ran in-process (a crash would have taken the
-    // whole process), so the schema_version 1 document is unchanged.
+    // whole process), so the schema_version 3 document keeps its legacy shape.
     std::vector<JobResult> results;
     results.reserve(outcomes.size());
     for (const CellOutcome& outcome : outcomes) {

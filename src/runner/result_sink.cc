@@ -225,7 +225,7 @@ std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs
   std::string out;
   JsonWriter w(&out, options.indent);
   w.BeginObject();
-  w.Field("schema_version", static_cast<uint64_t>(1));
+  w.Field("schema_version", static_cast<uint64_t>(3));
   WriteSweepBlock(w, sweep);
 
   w.Key("jobs");
@@ -272,7 +272,7 @@ std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs
   std::string out;
   JsonWriter w(&out, options.indent);
   w.BeginObject();
-  w.Field("schema_version", static_cast<uint64_t>(2));
+  w.Field("schema_version", static_cast<uint64_t>(4));
   WriteSweepBlock(w, sweep);
 
   w.Key("summary");
@@ -505,7 +505,7 @@ std::string AuditToJson(const std::vector<JobSpec>& jobs,
   std::string out;
   JsonWriter w(&out, options.indent);
   w.BeginObject();
-  w.Field("schema_version", static_cast<uint64_t>(1));
+  w.Field("schema_version", static_cast<uint64_t>(2));
   w.Key("summary");
   w.BeginObject();
   w.Field("jobs", static_cast<uint64_t>(jobs.size()));

@@ -58,11 +58,13 @@ struct SinkOptions {
 };
 
 // The full sweep document: {"schema_version", "sweep", "jobs", "aggregates"}.
+// schema_version 3: job metrics may carry a per_tenant array (tenant plane).
 std::string SweepToJson(const SweepSpec& sweep, const std::vector<JobSpec>& jobs,
                         const std::vector<JobResult>& results,
                         const SinkOptions& options = {});
 
-// Outcome-aware sweep document (schema_version 2) for resilient runs: jobs
+// Outcome-aware sweep document (schema_version 4; was 2 before per_tenant
+// metrics were added) for resilient runs: jobs
 // that completed appear in "jobs" (with their attempt count), failed and
 // never-run cells appear in "failures" with fingerprints and reproducer
 // command lines, and a "summary" block counts

@@ -84,6 +84,34 @@ void Metrics::WriteJson(JsonWriter& w, bool include_timeline) const {
   w.Field("effective_runtime_ns", EffectiveRuntimeNs());
   w.Field("mops", Mops());
 
+  // Omitted when empty so legacy single-workload documents are unchanged.
+  if (!per_tenant.empty()) {
+    w.Key("per_tenant");
+    w.BeginArray();
+    for (const TenantMetrics& t : per_tenant) {
+      w.BeginObject();
+      w.Field("name", t.name);
+      w.Field("workload", t.workload);
+      w.Field("accesses", t.accesses);
+      w.Field("fast_accesses", t.fast_accesses);
+      w.Field("capacity_accesses", t.capacity_accesses);
+      w.Field("active_ns", t.active_ns);
+      w.Field("arrive_ns", t.arrive_ns);
+      w.Field("depart_ns", t.depart_ns);
+      w.Field("finished", t.finished);
+      w.Field("quota_frames", t.quota_frames);
+      w.Field("fast_pages", t.fast_pages);
+      w.Field("quota_denied_allocs", t.quota_denied_allocs);
+      w.Field("quota_denied_promotions", t.quota_denied_promotions);
+      w.Field("quota_steals", t.quota_steals);
+      w.Field("budget_denied_promotions", t.budget_denied_promotions);
+      w.Field("fast_hit_ratio", t.fast_hit_ratio());
+      w.Field("ns_per_access", t.ns_per_access());
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
   if (include_timeline) {
     w.Key("timeline");
     w.BeginArray();
@@ -149,6 +177,30 @@ bool Metrics::FromJson(const JsonValue& v, Metrics* out) {
 
   if (const JsonValue* faults = v.Find("faults"); faults != nullptr) {
     FaultStats::FromJson(*faults, &out->faults);
+  }
+
+  if (const JsonValue* tenants = v.Find("per_tenant"); tenants != nullptr) {
+    out->per_tenant.reserve(tenants->size());
+    for (size_t i = 0; i < tenants->size(); ++i) {
+      const JsonValue& tj = tenants->at(i);
+      TenantMetrics t;
+      t.name = tj.GetString("name");
+      t.workload = tj.GetString("workload");
+      t.accesses = tj.GetUint("accesses");
+      t.fast_accesses = tj.GetUint("fast_accesses");
+      t.capacity_accesses = tj.GetUint("capacity_accesses");
+      t.active_ns = tj.GetUint("active_ns");
+      t.arrive_ns = tj.GetUint("arrive_ns");
+      t.depart_ns = tj.GetUint("depart_ns");
+      t.finished = tj.GetBool("finished");
+      t.quota_frames = tj.GetUint("quota_frames");
+      t.fast_pages = tj.GetUint("fast_pages");
+      t.quota_denied_allocs = tj.GetUint("quota_denied_allocs");
+      t.quota_denied_promotions = tj.GetUint("quota_denied_promotions");
+      t.quota_steals = tj.GetUint("quota_steals");
+      t.budget_denied_promotions = tj.GetUint("budget_denied_promotions");
+      out->per_tenant.push_back(std::move(t));
+    }
   }
 
   out->final_rss_pages = v.GetUint("final_rss_pages");

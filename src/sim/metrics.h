@@ -34,6 +34,41 @@ struct TimelinePoint {
   double window_mops = 0.0;        // throughput (million accesses / virtual s)
 };
 
+// Per-tenant slice of a co-located run, attributed by the tenant plane
+// (src/tenant/): engine counter deltas around each tenant's batches plus the
+// memory system's per-tenant quota accounting. Empty for single-workload runs,
+// so the `per_tenant` JSON field is omitted and legacy documents (and the
+// golden-metrics byte-compares) are unchanged.
+struct TenantMetrics {
+  std::string name;      // tenant label (defaults to the workload name)
+  std::string workload;  // registered workload the tenant runs
+  uint64_t accesses = 0;
+  uint64_t fast_accesses = 0;
+  uint64_t capacity_accesses = 0;
+  uint64_t active_ns = 0;   // virtual time inside this tenant's batches
+  uint64_t arrive_ns = 0;   // churn: when the tenant joined (0 = from start)
+  uint64_t depart_ns = 0;   // churn: when it left and was reclaimed (0 = never)
+  bool finished = false;    // natural completion before the run ended
+  uint64_t quota_frames = 0;  // resolved fast-tier cap in 4 KiB frames (0 = none)
+  uint64_t fast_pages = 0;    // fast-tier usage at run end (or at departure)
+  uint64_t quota_denied_allocs = 0;
+  uint64_t quota_denied_promotions = 0;
+  uint64_t quota_steals = 0;
+  uint64_t budget_denied_promotions = 0;
+
+  double fast_hit_ratio() const {
+    const uint64_t total = fast_accesses + capacity_accesses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(fast_accesses) / static_cast<double>(total);
+  }
+  // Latency per access over the tenant's own batches; the fairness report
+  // compares this against a solo run to get the interference slowdown.
+  double ns_per_access() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(active_ns) / static_cast<double>(accesses);
+  }
+};
+
 struct Metrics {
   // Access counts.
   uint64_t accesses = 0;
@@ -63,6 +98,10 @@ struct Metrics {
   double final_huge_ratio = 0.0;
 
   std::vector<TimelinePoint> timeline;
+
+  // Per-tenant attribution (see TenantMetrics); index = TenantId. Filled only
+  // by the tenant plane — empty means a legacy single-workload run.
+  std::vector<TenantMetrics> per_tenant;
 
   double fast_hit_ratio() const {
     const uint64_t total = fast_accesses + capacity_accesses;

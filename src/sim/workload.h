@@ -36,6 +36,10 @@ class App {
   uint64_t now_ns() const;
   uint64_t accesses_issued() const;
 
+  // Escape hatch for scheduler workloads (the tenant plane) that tag memory
+  // ownership and attribute engine counters per tenant between batches.
+  Engine& engine() const { return engine_; }
+
  private:
   Engine& engine_;
 };

@@ -1,0 +1,414 @@
+#include "src/tenant/colocate.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "src/audit/audit_session.h"
+#include "src/common/check.h"
+#include "src/common/json.h"
+#include "src/memtis/policy_registry.h"
+#include "src/sim/engine.h"
+#include "src/workloads/registry.h"
+
+namespace memtis {
+namespace {
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : text) {
+    if (c == sep) {
+      out.push_back(item);
+      item.clear();
+    } else {
+      item.push_back(c);
+    }
+  }
+  out.push_back(item);
+  return out;
+}
+
+bool KnownBenchmark(const std::string& name) {
+  for (const std::string& known : StandardBenchmarks()) {
+    if (known == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseTenant(const std::string& text, ColocateTenant* out, std::string* error) {
+  const std::vector<std::string> fields = Split(text, ',');
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const std::string& field = fields[i];
+    if (field.empty()) {
+      continue;
+    }
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      // A bare first field is the workload name.
+      if (i == 0) {
+        out->workload = field;
+        continue;
+      }
+      *error = "expected key=value, got '" + field + "'";
+      return false;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "workload") {
+      out->workload = value;
+    } else if (key == "name") {
+      out->tenant.name = value;
+    } else if (key == "quota") {
+      out->tenant.quota_fraction = std::atof(value.c_str());
+      if (out->tenant.quota_fraction < 0.0 || out->tenant.quota_fraction > 1.0) {
+        *error = "quota must be in [0, 1], got '" + value + "'";
+        return false;
+      }
+    } else if (key == "weight") {
+      out->tenant.weight = std::atof(value.c_str());
+      if (out->tenant.weight < 0.0) {
+        *error = "weight must be >= 0, got '" + value + "'";
+        return false;
+      }
+    } else if (key == "arrive") {
+      out->tenant.arrive_ns = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "depart") {
+      out->tenant.depart_ns = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "accesses") {
+      out->tenant.max_accesses = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "phase-period") {
+      out->tenant.phase_period_ns = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "phase-low") {
+      out->tenant.phase_low = std::atof(value.c_str());
+      if (out->tenant.phase_low < 0.0 || out->tenant.phase_low >= 1.0) {
+        *error = "phase-low must be in [0, 1), got '" + value + "'";
+        return false;
+      }
+    } else if (key == "scale") {
+      out->scale = std::atof(value.c_str());
+      if (out->scale <= 0.0) {
+        *error = "scale must be > 0, got '" + value + "'";
+        return false;
+      }
+    } else {
+      *error = "unknown tenant key '" + key + "'";
+      return false;
+    }
+  }
+  if (out->workload.empty()) {
+    *error = "tenant '" + text + "' names no workload";
+    return false;
+  }
+  if (!KnownBenchmark(out->workload)) {
+    *error = "unknown workload '" + out->workload + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ColocateSpec::Parse(const std::string& text, ColocateSpec* out,
+                         std::string* error) {
+  out->tenants.clear();
+  for (const std::string& entry : Split(text, ';')) {
+    if (entry.empty()) {
+      continue;
+    }
+    ColocateTenant tenant;
+    if (!ParseTenant(entry, &tenant, error)) {
+      return false;
+    }
+    out->tenants.push_back(std::move(tenant));
+  }
+  if (out->tenants.empty()) {
+    *error = "no tenants in colocate spec";
+    return false;
+  }
+  return true;
+}
+
+std::string ColocateSpec::Canonical() const {
+  std::string out;
+  for (const ColocateTenant& t : tenants) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += t.workload;
+    if (!t.tenant.name.empty()) {
+      out += ",name=" + t.tenant.name;
+    }
+    if (t.tenant.quota_fraction >= 0.0) {
+      out += ",quota=" + JsonWriter::FormatDouble(t.tenant.quota_fraction);
+    }
+    if (t.tenant.weight != 1.0) {
+      out += ",weight=" + JsonWriter::FormatDouble(t.tenant.weight);
+    }
+    if (t.tenant.arrive_ns != 0) {
+      out += ",arrive=" + std::to_string(t.tenant.arrive_ns);
+    }
+    if (t.tenant.depart_ns != 0) {
+      out += ",depart=" + std::to_string(t.tenant.depart_ns);
+    }
+    if (t.tenant.max_accesses != 0) {
+      out += ",accesses=" + std::to_string(t.tenant.max_accesses);
+    }
+    if (t.tenant.phase_period_ns != 0) {
+      out += ",phase-period=" + std::to_string(t.tenant.phase_period_ns);
+      out += ",phase-low=" + JsonWriter::FormatDouble(t.tenant.phase_low);
+    }
+    if (t.scale > 0.0) {
+      out += ",scale=" + JsonWriter::FormatDouble(t.scale);
+    }
+  }
+  return out;
+}
+
+ColocateResult RunColocation(const ColocateSpec& spec, const JobSpec& base,
+                             ThreadPool& pool, const ProgressFn& progress) {
+  SIM_CHECK(!spec.tenants.empty());
+  const double footprint_scale =
+      base.footprint_scale > 0.0 ? base.footprint_scale : BenchFootprintScale();
+
+  // Tenant i rides the seed-repetition axis (seed_index + i) so co-located
+  // twins of the same workload decorrelate under the documented scheme.
+  auto manager = std::make_unique<TenantManager>();
+  std::vector<double> scales;
+  for (size_t i = 0; i < spec.tenants.size(); ++i) {
+    const ColocateTenant& t = spec.tenants[i];
+    const double scale = t.scale > 0.0 ? t.scale : footprint_scale;
+    scales.push_back(scale);
+    manager->AddTenant(
+        t.tenant,
+        MakeWorkload(t.workload, scale,
+                     DeriveSeedOffset(base.base_seed,
+                                      base.seed_index + static_cast<uint32_t>(i))));
+  }
+
+  ColocateResult out;
+  out.footprint_bytes = manager->footprint_bytes();
+  out.fast_bytes =
+      base.fast_bytes_override != 0
+          ? base.fast_bytes_override
+          : static_cast<uint64_t>(static_cast<double>(out.footprint_bytes) *
+                                  base.fast_ratio);
+  const uint64_t capacity = out.footprint_bytes + out.footprint_bytes / 2;
+
+  auto policy = MakePolicy(base.system, out.footprint_bytes, out.fast_bytes);
+  const MachineConfig machine = base.cxl
+                                    ? MakeCxlMachine(out.fast_bytes, capacity)
+                                    : MakeNvmMachine(out.fast_bytes, capacity);
+  EngineOptions opts;
+  opts.max_accesses = base.accesses != 0 ? base.accesses : DefaultAccesses();
+  opts.snapshot_interval_ns = base.snapshot_interval_ns;
+  opts.cpu_contention = base.cpu_contention;
+  opts.seed = base.engine_seed;
+  if (!base.faults.empty()) {
+    std::string fault_error;
+    SIM_CHECK(FaultPlan::Parse(base.faults, &opts.faults, &fault_error) &&
+              "bad faults spec (validate at the CLI)");
+  }
+  // The colocated run is always audited in collect mode: every fairness
+  // report checks the per-tenant conservation invariants, and the epoch
+  // recorder supplies the occupancy timeline. Auditing is observation-only,
+  // so this changes no metric byte.
+  AuditSessionOptions audit_opts;
+  audit_opts.record_epochs = true;
+  audit_opts.epochs.interval_ns = base.audit_epoch_interval_ns != 0
+                                      ? base.audit_epoch_interval_ns
+                                      : audit_opts.epochs.interval_ns;
+  AuditSession audit(audit_opts);
+  opts.audit = &audit;
+
+  Engine engine(machine, *policy, opts);
+  out.metrics = engine.Run(*manager);
+  manager->ExportPerTenant(engine.mem(), &out.metrics);
+  out.audit_report = audit.report();
+  if (const EpochRecorder* recorder = audit.recorder()) {
+    out.epoch_interval_ns = recorder->options().interval_ns;
+    out.epochs = recorder->samples();
+  }
+
+  // Solo baselines: each tenant alone, fast tier sized to its quota share
+  // (its whole entitlement when unquota'd), access budget matched to what the
+  // tenant actually ran colocated so both sides measure comparable phases.
+  // A zero-quota tenant's honest baseline is the capacity tier alone.
+  std::vector<JobSpec> solos;
+  for (size_t i = 0; i < spec.tenants.size(); ++i) {
+    const ColocateTenant& t = spec.tenants[i];
+    JobSpec solo = base;
+    solo.benchmark = t.workload;
+    solo.seed_index = base.seed_index + static_cast<uint32_t>(i);
+    solo.footprint_scale = scales[i];
+    solo.fast_ratio = base.fast_ratio;
+    solo.fast_bytes_override =
+        t.tenant.quota_fraction >= 0.0
+            ? static_cast<uint64_t>(static_cast<double>(out.fast_bytes) *
+                                    t.tenant.quota_fraction)
+            : out.fast_bytes;
+    if (solo.fast_bytes_override < kHugePageSize) {
+      solo.system = "all-capacity";
+      solo.fast_bytes_override = kHugePageSize;
+    }
+    const uint64_t colo_accesses = out.metrics.per_tenant[i].accesses;
+    solo.accesses = std::max<uint64_t>(colo_accesses, 10'000);
+    solo.audit = false;
+    solo.audit_epoch_interval_ns = 0;
+    solo.memtis_tweak = nullptr;
+    solos.push_back(std::move(solo));
+  }
+  const std::vector<JobResult> solo_results = RunJobs(solos, pool, progress);
+
+  for (size_t i = 0; i < spec.tenants.size(); ++i) {
+    ColocateTenantResult pair;
+    pair.colo = out.metrics.per_tenant[i];
+    pair.solo_fast_bytes = solos[i].fast_bytes_override;
+    const Metrics& solo = solo_results[i].metrics;
+    pair.solo_accesses = solo.accesses;
+    pair.solo_ns_per_access =
+        solo.accesses == 0 ? 0.0
+                           : static_cast<double>(solo.app_ns) /
+                                 static_cast<double>(solo.accesses);
+    pair.solo_fast_hit_ratio = solo.fast_hit_ratio();
+    pair.slowdown = pair.solo_ns_per_access > 0.0 && pair.colo.accesses > 0
+                        ? pair.colo.ns_per_access() / pair.solo_ns_per_access
+                        : 0.0;
+    out.tenants.push_back(std::move(pair));
+  }
+  return out;
+}
+
+namespace {
+
+void WriteTenantPair(JsonWriter& w, size_t id, const ColocateTenant& spec,
+                     const ColocateTenantResult& pair) {
+  w.BeginObject();
+  w.Field("tenant", static_cast<uint64_t>(id));
+  w.Field("name", pair.colo.name);
+  w.Field("workload", pair.colo.workload);
+  if (spec.tenant.quota_fraction >= 0.0) {
+    w.Field("quota_fraction", spec.tenant.quota_fraction);
+  }
+  w.Field("quota_frames", pair.colo.quota_frames);
+  w.Field("weight", spec.tenant.weight);
+  w.Key("colo");
+  w.BeginObject();
+  w.Field("accesses", pair.colo.accesses);
+  w.Field("fast_accesses", pair.colo.fast_accesses);
+  w.Field("capacity_accesses", pair.colo.capacity_accesses);
+  w.Field("active_ns", pair.colo.active_ns);
+  w.Field("arrive_ns", pair.colo.arrive_ns);
+  w.Field("depart_ns", pair.colo.depart_ns);
+  w.Field("finished", pair.colo.finished);
+  w.Field("fast_pages", pair.colo.fast_pages);
+  w.Field("ns_per_access", pair.colo.ns_per_access());
+  w.Field("fast_hit_ratio", pair.colo.fast_hit_ratio());
+  w.Field("quota_denied_allocs", pair.colo.quota_denied_allocs);
+  w.Field("quota_denied_promotions", pair.colo.quota_denied_promotions);
+  w.Field("quota_steals", pair.colo.quota_steals);
+  w.Field("budget_denied_promotions", pair.colo.budget_denied_promotions);
+  w.EndObject();
+  w.Key("solo");
+  w.BeginObject();
+  w.Field("fast_bytes", pair.solo_fast_bytes);
+  w.Field("accesses", pair.solo_accesses);
+  w.Field("ns_per_access", pair.solo_ns_per_access);
+  w.Field("fast_hit_ratio", pair.solo_fast_hit_ratio);
+  w.EndObject();
+  w.Field("slowdown", pair.slowdown);
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ColocationToJson(const ColocateSpec& spec, const JobSpec& base,
+                             const ColocateResult& result,
+                             const SinkOptions& options) {
+  std::string out;
+  JsonWriter w(&out, options.indent);
+  w.BeginObject();
+  w.Field("schema_version", static_cast<uint64_t>(1));
+  w.Field("kind", "colocation");
+  w.Key("spec");
+  w.BeginObject();
+  w.Field("system", base.system);
+  w.Field("machine", base.machine_name());
+  w.Field("fast_ratio", base.fast_ratio);
+  w.Field("accesses", base.accesses);
+  w.Field("base_seed", base.base_seed);
+  w.Field("engine_seed", base.engine_seed);
+  if (!base.faults.empty()) {
+    w.Field("faults", base.faults);
+  }
+  w.Field("colocate", spec.Canonical());
+  w.EndObject();
+  w.Field("footprint_bytes", result.footprint_bytes);
+  w.Field("fast_bytes", result.fast_bytes);
+  w.Key("tenants");
+  w.BeginArray();
+  for (size_t i = 0; i < result.tenants.size(); ++i) {
+    WriteTenantPair(w, i, spec.tenants[i], result.tenants[i]);
+  }
+  w.EndArray();
+  w.Key("colocated");
+  result.metrics.WriteJson(w, options.timelines);
+  w.Key("occupancy");
+  w.BeginObject();
+  w.Field("interval_ns", result.epoch_interval_ns);
+  w.Key("samples");
+  w.BeginArray();
+  for (const EpochSample& s : result.epochs) {
+    w.BeginObject();
+    w.Field("t_ns", s.t_ns);
+    w.Field("fast_used_pages", s.fast_used_pages);
+    w.Key("tenant_fast_pages");
+    w.BeginArray();
+    for (const uint64_t pages : s.tenant_fast_pages) {
+      w.Uint(pages);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.Key("audit");
+  result.audit_report.WriteJson(w);
+  w.EndObject();
+  out += '\n';
+  return out;
+}
+
+std::string ColocationToCsv(const ColocateSpec& spec,
+                            const ColocateResult& result) {
+  std::string out =
+      "tenant,name,workload,quota_frames,weight,colo_accesses,"
+      "colo_fast_hit_ratio,colo_ns_per_access,solo_accesses,"
+      "solo_ns_per_access,slowdown,fast_pages,quota_denied_allocs,"
+      "quota_denied_promotions,quota_steals,budget_denied_promotions\n";
+  for (size_t i = 0; i < result.tenants.size(); ++i) {
+    const ColocateTenantResult& pair = result.tenants[i];
+    out += std::to_string(i);
+    out += ',' + CsvEscape(pair.colo.name);
+    out += ',' + CsvEscape(pair.colo.workload);
+    out += ',' + std::to_string(pair.colo.quota_frames);
+    out += ',' + JsonWriter::FormatDouble(spec.tenants[i].tenant.weight);
+    out += ',' + std::to_string(pair.colo.accesses);
+    out += ',' + JsonWriter::FormatDouble(pair.colo.fast_hit_ratio());
+    out += ',' + JsonWriter::FormatDouble(pair.colo.ns_per_access());
+    out += ',' + std::to_string(pair.solo_accesses);
+    out += ',' + JsonWriter::FormatDouble(pair.solo_ns_per_access);
+    out += ',' + JsonWriter::FormatDouble(pair.slowdown);
+    out += ',' + std::to_string(pair.colo.fast_pages);
+    out += ',' + std::to_string(pair.colo.quota_denied_allocs);
+    out += ',' + std::to_string(pair.colo.quota_denied_promotions);
+    out += ',' + std::to_string(pair.colo.quota_steals);
+    out += ',' + std::to_string(pair.colo.budget_denied_promotions);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace memtis

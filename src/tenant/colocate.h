@@ -1,0 +1,100 @@
+// Co-location fairness runner: the `memtis_run --colocate=...` backend.
+//
+// A colocation run builds a TenantManager from a parsed tenant list, runs it
+// as one colocated job, then re-runs every tenant *solo* on a machine whose
+// fast tier is sized to that tenant's quota share. The report pairs each
+// tenant's colocated attribution with its solo baseline and derives the
+// interference slowdown (colocated ns/access over solo ns/access) — the
+// noisy-neighbor picture the paper's §8 warehouse-scale discussion asks for.
+//
+// Determinism: the colocated job runs on the calling thread; solo baselines
+// fan out through RunJobs' slot-indexed executor. The serialized report is
+// byte-identical for any --threads value.
+//
+// Spec grammar (parsed by ColocateSpec::Parse):
+//
+//   tenant[;tenant...]
+//   tenant  = workload[,key=value...]   (or workload=NAME as the first field)
+//   keys    = name, quota (fast-tier fraction), weight, arrive (ns),
+//             depart (ns), accesses (forced-departure budget),
+//             phase-period (ns), phase-low, scale (footprint multiplier)
+//
+// e.g. --colocate="silo,quota=0.5;pagerank,quota=0.25,arrive=2000000"
+
+#ifndef MEMTIS_SIM_SRC_TENANT_COLOCATE_H_
+#define MEMTIS_SIM_SRC_TENANT_COLOCATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runner/result_sink.h"
+#include "src/runner/sweep.h"
+#include "src/runner/thread_pool.h"
+#include "src/tenant/tenant.h"
+
+namespace memtis {
+
+// One tenant of a colocation spec: the registered workload it runs, its
+// TenantSpec (quota/weight/lifecycle/phase), and an optional footprint scale.
+struct ColocateTenant {
+  std::string workload;
+  TenantSpec tenant;
+  double scale = 0.0;  // 0 -> the job's footprint scale
+};
+
+struct ColocateSpec {
+  std::vector<ColocateTenant> tenants;
+
+  // Parses the --colocate grammar above. Returns false with a message in
+  // *error on malformed input; workload names are validated against the
+  // registry so a typo fails at the CLI, not mid-run.
+  static bool Parse(const std::string& text, ColocateSpec* out, std::string* error);
+
+  // Round-trippable canonical form (stable field order, default fields
+  // omitted) — echoed into the report so a document names its spec.
+  std::string Canonical() const;
+};
+
+// One tenant's paired outcome.
+struct ColocateTenantResult {
+  TenantMetrics colo;           // attribution from the colocated run
+  uint64_t solo_fast_bytes = 0; // fast tier the solo baseline ran on
+  uint64_t solo_accesses = 0;
+  double solo_ns_per_access = 0.0;
+  double solo_fast_hit_ratio = 0.0;
+  // colo ns/access over solo ns/access; 1.0 = no interference, 0 when either
+  // side recorded no accesses (e.g. a tenant that never arrived).
+  double slowdown = 0.0;
+};
+
+struct ColocateResult {
+  uint64_t footprint_bytes = 0;  // sum of tenant footprints
+  uint64_t fast_bytes = 0;       // colocated machine's fast tier
+  Metrics metrics;               // colocated run (per_tenant filled)
+  std::vector<ColocateTenantResult> tenants;  // index = TenantId
+  // Audit outcome of the colocated run (always audited in collect mode, so
+  // the per-tenant conservation invariants are checked on every report).
+  AuditReport audit_report;
+  // Per-tenant fast-tier occupancy timeline via the audit plane's
+  // EpochRecorder (EpochSample::tenant_fast_pages).
+  uint64_t epoch_interval_ns = 0;
+  std::vector<EpochSample> epochs;
+};
+
+// Runs the colocated job plus one solo baseline per tenant. `base` supplies
+// the shared cell knobs (system, fast_ratio/fast_bytes_override, machine,
+// accesses, seeds, faults); base.benchmark is ignored.
+ColocateResult RunColocation(const ColocateSpec& spec, const JobSpec& base,
+                             ThreadPool& pool, const ProgressFn& progress = nullptr);
+
+// Serializes the fairness report. JSON: {"schema_version", "kind":
+// "colocation", "spec", "tenants" (paired colo/solo + slowdown), "colocated"
+// (full Metrics), "occupancy", "audit"}. CSV: one row per tenant.
+std::string ColocationToJson(const ColocateSpec& spec, const JobSpec& base,
+                             const ColocateResult& result,
+                             const SinkOptions& options = {});
+std::string ColocationToCsv(const ColocateSpec& spec, const ColocateResult& result);
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_TENANT_COLOCATE_H_

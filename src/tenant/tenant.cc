@@ -1,0 +1,246 @@
+#include "src/tenant/tenant.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/engine.h"
+#include "src/sim/policy.h"
+
+namespace memtis {
+
+TenantId TenantManager::AddTenant(TenantSpec spec, std::unique_ptr<Workload> workload) {
+  SIM_CHECK(workload != nullptr);
+  TenantState t;
+  t.spec = std::move(spec);
+  t.workload = std::move(workload);
+  t.id = static_cast<TenantId>(tenants_.size());
+  tenants_.push_back(std::move(t));
+  return tenants_.back().id;
+}
+
+uint64_t TenantManager::footprint_bytes() const {
+  uint64_t total = 0;
+  for (const TenantState& t : tenants_) {
+    total += t.workload->footprint_bytes();
+  }
+  return total;
+}
+
+double TenantManager::PhaseRate(const TenantSpec& spec, uint64_t now_ns) {
+  if (spec.phase_period_ns == 0) {
+    return 1.0;
+  }
+  const uint64_t pos = now_ns % spec.phase_period_ns;
+  return pos < spec.phase_period_ns / 2 ? 1.0 : std::max(0.0, spec.phase_low);
+}
+
+void TenantManager::Setup(App& app, Rng& rng) {
+  SIM_CHECK(!tenants_.empty());
+  Engine& eng = app.engine();
+  MemorySystem& mem = eng.mem();
+
+  double total_weight = 0.0;
+  for (const TenantState& t : tenants_) {
+    total_weight += t.spec.weight > 0.0 ? t.spec.weight : 0.0;
+  }
+  const uint64_t fast_frames = mem.tier(TierId::kFast).total_frames();
+  const CostParams& costs = eng.ctx().costs;
+
+  for (TenantState& t : tenants_) {
+    mem.SetCurrentTenant(t.id);  // registers the id in the memory system
+    if (t.spec.quota_fraction >= 0.0) {
+      const uint64_t quota = static_cast<uint64_t>(
+          static_cast<double>(fast_frames) * t.spec.quota_fraction);
+      mem.SetTenantFastQuota(t.id, quota);
+      t.stats.quota_frames = quota;
+    }
+    // Weighted promotion-bandwidth arbitration only makes sense with
+    // contention; a solo tenant keeps the legacy global-budget semantics.
+    if (tenants_.size() > 1 && total_weight > 0.0 && t.spec.weight > 0.0) {
+      const double share = t.spec.weight / total_weight;
+      const uint64_t rate = std::max<uint64_t>(
+          1, static_cast<uint64_t>(
+                 static_cast<double>(costs.migrate_bandwidth_pages_per_ms) * share));
+      const uint64_t burst = std::max<uint64_t>(
+          1, static_cast<uint64_t>(static_cast<double>(costs.migrate_burst_pages) *
+                                   share));
+      mem.SetTenantPromotionBudget(t.id, rate, burst);
+    }
+  }
+  mem.SetCurrentTenant(kDefaultTenant);
+
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].spec.arrive_ns == 0) {
+      Arrive(app, rng, i);
+    }
+  }
+}
+
+void TenantManager::Arrive(App& app, Rng& rng, size_t i) {
+  TenantState& t = tenants_[i];
+  Engine& eng = app.engine();
+  eng.mem().SetCurrentTenant(t.id);
+  t.stats.arrive_ns = eng.now_ns();
+  const Metrics& m = eng.metrics();
+  const uint64_t a0 = m.accesses;
+  const uint64_t f0 = m.fast_accesses;
+  const uint64_t c0 = m.capacity_accesses;
+  const uint64_t t0 = eng.now_ns();
+  t.workload->Setup(app, rng);
+  t.stats.accesses += m.accesses - a0;
+  t.stats.fast_accesses += m.fast_accesses - f0;
+  t.stats.capacity_accesses += m.capacity_accesses - c0;
+  t.stats.active_ns += eng.now_ns() - t0;
+  t.arrived = true;
+}
+
+void TenantManager::Depart(App& app, size_t i) {
+  TenantState& t = tenants_[i];
+  Engine& eng = app.engine();
+  MemorySystem& mem = eng.mem();
+  // Snapshot occupancy before reclamation, then free every region the tenant
+  // owns through the engine so the policy observes each page's death.
+  t.stats.fast_pages = mem.tenant_mapped_4k(t.id, TierId::kFast);
+  for (const Vaddr start : mem.TenantRegionStarts(t.id)) {
+    app.Free(start);
+  }
+  t.departed = true;
+  t.stats.depart_ns = eng.now_ns();
+}
+
+void TenantManager::RunBatch(App& app, Rng& rng, size_t i) {
+  TenantState& t = tenants_[i];
+  Engine& eng = app.engine();
+  eng.mem().SetCurrentTenant(t.id);
+  const Metrics& m = eng.metrics();
+  const uint64_t a0 = m.accesses;
+  const uint64_t f0 = m.fast_accesses;
+  const uint64_t c0 = m.capacity_accesses;
+  const uint64_t t0 = eng.now_ns();
+  const bool more = t.workload->Step(app, rng);
+  t.stats.accesses += m.accesses - a0;
+  t.stats.fast_accesses += m.fast_accesses - f0;
+  t.stats.capacity_accesses += m.capacity_accesses - c0;
+  t.stats.active_ns += eng.now_ns() - t0;
+  if (!more) {
+    t.finished = true;
+    t.stats.finished = true;
+  }
+  if (!t.departed && t.spec.max_accesses > 0 &&
+      t.stats.accesses >= t.spec.max_accesses) {
+    Depart(app, i);  // access-budget departure reclaims frames, unlike finish
+  }
+}
+
+bool TenantManager::Step(App& app, Rng& rng) {
+  Engine& eng = app.engine();
+  const uint64_t now = eng.now_ns();
+
+  // Lifecycle transitions due at this batch boundary, in id order.
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    if (!tenants_[i].arrived && tenants_[i].spec.arrive_ns <= now) {
+      Arrive(app, rng, i);
+    }
+  }
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    TenantState& t = tenants_[i];
+    if (t.arrived && !t.departed && t.spec.depart_ns > 0 && now >= t.spec.depart_ns) {
+      Depart(app, i);
+    }
+  }
+
+  std::vector<size_t> runnable;
+  runnable.reserve(tenants_.size());
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    if (Runnable(tenants_[i])) {
+      runnable.push_back(i);
+    }
+  }
+  if (runnable.empty()) {
+    // Virtual time only advances with accesses, so waiting for a future
+    // arrival on an idle machine would deadlock: pull the earliest one in.
+    size_t next = tenants_.size();
+    uint64_t earliest = UINT64_MAX;
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+      if (!tenants_[i].arrived && tenants_[i].spec.arrive_ns < earliest) {
+        earliest = tenants_[i].spec.arrive_ns;
+        next = i;
+      }
+    }
+    if (next == tenants_.size()) {
+      return false;  // every tenant finished or departed
+    }
+    Arrive(app, rng, next);
+    runnable.push_back(next);
+  }
+
+  // One batch per runnable tenant, rotated over the *runnable* set so uneven
+  // finishes do not skew the interleaving (the old CompositeWorkload rotated
+  // modulo the original tenant count and over-served survivors).
+  const size_t n = runnable.size();
+  const size_t start = static_cast<size_t>(round_ % n);
+  ++round_;
+  bool ran = false;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t i = runnable[(start + k) % n];
+    TenantState& t = tenants_[i];
+    if (!Runnable(t)) {
+      continue;
+    }
+    t.phase_credit += PhaseRate(t.spec, eng.now_ns());
+    if (t.phase_credit < 1.0) {
+      continue;  // low phase: skip this round, credit carries over
+    }
+    t.phase_credit -= 1.0;
+    RunBatch(app, rng, i);
+    ran = true;
+  }
+  if (!ran) {
+    // Everyone is deep in a low phase. Run the most-credited tenant anyway:
+    // virtual time must keep advancing toward the next phase flip.
+    size_t pick = tenants_.size();
+    double best = -1.0;
+    for (size_t k = 0; k < n; ++k) {
+      const size_t i = runnable[(start + k) % n];
+      if (Runnable(tenants_[i]) && tenants_[i].phase_credit > best) {
+        best = tenants_[i].phase_credit;
+        pick = i;
+      }
+    }
+    if (pick != tenants_.size()) {
+      tenants_[pick].phase_credit = 0.0;
+      RunBatch(app, rng, pick);
+    }
+  }
+
+  for (const TenantState& t : tenants_) {
+    if (!t.arrived || Runnable(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TenantManager::ExportPerTenant(const MemorySystem& mem, Metrics* m) const {
+  m->per_tenant.clear();
+  m->per_tenant.reserve(tenants_.size());
+  for (const TenantState& t : tenants_) {
+    TenantMetrics out = t.stats;
+    out.workload = std::string(t.workload->name());
+    out.name = t.spec.name.empty() ? out.workload : t.spec.name;
+    if (t.id < mem.tenant_count()) {
+      const TenantFrameStats& fs = mem.tenant_stats(t.id);
+      out.quota_denied_allocs = fs.quota_denied_allocs;
+      out.quota_denied_promotions = fs.quota_denied_promotions;
+      out.quota_steals = fs.quota_steals;
+      out.budget_denied_promotions = fs.budget_denied_promotions;
+      if (!t.departed) {
+        out.fast_pages = fs.fast_pages();
+      }
+    }
+    m->per_tenant.push_back(std::move(out));
+  }
+}
+
+}  // namespace memtis

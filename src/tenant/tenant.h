@@ -1,0 +1,129 @@
+// Tenant management plane: N tenants sharing one simulated machine.
+//
+// TenantManager is a scheduler Workload that owns N tenant records (workload,
+// fast-tier quota or proportional weight, lifecycle window, per-tenant metric
+// attribution) and interleaves their access batches. Ownership is enforced
+// below it: every region a tenant allocates is tagged with its TenantId in
+// MemorySystem, where fast-tier quotas and per-tenant promotion budgets gate
+// AllocFrame/Migrate, and MemtisPolicy keeps a per-tenant histogram slice —
+// the paper's per-memcg scoping. A single tenant with no quota, lifecycle, or
+// phase settings is a pure pass-through: the run is byte-identical to handing
+// the workload to the engine directly.
+//
+// Lifecycle: tenants may arrive mid-run (arrive_ns), depart with full frame
+// reclamation (depart_ns or a per-tenant access budget), finish naturally
+// (memory stays resident, like any exited-but-unreclaimed job), and modulate
+// their load with a diurnal square wave (phase_period_ns / phase_low).
+
+#ifndef MEMTIS_SIM_SRC_TENANT_TENANT_H_
+#define MEMTIS_SIM_SRC_TENANT_TENANT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mem/types.h"
+#include "src/sim/metrics.h"
+#include "src/sim/workload.h"
+
+namespace memtis {
+
+class MemorySystem;
+
+// Static description of one tenant. Defaults describe a legacy tenant: no
+// quota, equal weight, present from start to end, steady load.
+struct TenantSpec {
+  std::string name;  // label for reports (defaults to the workload's name)
+
+  // Fast-tier quota as a fraction of the fast tier's frames; negative means
+  // unquota'd (unlimited). Zero is legal: a tenant pinned to the capacity
+  // tier (its fallback allocations still open an audited borrow window).
+  double quota_fraction = -1.0;
+
+  // Proportional share of the machine's migration bandwidth. Promotion
+  // buckets are armed only for multi-tenant runs, so solo runs keep the
+  // global budget semantics.
+  double weight = 1.0;
+
+  // Lifecycle window in virtual ns. arrive_ns 0 = present from the start;
+  // depart_ns 0 = stays until the end. Departure frees every region the
+  // tenant owns (through the engine, so policies observe the frees).
+  uint64_t arrive_ns = 0;
+  uint64_t depart_ns = 0;
+
+  // Forced departure after this many attributed accesses (0 = none). Unlike
+  // natural completion, this reclaims the tenant's frames.
+  uint64_t max_accesses = 0;
+
+  // Diurnal load modulation: a square wave of period phase_period_ns whose
+  // low half runs batches at `phase_low` of the tenant's normal rate
+  // (0 disables modulation).
+  uint64_t phase_period_ns = 0;
+  double phase_low = 0.25;
+};
+
+class TenantManager : public Workload {
+ public:
+  TenantManager() = default;
+
+  // Registers a tenant; ids are assigned in call order starting at
+  // kDefaultTenant (so a single tenant reuses the legacy default owner).
+  // All tenants must be added before the engine starts the run.
+  TenantId AddTenant(TenantSpec spec, std::unique_ptr<Workload> workload);
+
+  size_t tenant_count() const { return tenants_.size(); }
+
+  // --- Workload interface ----------------------------------------------------
+
+  std::string_view name() const override { return "tenants"; }
+
+  // Peak footprint: every tenant's regions can be live at once (arrivals may
+  // overlap departures), so machines are sized for the sum.
+  uint64_t footprint_bytes() const override;
+
+  void Setup(App& app, Rng& rng) override;
+  bool Step(App& app, Rng& rng) override;
+
+  // --- Reporting -------------------------------------------------------------
+
+  // Copies the per-tenant attribution (batch counter deltas + the memory
+  // system's quota accounting) into m->per_tenant. Call after engine.Run().
+  void ExportPerTenant(const MemorySystem& mem, Metrics* m) const;
+
+  // Live view of one tenant's accumulated attribution (tests).
+  const TenantMetrics& tenant_metrics(size_t i) const { return tenants_[i].stats; }
+  bool tenant_departed(size_t i) const { return tenants_[i].departed; }
+  bool tenant_finished(size_t i) const { return tenants_[i].finished; }
+
+ private:
+  struct TenantState {
+    TenantSpec spec;
+    std::unique_ptr<Workload> workload;
+    TenantId id = kDefaultTenant;
+    bool arrived = false;
+    bool finished = false;  // natural completion (memory stays resident)
+    bool departed = false;  // reclaimed (depart_ns / max_accesses)
+    double phase_credit = 0.0;
+    TenantMetrics stats;
+  };
+
+  bool Runnable(const TenantState& t) const {
+    return t.arrived && !t.finished && !t.departed;
+  }
+
+  // Batch-rate multiplier at virtual time `now` (diurnal square wave).
+  static double PhaseRate(const TenantSpec& spec, uint64_t now_ns);
+
+  void Arrive(App& app, Rng& rng, size_t i);
+  void Depart(App& app, size_t i);
+  // Runs one batch of tenant i, attributing engine counter deltas to it.
+  void RunBatch(App& app, Rng& rng, size_t i);
+
+  std::vector<TenantState> tenants_;
+  uint64_t round_ = 0;  // rotation offset over the runnable set
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_TENANT_TENANT_H_

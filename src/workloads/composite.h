@@ -3,69 +3,33 @@
 // co-location scenario the paper's TMTS discussion (§8) raises. The tiering
 // policy sees one merged access stream and must partition the fast tier
 // across tenants by hotness alone.
+//
+// Now a thin facade over the tenant plane (src/tenant/tenant.h): each Add()
+// registers an unquota'd, equal-weight, always-present tenant, so batch
+// scheduling, ownership tagging, and per-tenant attribution all live in
+// TenantManager. This also fixed the old round-robin, which skipped finished
+// tenants but still rotated modulo the original size and so over-served
+// survivors unevenly when tenants finish at different times.
 
 #ifndef MEMTIS_SIM_SRC_WORKLOADS_COMPOSITE_H_
 #define MEMTIS_SIM_SRC_WORKLOADS_COMPOSITE_H_
 
 #include <memory>
-#include <vector>
+#include <utility>
 
-#include "src/sim/workload.h"
+#include "src/tenant/tenant.h"
 
 namespace memtis {
 
-class CompositeWorkload : public Workload {
+class CompositeWorkload : public TenantManager {
  public:
   CompositeWorkload() = default;
 
   void Add(std::unique_ptr<Workload> workload) {
-    tenants_.push_back(Tenant{std::move(workload), /*done=*/false});
+    AddTenant(TenantSpec{}, std::move(workload));
   }
 
   std::string_view name() const override { return "composite"; }
-
-  uint64_t footprint_bytes() const override {
-    uint64_t total = 0;
-    for (const Tenant& t : tenants_) {
-      total += t.workload->footprint_bytes();
-    }
-    return total;
-  }
-
-  void Setup(App& app, Rng& rng) override {
-    for (Tenant& t : tenants_) {
-      t.workload->Setup(app, rng);
-    }
-  }
-
-  bool Step(App& app, Rng& rng) override {
-    // Round-robin one batch per live tenant; finish when all tenants have.
-    bool any_live = false;
-    for (size_t i = 0; i < tenants_.size(); ++i) {
-      Tenant& t = tenants_[(next_ + i) % tenants_.size()];
-      if (t.done) {
-        continue;
-      }
-      if (!t.workload->Step(app, rng)) {
-        t.done = true;
-        continue;
-      }
-      any_live = true;
-    }
-    next_ = (next_ + 1) % (tenants_.empty() ? 1 : tenants_.size());
-    return any_live;
-  }
-
-  size_t tenant_count() const { return tenants_.size(); }
-
- private:
-  struct Tenant {
-    std::unique_ptr<Workload> workload;
-    bool done;
-  };
-
-  std::vector<Tenant> tenants_;
-  size_t next_ = 0;
 };
 
 }  // namespace memtis
