@@ -1,11 +1,13 @@
 // hotpath_bench: wall-clock microbenchmarks of the simulator's hot paths.
 //
-// Five tracked benchmarks (see perf_util.h for the JSON schema):
+// Seven tracked benchmarks (see perf_util.h for the JSON schema):
 //   access_replay         engine access pipeline + MEMTIS sampling, ns/access
 //   cooling_scan          one MemtisPolicy cooling event over a live heap
 //   metrics_recount       the per-snapshot metric getters (huge_page_ratio,
 //                         bloat_pages) that every timeline point pays for
 //   split_collapse_churn  one huge-page split + re-collapse round trip
+//   exchange_churn        one ExchangePages swap with the fast tier full
+//   migrate_evict_churn   the demote-then-promote pair the swap replaces
 //   sweep_wallclock       a small multi-job runner sweep through the pool
 //
 // Usage: hotpath_bench [--smoke] [--benchmarks=a,b] [--out=FILE] [--force]
@@ -19,6 +21,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/perf/perf_util.h"
@@ -153,6 +156,60 @@ PerfResult BenchSplitCollapseChurn(bool smoke) {
   return PerfResult{"split_collapse_churn", "churn_cycle", cycles, t1 - t0};
 }
 
+// Shared setup for the promotion-under-pressure pair: a fast tier exactly
+// filled by one base-page region, a capacity region supplying the hot page,
+// and a TLB so both paths pay their shootdowns.
+struct ChurnState {
+  MemorySystem mem;
+  Tlb tlb;
+  PageIndex hot;   // capacity-tier page wanting promotion
+  PageIndex cold;  // fast-tier victim
+
+  ChurnState()
+      : mem(MemoryConfig{.fast_frames = kSubpagesPerHuge,
+                         .capacity_frames = 4 * kSubpagesPerHuge}) {
+    mem.AttachTlb(&tlb);
+    AllocOptions opts;
+    opts.use_thp = false;
+    opts.preferred = TierId::kFast;
+    const Vaddr fast_base = mem.AllocateRegion(kHugePageSize, opts);
+    opts.preferred = TierId::kCapacity;
+    const Vaddr cap_base = mem.AllocateRegion(kHugePageSize, opts);
+    hot = mem.Lookup(VpnOf(cap_base));
+    cold = mem.Lookup(VpnOf(fast_base));
+  }
+};
+
+PerfResult BenchExchangeChurn(bool smoke) {
+  const uint64_t cycles = smoke ? 1'000 : 2'000'000;
+  ChurnState state;
+  const uint64_t t0 = MonotonicNowNs();
+  for (uint64_t i = 0; i < cycles; ++i) {
+    state.mem.ExchangePages(state.hot, state.cold);
+    std::swap(state.hot, state.cold);  // last swap's victim is the next hot
+  }
+  const uint64_t t1 = MonotonicNowNs();
+  Blackhole(state.mem.migration_stats().exchanges);
+  return PerfResult{"exchange_churn", "exchange", cycles, t1 - t0};
+}
+
+PerfResult BenchMigrateEvictChurn(bool smoke) {
+  // The path exchange replaces: demote the victim to free a fast frame, then
+  // promote the hot page into it — two buddy free/alloc round trips and the
+  // same two shootdowns per cycle.
+  const uint64_t cycles = smoke ? 1'000 : 2'000'000;
+  ChurnState state;
+  const uint64_t t0 = MonotonicNowNs();
+  for (uint64_t i = 0; i < cycles; ++i) {
+    state.mem.Migrate(state.cold, TierId::kCapacity);
+    state.mem.Migrate(state.hot, TierId::kFast);
+    std::swap(state.hot, state.cold);
+  }
+  const uint64_t t1 = MonotonicNowNs();
+  Blackhole(state.mem.migration_stats().promoted_base);
+  return PerfResult{"migrate_evict_churn", "migrate_evict", cycles, t1 - t0};
+}
+
 PerfResult BenchSweepWallclock(bool smoke) {
   SweepSpec sweep;
   sweep.systems = {"memtis", "hemem"};
@@ -181,6 +238,8 @@ constexpr Registered kBenchmarks[] = {
     {"cooling_scan", BenchCoolingScan},
     {"metrics_recount", BenchMetricsRecount},
     {"split_collapse_churn", BenchSplitCollapseChurn},
+    {"exchange_churn", BenchExchangeChurn},
+    {"migrate_evict_churn", BenchMigrateEvictChurn},
     {"sweep_wallclock", BenchSweepWallclock},
 };
 

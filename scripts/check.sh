@@ -8,9 +8,12 @@
 # targeted MEMTIS_FAULTS=storm pass that drives the fault-injection stress
 # tests (src/fault/) under the dense all-site preset, and finally a
 # crash-injection sweep that SIM_CHECK-aborts one supervised cell
-# (MEMTIS_CRASH_CELL) and asserts the sweep completes around it, and a fifth
+# (MEMTIS_CRASH_CELL) and asserts the sweep completes around it, a fifth
 # pass running a 3-tenant churn colocation (src/tenant/) under MEMTIS_AUDIT=1
-# so the per-tenant conservation/quota invariants are exercised end to end.
+# so the per-tenant conservation/quota invariants are exercised end to end,
+# and a sixth pass storming the exchange-abort fault site through every
+# exchange-capable policy under the auditor (the exchange-accounting and
+# frame-conservation invariants certify each two-sided rollback).
 # Usage:
 #
 #   scripts/check.sh [build-dir]
@@ -69,3 +72,24 @@ grep -q '"slowdown":' "$COLO_OUT" || {
   exit 1
 }
 echo "3-tenant churn colocation: audit clean, fairness report written"
+echo "== sixth pass: exchange-abort storm across exchange-capable policies =="
+# Every policy that can call ExchangePages (AutoTiering natively, the MEMTIS
+# and HeMem opt-in variants) runs at a tight fast ratio — so the fast tier
+# fills and exchanges actually fire — with the exchange-abort site rolling
+# at 20 % plus background migrate-aborts, under the abort-on-violation
+# auditor. The output must show completed exchanges and injected aborts.
+EXCH_OUT="$BUILD_DIR/exchange_storm.json"
+MEMTIS_AUDIT=1 "$MEMTIS_RUN" --quiet --accesses=120000 \
+    --systems=autotiering,memtis-exchange,hemem-exchange \
+    --benchmarks=btree --ratios=1:8 --audit \
+    --faults=exchange-abort=0.2,migrate-abort=0.05,seed=9 \
+    --out="$EXCH_OUT"
+grep -q '"exchanges":' "$EXCH_OUT" || {
+  echo "check.sh: FAIL: exchange storm completed no exchanges" >&2
+  exit 1
+}
+grep -q '"exchange-abort"' "$EXCH_OUT" || {
+  echo "check.sh: FAIL: exchange-abort site never rolled" >&2
+  exit 1
+}
+echo "exchange-abort storm: audit clean, exchanges and aborts recorded"

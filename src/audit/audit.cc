@@ -290,6 +290,23 @@ void CheckMigrationLedger(const MigrationBudget& budget, AuditCollector& out) {
   }
 }
 
+void CheckExchangeAccounting(const MemorySystem& mem, const FaultStats& faults,
+                             AuditCollector& out) {
+  out.BeginCheck();
+  const MigrationStats& m = mem.migration_stats();
+  if (m.exchanged_huge > m.exchanges) {
+    out.Fail("exchange-accounting",
+             std::to_string(m.exchanged_huge) + " huge exchanges exceed " +
+                 std::to_string(m.exchanges) + " total exchanges");
+  }
+  const uint64_t injected = faults.by(FaultSite::kExchangeAbort);
+  if (injected != m.aborted_exchanges) {
+    out.Fail("exchange-accounting",
+             std::to_string(injected) + " injected exchange-aborts != " +
+                 std::to_string(m.aborted_exchanges) + " aborted exchanges");
+  }
+}
+
 void CheckMemtisSampleLedger(const MemtisPolicy& policy, AuditCollector& out) {
   out.BeginCheck();
   const PebsSampler& sampler = policy.sampler();
@@ -485,6 +502,9 @@ void InvariantAuditor::RegisterDefaultChecks() {
                std::to_string(injected) + " injected migrate-aborts != " +
                    std::to_string(aborted) + " aborted migrations");
     }
+  });
+  RegisterCheck("exchange-accounting", false, [](Engine& e, AuditCollector& out) {
+    CheckExchangeAccounting(e.mem(), e.faults().stats(), out);
   });
   RegisterCheck("tenant-conservation", false, [](Engine& e, AuditCollector& out) {
     CheckTenantConservation(e.mem(), out);

@@ -134,6 +134,15 @@ void CheckTlbCoherence(const Tlb& tlb, const MemorySystem& mem,
 // tokens equals the current balance, which never exceeds the burst.
 void CheckMigrationLedger(const MigrationBudget& budget, AuditCollector& out);
 
+// Exchange accounting: every injected exchange-abort rolled back exactly one
+// ExchangePages call (the memory system's aborted_exchanges tracks the
+// injector 1:1) and the exchange counters are internally consistent
+// (huge-page exchanges never exceed the total). Frame conservation and TLB
+// coherence across the swap itself are certified by the checks above — an
+// exchange that leaked a frame or left a stale translation trips them.
+void CheckExchangeAccounting(const MemorySystem& mem, const FaultStats& faults,
+                             AuditCollector& out);
+
 // MEMTIS sample ledger: the policy processed exactly as many samples as the
 // sampler produced, and the sampler's modelled CPU time is exactly
 // samples x sample_cost.

@@ -1,8 +1,9 @@
 // Deterministic fault-injection plane.
 //
 // A FaultPlan names the failure regimes a run must survive (allocation
-// failure, aborted migrations, PEBS sample loss, migration-budget starvation,
-// tier capacity shrink) as per-site Bernoulli probabilities with optional
+// failure, aborted migrations and page exchanges, PEBS sample loss,
+// migration-budget starvation, tier capacity shrink) as per-site Bernoulli
+// probabilities with optional
 // virtual-time windows and injection caps. A FaultInjector evaluates the plan
 // at the injection points threaded through MemorySystem, PebsSampler,
 // MigrationBudget, and the Engine tick loop.
@@ -55,9 +56,14 @@ enum class FaultSite : int {
   // (FaultPlan::tier_shrink_step of the tier per injection, cumulative cap
   // FaultPlan::tier_shrink_cap).
   kTierShrink,
+  // MemorySystem::ExchangePages: the two-page swap aborts after both sides
+  // passed the admission gates but before any state moved; both pages stay at
+  // their original tier/frame with no TLB shootdown (two-sided rollback, see
+  // DESIGN.md "exchange contract").
+  kExchangeAbort,
 };
 
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 6;
 
 // Stable CLI/JSON name of a site ("alloc-fail", "migrate-abort", ...).
 std::string_view FaultSiteName(FaultSite site);
@@ -119,9 +125,9 @@ struct FaultPlan {
 
 // Injection counters, copied into Metrics::faults at run end.
 struct FaultStats {
-  uint64_t injected[kNumFaultSites] = {0, 0, 0, 0, 0};
+  uint64_t injected[kNumFaultSites] = {};
   // Decision points that were eligible (in window, below cap, p > 0).
-  uint64_t rolls[kNumFaultSites] = {0, 0, 0, 0, 0};
+  uint64_t rolls[kNumFaultSites] = {};
 
   uint64_t by(FaultSite site) const {
     return injected[static_cast<int>(site)];

@@ -396,6 +396,75 @@ bool MemorySystem::Migrate(PageIndex index, TierId dst) {
   return true;
 }
 
+bool MemorySystem::ExchangePages(PageIndex hot, PageIndex cold) {
+  if (hot == cold) {
+    ++migration_stats_.failed_exchanges;
+    return false;
+  }
+  PageInfo& h = pages_[hot];
+  PageInfo& c = pages_[cold];
+  // Strict direction and matching kinds: the swap reuses both frames in
+  // place, so the orders must agree, and `hot` must be the capacity-tier side.
+  if (!h.live || !c.live || h.kind != c.kind || h.tier != TierId::kCapacity ||
+      c.tier != TierId::kFast) {
+    ++migration_stats_.failed_exchanges;
+    return false;
+  }
+  const uint64_t n = h.size_pages();
+  const TenantId hot_tenant = h.tenant;
+  const TenantId cold_tenant = c.tenant;
+  // A same-tenant exchange is fast-tier-neutral for its owner and skips the
+  // steal-or-deny path entirely. Across tenants the hot side's owner grows by
+  // n fast pages and must fit under its quota as-is — no steal, because the
+  // cold page already is the eviction.
+  if (hot_tenant != cold_tenant && !FastQuotaAllows(hot_tenant, n)) {
+    ++tenants_[hot_tenant].quota_denied_promotions;
+    ++migration_stats_.failed_exchanges;
+    return false;
+  }
+  // The hot side is still a promotion: it draws the owner's weighted
+  // promotion-bandwidth tokens exactly like Migrate (not refunded on abort,
+  // matching the mid-copy-abort semantics of plain migration).
+  if (!tenants_[hot_tenant].budget.Consume(now(), n)) {
+    ++tenants_[hot_tenant].budget_denied_promotions;
+    ++migration_stats_.failed_exchanges;
+    return false;
+  }
+  if (faults_ != nullptr &&
+      faults_->ShouldInject(FaultSite::kExchangeAbort, now())) {
+    // Mid-swap abort: nothing has moved yet, so the two-sided rollback is a
+    // no-op — both pages stay mapped at their original tier/frame and no TLB
+    // shootdown is issued. See DESIGN.md, "exchange contract".
+    ++migration_stats_.aborted_exchanges;
+    return false;
+  }
+  // Commit: both mappings change, so both vpn spans are shot down; the frames
+  // trade owners without touching the buddy allocators.
+  if (tlb_ != nullptr) {
+    tlb_->Shootdown(h.base_vpn, n);
+    tlb_->Shootdown(c.base_vpn, n);
+  }
+  std::swap(h.frame, c.frame);
+  h.tier = TierId::kFast;
+  c.tier = TierId::kCapacity;
+  // Global per-tier counters are unchanged (n pages enter and leave each
+  // tier); per-tenant counters move only when the owners differ.
+  if (hot_tenant != cold_tenant) {
+    constexpr int kFastIdx = static_cast<int>(TierId::kFast);
+    constexpr int kCapIdx = static_cast<int>(TierId::kCapacity);
+    tenants_[hot_tenant].mapped_4k_tier[kFastIdx] += n;
+    tenants_[hot_tenant].mapped_4k_tier[kCapIdx] -= n;
+    tenants_[cold_tenant].mapped_4k_tier[kFastIdx] -= n;
+    tenants_[cold_tenant].mapped_4k_tier[kCapIdx] += n;
+    TenantBorrowRatchet(cold_tenant);
+  }
+  ++migration_stats_.exchanges;
+  if (h.kind == PageKind::kHuge) {
+    ++migration_stats_.exchanged_huge;
+  }
+  return true;
+}
+
 bool MemorySystem::StealForPromotion(TenantId tenant, uint64_t frames) {
   SIM_DCHECK(!in_steal_);
   in_steal_ = true;

@@ -59,10 +59,18 @@ struct MigrationStats {
   uint64_t collapses = 0;
   uint64_t freed_zero_subpages = 0;  // bloat reclaimed by splits
   uint64_t demand_faults = 0;        // split-freed subpages touched later
+  uint64_t exchanges = 0;            // successful two-page swaps (ExchangePages)
+  uint64_t exchanged_huge = 0;       // subset of `exchanges` that swapped huge pages
+  uint64_t failed_exchanges = 0;     // precondition, quota, or budget denials
+  uint64_t aborted_exchanges = 0;    // injected mid-swap abort, both sides rolled back
 
   uint64_t promoted_4k() const { return promoted_base + promoted_huge * kSubpagesPerHuge; }
   uint64_t demoted_4k() const { return demoted_base + demoted_huge * kSubpagesPerHuge; }
   uint64_t migrated_4k() const { return promoted_4k() + demoted_4k(); }
+  // 4 KiB pages repositioned by exchanges: each swap moves both sides.
+  uint64_t exchanged_4k() const {
+    return 2 * ((exchanges - exchanged_huge) + exchanged_huge * kSubpagesPerHuge);
+  }
 };
 
 // Per-tenant promotion-bandwidth token bucket, arbitrating the machine's
@@ -262,6 +270,23 @@ class MemorySystem {
   // Moves a page to `dst`. Returns false (and counts a failed migration) when
   // no destination frame of the required order is available.
   bool Migrate(PageIndex index, TierId dst);
+
+  // Atomically swaps a capacity-tier page (`hot`) with a fast-tier page
+  // (`cold`) of the same kind: both mappings change, no frame is allocated or
+  // freed, and both vpn spans are shot down. This is AutoTiering's direct
+  // page exchange — the path that removes the free-frame-reservation
+  // bottleneck when the fast tier is full.
+  //
+  // The swap is fast-tier-neutral, so it bypasses the steal-or-deny promotion
+  // path; ownership still matters: a cross-tenant exchange grows the hot
+  // page's owner by n fast pages and must fit under that tenant's quota
+  // (no steal — the cold page IS the eviction), and the hot side draws the
+  // owner's promotion-budget tokens exactly like a promotion. Returns false
+  // (counting failed_exchanges) on precondition/quota/budget denial, or
+  // (counting aborted_exchanges) when the kExchangeAbort fault site fires —
+  // in every failure case both pages keep their original tier/frame/mapping
+  // and no shootdown is issued (two-sided rollback).
+  bool ExchangePages(PageIndex hot, PageIndex cold);
 
   // Splits a huge page into base pages. `subpage_tier(j)` picks the
   // destination tier of subpage j (with fallback to the other tier when

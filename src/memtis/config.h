@@ -58,6 +58,13 @@ struct MemtisConfig {
   bool hybrid_scan = false;
   uint64_t hybrid_scan_period_ns = 5'000'000;
 
+  // Opt-in direct page exchange ("memtis-exchange" in the registry): when a
+  // promotion still finds no free fast frame after DemoteForSpace, swap the
+  // hot page with a cold fast-tier page in one operation (AutoTiering's
+  // exchange_pages) instead of deferring the promotion to the next wakeup —
+  // the free-frame-reservation bottleneck of the paper's 2:1 sizing (Fig. 7).
+  bool exchange_when_full = false;
+
   // Scaled defaults: adaptation when sampled capacity ~ fast tier; cooling a
   // few adaptation intervals later (the paper's 100 K : 2 M ratio is 1:20 at
   // 60+ GB scale; 1:4 keeps several coolings within short simulated runs).

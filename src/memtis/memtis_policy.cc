@@ -517,6 +517,10 @@ void MemtisPolicy::RunMigration(PolicyContext& ctx) {
     }
     if (FastFreeFrames(ctx) >= need) {
       MigrateBackground(ctx, ctx.mem.IndexOf(*page), TierId::kFast);
+    } else if (config_.exchange_when_full &&
+               TryExchangePromotion(ctx, ctx.mem.IndexOf(*page))) {
+      // Promoted by direct exchange with a cold fast page: no free frame
+      // needed, so the round keeps draining instead of stalling.
     } else {
       // Fast tier is genuinely full of hot/warm pages; try again later.
       page->in_promotion_list = true;
@@ -536,6 +540,20 @@ void MemtisPolicy::RunMigration(PolicyContext& ctx) {
   if (config_.enable_split || config_.thp_shrinker) {
     ProcessSplitQueue(ctx);
   }
+}
+
+bool MemtisPolicy::TryExchangePromotion(PolicyContext& ctx, PageIndex hot) {
+  const PageInfo& page = ctx.mem.page(hot);
+  const PageIndex victim = FindExchangeVictim(
+      ctx, hot, page.kind, &exchange_cursor_,
+      [&](const PageInfo& cand) { return IsColdBin(cand.histogram_bin); });
+  if (victim == kInvalidPage) {
+    return false;
+  }
+  // The victim may still sit in the demotion list; once it lands on the
+  // capacity tier the list drain drops it (tier check) like any page a
+  // migration moved out from under the list.
+  return ExchangeBackground(ctx, hot, victim);
 }
 
 void MemtisPolicy::DemoteForSpace(PolicyContext& ctx, uint64_t target_free_frames) {

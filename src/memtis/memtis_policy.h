@@ -121,6 +121,10 @@ class MemtisPolicy : public TieringPolicy {
   void SelectSplitCandidates(PolicyContext& ctx, uint64_t how_many);
   void ProcessSplitQueue(PolicyContext& ctx);
   void RunMigration(PolicyContext& ctx);
+  // Promotes `hot` by swapping it with a cold fast-tier page of the same kind
+  // (config_.exchange_when_full). Returns false when no victim qualifies or
+  // the migration budget is exhausted.
+  bool TryExchangePromotion(PolicyContext& ctx, PageIndex hot);
   void HybridScan(PolicyContext& ctx);
   void DemoteForSpace(PolicyContext& ctx, uint64_t target_free_frames);
   void RefillDemotionList(PolicyContext& ctx);
@@ -171,6 +175,7 @@ class MemtisPolicy : public TieringPolicy {
   PageList demotion_list_;
   PageList split_queue_;
   PageIndex demotion_refill_cursor_ = 0;
+  PageIndex exchange_cursor_ = 0;
 
   // Skewness buckets rebuilt at each cooling scan: bucket b holds huge pages
   // with floor(log2(S_i)) == b (paper §4.3.2's "array of skewness factors").

@@ -23,9 +23,10 @@ const std::vector<std::string>& ComparisonSystems() {
 const std::vector<std::string>& KnownPolicyNames() {
   static const std::vector<std::string> kNames = {
       "autonuma",       "autotiering",   "tiering-0.8",    "tpp",
-      "nimble",         "multi-clock",   "hemem",          "memtis",
-      "memtis-ns",      "memtis-vanilla", "memtis-shrinker", "memtis-hybrid",
-      "memtis-nowarm",  "all-fast",      "all-fast-nothp", "all-capacity",
+      "nimble",         "multi-clock",   "hemem",          "hemem-exchange",
+      "memtis",         "memtis-ns",     "memtis-vanilla", "memtis-shrinker",
+      "memtis-hybrid",  "memtis-nowarm", "memtis-exchange", "all-fast",
+      "all-fast-nothp", "all-capacity",
   };
   return kNames;
 }
@@ -53,6 +54,11 @@ std::unique_ptr<TieringPolicy> MakePolicy(std::string_view name,
   }
   if (name == "hemem") {
     return std::make_unique<HeMemPolicy>();
+  }
+  if (name == "hemem-exchange") {
+    HeMemPolicy::Params params;
+    params.use_exchange = true;
+    return std::make_unique<HeMemPolicy>(params);
   }
   if (name == "memtis") {
     return std::make_unique<MemtisPolicy>(
@@ -86,6 +92,11 @@ std::unique_ptr<TieringPolicy> MakePolicy(std::string_view name,
   if (name == "memtis-nowarm") {
     MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint_bytes, fast_bytes);
     cfg.use_warm_set = false;
+    return std::make_unique<MemtisPolicy>(cfg);
+  }
+  if (name == "memtis-exchange") {
+    MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint_bytes, fast_bytes);
+    cfg.exchange_when_full = true;
     return std::make_unique<MemtisPolicy>(cfg);
   }
   if (name == "all-fast") {

@@ -40,6 +40,18 @@ void AutoTieringPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& 
   TouchHistory(page);
   if (page.tier == TierId::kCapacity &&
       limiter_.Allow(ctx.now_ns, page.size_pages())) {
+    if (params_.use_exchange && FastFreeFrames(ctx) < page.size_pages()) {
+      // No free fast frame: swap directly with an LFU fast-tier victim
+      // (history score <= 1, the same bar the background demoter uses)
+      // instead of failing the promotion.
+      const PageIndex victim = FindExchangeVictim(
+          ctx, index, page.kind, &exchange_cursor_,
+          [&](const PageInfo& cand) { return HistoryScore(cand) <= 1; });
+      if (victim != kInvalidPage) {
+        ExchangeCritical(ctx, index, victim);
+      }
+      return;
+    }
     // Promote on fault (critical path), static threshold of one.
     MigrateCritical(ctx, index, TierId::kFast);
   }

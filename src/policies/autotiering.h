@@ -27,6 +27,11 @@ class AutoTieringPolicy : public TieringPolicy {
     int history_bits = 8;
     uint64_t rate_limit_pages = 512;  // fault-path promotion rate limit
     uint64_t rate_window_ns = 2'000'000;
+    // Native direct page exchange (the paper's exchange_pages fast path):
+    // when a fault-path promotion finds no free fast frame, swap the hot page
+    // with a cold fast-tier victim in one operation instead of waiting for
+    // the background thread to demote into a reserved frame.
+    bool use_exchange = true;
   };
 
   AutoTieringPolicy() : AutoTieringPolicy(Params{}) {}
@@ -66,6 +71,7 @@ class AutoTieringPolicy : public TieringPolicy {
   uint64_t scan_epoch_ = 0;
   bool demotion_started_ = false;
   PageIndex demote_cursor_ = 0;
+  PageIndex exchange_cursor_ = 0;
 };
 
 }  // namespace memtis

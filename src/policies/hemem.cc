@@ -98,6 +98,18 @@ void HeMemPolicy::Tick(PolicyContext& ctx) {
     }
     if (FastFreeFrames(ctx) >= page->size_pages()) {
       MigrateBackground(ctx, ctx.mem.IndexOf(*page), TierId::kFast);
+    } else if (params_.use_exchange) {
+      // No free frame freed up: swap directly with a cold fast page of the
+      // same kind rather than stalling the promotion round.
+      const PageIndex hot_index = ctx.mem.IndexOf(*page);
+      const PageIndex victim = FindExchangeVictim(
+          ctx, hot_index, page->kind, &exchange_cursor_,
+          [&](const PageInfo& cand) {
+            return cand.access_count < params_.hot_threshold;
+          });
+      if (victim == kInvalidPage || !ExchangeBackground(ctx, hot_index, victim)) {
+        break;  // nothing cold enough, or out of migration bandwidth
+      }
     } else {
       // No room and nothing cold to evict: stop for this round.
       break;

@@ -29,6 +29,10 @@ class HeMemPolicy : public TieringPolicy {
     // The sampling thread spins; fraction of one core it burns.
     double spin_core_share = 1.0;
     uint64_t cool_scan_cost_per_page_ns = 25;
+    // Opt-in direct page exchange ("hemem-exchange" in the registry): when a
+    // promotion finds no free fast frame and nothing cold will demote, swap
+    // the hot page with a cold fast victim instead of stalling the round.
+    bool use_exchange = false;
     PebsConfig pebs = DefaultPebs();
   };
 
@@ -74,6 +78,7 @@ class HeMemPolicy : public TieringPolicy {
   uint64_t next_migrate_ns_ = 0;
   uint64_t last_spin_charge_ns_ = 0;
   PageIndex demote_cursor_ = 0;
+  PageIndex exchange_cursor_ = 0;
 };
 
 }  // namespace memtis

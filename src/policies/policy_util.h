@@ -46,6 +46,43 @@ inline bool MigrateBackground(PolicyContext& ctx, PageIndex index, TierId dst) {
   return true;
 }
 
+inline uint64_t ExchangeCopyCost(const CostParams& costs, const PageInfo& page) {
+  return page.kind == PageKind::kHuge ? costs.exchange_huge_ns : costs.exchange_base_ns;
+}
+
+// Direct page exchange in the page-fault handler: the faulting thread pays
+// the combined swap-copy plus both shootdowns (two mappings change). Used
+// where a critical-path promotion finds the fast tier full — one exchange
+// replaces a migrate+evict pair without reserving a free frame.
+inline bool ExchangeCritical(PolicyContext& ctx, PageIndex hot, PageIndex cold) {
+  const uint64_t cost = ExchangeCopyCost(ctx.costs, ctx.mem.page(hot)) +
+                        2 * ctx.costs.shootdown_app_ns;
+  if (!ctx.mem.ExchangePages(hot, cold)) {
+    return false;
+  }
+  ctx.ChargeApp(cost);
+  return true;
+}
+
+// Direct page exchange by a background daemon. Both pages cross the memory
+// bus, so the swap draws bandwidth budget for both sides; the daemon burns
+// the combined copy and app threads see two shootdown IPIs plus interference
+// for all moved data.
+inline bool ExchangeBackground(PolicyContext& ctx, PageIndex hot, PageIndex cold) {
+  const uint64_t pages = 2 * ctx.mem.page(hot).size_pages();
+  if (!ctx.migration_budget.Consume(ctx.now_ns, pages)) {
+    return false;
+  }
+  const uint64_t copy = ExchangeCopyCost(ctx.costs, ctx.mem.page(hot));
+  if (!ctx.mem.ExchangePages(hot, cold)) {
+    return false;
+  }
+  ctx.ChargeDaemon(DaemonKind::kMigrator, copy);
+  ctx.ChargeApp(2 * ctx.costs.shootdown_app_ns +
+                pages * ctx.costs.migrate_app_interference_ns);
+  return true;
+}
+
 inline uint64_t FastFreeFrames(const PolicyContext& ctx) {
   return ctx.mem.tier(TierId::kFast).free_frames();
 }
@@ -58,6 +95,31 @@ inline uint64_t FastTotalFrames(const PolicyContext& ctx) {
 inline bool FastBelowWatermark(const PolicyContext& ctx, double fraction) {
   return static_cast<double>(FastFreeFrames(ctx)) <
          static_cast<double>(FastTotalFrames(ctx)) * fraction;
+}
+
+// Deterministic cursor scan for an exchange victim: the next live fast-tier
+// page of `kind` (never `hot` itself) accepted by `is_cold`. The caller owns
+// the cursor so repeated scans resume instead of re-walking from slot 0; the
+// scan wraps at most once. Returns kInvalidPage when no victim qualifies.
+template <typename ColdFn>  // ColdFn(const PageInfo&) -> bool
+PageIndex FindExchangeVictim(PolicyContext& ctx, PageIndex hot, PageKind kind,
+                             PageIndex* cursor, ColdFn&& is_cold) {
+  const PageIndex slots = ctx.mem.page_slots();
+  for (PageIndex visited = 0; visited < slots; ++visited) {
+    if (*cursor >= slots) {
+      *cursor = 0;
+    }
+    const PageIndex index = (*cursor)++;
+    PageInfo* page = ctx.mem.LivePageAt(index);
+    if (page == nullptr || index == hot || page->tier != TierId::kFast ||
+        page->kind != kind) {
+      continue;
+    }
+    if (is_cold(*page)) {
+      return index;
+    }
+  }
+  return kInvalidPage;
 }
 
 // Token-bucket limiter for promotion traffic, modelling the kernel's NUMA

@@ -27,6 +27,12 @@ struct CostParams {
   // it to the migration daemon, with only the shootdown touching the app.
   uint64_t migrate_base_ns = 3'000;        // copy 4 KiB + remap
   uint64_t migrate_huge_ns = 400'000;      // copy 2 MiB + remap
+  // Direct page exchange (AutoTiering's exchange_pages): one combined
+  // swap-copy of both pages through a per-CPU bounce buffer, cheaper than two
+  // independent migrate copies (~1.5x one copy, not 2x) but paying two TLB
+  // shootdowns — one per remapped vpn span.
+  uint64_t exchange_base_ns = 4'500;       // swap two 4 KiB pages + remap both
+  uint64_t exchange_huge_ns = 600'000;     // swap two 2 MiB pages + remap both
   uint64_t shootdown_app_ns = 2'000;       // IPI cost visible to app threads
   uint64_t split_ns = 30'000;              // huge page split bookkeeping
   uint64_t collapse_ns = 60'000;           // base->huge collapse bookkeeping

@@ -67,6 +67,16 @@ void Metrics::WriteJson(JsonWriter& w, bool include_timeline) const {
   w.Field("collapses", migration.collapses);
   w.Field("freed_zero_subpages", migration.freed_zero_subpages);
   w.Field("demand_faults", migration.demand_faults);
+  // Exchange counters postdate the schema-stable goldens: omitted while all
+  // zero so documents from exchange-free runs are byte-identical.
+  if (migration.exchanges != 0 || migration.failed_exchanges != 0 ||
+      migration.aborted_exchanges != 0) {
+    w.Field("exchanges", migration.exchanges);
+    w.Field("exchanged_huge", migration.exchanged_huge);
+    w.Field("failed_exchanges", migration.failed_exchanges);
+    w.Field("aborted_exchanges", migration.aborted_exchanges);
+    w.Field("exchanged_4k", migration.exchanged_4k());
+  }
   w.Field("promoted_4k", migration.promoted_4k());
   w.Field("demoted_4k", migration.demoted_4k());
   w.EndObject();
@@ -173,6 +183,10 @@ bool Metrics::FromJson(const JsonValue& v, Metrics* out) {
     out->migration.collapses = mig->GetUint("collapses");
     out->migration.freed_zero_subpages = mig->GetUint("freed_zero_subpages");
     out->migration.demand_faults = mig->GetUint("demand_faults");
+    out->migration.exchanges = mig->GetUint("exchanges");
+    out->migration.exchanged_huge = mig->GetUint("exchanged_huge");
+    out->migration.failed_exchanges = mig->GetUint("failed_exchanges");
+    out->migration.aborted_exchanges = mig->GetUint("aborted_exchanges");
   }
 
   if (const JsonValue* faults = v.Find("faults"); faults != nullptr) {

@@ -244,6 +244,58 @@ TEST(FaultSite, MigrateAbortRollsBackCompletely) {
   EXPECT_TRUE(report.ok()) << report.ToJson(2);
 }
 
+TEST(FaultSite, ExchangeAbortRollsBackBothSides) {
+  MemorySystem mem(MemoryConfig{.fast_frames = 512, .capacity_frames = 2048});
+  Tlb tlb;
+  mem.AttachTlb(&tlb);
+  AllocOptions opts;
+  opts.use_thp = false;
+  opts.preferred = TierId::kFast;
+  const Vaddr fast_base = mem.AllocateRegion(kHugePageSize, opts);
+  opts.preferred = TierId::kCapacity;
+  const Vaddr cap_base = mem.AllocateRegion(kHugePageSize, opts);
+  const PageIndex hot = mem.Lookup(VpnOf(cap_base));
+  const PageIndex cold = mem.Lookup(VpnOf(fast_base));
+  const FrameId hot_frame = mem.page(hot).frame;
+  const FrameId cold_frame = mem.page(cold).frame;
+  const uint64_t fast_free = mem.tier(TierId::kFast).free_frames();
+  const uint64_t shootdowns = tlb.stats().shootdowns;
+
+  FaultPlan plan;
+  plan.site(FaultSite::kExchangeAbort).probability = 1.0;
+  FaultInjector faults(plan, 3);
+  mem.AttachFaults(&faults);
+
+  // The abort fires after the admission gates but before anything moved:
+  // both pages keep their tier/frame, and neither span was shot down.
+  EXPECT_FALSE(mem.ExchangePages(hot, cold));
+  EXPECT_EQ(mem.migration_stats().aborted_exchanges, 1u);
+  EXPECT_EQ(mem.migration_stats().failed_exchanges, 0u);
+  EXPECT_EQ(mem.migration_stats().exchanges, 0u);
+  EXPECT_EQ(faults.stats().by(FaultSite::kExchangeAbort), 1u);
+  EXPECT_EQ(mem.page(hot).tier, TierId::kCapacity);
+  EXPECT_EQ(mem.page(cold).tier, TierId::kFast);
+  EXPECT_EQ(mem.page(hot).frame, hot_frame);
+  EXPECT_EQ(mem.page(cold).frame, cold_frame);
+  EXPECT_EQ(mem.tier(TierId::kFast).free_frames(), fast_free);
+  EXPECT_EQ(tlb.stats().shootdowns, shootdowns);
+  AuditReport report = AuditMem(mem, tlb);
+  {
+    AuditCollector out(&report);
+    CheckExchangeAccounting(mem, faults.stats(), out);
+  }
+  EXPECT_TRUE(report.ok()) << report.ToJson(2);
+
+  // The same exchange goes through once the injector is gone.
+  mem.AttachFaults(nullptr);
+  EXPECT_TRUE(mem.ExchangePages(hot, cold));
+  EXPECT_EQ(mem.page(hot).tier, TierId::kFast);
+  EXPECT_EQ(mem.page(cold).tier, TierId::kCapacity);
+  EXPECT_EQ(tlb.stats().shootdowns, shootdowns + 2);
+  report = AuditMem(mem, tlb);
+  EXPECT_TRUE(report.ok()) << report.ToJson(2);
+}
+
 TEST(FaultSite, BudgetStarveLeavesLedgerIntact) {
   MigrationBudget budget(/*pages_per_ms=*/1000, /*burst_pages=*/100);
   FaultPlan plan;
@@ -307,17 +359,19 @@ struct FaultRun {
 
 FaultRun RunEngineWithFaults(const FaultPlan& plan, uint64_t seed,
                              const std::string& system = "memtis",
-                             uint64_t accesses = 150'000) {
+                             uint64_t accesses = 150'000,
+                             double fast_ratio = 1.0 / 3.0) {
   auto workload = MakeWorkload("btree", 0.12);
   auto policy = MakePolicy(system, workload->footprint_bytes(),
-                           workload->footprint_bytes() / 3);
+                           static_cast<uint64_t>(
+                               workload->footprint_bytes() * fast_ratio));
   EngineOptions opts;
   opts.max_accesses = accesses;
   opts.seed = seed;
   opts.faults = plan;
   AuditSession audit;
   opts.audit = &audit;
-  Engine engine(MachineFor(*workload, 1.0 / 3.0), *policy, opts);
+  Engine engine(MachineFor(*workload, fast_ratio), *policy, opts);
   FaultRun out;
   out.metrics = engine.Run(*workload);
   out.report = audit.report();
@@ -346,6 +400,23 @@ TEST(EngineFaults, MigrateAbortsMatchInjectorOneToOne) {
   EXPECT_GT(run.metrics.faults.by(FaultSite::kMigrateAbort), 0u);
   EXPECT_EQ(run.metrics.migration.aborted_migrations,
             run.metrics.faults.by(FaultSite::kMigrateAbort));
+  EXPECT_TRUE(run.report.ok()) << run.report.ToJson(2);
+}
+
+TEST(EngineFaults, ExchangeAbortsMatchInjectorOneToOne) {
+  FaultPlan plan;
+  plan.site(FaultSite::kExchangeAbort).probability = 0.5;
+  // AutoTiering exchanges natively once the fast tier fills; a tight ratio
+  // keeps it full so the site is exercised throughout the run. The engine's
+  // registered "exchange-accounting" audit check also certifies the 1:1
+  // pairing every tick.
+  const FaultRun run =
+      RunEngineWithFaults(plan, 42, "autotiering", 150'000, 1.0 / 9.0);
+  EXPECT_GT(run.metrics.faults.by(FaultSite::kExchangeAbort), 0u);
+  EXPECT_EQ(run.metrics.migration.aborted_exchanges,
+            run.metrics.faults.by(FaultSite::kExchangeAbort));
+  // The surviving rolls still completed swaps.
+  EXPECT_GT(run.metrics.migration.exchanges, 0u);
   EXPECT_TRUE(run.report.ok()) << run.report.ToJson(2);
 }
 

@@ -109,6 +109,112 @@ TEST(Fuzz, MemorySystemRandomOps) {
             mem.huge_meta_pooled() + mem.RecountLiveHugePages());
 }
 
+TEST(Fuzz, ExchangeInterleavesWithEveryOtherMutation) {
+  // Random interleavings of exchange / migrate / split / collapse / shrink /
+  // free / demand-fault. Exchanges swap frames in place, so any stale frame
+  // accounting or missed shootdown they introduce surfaces in the periodic
+  // audit sweeps (frame conservation, TLB coherence, exchange counters).
+  Rng rng(20260809);
+  MemorySystem mem(MemoryConfig{.fast_frames = 4096, .capacity_frames = 16384});
+  Tlb tlb;
+  mem.AttachTlb(&tlb);
+  std::vector<Vaddr> regions;
+  uint64_t attempted_exchanges = 0;
+
+  const auto audit_all = [&](int step) {
+    AuditReport report = AuditMemorySystem(mem, tlb);
+    AuditCollector out(&report);
+    // No injector attached: zero injected aborts must pair with zero counted.
+    CheckExchangeAccounting(mem, FaultStats{}, out);
+    CheckTenantConservation(mem, out);
+    ASSERT_TRUE(report.ok()) << "step " << step << ": " << report.ToJson(2);
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 22 || regions.empty()) {
+      if (mem.tier(TierId::kFast).free_frames() +
+              mem.tier(TierId::kCapacity).free_frames() >
+          4 * kSubpagesPerHuge) {
+        AllocOptions opts;
+        opts.preferred = rng.NextBool(0.3) ? TierId::kFast : TierId::kCapacity;
+        opts.use_thp = rng.NextBool(0.7);
+        regions.push_back(
+            mem.AllocateRegion((1 + rng.NextBelow(3)) * kHugePageSize, opts));
+      }
+    } else if (op < 32) {
+      const size_t pick = rng.NextBelow(regions.size());
+      mem.FreeRegion(regions[pick]);
+      regions[pick] = regions.back();
+      regions.pop_back();
+    } else if (op < 47) {
+      const Vaddr base = regions[rng.NextBelow(regions.size())];
+      const PageIndex index = mem.Lookup(VpnOf(base));
+      if (index != kInvalidPage) {
+        mem.Migrate(index, rng.NextBool(0.5) ? TierId::kFast : TierId::kCapacity);
+      }
+    } else if (op < 72) {
+      // Exchange: pick a random (capacity, fast) pair of the same kind. The
+      // candidate scan is deterministic given the RNG, so reruns replay.
+      std::vector<PageIndex> hot_side;
+      std::vector<PageIndex> cold_side;
+      mem.ForEachLivePage([&](PageIndex i, PageInfo& page) {
+        (page.tier == TierId::kCapacity ? hot_side : cold_side).push_back(i);
+      });
+      if (!hot_side.empty() && !cold_side.empty()) {
+        const PageIndex hot = hot_side[rng.NextBelow(hot_side.size())];
+        const PageIndex cold = cold_side[rng.NextBelow(cold_side.size())];
+        mem.ExchangePages(hot, cold);  // kind mismatches count as failures
+        ++attempted_exchanges;
+      }
+    } else if (op < 82) {
+      const Vaddr base = regions[rng.NextBelow(regions.size())];
+      const PageIndex index = mem.Lookup(VpnOf(base));
+      if (index != kInvalidPage && mem.page(index).kind == PageKind::kHuge) {
+        PageInfo& page = mem.page(index);
+        for (int j = 0; j < 96; ++j) {
+          mem.NoteSubpageAccess(page, rng.NextBelow(kSubpagesPerHuge),
+                                /*is_write=*/true);
+        }
+        mem.SplitHugePage(index, [&](uint32_t) {
+          return rng.NextBool(0.5) ? TierId::kFast : TierId::kCapacity;
+        });
+      }
+    } else if (op < 88) {
+      // Collapse the first huge span of a region if its 512 children qualify.
+      const Vaddr base = regions[rng.NextBelow(regions.size())];
+      mem.CollapseToHuge(HugeBaseVpn(VpnOf(base)),
+                         rng.NextBool(0.5) ? TierId::kFast : TierId::kCapacity);
+    } else if (op < 92) {
+      // Shrink a tier by a small pinned slice (permanent, like hot-unplug).
+      if (mem.pinned_frames_total() < 1024) {
+        mem.ShrinkTier(rng.NextBool(0.5) ? TierId::kFast : TierId::kCapacity,
+                       rng.NextBelow(32));
+      }
+    } else {
+      const Vaddr base = regions[rng.NextBelow(regions.size())];
+      const auto region = mem.RegionAt(base);
+      ASSERT_TRUE(region.has_value());
+      const Vpn vpn = region->first + rng.NextBelow(region->second);
+      if (mem.Lookup(vpn) == kInvalidPage) {
+        mem.DemandFault(vpn, AllocOptions{});
+      }
+    }
+    if ((step & 63) == 0) {
+      audit_all(step);
+    }
+  }
+  audit_all(3000);
+  // The mix must actually exercise the new primitive, both outcomes included.
+  EXPECT_GT(attempted_exchanges, 0u);
+  const MigrationStats& stats = mem.migration_stats();
+  EXPECT_GT(stats.exchanges, 0u);
+  EXPECT_GT(stats.failed_exchanges, 0u);  // wrong-kind / wrong-tier picks
+  EXPECT_EQ(stats.aborted_exchanges, 0u);
+  EXPECT_EQ(mem.huge_meta_allocated(),
+            mem.huge_meta_pooled() + mem.RecountLiveHugePages());
+}
+
 TEST(Fuzz, HugePageMetaPoolRecycles) {
   // Split/collapse churn on a steady-state set of huge pages must reuse
   // pooled HugePageMeta buffers instead of growing the allocation count.

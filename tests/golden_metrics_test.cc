@@ -31,10 +31,13 @@ struct GoldenCell {
 };
 
 // Three families of system (MEMTIS, userspace HeMem, kernel AutoNUMA) by two
-// workloads with different page-size behaviour.
+// workloads with different page-size behaviour, plus AutoTiering — the one
+// policy that uses ExchangePages natively — so the exchange path (counters,
+// omit-when-zero schema, deterministic victim scan) is golden-pinned too.
 constexpr GoldenCell kCells[] = {
     {"memtis", "btree"},   {"memtis", "silo"},   {"hemem", "btree"},
     {"hemem", "silo"},     {"autonuma", "btree"}, {"autonuma", "silo"},
+    {"autotiering", "btree"}, {"autotiering", "silo"},
 };
 
 std::string GoldenPath(const GoldenCell& cell) {

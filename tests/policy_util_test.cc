@@ -113,6 +113,95 @@ TEST(PolicyUtil, ConsumeFaultDisarms) {
   EXPECT_FALSE(arm.ConsumeFault(page));
 }
 
+TEST(PolicyUtil, ExchangeCriticalChargesAppForSwapAndBothShootdowns) {
+  ContextFixture f;
+  AllocOptions opts;
+  opts.preferred = TierId::kFast;
+  const Vaddr fast = f.mem.AllocateRegion(kHugePageSize, opts);
+  opts.preferred = TierId::kCapacity;
+  const Vaddr cap = f.mem.AllocateRegion(kHugePageSize, opts);
+  const PageIndex hot = f.mem.Lookup(VpnOf(cap));
+  const PageIndex cold = f.mem.Lookup(VpnOf(fast));
+  ASSERT_TRUE(ExchangeCritical(f.ctx, hot, cold));
+  EXPECT_EQ(f.mem.page(hot).tier, TierId::kFast);
+  EXPECT_EQ(f.ctx.pending_app_ns,
+            f.costs.exchange_huge_ns + 2 * f.costs.shootdown_app_ns);
+  EXPECT_EQ(f.cpu.total_busy(), 0u);  // fault-path work, not daemon work
+  // One combined swap-copy beats the migrate+evict pair's two full copies.
+  EXPECT_LT(f.costs.exchange_huge_ns, 2 * f.costs.migrate_huge_ns);
+}
+
+TEST(PolicyUtil, ExchangeBackgroundChargesDaemonAndDrawsBothSidesFromBudget) {
+  ContextFixture f;
+  AllocOptions opts;
+  opts.preferred = TierId::kFast;
+  const Vaddr fast = f.mem.AllocateRegion(kHugePageSize, opts);
+  opts.preferred = TierId::kCapacity;
+  const Vaddr cap = f.mem.AllocateRegion(kHugePageSize, opts);
+  const uint64_t consumed_before = f.budget.consumed_pages();
+  ASSERT_TRUE(ExchangeBackground(f.ctx, f.mem.Lookup(VpnOf(cap)),
+                                 f.mem.Lookup(VpnOf(fast))));
+  // Both sides moved, so the swap draws 2x the page span from the budget.
+  EXPECT_EQ(f.budget.consumed_pages() - consumed_before, 2 * kSubpagesPerHuge);
+  EXPECT_EQ(f.cpu.busy(DaemonKind::kMigrator), f.costs.exchange_huge_ns);
+  EXPECT_EQ(f.ctx.pending_app_ns,
+            2 * f.costs.shootdown_app_ns +
+                2 * kSubpagesPerHuge * f.costs.migrate_app_interference_ns);
+}
+
+TEST(PolicyUtil, ExchangeBackgroundDeniedByExhaustedBudget) {
+  ContextFixture f;
+  MigrationBudget tight(/*pages_per_ms=*/1, /*burst=*/512);  // < 2 * 512
+  PolicyContext ctx{f.mem, f.tlb, f.costs, f.cpu, f.rng, tight};
+  AllocOptions opts;
+  opts.preferred = TierId::kFast;
+  const Vaddr fast = f.mem.AllocateRegion(kHugePageSize, opts);
+  opts.preferred = TierId::kCapacity;
+  const Vaddr cap = f.mem.AllocateRegion(kHugePageSize, opts);
+  const PageIndex hot = f.mem.Lookup(VpnOf(cap));
+  EXPECT_FALSE(ExchangeBackground(ctx, hot, f.mem.Lookup(VpnOf(fast))));
+  EXPECT_EQ(f.mem.page(hot).tier, TierId::kCapacity);  // nothing moved
+  EXPECT_EQ(f.mem.migration_stats().exchanges, 0u);
+}
+
+TEST(PolicyUtil, FindExchangeVictimFiltersAndResumesCursor) {
+  ContextFixture f;
+  AllocOptions opts;
+  opts.preferred = TierId::kFast;
+  opts.use_thp = false;
+  const Vaddr fast = f.mem.AllocateRegion(kHugePageSize, opts);  // 512 base
+  opts.preferred = TierId::kCapacity;
+  const Vaddr cap = f.mem.AllocateRegion(kHugePageSize, opts);
+  opts.use_thp = true;
+  opts.preferred = TierId::kFast;
+  const Vaddr fast_huge = f.mem.AllocateRegion(kHugePageSize, opts);
+  const PageIndex hot = f.mem.Lookup(VpnOf(cap));
+
+  // Mark exactly two fast base pages cold (policy_word0 = 1 as the flag).
+  PageInfo& cold_a = f.mem.page(f.mem.Lookup(VpnOf(fast) + 3));
+  PageInfo& cold_b = f.mem.page(f.mem.Lookup(VpnOf(fast) + 200));
+  cold_a.policy_word0 = cold_b.policy_word0 = 1;
+  const auto is_cold = [](const PageInfo& p) { return p.policy_word0 == 1; };
+
+  PageIndex cursor = 0;
+  const PageIndex first =
+      FindExchangeVictim(f.ctx, hot, PageKind::kBase, &cursor, is_cold);
+  ASSERT_NE(first, kInvalidPage);
+  EXPECT_EQ(&f.mem.page(first), &cold_a);
+  // The cursor resumes past the last hit: the next call finds the other one.
+  const PageIndex second =
+      FindExchangeVictim(f.ctx, hot, PageKind::kBase, &cursor, is_cold);
+  ASSERT_NE(second, kInvalidPage);
+  EXPECT_EQ(&f.mem.page(second), &cold_b);
+  // Kind must match: no cold huge page exists, so the huge scan comes back
+  // empty even though cold base pages qualify.
+  PageIndex huge_cursor = 0;
+  EXPECT_EQ(FindExchangeVictim(f.ctx, f.mem.Lookup(VpnOf(cap)), PageKind::kHuge,
+                               &huge_cursor, is_cold),
+            kInvalidPage);
+  (void)fast_huge;
+}
+
 TEST(MigrationRateLimiter, WindowedBudget) {
   MigrationRateLimiter limiter(/*pages=*/100, /*window_ns=*/1000);
   EXPECT_TRUE(limiter.Allow(0, 60));
