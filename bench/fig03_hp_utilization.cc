@@ -39,7 +39,7 @@ int Main() {
     std::vector<double> utilization;
     std::vector<double> hotness;
     engine.mem().ForEachLivePage([&](PageIndex, PageInfo& page) {
-      if (page.kind != PageKind::kHuge || page.access_count == 0) {
+      if (page.kind() != PageKind::kHuge || page.access_count() == 0) {
         return;
       }
       uint32_t used = 0;
@@ -50,7 +50,7 @@ int Main() {
         return;
       }
       utilization.push_back(static_cast<double>(used));
-      hotness.push_back(static_cast<double>(page.access_count));
+      hotness.push_back(static_cast<double>(page.access_count()));
     });
 
     Table table(std::string("Fig. 3 — hotness vs huge-page utilisation: ") + benchmark);

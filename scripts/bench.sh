@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Hot-path perf tracking: builds the Release tree, runs bench/perf's
-# hotpath_bench, and writes BENCH_hotpath.json at the repo root (the tracked
+# hotpath_bench, and updates BENCH_hotpath.json at the repo root (the tracked
 # perf trajectory — see README "Performance"). Usage:
 #
-#   scripts/bench.sh [build-dir] [-- extra hotpath_bench args]
+#   scripts/bench.sh [--accept] [build-dir] [-- extra hotpath_bench args]
+#
+# The fresh run is diffed against the committed BENCH_hotpath.json by
+# scripts/compare_bench.py: a tracked benchmark slowing down by more than 15%
+# fails the script and leaves the baseline untouched (the fresh numbers stay
+# in BENCH_hotpath.json.new for inspection). Pass --accept to take an
+# intentional regression and overwrite the baseline anyway.
 #
 # Tracked numbers must come from an optimized build: this script configures
 # -DCMAKE_BUILD_TYPE=Release and refuses a pre-existing build dir whose
@@ -15,6 +21,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+ACCEPT=()
+if [[ $# -gt 0 && "$1" == "--accept" ]]; then
+  ACCEPT=(--accept)
+  shift
+fi
 BUILD_DIR="build-release"
 if [[ $# -gt 0 && "$1" != "--" ]]; then
   BUILD_DIR="$1"
@@ -43,4 +54,20 @@ fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$JOBS" --target hotpath_bench
-"$BUILD_DIR/bench/hotpath_bench" --out=BENCH_hotpath.json "${EXTRA_ARGS[@]}"
+
+# Write the fresh numbers next to the baseline, gate on compare_bench, and
+# only promote them over BENCH_hotpath.json when the gate passes. Best-of-5
+# per benchmark rejects scheduler/frequency noise on shared hosts.
+"$BUILD_DIR/bench/hotpath_bench" --repeat=5 --out=BENCH_hotpath.json.new \
+    "${EXTRA_ARGS[@]}"
+if [[ -f BENCH_hotpath.json ]]; then
+  if ! python3 scripts/compare_bench.py "${ACCEPT[@]}" \
+      BENCH_hotpath.json BENCH_hotpath.json.new; then
+    echo "bench.sh: regression gate failed; baseline left untouched" >&2
+    echo "bench.sh: fresh numbers kept in BENCH_hotpath.json.new" >&2
+    echo "bench.sh: rerun as scripts/bench.sh --accept ... to take them" >&2
+    exit 1
+  fi
+fi
+mv BENCH_hotpath.json.new BENCH_hotpath.json
+echo "wrote BENCH_hotpath.json"

@@ -13,7 +13,11 @@
 # so the per-tenant conservation/quota invariants are exercised end to end,
 # and a sixth pass storming the exchange-abort fault site through every
 # exchange-capable policy under the auditor (the exchange-accounting and
-# frame-conservation invariants certify each two-sided rollback).
+# frame-conservation invariants certify each two-sided rollback), and a
+# seventh pass building the sharded-engine tests under ThreadSanitizer (a
+# separate build tree — TSan and ASan cannot share one) and running the
+# shard-identity suite with real worker threads, since ShardedEngine is the
+# repo's first intra-cell threading.
 # Usage:
 #
 #   scripts/check.sh [build-dir]
@@ -93,3 +97,16 @@ grep -q '"exchange-abort"' "$EXCH_OUT" || {
   exit 1
 }
 echo "exchange-abort storm: audit clean, exchanges and aborts recorded"
+echo "== seventh pass: ThreadSanitizer over the sharded-engine tests =="
+# ShardedEngine runs shards on a work-stealing thread pool; TSan certifies
+# the only cross-thread state (the atomic index, the shard-indexed result
+# slots, the join) is race-free. Separate tree: TSan is incompatible with
+# the ASan/UBSan flags above.
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+cmake --build "$TSAN_DIR" -j"$JOBS" --target replay_differential_test
+"$TSAN_DIR/tests/replay_differential_test" \
+    --gtest_filter='PolicySpread/ShardedIdentityTest.*:ReplayFuzz.*'
+echo "sharded-engine TSan pass: clean"

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Guard the tracked perf trajectory: diff a fresh hotpath_bench run against
+the committed BENCH_hotpath.json and fail on regressions.
+
+Usage:
+    scripts/compare_bench.py BASELINE.json FRESH.json [--threshold=0.15]
+                             [--accept]
+
+A benchmark regresses when its fresh ns_per_op exceeds the baseline's by more
+than the threshold (default 15%). Benchmarks present on only one side are
+reported but never fail the run (new benches land with no history; retired
+ones leave it). Exit codes: 0 = no regressions (or --accept), 1 = regressions
+without --accept, 2 = usage/schema error.
+
+--accept is the explicit escape hatch for intentional slowdowns (e.g. a
+correctness fix on a hot path): regressions are still printed, marked
+ACCEPTED, and the exit code is forced to 0 so the caller (scripts/bench.sh)
+goes on to overwrite the baseline.
+"""
+
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.15
+
+
+def load_benchmarks(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.stderr.write(f"compare_bench: cannot read {path}: {err}\n")
+        sys.exit(2)
+    if doc.get("schema") != "memtis-hotpath-bench":
+        sys.stderr.write(f"compare_bench: {path} is not a hotpath-bench file\n")
+        sys.exit(2)
+    if doc.get("smoke"):
+        sys.stderr.write(
+            f"compare_bench: {path} is a --smoke run; its numbers are "
+            "meaningless for tracking\n")
+        sys.exit(2)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name")
+        ns = bench.get("ns_per_op")
+        if not name or not isinstance(ns, (int, float)) or ns <= 0:
+            sys.stderr.write(f"compare_bench: malformed entry in {path}\n")
+            sys.exit(2)
+        out[name] = float(ns)
+    return out
+
+
+def main(argv):
+    threshold = DEFAULT_THRESHOLD
+    accept = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--accept":
+            accept = True
+        elif arg.startswith("--threshold="):
+            try:
+                threshold = float(arg.split("=", 1)[1])
+            except ValueError:
+                sys.stderr.write(f"compare_bench: bad threshold '{arg}'\n")
+                return 2
+            if threshold <= 0:
+                sys.stderr.write("compare_bench: threshold must be > 0\n")
+                return 2
+        elif arg.startswith("-"):
+            sys.stderr.write(__doc__)
+            return 0 if arg in ("-h", "--help") else 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+
+    baseline = load_benchmarks(paths[0])
+    fresh = load_benchmarks(paths[1])
+
+    regressions = []
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in fresh:
+            print(f"  {name:28s} retired (baseline {baseline[name]:8.1f} ns/op)")
+            continue
+        if name not in baseline:
+            print(f"  {name:28s} new      ({fresh[name]:8.1f} ns/op, no history)")
+            continue
+        base, now = baseline[name], fresh[name]
+        delta = (now - base) / base
+        marker = ""
+        if delta > threshold:
+            regressions.append(name)
+            marker = "  << REGRESSION" + (" (ACCEPTED)" if accept else "")
+        print(f"  {name:28s} {base:8.1f} -> {now:8.1f} ns/op "
+              f"({delta:+7.1%}){marker}")
+
+    if regressions and not accept:
+        sys.stderr.write(
+            f"compare_bench: {len(regressions)} benchmark(s) regressed more "
+            f"than {threshold:.0%}: {', '.join(regressions)}\n"
+            "compare_bench: rerun with --accept to take the new numbers "
+            "anyway\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

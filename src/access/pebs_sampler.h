@@ -93,6 +93,24 @@ class PebsSampler {
   // the period controller. Returns the ns charged for this sample.
   uint64_t AccountSample(uint64_t now_ns);
 
+  // --- Bulk absorption (batched replay) ---------------------------------------
+  //
+  // With countdown c, the next c-1 OnEvent(type) calls are provably pure
+  // decrements: each does --countdown, lands on a value >= 1, and returns false
+  // with no other side effect (delivery, drops, and period adaptation all
+  // happen only when the countdown reaches zero). The engine's batched access
+  // path exploits this: EventsUntilSample bounds how many upcoming events can
+  // be absorbed, AbsorbEvents applies them as one subtraction. Absorbing
+  // n <= EventsUntilSample(type) events leaves the sampler in exactly the state
+  // n scalar OnEvent calls would have.
+  uint64_t EventsUntilSample(SampleType type) const {
+    const int64_t c = countdown_[static_cast<int>(type)];
+    return c > 1 ? static_cast<uint64_t>(c - 1) : 0;
+  }
+  void AbsorbEvents(SampleType type, uint64_t n) {
+    countdown_[static_cast<int>(type)] -= static_cast<int64_t>(n);
+  }
+
   uint64_t period(SampleType type) const { return period_[static_cast<int>(type)]; }
   double cpu_usage() const { return usage_ema_.value(); }
   uint64_t busy_ns() const { return busy_ns_; }

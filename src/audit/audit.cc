@@ -141,7 +141,7 @@ void CheckHugePageAccounting(MemorySystem& mem, AuditCollector& out) {
     if (failures >= 4) {
       return;  // one audit point reports at most a few pages
     }
-    if (page.kind == PageKind::kHuge) {
+    if (page.kind() == PageKind::kHuge) {
       if (page.huge == nullptr) {
         ++failures;
         out.Fail("huge-page-accounting",
@@ -158,12 +158,12 @@ void CheckHugePageAccounting(MemorySystem& mem, AuditCollector& out) {
       for (uint32_t c : page.huge->subpage_count) {
         subpage_sum += c;
       }
-      if (subpage_sum > page.access_count) {
+      if (subpage_sum > page.access_count()) {
         ++failures;
         out.Fail("huge-page-accounting",
                  "huge page " + std::to_string(index) + ": subpage counters sum " +
                      std::to_string(subpage_sum) + " > page counter " +
-                     std::to_string(page.access_count));
+                     std::to_string(page.access_count()));
       }
       const uint32_t nonzero = page.huge->RecountNonzeroSubpages();
       if (nonzero != page.huge->nonzero_subpages) {
@@ -249,7 +249,7 @@ void CheckTlbCoherence(const Tlb& tlb, const MemorySystem& mem,
       return;
     }
     const PageInfo& page = mem.page(index);
-    if (page.kind != kind) {
+    if (page.kind() != kind) {
       ++failures;
       out.Fail("tlb-coherence", std::string(kind_name) + " entry for vpn " +
                                     std::to_string(vpn) +
@@ -367,7 +367,7 @@ void CheckTenantConservation(MemorySystem& mem, AuditCollector& out) {
       unknown_owner = true;
       return;
     }
-    recount[p.tenant * kNumTiers + static_cast<int>(p.tier)] += p.size_pages();
+    recount[p.tenant * kNumTiers + static_cast<int>(p.tier())] += p.size_pages();
   });
   if (unknown_owner) {
     return;

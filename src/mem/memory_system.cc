@@ -57,7 +57,11 @@ PageIndex MemorySystem::NewPageSlot() {
     return index;
   }
   pages_.emplace_back();
-  return static_cast<PageIndex>(pages_.size() - 1);
+  const PageIndex index = static_cast<PageIndex>(pages_.size() - 1);
+  hot_.Resize(pages_.size());
+  pages_[index].hot = &hot_;
+  pages_[index].self = index;
+  return index;
 }
 
 void MemorySystem::ReleasePageSlot(PageIndex index) {
@@ -66,6 +70,11 @@ void MemorySystem::ReleasePageSlot(PageIndex index) {
   const uint32_t next_gen = p.generation + 1;
   p = PageInfo{};
   p.generation = next_gen;
+  // Re-bind the SoA back-reference (the blanket reset above cleared it) and
+  // reset the slot's hot fields to the dead-slot defaults the audit certifies.
+  p.hot = &hot_;
+  p.self = index;
+  hot_.ResetSlot(index);
   free_slots_.push_back(index);
 }
 
@@ -134,12 +143,12 @@ void MemorySystem::MapPage(PageIndex index, Vpn vpn, PageKind kind, TierId tier_
   SIM_DCHECK(!p.live);
   SIM_DCHECK(tenant < tenants_.size());
   p.base_vpn = vpn;
-  p.kind = kind;
-  p.tier = tier_id;
-  p.frame = frame;
+  p.kind() = kind;
+  p.tier() = tier_id;
+  p.frame() = frame;
   p.live = true;
   p.tenant = tenant;
-  p.access_count = 0;
+  p.access_count() = 0;
   p.cooling_epoch = 0;
   p.histogram_bin = 0xff;
   p.in_promotion_list = false;
@@ -175,19 +184,19 @@ void MemorySystem::UnmapAndFree(PageIndex index) {
   for (uint64_t i = 0; i < n; ++i) {
     page_table_[p.base_vpn + i] = kInvalidPage;
   }
-  const int order = p.kind == PageKind::kHuge ? BuddyAllocator::kMaxOrder : 0;
-  tier(p.tier).allocator().Free(p.frame, order);
+  const int order = p.kind() == PageKind::kHuge ? BuddyAllocator::kMaxOrder : 0;
+  tier(p.tier()).allocator().Free(p.frame(), order);
   if (tlb_ != nullptr) {
     tlb_->Shootdown(p.base_vpn, n);
   }
   --live_pages_;
   mapped_4k_ -= n;
-  mapped_4k_tier_[static_cast<int>(p.tier)] -= n;
-  tenants_[p.tenant].mapped_4k_tier[static_cast<int>(p.tier)] -= n;
-  if (p.tier == TierId::kFast) {
+  mapped_4k_tier_[static_cast<int>(p.tier())] -= n;
+  tenants_[p.tenant].mapped_4k_tier[static_cast<int>(p.tier())] -= n;
+  if (p.tier() == TierId::kFast) {
     TenantBorrowRatchet(p.tenant);
   }
-  if (p.kind == PageKind::kHuge) [[unlikely]] {
+  if (p.kind() == PageKind::kHuge) [[unlikely]] {
     ReleaseHugeState(p);
   }
   p.live = false;
@@ -332,7 +341,7 @@ PageIndex MemorySystem::DemandFault(Vpn vpn, const AllocOptions& options) {
 bool MemorySystem::Migrate(PageIndex index, TierId dst) {
   PageInfo& p = pages_[index];
   SIM_DCHECK(p.live);
-  if (p.tier == dst) {
+  if (p.tier() == dst) {
     return true;
   }
   const TenantId tenant = p.tenant;
@@ -355,7 +364,7 @@ bool MemorySystem::Migrate(PageIndex index, TierId dst) {
       return false;
     }
   }
-  const int order = p.kind == PageKind::kHuge ? BuddyAllocator::kMaxOrder : 0;
+  const int order = p.kind() == PageKind::kHuge ? BuddyAllocator::kMaxOrder : 0;
   auto frame = tier(dst).allocator().Allocate(order);
   if (!frame.has_value()) {
     ++migration_stats_.failed_migrations;
@@ -370,20 +379,20 @@ bool MemorySystem::Migrate(PageIndex index, TierId dst) {
     ++migration_stats_.aborted_migrations;
     return false;
   }
-  tier(p.tier).allocator().Free(p.frame, order);
+  tier(p.tier()).allocator().Free(p.frame(), order);
   if (tlb_ != nullptr) {
     tlb_->Shootdown(p.base_vpn, p.size_pages());
   }
   const bool promotion = dst == TierId::kFast;
-  if (p.kind == PageKind::kHuge) {
+  if (p.kind() == PageKind::kHuge) {
     (promotion ? migration_stats_.promoted_huge : migration_stats_.demoted_huge) += 1;
   } else {
     (promotion ? migration_stats_.promoted_base : migration_stats_.demoted_base) += 1;
   }
   const uint64_t n = p.size_pages();
-  mapped_4k_tier_[static_cast<int>(p.tier)] -= n;
+  mapped_4k_tier_[static_cast<int>(p.tier())] -= n;
   mapped_4k_tier_[static_cast<int>(dst)] += n;
-  tenants_[tenant].mapped_4k_tier[static_cast<int>(p.tier)] -= n;
+  tenants_[tenant].mapped_4k_tier[static_cast<int>(p.tier())] -= n;
   tenants_[tenant].mapped_4k_tier[static_cast<int>(dst)] += n;
   // A promotion passed the quota gate above, so it never needs to extend the
   // borrow window (the audit invariant would flag an enforcement bug if it
@@ -391,8 +400,8 @@ bool MemorySystem::Migrate(PageIndex index, TierId dst) {
   if (!promotion) {
     TenantBorrowRatchet(tenant);
   }
-  p.tier = dst;
-  p.frame = *frame;
+  p.tier() = dst;
+  p.frame() = *frame;
   return true;
 }
 
@@ -405,8 +414,8 @@ bool MemorySystem::ExchangePages(PageIndex hot, PageIndex cold) {
   PageInfo& c = pages_[cold];
   // Strict direction and matching kinds: the swap reuses both frames in
   // place, so the orders must agree, and `hot` must be the capacity-tier side.
-  if (!h.live || !c.live || h.kind != c.kind || h.tier != TierId::kCapacity ||
-      c.tier != TierId::kFast) {
+  if (!h.live || !c.live || h.kind() != c.kind() || h.tier() != TierId::kCapacity ||
+      c.tier() != TierId::kFast) {
     ++migration_stats_.failed_exchanges;
     return false;
   }
@@ -444,9 +453,9 @@ bool MemorySystem::ExchangePages(PageIndex hot, PageIndex cold) {
     tlb_->Shootdown(h.base_vpn, n);
     tlb_->Shootdown(c.base_vpn, n);
   }
-  std::swap(h.frame, c.frame);
-  h.tier = TierId::kFast;
-  c.tier = TierId::kCapacity;
+  std::swap(h.frame(), c.frame());
+  h.tier() = TierId::kFast;
+  c.tier() = TierId::kCapacity;
   // Global per-tier counters are unchanged (n pages enter and leave each
   // tier); per-tenant counters move only when the owners differ.
   if (hot_tenant != cold_tenant) {
@@ -459,7 +468,7 @@ bool MemorySystem::ExchangePages(PageIndex hot, PageIndex cold) {
     TenantBorrowRatchet(cold_tenant);
   }
   ++migration_stats_.exchanges;
-  if (h.kind == PageKind::kHuge) {
+  if (h.kind() == PageKind::kHuge) {
     ++migration_stats_.exchanged_huge;
   }
   return true;
@@ -475,7 +484,7 @@ bool MemorySystem::StealForPromotion(TenantId tenant, uint64_t frames) {
     PageIndex victim = kInvalidPage;
     uint64_t coldest = UINT64_MAX;
     ForEachLivePage([&](PageIndex i, PageInfo& p) {
-      if (p.tenant == tenant && p.tier == TierId::kFast && p.hotness() < coldest) {
+      if (p.tenant == tenant && p.tier() == TierId::kFast && p.hotness() < coldest) {
         coldest = p.hotness();
         victim = i;
       }
@@ -523,7 +532,7 @@ const MemorySystem::Region* MemorySystem::RegionContaining(Vpn vpn) const {
 uint64_t MemorySystem::RecountTenantMapped4k(TenantId tenant, TierId tier) const {
   uint64_t mapped = 0;
   for (const PageInfo& p : pages_) {
-    if (p.live && p.tenant == tenant && p.tier == tier) {
+    if (p.live && p.tenant == tenant && p.tier() == tier) {
       mapped += p.size_pages();
     }
   }
@@ -558,14 +567,14 @@ uint64_t MemorySystem::SplitHugePage(PageIndex index,
                                      const std::function<TierId(uint32_t)>& subpage_tier) {
   PageInfo& p = pages_[index];
   SIM_CHECK(p.live);
-  SIM_CHECK(p.kind == PageKind::kHuge);
+  SIM_CHECK(p.kind() == PageKind::kHuge);
   SIM_CHECK(p.huge != nullptr);
 
   // Snapshot what we need; the huge PageInfo dies before subpages are mapped.
   // The meta is moved out (not copied) and recycled once the subpages exist.
   const Vpn base_vpn = p.base_vpn;
-  const TierId old_tier = p.tier;
-  const FrameId old_frame = p.frame;
+  const TierId old_tier = p.tier();
+  const FrameId old_frame = p.frame();
   const uint32_t cooling_epoch = p.cooling_epoch;
   const uint64_t alloc_time = p.alloc_time_ns;
   const TenantId tenant = p.tenant;  // children inherit ownership
@@ -608,7 +617,7 @@ uint64_t MemorySystem::SplitHugePage(PageIndex index,
     MapPage(child, base_vpn + j, PageKind::kBase, placed->first, placed->second,
             tenant);
     PageInfo& cp = pages_[child];
-    cp.access_count = meta->subpage_count[j];
+    cp.access_count() = meta->subpage_count[j];
     cp.cooling_epoch = cooling_epoch;
     cp.alloc_time_ns = alloc_time;
     ++created;
@@ -625,10 +634,10 @@ bool MemorySystem::CollapseToHuge(Vpn huge_vpn, TierId dst) {
   uint64_t fast_base = 0;
   for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
     const PageIndex index = Lookup(huge_vpn + j);
-    if (index == kInvalidPage || pages_[index].kind != PageKind::kBase) {
+    if (index == kInvalidPage || pages_[index].kind() != PageKind::kBase) {
       return false;
     }
-    fast_base += pages_[index].tier == TierId::kFast ? 1 : 0;
+    fast_base += pages_[index].tier() == TierId::kFast ? 1 : 0;
   }
   const TenantId tenant = pages_[Lookup(huge_vpn)].tenant;
   // Quota gate on the net fast-tier growth: collapsing into fast replaces
@@ -656,12 +665,12 @@ bool MemorySystem::CollapseToHuge(Vpn huge_vpn, TierId dst) {
     const PageIndex index = Lookup(huge_vpn + j);
     PageInfo& bp = pages_[index];
     const uint32_t c =
-        static_cast<uint32_t>(std::min<uint64_t>(bp.access_count, UINT32_MAX));
+        static_cast<uint32_t>(std::min<uint64_t>(bp.access_count(), UINT32_MAX));
     huge_meta->subpage_count[j] = c;  // fresh meta: maintain nonzero locally
     nonzero += c != 0;
-    huge_meta->accessed[j] = bp.access_count > 0;
+    huge_meta->accessed[j] = bp.access_count() > 0;
     huge_meta->written[j] = true;  // collapse candidates were written base pages
-    total_count += bp.access_count;
+    total_count += bp.access_count();
     cooling_epoch = std::max(cooling_epoch, bp.cooling_epoch);
     // Free the base page (clears page table span of 1).
     UnmapAndFree(index);
@@ -674,7 +683,7 @@ bool MemorySystem::CollapseToHuge(Vpn huge_vpn, TierId dst) {
   std::swap(hp.huge, huge_meta);
   RecycleHugeMeta(std::move(huge_meta));  // the zeroed meta MapPage installed
   written_subpages_ += hp.huge->written.count();
-  hp.access_count = total_count;
+  hp.access_count() = total_count;
   hp.cooling_epoch = cooling_epoch;
   ++migration_stats_.collapses;
   return true;
@@ -682,7 +691,7 @@ bool MemorySystem::CollapseToHuge(Vpn huge_vpn, TierId dst) {
 
 void MemorySystem::ClearAccessedBits() {
   for (PageInfo& p : pages_) {
-    if (p.live && p.kind == PageKind::kHuge) {
+    if (p.live && p.kind() == PageKind::kHuge) {
       p.huge->accessed.reset();
     }
   }
@@ -705,7 +714,7 @@ double MemorySystem::huge_page_ratio() const {
 uint64_t MemorySystem::RecountMapped4kInTier(TierId id) const {
   uint64_t mapped = 0;
   for (const PageInfo& p : pages_) {
-    if (p.live && p.tier == id) {
+    if (p.live && p.tier() == id) {
       mapped += p.size_pages();
     }
   }
@@ -715,7 +724,7 @@ uint64_t MemorySystem::RecountMapped4kInTier(TierId id) const {
 uint64_t MemorySystem::RecountLiveHugePages() const {
   uint64_t huge = 0;
   for (const PageInfo& p : pages_) {
-    if (p.live && p.kind == PageKind::kHuge) {
+    if (p.live && p.kind() == PageKind::kHuge) {
       ++huge;
     }
   }
@@ -725,7 +734,7 @@ uint64_t MemorySystem::RecountLiveHugePages() const {
 uint64_t MemorySystem::RecountWrittenSubpages() const {
   uint64_t written = 0;
   for (const PageInfo& p : pages_) {
-    if (p.live && p.kind == PageKind::kHuge) {
+    if (p.live && p.kind() == PageKind::kHuge) {
       written += p.huge->written.count();
     }
   }
@@ -735,7 +744,7 @@ uint64_t MemorySystem::RecountWrittenSubpages() const {
 uint64_t MemorySystem::RecountBloatPages() const {
   uint64_t bloat = 0;
   for (const PageInfo& p : pages_) {
-    if (p.live && p.kind == PageKind::kHuge) {
+    if (p.live && p.kind() == PageKind::kHuge) {
       bloat += kSubpagesPerHuge - p.huge->written.count();
     }
   }
@@ -755,20 +764,36 @@ bool MemorySystem::CheckConsistency(std::string* error) const {
   uint64_t written = 0;
   uint64_t mapped_tier[kNumTiers] = {0, 0};
   std::vector<uint64_t> tenant_tier(tenants_.size() * kNumTiers, 0);
+  // SoA coherence: the hot arrays are sized in lockstep with the page slots,
+  // every slot's back-reference points here, and dead slots hold the
+  // ResetSlot defaults (so stale hot state cannot leak into a recycled slot).
+  if (hot_.size() != pages_.size()) {
+    return fail("hot arrays sized " + std::to_string(hot_.size()) +
+                " != page slots " + std::to_string(pages_.size()));
+  }
   for (PageIndex i = 0; i < pages_.size(); ++i) {
     const PageInfo& p = pages_[i];
+    if (p.hot != &hot_ || p.self != i) {
+      return fail("page slot " + std::to_string(i) +
+                  " hot-array back-reference broken");
+    }
     if (!p.live) {
+      if (hot_.kind[i] != PageKind::kBase || hot_.tier[i] != TierId::kCapacity ||
+          hot_.frame[i] != 0 || hot_.access_count[i] != 0) {
+        return fail("dead page slot " + std::to_string(i) +
+                    " holds non-default hot fields");
+      }
       continue;
     }
     ++live;
     const uint64_t n = p.size_pages();
     mapped += n;
-    mapped_tier[static_cast<int>(p.tier)] += n;
+    mapped_tier[static_cast<int>(p.tier())] += n;
     if (p.tenant >= tenants_.size()) {
       return fail("page " + std::to_string(i) + " owned by unregistered tenant " +
                   std::to_string(p.tenant));
     }
-    tenant_tier[p.tenant * kNumTiers + static_cast<int>(p.tier)] += n;
+    tenant_tier[p.tenant * kNumTiers + static_cast<int>(p.tier())] += n;
     for (uint64_t j = 0; j < n; ++j) {
       if (p.base_vpn + j >= page_table_.size() || page_table_[p.base_vpn + j] != i) {
         return fail("page " + std::to_string(i) + " (vpn " +
@@ -776,7 +801,7 @@ bool MemorySystem::CheckConsistency(std::string* error) const {
                     ") not mapped back by the page table");
       }
     }
-    if (p.kind == PageKind::kHuge) {
+    if (p.kind() == PageKind::kHuge) {
       if (p.huge == nullptr) {
         return fail("huge page " + std::to_string(i) + " has no HugePageMeta");
       }

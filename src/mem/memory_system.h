@@ -254,6 +254,25 @@ class MemorySystem {
   PageInfo& page(PageIndex index) { return pages_[index]; }
   const PageInfo& page(PageIndex index) const { return pages_[index]; }
 
+  // --- Structure-of-arrays hot metadata ---------------------------------------
+  //
+  // The fields the per-access pipeline touches (kind -> TLB, tier -> latency,
+  // frame, access counter) live in parallel arrays indexed by PageIndex (see
+  // PageHotArrays); PageInfo's accessors alias the same storage. The direct
+  // index accessors below are the hot-path entry points — they touch one
+  // byte-dense array instead of a PageInfo cache line.
+  PageKind kind_of(PageIndex index) const { return hot_.kind[index]; }
+  TierId tier_of(PageIndex index) const { return hot_.tier[index]; }
+  FrameId frame_of(PageIndex index) const { return hot_.frame[index]; }
+  uint64_t access_count_of(PageIndex index) const { return hot_.access_count[index]; }
+  uint64_t& access_count_of(PageIndex index) { return hot_.access_count[index]; }
+  // Audit introspection: the arrays themselves (size == page_slots()).
+  const PageHotArrays& hot_arrays() const { return hot_; }
+  // Mutable view for bulk scans (e.g. the cooling pass halving every access
+  // counter): no new capability — PageInfo's accessors already hand out
+  // mutable references to the same storage — just no per-page indirection.
+  PageHotArrays& hot_arrays() { return hot_; }
+
   // Resolves a PageRef; nullptr if the page was freed/split since.
   PageInfo* Deref(PageRef ref);
 
@@ -478,6 +497,7 @@ class MemorySystem {
   FaultInjector* faults_ = nullptr;
 
   std::vector<PageInfo> pages_;
+  PageHotArrays hot_;  // SoA twin of pages_, resized in lockstep (NewPageSlot)
   std::vector<PageIndex> free_slots_;
   std::vector<PageIndex> page_table_;  // vpn -> PageIndex
   uint64_t live_pages_ = 0;

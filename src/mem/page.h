@@ -13,6 +13,7 @@
 #include <bitset>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/mem/types.h"
 
@@ -53,20 +54,47 @@ struct HugePageMeta {
   uint32_t accessed_count() const { return static_cast<uint32_t>(accessed.count()); }
 };
 
+// Structure-of-arrays storage for the fields the access hot path touches on
+// every event (engine pipeline: kind -> TLB, tier -> latency, counters ->
+// policy). Parallel arrays indexed by PageIndex keep them densely packed —
+// one byte per page for kind/tier instead of a whole PageInfo cache line —
+// while the cold metadata stays in PageInfo. MemorySystem owns one instance,
+// resized in lockstep with its page slots; PageInfo carries a back-reference
+// so existing call sites read/write the same storage through accessors.
+struct PageHotArrays {
+  std::vector<PageKind> kind;
+  std::vector<TierId> tier;
+  std::vector<FrameId> frame;
+  // Hotness counter C_i. The hotness factor H_i is derived:
+  // huge page -> C_i, base page -> C_i * kSubpagesPerHuge (paper §4.1.2).
+  std::vector<uint64_t> access_count;
+
+  void Resize(size_t n) {
+    kind.resize(n, PageKind::kBase);
+    tier.resize(n, TierId::kCapacity);
+    frame.resize(n, 0);
+    access_count.resize(n, 0);
+  }
+  size_t size() const { return kind.size(); }
+
+  // Dead-slot convention: released slots are reset to the defaults below so
+  // the audit layer can certify the SoA state of non-live slots.
+  void ResetSlot(PageIndex i) {
+    kind[i] = PageKind::kBase;
+    tier[i] = TierId::kCapacity;
+    frame[i] = 0;
+    access_count[i] = 0;
+  }
+};
+
 struct PageInfo {
   Vpn base_vpn = 0;
-  PageKind kind = PageKind::kBase;
-  TierId tier = TierId::kCapacity;
-  FrameId frame = 0;
   bool live = false;
   uint32_t generation = 0;
   // Owning tenant (kDefaultTenant outside the co-location plane). Stamped at
   // MapPage time from the owning region; split/collapse children inherit it.
   TenantId tenant = kDefaultTenant;
 
-  // Hotness counter C_i. The hotness factor H_i is derived:
-  // huge page -> C_i, base page -> C_i * kSubpagesPerHuge (paper §4.1.2).
-  uint64_t access_count = 0;
   // Global cooling epoch already applied to access_count (lazy cooling).
   uint32_t cooling_epoch = 0;
   // Cached histogram bin (MEMTIS); 0xff = not tracked.
@@ -87,12 +115,29 @@ struct PageInfo {
   // Present only for huge pages.
   std::unique_ptr<HugePageMeta> huge;
 
-  uint64_t size_pages() const { return kind == PageKind::kHuge ? kSubpagesPerHuge : 1; }
+  // Back-reference into the owning MemorySystem's hot arrays (set once at
+  // slot creation and stable for the slot's lifetime). The hot fields are
+  // read/written through the accessors below; the engine's batched path reads
+  // the arrays directly by index.
+  PageHotArrays* hot = nullptr;
+  PageIndex self = kInvalidPage;
+
+  PageKind& kind() { return hot->kind[self]; }
+  PageKind kind() const { return hot->kind[self]; }
+  TierId& tier() { return hot->tier[self]; }
+  TierId tier() const { return hot->tier[self]; }
+  FrameId& frame() { return hot->frame[self]; }
+  FrameId frame() const { return hot->frame[self]; }
+  uint64_t& access_count() { return hot->access_count[self]; }
+  uint64_t access_count() const { return hot->access_count[self]; }
+
+  uint64_t size_pages() const { return kind() == PageKind::kHuge ? kSubpagesPerHuge : 1; }
   uint64_t size_bytes() const { return size_pages() * kPageSize; }
 
   // Hotness factor H_i per paper §4.1.2.
   uint64_t hotness() const {
-    return kind == PageKind::kHuge ? access_count : access_count * kSubpagesPerHuge;
+    return kind() == PageKind::kHuge ? access_count()
+                                     : access_count() * kSubpagesPerHuge;
   }
 
   PageRef ref(PageIndex index) const { return PageRef{index, generation}; }

@@ -45,6 +45,18 @@ class Tlb {
   // is charged by the engine's cost model).
   bool Access(Vpn vpn, PageKind kind);
 
+  // Batched replay: records `n` guaranteed hits without re-probing. Only valid
+  // when the caller has just accessed the same vpn (direct-mapped, so the
+  // entry is resident and re-accessing it cannot evict anything) — the stats
+  // end up exactly as n scalar Access calls would leave them.
+  void CountRepeatHits(PageKind kind, uint64_t n) {
+    if (kind == PageKind::kHuge) {
+      stats_.huge_hits += n;
+    } else {
+      stats_.base_hits += n;
+    }
+  }
+
   // Removes any entry covering [vpn, vpn + num_pages) and counts one shootdown
   // event. Used on migration, split, collapse, and unmap.
   void Shootdown(Vpn vpn, uint64_t num_pages);

@@ -22,7 +22,7 @@ void MemtisPolicy::AccountPageAdded(PolicyContext& ctx, PageInfo& page) {
   page.histogram_bin = static_cast<uint8_t>(bin);
   hist_.Add(bin, page.size_pages());
   TenantHist(page).Add(bin, page.size_pages());
-  if (page.kind == PageKind::kHuge) {
+  if (page.kind() == PageKind::kHuge) {
     if (page.huge->nonzero_subpages == 0) {
       // All subpage counters are zero: 512 units land in BinOf(0) at once.
       base_hist_.Add(AccessHistogram::BinOf(0), kSubpagesPerHuge);
@@ -40,7 +40,7 @@ void MemtisPolicy::AccountPageRemoved(PolicyContext& ctx, PageInfo& page) {
   (void)ctx;
   hist_.Remove(page.histogram_bin, page.size_pages());
   TenantHist(page).Remove(page.histogram_bin, page.size_pages());
-  if (page.kind == PageKind::kHuge) {
+  if (page.kind() == PageKind::kHuge) {
     if (page.huge->nonzero_subpages == 0) {
       base_hist_.Remove(AccessHistogram::BinOf(0), kSubpagesPerHuge);
     } else {
@@ -60,10 +60,10 @@ void MemtisPolicy::OnPageAllocated(PolicyContext& ctx, PageIndex index,
   // Initial hotness = current hot threshold, so fresh pages are not immediate
   // demotion victims (paper §4.2.1).
   const uint64_t hot_floor = AccessHistogram::BinFloor(thresholds_.hot);
-  if (page.kind == PageKind::kHuge) {
-    page.access_count = std::max<uint64_t>(1, hot_floor);
+  if (page.kind() == PageKind::kHuge) {
+    page.access_count() = std::max<uint64_t>(1, hot_floor);
   } else {
-    page.access_count = std::max<uint64_t>(1, hot_floor / kSubpagesPerHuge);
+    page.access_count() = std::max<uint64_t>(1, hot_floor / kSubpagesPerHuge);
   }
   page.cooling_epoch = cool_epoch_;
   AccountPageAdded(ctx, page);
@@ -82,8 +82,8 @@ void MemtisPolicy::SyncCooling(PageInfo& page) const {
   // Only reachable for pages created by structural changes between cooling
   // scans; the eager scan keeps everyone else in sync.
   const uint32_t shift = std::min(behind, 63u);
-  page.access_count >>= shift;
-  if (page.kind == PageKind::kHuge && page.huge->nonzero_subpages != 0) {
+  page.access_count() >>= shift;
+  if (page.kind() == PageKind::kHuge && page.huge->nonzero_subpages != 0) {
     for (auto& c : page.huge->subpage_count) {
       if (c != 0) {
         c >>= shift;
@@ -108,10 +108,10 @@ void MemtisPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
   SIM_DCHECK(page.cooling_epoch == cool_epoch_);
 
   // Update page (and subpage) hotness and both histograms.
-  ++page.access_count;
+  ++page.access_count();
   uint64_t unit_old;
   uint64_t unit_new;
-  if (page.kind == PageKind::kHuge) {
+  if (page.kind() == PageKind::kHuge) {
     uint32_t& c = page.huge->subpage_count[SubpageIndexOf(VpnOf(access.addr))];
     unit_old = UnitHotness(c);
     if (c == 0) {
@@ -140,7 +140,7 @@ void MemtisPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
   // would make any subpage sampled twice per window look hot and inflate eHR
   // on uniform workloads.
   ++win_samples_;
-  if (page.tier == TierId::kFast) {
+  if (page.tier() == TierId::kFast) {
     ++win_fast_hits_;
   }
   if (unit_bin_old >= base_hot_bin_) {
@@ -148,7 +148,7 @@ void MemtisPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
   }
 
   // Hot page in the capacity tier: queue for promotion (paper §4.2.3).
-  if (page.tier == TierId::kCapacity && page_bin >= thresholds_.hot &&
+  if (page.tier() == TierId::kCapacity && page_bin >= thresholds_.hot &&
       !page.in_promotion_list) {
     page.in_promotion_list = true;
     promotion_list_.Push(page.ref(index));
@@ -203,22 +203,30 @@ void MemtisPolicy::CoolingEvent(PolicyContext& ctx) {
   uint64_t scanned = 0;
   std::unordered_map<Vpn, uint32_t> hot_base_runs;
 
+  // The scan touches kind/tier/access_count for every live page: read them
+  // straight out of the SoA arrays (hoisted once) instead of through the
+  // per-page PageInfo proxy — this is the perf-tracked cooling_scan path.
+  PageHotArrays& hot = ctx.mem.hot_arrays();
   ctx.mem.ForEachLivePage([&](PageIndex index, PageInfo& page) {
     ++scanned;
     // Halve the page counter; fix the histogram where the plain left shift was
     // wrong (top bin, bin-0 saturation — paper §4.2.2's correction step).
     const int prev_bin = page.histogram_bin;
     const int shifted_bin = prev_bin > 0 ? prev_bin - 1 : 0;
-    page.access_count >>= 1;
+    const uint64_t count = (hot.access_count[index] >>= 1);
+    const PageKind kind = hot.kind[index];
+    const bool is_huge = kind == PageKind::kHuge;
+    const uint64_t hotness = is_huge ? count : count * kSubpagesPerHuge;
+    const uint64_t size_pages = is_huge ? kSubpagesPerHuge : 1;
     page.cooling_epoch = cool_epoch_;
-    const int actual_bin = AccessHistogram::BinOf(page.hotness());
+    const int actual_bin = AccessHistogram::BinOf(hotness);
     if (actual_bin != shifted_bin) {
-      hist_.Move(shifted_bin, actual_bin, page.size_pages());
-      TenantHist(page).Move(shifted_bin, actual_bin, page.size_pages());
+      hist_.Move(shifted_bin, actual_bin, size_pages);
+      TenantHist(page).Move(shifted_bin, actual_bin, size_pages);
     }
     page.histogram_bin = static_cast<uint8_t>(actual_bin);
 
-    if (page.kind == PageKind::kHuge) {
+    if (is_huge) {
       // Cool subpages, correct the base-page histogram, and recompute the
       // skewness factor S_i = sum(H_ij^2) / U_i^2 (paper Eq. 3). When every
       // subpage counter is zero the whole inner loop is a no-op (a shift of 0
@@ -248,8 +256,8 @@ void MemtisPolicy::CoolingEvent(PolicyContext& ctx) {
           }
         }
       }
-      if (page.access_count > 0) {
-        hp_sample_sum += page.access_count;
+      if (count > 0) {
+        hp_sample_sum += count;
         ++hp_count;
       }
       // THP-Shrinker baseline: queue mostly-zero huge pages for splitting on
@@ -277,7 +285,7 @@ void MemtisPolicy::CoolingEvent(PolicyContext& ctx) {
 
     // Pages that cooled below the hot threshold while in the fast tier become
     // demotion candidates (paper §4.2.3).
-    if (page.tier == TierId::kFast && page.histogram_bin < thresholds_.hot &&
+    if (hot.tier[index] == TierId::kFast && page.histogram_bin < thresholds_.hot &&
         !page.in_demotion_list) {
       page.in_demotion_list = true;
       demotion_list_.Push(page.ref(index));
@@ -359,7 +367,7 @@ void MemtisPolicy::SelectSplitCandidates(PolicyContext& ctx, uint64_t how_many) 
       const PageRef ref = bucket.back();
       bucket.pop_back();
       PageInfo* page = ctx.mem.Deref(ref);
-      if (page == nullptr || page->kind != PageKind::kHuge || page->split_queued) {
+      if (page == nullptr || page->kind() != PageKind::kHuge || page->split_queued) {
         continue;
       }
       page->split_queued = true;
@@ -374,7 +382,7 @@ void MemtisPolicy::ProcessSplitQueue(PolicyContext& ctx) {
   while (!split_queue_.empty() && done < config_.max_splits_per_wakeup) {
     const PageRef ref = split_queue_.Pop();
     PageInfo* page = ctx.mem.Deref(ref);
-    if (page == nullptr || page->kind != PageKind::kHuge) {
+    if (page == nullptr || page->kind() != PageKind::kHuge) {
       continue;
     }
     page->split_queued = false;
@@ -404,7 +412,7 @@ void MemtisPolicy::ProcessSplitQueue(PolicyContext& ctx) {
       PageInfo& cp = ctx.mem.page(child);
       cp.cooling_epoch = cool_epoch_;
       AccountPageAdded(ctx, cp);
-      if (cp.tier == TierId::kFast) {
+      if (cp.tier() == TierId::kFast) {
         ++to_fast;
       }
     }
@@ -424,13 +432,13 @@ void MemtisPolicy::TryCollapse(PolicyContext& ctx, const std::vector<Vpn>& candi
     if (first == kInvalidPage) {
       continue;
     }
-    const TierId tier = ctx.mem.page(first).tier;
+    const TierId tier = ctx.mem.page(first).tier();
     bool eligible = true;
     for (uint64_t j = 0; j < kSubpagesPerHuge && eligible; ++j) {
       const PageIndex index = ctx.mem.Lookup(vpn + j);
       eligible = index != kInvalidPage &&
-                 ctx.mem.page(index).kind == PageKind::kBase &&
-                 ctx.mem.page(index).tier == tier &&
+                 ctx.mem.page(index).kind() == PageKind::kBase &&
+                 ctx.mem.page(index).tier() == tier &&
                  ctx.mem.page(index).histogram_bin >= thresholds_.hot;
     }
     if (!eligible) {
@@ -475,22 +483,22 @@ void MemtisPolicy::HybridScan(PolicyContext& ctx) {
   // truly idle.
   const uint64_t cost = hybrid_scanner_.Scan(
       ctx.mem, [&](PageIndex index, PageInfo& page, bool referenced) {
-        if (page.access_count != 0) {
+        if (page.access_count() != 0) {
           return;  // the sampler already sees this page
         }
         if (referenced) {
-          ++page.access_count;
+          ++page.access_count();
           const int old_bin = page.histogram_bin;
           const int bin = AccessHistogram::BinOf(page.hotness());
           if (bin != old_bin) {
             hist_.Move(old_bin, bin, page.size_pages());
             TenantHist(page).Move(old_bin, bin, page.size_pages());
-            if (page.kind == PageKind::kBase) {
+            if (page.kind() == PageKind::kBase) {
               base_hist_.Move(old_bin, bin, 1);
             }
             page.histogram_bin = static_cast<uint8_t>(bin);
           }
-        } else if (page.tier == TierId::kFast && !page.in_demotion_list) {
+        } else if (page.tier() == TierId::kFast && !page.in_demotion_list) {
           page.in_demotion_list = true;
           demotion_list_.Push(page.ref(index));
         }
@@ -508,7 +516,7 @@ void MemtisPolicy::RunMigration(PolicyContext& ctx) {
       continue;
     }
     page->in_promotion_list = false;
-    if (page->tier != TierId::kCapacity || page->histogram_bin < thresholds_.hot) {
+    if (page->tier() != TierId::kCapacity || page->histogram_bin < thresholds_.hot) {
       continue;  // migrated or cooled off meanwhile
     }
     const uint64_t need = page->size_pages();
@@ -545,7 +553,7 @@ void MemtisPolicy::RunMigration(PolicyContext& ctx) {
 bool MemtisPolicy::TryExchangePromotion(PolicyContext& ctx, PageIndex hot) {
   const PageInfo& page = ctx.mem.page(hot);
   const PageIndex victim = FindExchangeVictim(
-      ctx, hot, page.kind, &exchange_cursor_,
+      ctx, hot, page.kind(), &exchange_cursor_,
       [&](const PageInfo& cand) { return IsColdBin(cand.histogram_bin); });
   if (victim == kInvalidPage) {
     return false;
@@ -569,7 +577,7 @@ void MemtisPolicy::DemoteForSpace(PolicyContext& ctx, uint64_t target_free_frame
       if (page == nullptr) {
         continue;
       }
-      if (page->tier != TierId::kFast || page->histogram_bin >= thresholds_.hot) {
+      if (page->tier() != TierId::kFast || page->histogram_bin >= thresholds_.hot) {
         page->in_demotion_list = false;  // promoted or re-heated: drop
         continue;
       }
@@ -592,7 +600,7 @@ void MemtisPolicy::DemoteForSpace(PolicyContext& ctx, uint64_t target_free_frame
       if (page == nullptr) {
         continue;
       }
-      if (page->tier != TierId::kFast || page->histogram_bin >= thresholds_.hot) {
+      if (page->tier() != TierId::kFast || page->histogram_bin >= thresholds_.hot) {
         page->in_demotion_list = false;
         continue;
       }
@@ -621,7 +629,7 @@ void MemtisPolicy::RefillDemotionList(PolicyContext& ctx) {
     const PageIndex index = demotion_refill_cursor_;
     ++demotion_refill_cursor_;
     ++visited;
-    if (page == nullptr || page->tier != TierId::kFast || page->in_demotion_list ||
+    if (page == nullptr || page->tier() != TierId::kFast || page->in_demotion_list ||
         page->histogram_bin >= thresholds_.hot) {
       continue;
     }
@@ -641,7 +649,7 @@ bool MemtisPolicy::ValidateHistograms(MemorySystem& mem, std::string* error) con
       bad_bin_page = index;
     }
     expected_hist.Add(bin, page.size_pages());
-    if (page.kind == PageKind::kHuge) {
+    if (page.kind() == PageKind::kHuge) {
       for (uint32_t c : page.huge->subpage_count) {
         expected_base.Add(AccessHistogram::BinOf(UnitHotness(c)), 1);
       }

@@ -38,6 +38,21 @@ class MemtisPolicy : public TieringPolicy {
   void Init(PolicyContext& ctx) override;
   void OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
                 const Access& access) override;
+  // Batched replay: OnAccess is sampler-gated, so accesses that only decrement
+  // the PEBS countdown are absorbable in bulk (see PebsSampler::AbsorbEvents).
+  uint64_t RunAbsorbLimit(PolicyContext& ctx, bool is_write) override {
+    (void)ctx;
+    return sampler_.EventsUntilSample(is_write ? SampleType::kStore
+                                               : SampleType::kLlcLoadMiss);
+  }
+  void AbsorbRun(PolicyContext& ctx, PageIndex index, PageInfo& page,
+                 const Access& access, uint64_t n) override {
+    (void)ctx;
+    (void)index;
+    (void)page;
+    sampler_.AbsorbEvents(
+        access.is_write ? SampleType::kStore : SampleType::kLlcLoadMiss, n);
+  }
   void OnPageAllocated(PolicyContext& ctx, PageIndex index, PageInfo& page) override;
   void OnPageFreed(PolicyContext& ctx, PageIndex index, PageInfo& page) override;
   void Tick(PolicyContext& ctx) override;

@@ -39,7 +39,7 @@ class AutoNumaPolicy : public TieringPolicy {
       return;
     }
     ctx.ChargeApp(ctx.costs.hint_fault_ns);
-    if (page.tier == TierId::kCapacity &&
+    if (page.tier() == TierId::kCapacity &&
         limiter_.Allow(ctx.now_ns, page.size_pages())) {
       // Threshold = 1: promote on the first hint fault, in the fault handler.
       MigrateCritical(ctx, index, TierId::kFast);

@@ -38,14 +38,14 @@ void AutoTieringPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& 
   }
   ctx.ChargeApp(ctx.costs.hint_fault_ns);
   TouchHistory(page);
-  if (page.tier == TierId::kCapacity &&
+  if (page.tier() == TierId::kCapacity &&
       limiter_.Allow(ctx.now_ns, page.size_pages())) {
     if (params_.use_exchange && FastFreeFrames(ctx) < page.size_pages()) {
       // No free fast frame: swap directly with an LFU fast-tier victim
       // (history score <= 1, the same bar the background demoter uses)
       // instead of failing the promotion.
       const PageIndex victim = FindExchangeVictim(
-          ctx, index, page.kind, &exchange_cursor_,
+          ctx, index, page.kind(), &exchange_cursor_,
           [&](const PageInfo& cand) { return HistoryScore(cand) <= 1; });
       if (victim != kInvalidPage) {
         ExchangeCritical(ctx, index, victim);
@@ -85,7 +85,7 @@ void AutoTieringPolicy::Tick(PolicyContext& ctx) {
       const PageIndex index = demote_cursor_;
       ++demote_cursor_;
       ++visited;
-      if (page == nullptr || page->tier != TierId::kFast) {
+      if (page == nullptr || page->tier() != TierId::kFast) {
         continue;
       }
       if (HistoryScore(*page) <= max_score) {

@@ -11,16 +11,16 @@ void HeMemPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
   }
   ctx.ChargeDaemon(DaemonKind::kSampler, sampler_.AccountSample(ctx.now_ns));
 
-  const uint64_t before = page.access_count;
-  ++page.access_count;
+  const uint64_t before = page.access_count();
+  ++page.access_count();
   if (before + 1 == params_.hot_threshold) {
     hot_bytes_ += page.size_bytes();
-    if (page.tier == TierId::kCapacity && !page.in_promotion_list) {
+    if (page.tier() == TierId::kCapacity && !page.in_promotion_list) {
       page.in_promotion_list = true;
       promote_list_.Push(page.ref(index));
     }
   }
-  if (page.access_count >= params_.cool_threshold) {
+  if (page.access_count() >= params_.cool_threshold) {
     Cool(ctx);
   }
 }
@@ -30,8 +30,8 @@ void HeMemPolicy::Cool(PolicyContext& ctx) {
   uint64_t pages = 0;
   uint64_t hot = 0;
   ctx.mem.ForEachLivePage([&](PageIndex, PageInfo& page) {
-    page.access_count /= 2;
-    if (page.access_count >= params_.hot_threshold) {
+    page.access_count() /= 2;
+    if (page.access_count() >= params_.hot_threshold) {
       hot += page.size_bytes();
     }
     ++pages;
@@ -43,7 +43,7 @@ void HeMemPolicy::Cool(PolicyContext& ctx) {
 void HeMemPolicy::OnPageFreed(PolicyContext& ctx, PageIndex index, PageInfo& page) {
   (void)ctx;
   (void)index;
-  if (page.access_count >= params_.hot_threshold) {
+  if (page.access_count() >= params_.hot_threshold) {
     hot_bytes_ -= page.size_bytes();
   }
 }
@@ -76,8 +76,8 @@ void HeMemPolicy::Tick(PolicyContext& ctx) {
       continue;
     }
     page->in_promotion_list = false;
-    if (page->tier != TierId::kCapacity ||
-        page->access_count < params_.hot_threshold) {
+    if (page->tier() != TierId::kCapacity ||
+        page->access_count() < params_.hot_threshold) {
       continue;
     }
     // Make room by demoting cold fast pages (count below the hot threshold).
@@ -90,8 +90,8 @@ void HeMemPolicy::Tick(PolicyContext& ctx) {
       const PageIndex vindex = demote_cursor_;
       ++demote_cursor_;
       ++visited;
-      if (victim == nullptr || victim->tier != TierId::kFast ||
-          victim->access_count >= params_.hot_threshold) {
+      if (victim == nullptr || victim->tier() != TierId::kFast ||
+          victim->access_count() >= params_.hot_threshold) {
         continue;
       }
       MigrateBackground(ctx, vindex, TierId::kCapacity);
@@ -103,9 +103,9 @@ void HeMemPolicy::Tick(PolicyContext& ctx) {
       // same kind rather than stalling the promotion round.
       const PageIndex hot_index = ctx.mem.IndexOf(*page);
       const PageIndex victim = FindExchangeVictim(
-          ctx, hot_index, page->kind, &exchange_cursor_,
+          ctx, hot_index, page->kind(), &exchange_cursor_,
           [&](const PageInfo& cand) {
-            return cand.access_count < params_.hot_threshold;
+            return cand.access_count() < params_.hot_threshold;
           });
       if (victim == kInvalidPage || !ExchangeBackground(ctx, hot_index, victim)) {
         break;  // nothing cold enough, or out of migration bandwidth
@@ -134,7 +134,7 @@ AllocOptions HeMemPolicy::PlacementFor(PolicyContext& ctx, uint64_t bytes,
 ClassifiedSizes HeMemPolicy::Classify(PolicyContext& ctx) {
   ClassifiedSizes sizes;
   ctx.mem.ForEachLivePage([&](PageIndex, PageInfo& page) {
-    if (page.access_count >= params_.hot_threshold) {
+    if (page.access_count() >= params_.hot_threshold) {
       sizes.hot_bytes += page.size_bytes();
     } else {
       sizes.cold_bytes += page.size_bytes();

@@ -55,6 +55,22 @@ class HeMemPolicy : public TieringPolicy {
   void OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
                 const Access& access) override;
 
+  // Batched replay: like MEMTIS, OnAccess is gated on the PEBS countdown, so
+  // non-sampling accesses absorb as one countdown subtraction.
+  uint64_t RunAbsorbLimit(PolicyContext& ctx, bool is_write) override {
+    (void)ctx;
+    return sampler_.EventsUntilSample(is_write ? SampleType::kStore
+                                               : SampleType::kLlcLoadMiss);
+  }
+  void AbsorbRun(PolicyContext& ctx, PageIndex index, PageInfo& page,
+                 const Access& access, uint64_t n) override {
+    (void)ctx;
+    (void)index;
+    (void)page;
+    sampler_.AbsorbEvents(
+        access.is_write ? SampleType::kStore : SampleType::kLlcLoadMiss, n);
+  }
+
   void OnPageFreed(PolicyContext& ctx, PageIndex index, PageInfo& page) override;
 
   void Tick(PolicyContext& ctx) override;

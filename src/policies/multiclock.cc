@@ -20,9 +20,9 @@ void MultiClockPolicy::Tick(PolicyContext& ctx) {
         } else {
           page.policy_word1 = 0;
         }
-        if (page.tier == TierId::kCapacity && page.policy_word1 >= 2) {
+        if (page.tier() == TierId::kCapacity && page.policy_word1 >= 2) {
           promote.push_back(index);  // static threshold of two
-        } else if (page.tier == TierId::kFast && page.policy_word1 == 0) {
+        } else if (page.tier() == TierId::kFast && page.policy_word1 == 0) {
           demote.push_back(index);
         }
       });
@@ -37,7 +37,7 @@ void MultiClockPolicy::Tick(PolicyContext& ctx) {
         break;
       }
       PageInfo& page = ctx.mem.page(index);
-      if (page.live && page.tier == TierId::kFast) {
+      if (page.live && page.tier() == TierId::kFast) {
         MigrateBackground(ctx, index, TierId::kCapacity);
       }
     }
@@ -45,14 +45,14 @@ void MultiClockPolicy::Tick(PolicyContext& ctx) {
   size_t victim = 0;
   for (const PageIndex index : promote) {
     PageInfo& page = ctx.mem.page(index);
-    if (!page.live || page.tier != TierId::kCapacity) {
+    if (!page.live || page.tier() != TierId::kCapacity) {
       continue;
     }
     while (FastFreeFrames(ctx) < page.size_pages() && victim < demote.size()) {
       PageInfo& v = ctx.mem.page(demote[victim]);
       const PageIndex vindex = demote[victim];
       ++victim;
-      if (v.live && v.tier == TierId::kFast) {
+      if (v.live && v.tier() == TierId::kFast) {
         MigrateBackground(ctx, vindex, TierId::kCapacity);
       }
     }

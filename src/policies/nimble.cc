@@ -19,9 +19,9 @@ void NimblePolicy::Tick(PolicyContext& ctx) {
   const uint64_t scan_cost = scanner_.Scan(
       ctx.mem, [&](PageIndex index, PageInfo& page, bool referenced) {
         (referenced ? hot_bytes : cold_bytes) += page.size_bytes();
-        if (referenced && page.tier == TierId::kCapacity) {
+        if (referenced && page.tier() == TierId::kCapacity) {
           promote.push_back(index);
-        } else if (page.tier == TierId::kFast) {
+        } else if (page.tier() == TierId::kFast) {
           (referenced ? referenced_fast : demote).push_back(index);
         }
       });
@@ -42,7 +42,7 @@ void NimblePolicy::Tick(PolicyContext& ctx) {
       break;
     }
     PageInfo& page = ctx.mem.page(index);
-    if (!page.live || page.tier != TierId::kCapacity) {
+    if (!page.live || page.tier() != TierId::kCapacity) {
       continue;
     }
     const uint64_t need = page.size_pages();
@@ -51,7 +51,7 @@ void NimblePolicy::Tick(PolicyContext& ctx) {
       PageInfo& v = ctx.mem.page(demote[victim]);
       const PageIndex vindex = demote[victim];
       ++victim;
-      if (!v.live || v.tier != TierId::kFast) {
+      if (!v.live || v.tier() != TierId::kFast) {
         continue;
       }
       const uint64_t vsize = v.size_pages();

@@ -11,7 +11,7 @@
 namespace memtis {
 
 inline uint64_t CopyCost(const CostParams& costs, const PageInfo& page) {
-  return page.kind == PageKind::kHuge ? costs.migrate_huge_ns : costs.migrate_base_ns;
+  return page.kind() == PageKind::kHuge ? costs.migrate_huge_ns : costs.migrate_base_ns;
 }
 
 // Migration in the page-fault handler: the faulting thread pays for the copy
@@ -47,7 +47,7 @@ inline bool MigrateBackground(PolicyContext& ctx, PageIndex index, TierId dst) {
 }
 
 inline uint64_t ExchangeCopyCost(const CostParams& costs, const PageInfo& page) {
-  return page.kind == PageKind::kHuge ? costs.exchange_huge_ns : costs.exchange_base_ns;
+  return page.kind() == PageKind::kHuge ? costs.exchange_huge_ns : costs.exchange_base_ns;
 }
 
 // Direct page exchange in the page-fault handler: the faulting thread pays
@@ -111,8 +111,8 @@ PageIndex FindExchangeVictim(PolicyContext& ctx, PageIndex hot, PageKind kind,
     }
     const PageIndex index = (*cursor)++;
     PageInfo* page = ctx.mem.LivePageAt(index);
-    if (page == nullptr || index == hot || page->tier != TierId::kFast ||
-        page->kind != kind) {
+    if (page == nullptr || index == hot || page->tier() != TierId::kFast ||
+        page->kind() != kind) {
       continue;
     }
     if (is_cold(*page)) {

@@ -12,7 +12,7 @@ void Tiering08Policy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& pa
     return;
   }
   ctx.ChargeApp(ctx.costs.hint_fault_ns);
-  if (page.tier != TierId::kCapacity) {
+  if (page.tier() != TierId::kCapacity) {
     return;
   }
   // Rate-controlled promotion: admit a fraction of faulting pages chosen so
@@ -61,7 +61,7 @@ void Tiering08Policy::Tick(PolicyContext& ctx) {
     const PageIndex index = demote_cursor_;
     ++demote_cursor_;
     ++visited;
-    if (page == nullptr || page->tier != TierId::kFast) {
+    if (page == nullptr || page->tier() != TierId::kFast) {
       continue;
     }
     if ((page->policy_word0 & kReferencedBit) != 0) {

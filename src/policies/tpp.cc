@@ -22,7 +22,7 @@ void TppPolicy::OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
     return;
   }
   ctx.ChargeApp(ctx.costs.hint_fault_ns);
-  if (page.tier != TierId::kCapacity) {
+  if (page.tier() != TierId::kCapacity) {
     return;
   }
   uint64_t count = FaultCount(page);
@@ -61,7 +61,7 @@ void TppPolicy::Tick(PolicyContext& ctx) {
     const PageIndex index = demote_cursor_;
     ++demote_cursor_;
     ++visited;
-    if (page == nullptr || page->tier != TierId::kFast) {
+    if (page == nullptr || page->tier() != TierId::kFast) {
       continue;
     }
     if ((page->policy_word0 & kReferencedBit) != 0) {

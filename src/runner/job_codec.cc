@@ -64,6 +64,12 @@ std::string CanonicalJobSpec(const JobSpec& spec) {
   out += spec.faults;
   out += ";tweak=";
   out += spec.memtis_tweak != nullptr ? '1' : '0';
+  // Appended only for sharded cells so every pre-sharding fingerprint (resume
+  // manifests, committed sweep files) hashes exactly as before.
+  if (spec.shards > 1) {
+    out += ";shards=";
+    out += std::to_string(spec.shards);
+  }
   return out;
 }
 

@@ -75,6 +75,10 @@ void PrintUsage(std::FILE* to = stdout) {
       "  --footprint-scale=X    workload footprint multiplier\n"
       "  --fast-bytes=N         fixed fast-tier bytes (overrides --ratios)\n"
       "  --snapshot-ns=N        timeline snapshot interval (0 = off)\n"
+      "  --shards=N             split each run into N independent sharded\n"
+      "                         sub-simulations with a deterministic merge\n"
+      "                         (requires a range-shardable benchmark such as\n"
+      "                         \"stream\"; default 1 = monolithic)\n"
       "  --no-contention        disable daemon-CPU contention accounting\n"
       "  --baseline             add an all-capacity baseline per cell\n"
       "\n"
@@ -263,6 +267,11 @@ bool ApplyOption(const std::string& key, const std::string& value, CliOptions* c
   if (key == "snapshot-ns") {
     cli->sweep.snapshot_interval_ns = std::strtoull(value.c_str(), nullptr, 10);
     return true;
+  }
+  if (key == "shards") {
+    cli->sweep.shards =
+        static_cast<uint32_t>(std::strtoull(value.c_str(), nullptr, 10));
+    return cli->sweep.shards >= 1;
   }
   if (key == "no-contention") {
     cli->sweep.cpu_contention = false;
@@ -464,13 +473,23 @@ bool Validate(const SweepSpec& sweep) {
     }
   }
   for (const std::string& benchmark : sweep.benchmarks) {
-    if (!Contains(StandardBenchmarks(), benchmark)) {
+    if (!Contains(KnownBenchmarks(), benchmark)) {
       std::fprintf(stderr, "memtis_run: unknown benchmark '%s' (known:",
                    benchmark.c_str());
-      for (const std::string& name : StandardBenchmarks()) {
+      for (const std::string& name : KnownBenchmarks()) {
         std::fprintf(stderr, " %s", name.c_str());
       }
       std::fprintf(stderr, ")\n");
+      return false;
+    }
+    // Catch non-shardable benchmarks at the CLI (exit 2) instead of letting
+    // RunJob abort mid-sweep inside ShardedEngine.
+    if (sweep.shards > 1 &&
+        MakeWorkload(benchmark)->ShardSlice(0, sweep.shards) == nullptr) {
+      std::fprintf(stderr,
+                   "memtis_run: benchmark '%s' is not range-shardable; "
+                   "--shards=N needs one that is (e.g. stream)\n",
+                   benchmark.c_str());
       return false;
     }
   }

@@ -11,6 +11,7 @@
 #include "src/memtis/policy_registry.h"
 #include "src/policies/hemem.h"
 #include "src/sim/engine.h"
+#include "src/sim/sharded_engine.h"
 #include "src/workloads/registry.h"
 
 namespace memtis {
@@ -82,6 +83,77 @@ JobResult RunJob(const JobSpec& spec) {
     std::string fault_error;
     SIM_CHECK(FaultPlan::Parse(spec.faults, &opts.faults, &fault_error) &&
               "bad JobSpec::faults spec (validate at the CLI)");
+  }
+
+  if (spec.shards > 1) {
+    // Sharded-by-range execution: N independent sub-simulations over
+    // workload slices (ShardSlice aborts inside ShardedEngine::Run when the
+    // benchmark is not range-shardable), merged deterministically. Policies
+    // are built per shard, sized for the shard's machine slice; per-policy
+    // introspection (MEMTIS/HeMem stats) is per-shard state and stays out of
+    // the merged result.
+    const uint32_t n = spec.shards;
+    const MachineConfig slice = ShardedEngine::SliceMachine(machine, n);
+    const uint64_t fast_slice = slice.mem.fast_frames * kPageSize;
+    const uint64_t footprint_slice = footprint / n;
+    PolicyFactory factory = [&]() -> std::unique_ptr<TieringPolicy> {
+      if (spec.memtis_tweak != nullptr && spec.system.rfind("memtis", 0) == 0) {
+        MemtisConfig cfg = MemtisConfig::ScaledDefaults(footprint_slice, fast_slice);
+        if (spec.system == "memtis-ns") {
+          cfg.enable_split = false;
+          cfg.enable_collapse = false;
+        }
+        return std::make_unique<MemtisPolicy>(spec.memtis_tweak(cfg));
+      }
+      return MakePolicy(spec.system, footprint_slice, fast_slice);
+    };
+    std::vector<std::unique_ptr<AuditSession>> shard_audit(n);
+    ShardedOptions sopts;
+    sopts.shards = n;
+    sopts.threads = 1;  // RunJobs already parallelizes across cells
+    sopts.engine = opts;
+    sopts.audit_for_shard = [&](uint32_t i) -> EngineObserver* {
+      if (spec.audit) {
+        AuditSessionOptions audit_opts;
+        audit_opts.record_epochs = spec.audit_epoch_interval_ns != 0;
+        audit_opts.epochs.interval_ns =
+            spec.audit_epoch_interval_ns != 0 ? spec.audit_epoch_interval_ns
+                                              : audit_opts.epochs.interval_ns;
+        shard_audit[i] = std::make_unique<AuditSession>(audit_opts);
+      } else {
+        shard_audit[i] = MakeEnvAuditSession();
+      }
+      return shard_audit[i] != nullptr ? shard_audit[i].get() : nullptr;
+    };
+    ShardedEngine sharded(machine, factory, sopts);
+    JobResult out;
+    out.metrics = sharded.Run(*workload);
+    out.footprint_bytes = footprint;
+    out.fast_bytes = fast;
+    if (spec.audit) {
+      // Shard-ordered merge: counters summed, recorded violations and epoch
+      // samples concatenated in shard order.
+      out.audited = true;
+      for (uint32_t i = 0; i < n; ++i) {
+        const AuditReport& r = shard_audit[i]->report();
+        out.audit_report.ticks_audited += r.ticks_audited;
+        out.audit_report.checks_run += r.checks_run;
+        out.audit_report.violations_total += r.violations_total;
+        out.audit_report.violations.insert(out.audit_report.violations.end(),
+                                           r.violations.begin(),
+                                           r.violations.end());
+        if (const EpochRecorder* recorder = shard_audit[i]->recorder()) {
+          out.epoch_interval_ns = recorder->options().interval_ns;
+          out.epochs_recorded_total += recorder->recorded_total();
+          // samples() materializes a fresh vector per call: grab it once
+          // (begin/end of two separate temporaries is UB).
+          const std::vector<EpochSample> shard_epochs = recorder->samples();
+          out.epochs.insert(out.epochs.end(), shard_epochs.begin(),
+                            shard_epochs.end());
+        }
+      }
+    }
+    return out;
   }
 
   // Auditing: the spec's request wins (collect mode); otherwise the
@@ -163,6 +235,7 @@ std::vector<JobSpec> ExpandJobs(const SweepSpec& sweep) {
           cell.audit = sweep.audit;
           cell.audit_epoch_interval_ns = sweep.audit_epoch_interval_ns;
           cell.faults = sweep.faults;
+          cell.shards = sweep.shards;
           if (sweep.include_baseline) {
             JobSpec baseline = cell;
             baseline.system = "all-capacity";

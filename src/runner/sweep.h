@@ -83,6 +83,13 @@ struct JobSpec {
   // which additionally audits every job in abort-on-violation mode.
   bool audit = false;
   uint64_t audit_epoch_interval_ns = 0;
+  // Sharded-by-range execution (src/sim/sharded_engine.h): > 1 splits the run
+  // into that many independent sub-simulations over workload slices, merged
+  // deterministically. Requires a range-shardable benchmark (one whose
+  // Workload::ShardSlice returns non-null — e.g. "stream"); RunJob aborts
+  // loudly otherwise. 1 = the plain monolithic engine, byte-identical to
+  // before the field existed (and omitted from the job fingerprint).
+  uint32_t shards = 1;
   // Fault-injection spec (FaultPlan::Parse grammar; "" or "none" = fault-free,
   // "storm" = the dense preset). Parsed into EngineOptions::faults by RunJob;
   // a malformed spec aborts the job loudly — validate at the CLI instead.
@@ -150,6 +157,9 @@ struct SweepSpec {
   uint64_t audit_epoch_interval_ns = 0;
   // Fault-injection spec applied to every job (see JobSpec::faults).
   std::string faults;
+  // Sharded execution applied to every job (see JobSpec::shards). Requires
+  // every benchmark in the sweep to be range-shardable when > 1.
+  uint32_t shards = 1;
 };
 
 // Expands the product in a deterministic order: for each benchmark, machine,

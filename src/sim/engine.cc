@@ -113,9 +113,16 @@ void Engine::DrainPendingAppTime() {
 }
 
 void Engine::DoAccess(Vaddr addr, bool is_write) {
-  if (trace_ != nullptr) {
+  // The trace check is hoisted out of the per-access pipeline: DoAccessImpl
+  // (and the batched path, which bypasses this wrapper entirely) never
+  // re-tests it.
+  if (trace_ != nullptr) [[unlikely]] {
     trace_->RecordAccess(addr, is_write);
   }
+  DoAccessImpl(addr, is_write);
+}
+
+void Engine::DoAccessImpl(Vaddr addr, bool is_write) {
   const Vpn vpn = VpnOf(addr);
   PageIndex index = mem_.Lookup(vpn);
   if (index == kInvalidPage) {
@@ -129,31 +136,36 @@ void Engine::DoAccess(Vaddr addr, bool is_write) {
     DrainPendingAppTime();
   }
   PageInfo& page = mem_.page(index);
+  const PageKind kind = mem_.kind_of(index);
 
   // Address translation.
   uint64_t ns;
-  if (tlb_.Access(vpn, page.kind)) {
+  if (tlb_.Access(vpn, kind)) {
     ns = costs_.tlb_hit_ns;
   } else {
-    ns = page.kind == PageKind::kHuge ? costs_.walk_huge_ns : costs_.walk_base_ns;
+    ns = kind == PageKind::kHuge ? costs_.walk_huge_ns : costs_.walk_base_ns;
   }
 
   // Memory access at the page's tier.
-  const TierLatency& lat = mem_.tier(page.tier).latency();
+  const TierId tier = mem_.tier_of(index);
+  const TierLatency& lat = mem_.tier(tier).latency();
   ns += is_write ? lat.store_ns : lat.load_ns;
 
   // Ground-truth subpage bookkeeping (the kernel knows written pages exactly;
   // splits free never-written subpages).
-  if (page.kind == PageKind::kHuge) {
+  if (kind == PageKind::kHuge) {
     mem_.NoteSubpageAccess(page, SubpageIndexOf(vpn), is_write);
   }
 
+  // Branch-free counter deltas (bool promotes to 0/1).
   ++metrics_.accesses;
-  ++(is_write ? metrics_.stores : metrics_.loads);
-  const bool fast = page.tier == TierId::kFast;
-  ++(fast ? metrics_.fast_accesses : metrics_.capacity_accesses);
+  metrics_.stores += is_write;
+  metrics_.loads += !is_write;
+  const bool fast = tier == TierId::kFast;
+  metrics_.fast_accesses += fast;
+  metrics_.capacity_accesses += !fast;
   ++window_accesses_;
-  window_fast_ += fast ? 1 : 0;
+  window_fast_ += fast;
 
   now_ns_ += ns;
   ctx_.now_ns = now_ns_;
@@ -162,6 +174,97 @@ void Engine::DoAccess(Vaddr addr, bool is_write) {
 
   if (now_ns_ >= next_event_ns_) {
     MaybeTickAndSnapshot();
+  }
+}
+
+void Engine::DoAccessRun(Vaddr addr, uint64_t count, uint64_t stride,
+                         bool is_write) {
+  if (trace_ != nullptr) [[unlikely]] {
+    // Trace files record the exact per-access event stream: replay scalar.
+    for (uint64_t i = 0; i < count; ++i) {
+      DoAccess(addr, is_write);
+      addr += stride;
+    }
+    return;
+  }
+  while (count > 0) {
+    const Vpn vpn = VpnOf(addr);
+    // Same-page prefix of the remaining run (stride 0 repeats one address).
+    uint64_t k = count;
+    if (stride != 0) {
+      const uint64_t bytes_left = ((vpn + 1) << kPageShift) - addr;
+      k = std::min(count, (bytes_left + stride - 1) / stride);
+    }
+    const PageIndex index = mem_.Lookup(vpn);
+    uint64_t m = 0;
+    if (index != kInvalidPage && k > 1) {
+      // How many upcoming accesses the policy can provably absorb (for
+      // sampler-gated policies: pure countdown decrements, no sample due).
+      m = std::min(k, policy_.RunAbsorbLimit(ctx_, is_write));
+    }
+    if (m <= 1) {
+      // Demand fault, page boundary, non-batchable policy, or a sample due on
+      // the very next access: one exact scalar access, then re-evaluate.
+      DoAccessImpl(addr, is_write);
+      addr += stride;
+      --count;
+      continue;
+    }
+
+    PageInfo& page = mem_.page(index);
+    const PageKind kind = mem_.kind_of(index);
+    // First access of the segment probes (and on a miss fills) the TLB
+    // exactly like the scalar path. Accesses 2..m then re-touch the same
+    // entry of a direct-mapped TLB with nothing in between: guaranteed hits
+    // at a constant per-access cost.
+    uint64_t first_ns;
+    if (tlb_.Access(vpn, kind)) {
+      first_ns = costs_.tlb_hit_ns;
+    } else {
+      first_ns = kind == PageKind::kHuge ? costs_.walk_huge_ns : costs_.walk_base_ns;
+    }
+    const TierId tier = mem_.tier_of(index);
+    const TierLatency& lat = mem_.tier(tier).latency();
+    const uint64_t access_ns = is_write ? lat.store_ns : lat.load_ns;
+    first_ns += access_ns;
+    const uint64_t step_ns = costs_.tlb_hit_ns + access_ns;
+
+    // Event ordering: the scalar loop checks the tick/snapshot deadline after
+    // every access, so no interior access may land past it. Cap the segment
+    // at the first access whose post-access timestamp reaches the deadline —
+    // that access is still part of the segment (counters first, then the
+    // deadline check fires), matching scalar order bit for bit.
+    const uint64_t t1 = now_ns_ + first_ns;
+    if (t1 >= next_event_ns_) {
+      m = 1;
+    } else if (step_ns > 0) {
+      const uint64_t r = next_event_ns_ - t1;  // >= 1
+      m = std::min(m, 2 + (r - 1) / step_ns);
+    }
+
+    if (kind == PageKind::kHuge) {
+      // Idempotent per (subpage, is_write): one call == m scalar calls.
+      mem_.NoteSubpageAccess(page, SubpageIndexOf(vpn), is_write);
+    }
+    tlb_.CountRepeatHits(kind, m - 1);
+    metrics_.accesses += m;
+    (is_write ? metrics_.stores : metrics_.loads) += m;
+    const bool fast = tier == TierId::kFast;
+    (fast ? metrics_.fast_accesses : metrics_.capacity_accesses) += m;
+    window_accesses_ += m;
+    window_fast_ += fast ? m : 0;
+
+    now_ns_ += first_ns + (m - 1) * step_ns;
+    ctx_.now_ns = now_ns_;
+    policy_.AbsorbRun(ctx_, index, page, Access{addr, is_write}, m);
+    SIM_DCHECK(ctx_.pending_app_ns == 0);
+
+    addr += m * stride;
+    count -= m;
+
+    if (now_ns_ >= next_event_ns_) {
+      MaybeTickAndSnapshot();
+    }
   }
 }
 
@@ -283,6 +386,12 @@ Vaddr App::Alloc(uint64_t bytes, bool use_thp) { return engine_.DoAlloc(bytes, u
 void App::Free(Vaddr start) { engine_.DoFree(start); }
 void App::Read(Vaddr addr) { engine_.DoAccess(addr, /*is_write=*/false); }
 void App::Write(Vaddr addr) { engine_.DoAccess(addr, /*is_write=*/true); }
+void App::ReadRun(Vaddr addr, uint64_t count, uint64_t stride) {
+  engine_.DoAccessRun(addr, count, stride, /*is_write=*/false);
+}
+void App::WriteRun(Vaddr addr, uint64_t count, uint64_t stride) {
+  engine_.DoAccessRun(addr, count, stride, /*is_write=*/true);
+}
 uint64_t App::now_ns() const { return engine_.now_ns(); }
 uint64_t App::accesses_issued() const { return engine_.accesses(); }
 

@@ -86,6 +86,13 @@ class Engine {
 
   // --- App-facing operations (used via the App facade) -----------------------
   void DoAccess(Vaddr addr, bool is_write);
+  // Batched replay: `count` accesses starting at `addr`, advancing by `stride`
+  // bytes each. Coalesces same-page runs (one lookup/TLB probe/latency fetch
+  // per run, bulk counter deltas, sampler absorption) and falls back to the
+  // scalar path at page boundaries, demand faults, sample deliveries, and tick
+  // deadlines — metrics, audit documents, and traces are bit-identical to
+  // issuing `count` DoAccess calls.
+  void DoAccessRun(Vaddr addr, uint64_t count, uint64_t stride, bool is_write);
   Vaddr DoAlloc(uint64_t bytes, bool use_thp);
   void DoFree(Vaddr start);
 
@@ -100,6 +107,7 @@ class Engine {
   const FaultInjector& faults() const { return fault_injector_; }
 
  private:
+  void DoAccessImpl(Vaddr addr, bool is_write);
   void DrainPendingAppTime();
   void MaybeTickAndSnapshot();
   void TakeSnapshot();

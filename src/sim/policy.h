@@ -57,6 +57,31 @@ class TieringPolicy {
   virtual void OnAccess(PolicyContext& ctx, PageIndex index, PageInfo& page,
                         const Access& access) = 0;
 
+  // --- Batched replay (Engine::DoAccessRun) -----------------------------------
+  //
+  // A policy whose OnAccess is a provable no-op for the next k accesses of the
+  // given kind (e.g. PEBS countdown decrements that cannot deliver a sample)
+  // may return k here; the engine then replaces up to k consecutive same-page
+  // OnAccess calls with one AbsorbRun(n). The contract is strict byte
+  // identity: AbsorbRun(n) must leave the policy in exactly the state n scalar
+  // OnAccess calls (each returning without side effects beyond its internal
+  // countdown) would have, and must not touch ctx (no ChargeApp/ChargeDaemon,
+  // no migrations). The default — absorb nothing — keeps every existing policy
+  // on the scalar path.
+  virtual uint64_t RunAbsorbLimit(PolicyContext& ctx, bool is_write) {
+    (void)ctx;
+    (void)is_write;
+    return 0;
+  }
+  virtual void AbsorbRun(PolicyContext& ctx, PageIndex index, PageInfo& page,
+                         const Access& access, uint64_t n) {
+    (void)ctx;
+    (void)index;
+    (void)page;
+    (void)access;
+    (void)n;
+  }
+
   // Page lifecycle notifications (region allocation/free, demand faults).
   virtual void OnPageAllocated(PolicyContext& ctx, PageIndex index, PageInfo& page) {
     (void)ctx;

@@ -1,0 +1,209 @@
+#include "src/sim/sharded_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace memtis {
+
+namespace {
+
+// Rounds a frame count down to whole 2 MiB blocks, keeping at least one.
+uint64_t HugeAlignFrames(uint64_t frames) {
+  const uint64_t blocks = frames / kSubpagesPerHuge;
+  return std::max<uint64_t>(blocks, 1) * kSubpagesPerHuge;
+}
+
+void MergeTlb(TlbStats& into, const TlbStats& from) {
+  into.base_hits += from.base_hits;
+  into.base_misses += from.base_misses;
+  into.huge_hits += from.huge_hits;
+  into.huge_misses += from.huge_misses;
+  into.shootdowns += from.shootdowns;
+  into.invalidated_entries += from.invalidated_entries;
+}
+
+void MergeMigration(MigrationStats& into, const MigrationStats& from) {
+  into.promoted_base += from.promoted_base;
+  into.promoted_huge += from.promoted_huge;
+  into.demoted_base += from.demoted_base;
+  into.demoted_huge += from.demoted_huge;
+  into.failed_migrations += from.failed_migrations;
+  into.aborted_migrations += from.aborted_migrations;
+  into.splits += from.splits;
+  into.collapses += from.collapses;
+  into.freed_zero_subpages += from.freed_zero_subpages;
+  into.demand_faults += from.demand_faults;
+  into.exchanges += from.exchanges;
+  into.exchanged_huge += from.exchanged_huge;
+  into.failed_exchanges += from.failed_exchanges;
+  into.aborted_exchanges += from.aborted_exchanges;
+}
+
+void MergeFaults(FaultStats& into, const FaultStats& from) {
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    into.injected[s] += from.injected[s];
+    into.rolls[s] += from.rolls[s];
+  }
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const MachineConfig& machine,
+                             PolicyFactory policy_factory,
+                             const ShardedOptions& options)
+    : machine_(machine),
+      policy_factory_(std::move(policy_factory)),
+      options_(options) {
+  SIM_CHECK_GT(options_.shards, 0u);
+  // Shared observers would race across concurrent shards; per-shard ones come
+  // from the audit_for_shard factory.
+  SIM_CHECK(options_.engine.trace == nullptr);
+  SIM_CHECK(options_.engine.audit == nullptr);
+}
+
+MachineConfig ShardedEngine::SliceMachine(const MachineConfig& machine,
+                                          uint32_t shards) {
+  if (shards == 1) {
+    // Exact identity — no huge-block rounding — so ShardedEngine(1) runs the
+    // very machine a plain Engine would (part of the 1-shard byte pin).
+    return machine;
+  }
+  MachineConfig slice = machine;
+  slice.mem.fast_frames = HugeAlignFrames(machine.mem.fast_frames / shards);
+  slice.mem.capacity_frames = HugeAlignFrames(machine.mem.capacity_frames / shards);
+  slice.cores = std::max<uint32_t>(machine.cores / shards, 1);
+  return slice;
+}
+
+Metrics ShardedEngine::Run(const Workload& workload) {
+  const uint32_t n = options_.shards;
+  shard_metrics_.assign(n, Metrics{});
+
+  // Slice the workload and materialize per-shard observers up front, in shard
+  // order, so factory side effects (audit session creation) are deterministic
+  // regardless of worker threading.
+  std::vector<std::unique_ptr<Workload>> slices(n);
+  std::vector<EngineObserver*> observers(n, nullptr);
+  for (uint32_t i = 0; i < n; ++i) {
+    slices[i] = workload.ShardSlice(i, n);
+    SIM_CHECK(slices[i] != nullptr && "workload is not range-shardable");
+    if (options_.audit_for_shard) {
+      observers[i] = options_.audit_for_shard(i);
+    }
+  }
+
+  const MachineConfig shard_machine = SliceMachine(machine_, n);
+  const uint64_t budget = options_.engine.max_accesses;
+  auto run_shard = [&](uint32_t i) {
+    EngineOptions opts = options_.engine;
+    opts.max_accesses = budget / n + (i < budget % n ? 1 : 0);
+    opts.seed = options_.engine.seed + i;
+    opts.audit = observers[i];
+    std::unique_ptr<TieringPolicy> policy = policy_factory_();
+    Engine engine(shard_machine, *policy, opts);
+    shard_metrics_[i] = engine.Run(*slices[i]);
+  };
+
+  const uint32_t workers = std::min(std::max<uint32_t>(options_.threads, 1), n);
+  if (workers <= 1) {
+    for (uint32_t i = 0; i < n; ++i) {
+      run_shard(i);
+    }
+  } else {
+    // Work-stealing over shard indices: which thread runs a shard never
+    // affects its bytes (shards share no state), and the merge below reads
+    // slots in index order.
+    std::atomic<uint32_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (uint32_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          run_shard(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  return MergeShardMetrics(machine_, shard_metrics_);
+}
+
+Metrics ShardedEngine::MergeShardMetrics(const MachineConfig& machine,
+                                         const std::vector<Metrics>& shards) {
+  SIM_CHECK(!shards.empty());
+  if (shards.size() == 1) {
+    // Exact identity (not even a float round-trip): the single-shard merge is
+    // the shard, which is what pins ShardedEngine(1) == Engine bytes.
+    return shards[0];
+  }
+  Metrics out;
+  out.cores = machine.cores;
+  out.cpu_contention = shards[0].cpu_contention;
+  double huge_ratio_weighted = 0.0;
+  uint64_t rss_total = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const Metrics& m = shards[i];
+    out.accesses += m.accesses;
+    out.loads += m.loads;
+    out.stores += m.stores;
+    out.fast_accesses += m.fast_accesses;
+    out.capacity_accesses += m.capacity_accesses;
+    // Shards run concurrently: the merged run is as long as its slowest shard.
+    out.app_ns = std::max(out.app_ns, m.app_ns);
+    out.critical_path_ns += m.critical_path_ns;
+    for (int d = 0; d < static_cast<int>(DaemonKind::kCount); ++d) {
+      out.cpu.Charge(static_cast<DaemonKind>(d),
+                     m.cpu.busy(static_cast<DaemonKind>(d)));
+    }
+    MergeTlb(out.tlb, m.tlb);
+    MergeMigration(out.migration, m.migration);
+    MergeFaults(out.faults, m.faults);
+    out.final_rss_pages += m.final_rss_pages;
+    out.peak_rss_pages += m.peak_rss_pages;
+    out.final_fast_used_pages += m.final_fast_used_pages;
+    huge_ratio_weighted +=
+        m.final_huge_ratio * static_cast<double>(m.final_rss_pages);
+    rss_total += m.final_rss_pages;
+    SIM_CHECK(m.per_tenant.empty());  // shards never run the tenant plane
+  }
+  out.final_huge_ratio =
+      rss_total == 0 ? shards[0].final_huge_ratio
+                     : huge_ratio_weighted / static_cast<double>(rss_total);
+  // Timeline: one stream ordered by (t_ns, shard). Shard order breaks ties,
+  // so the merge is a total order independent of everything but the inputs.
+  for (const Metrics& m : shards) {
+    out.timeline.insert(out.timeline.end(), m.timeline.begin(), m.timeline.end());
+  }
+  std::vector<uint32_t> shard_of;
+  shard_of.reserve(out.timeline.size());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    shard_of.insert(shard_of.end(), shards[i].timeline.size(),
+                    static_cast<uint32_t>(i));
+  }
+  // Indices sorted by (t_ns, shard); stable w.r.t. the concatenation order.
+  std::vector<size_t> order(out.timeline.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (out.timeline[a].t_ns != out.timeline[b].t_ns) {
+      return out.timeline[a].t_ns < out.timeline[b].t_ns;
+    }
+    return shard_of[a] < shard_of[b];
+  });
+  std::vector<TimelinePoint> sorted;
+  sorted.reserve(order.size());
+  for (size_t i : order) {
+    sorted.push_back(out.timeline[i]);
+  }
+  out.timeline = std::move(sorted);
+  return out;
+}
+
+}  // namespace memtis

@@ -1,0 +1,84 @@
+// Sharded-by-range execution: N independent sub-engines over disjoint
+// workload slices, merged deterministically.
+//
+// Each shard is a complete simulation — its own MemorySystem slice of the
+// machine, its own policy instance, its own TLB/sampler/clock — driving the
+// workload's ShardSlice(i, N). Shards share nothing, so they can run on
+// worker threads; results land in shard-indexed slots and are merged in
+// shard order, which pins two guarantees the tests enforce:
+//
+//   1. ShardedEngine with shards = 1 is byte-identical to a plain Engine run
+//      (same machine, same seed, same workload).
+//   2. For any N, the merged metrics are byte-identical whether the shards
+//      ran on 1 worker thread or k — thread count never reorders anything.
+//
+// What sharding does NOT promise: an N-shard run is not byte-identical to the
+// monolithic run of the same workload. Virtual time, the TLB, the sampler
+// countdowns, and the tick phase are global in a monolithic engine; slicing
+// the address space necessarily decouples them. The contract is the pair of
+// determinism guarantees above plus the conservation invariants the audit
+// layer checks per shard (see DESIGN.md, "sharding determinism contract").
+
+#ifndef MEMTIS_SIM_SRC_SIM_SHARDED_ENGINE_H_
+#define MEMTIS_SIM_SRC_SIM_SHARDED_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/engine.h"
+
+namespace memtis {
+
+// Each shard needs a private policy instance; the caller supplies a factory
+// (e.g. [&] { return MakePolicy(name); }).
+using PolicyFactory = std::function<std::unique_ptr<TieringPolicy>()>;
+
+struct ShardedOptions {
+  uint32_t shards = 1;
+  // Worker threads (clamped to `shards`). Results are independent of this.
+  uint32_t threads = 1;
+  // Per-run template. `max_accesses` is the whole run's budget, divided
+  // across shards (remainder to the lowest shards); `seed` is the base, shard
+  // i runs with seed + i. `trace` and `audit` must be null here — per-shard
+  // observers come from `audit_for_shard` (observers are stateful and must
+  // not be shared across concurrent shards).
+  EngineOptions engine;
+  // Optional per-shard observer factory (audit sessions). Called once per
+  // shard, in shard order, before any shard runs.
+  std::function<EngineObserver*(uint32_t shard)> audit_for_shard;
+};
+
+class ShardedEngine {
+ public:
+  ShardedEngine(const MachineConfig& machine, PolicyFactory policy_factory,
+                const ShardedOptions& options);
+
+  // Slices the workload (Workload::ShardSlice must return non-null for every
+  // shard), runs all shards, and returns the merged metrics. Single use.
+  Metrics Run(const Workload& workload);
+
+  // Per-shard results, in shard order (valid after Run).
+  const std::vector<Metrics>& shard_metrics() const { return shard_metrics_; }
+
+  // Shard i's machine: per-tier frame counts divided by `shards` (rounded
+  // down to whole 2 MiB blocks), cores divided likewise. Identity for
+  // shards = 1.
+  static MachineConfig SliceMachine(const MachineConfig& machine, uint32_t shards);
+
+  // Deterministic merge, exposed for tests: counters and stats summed,
+  // app_ns = max (shards run concurrently), timeline points ordered by
+  // (t_ns, shard), huge ratio RSS-weighted in shard order.
+  static Metrics MergeShardMetrics(const MachineConfig& machine,
+                                   const std::vector<Metrics>& shards);
+
+ private:
+  MachineConfig machine_;
+  PolicyFactory policy_factory_;
+  ShardedOptions options_;
+  std::vector<Metrics> shard_metrics_;
+};
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_SIM_SHARDED_ENGINE_H_

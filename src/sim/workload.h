@@ -9,6 +9,7 @@
 #define MEMTIS_SIM_SRC_SIM_WORKLOAD_H_
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
 #include "src/common/rng.h"
@@ -32,6 +33,12 @@ class App {
   // Issues one memory access (post-LLC, per the PEBS events modelled).
   void Read(Vaddr addr);
   void Write(Vaddr addr);
+
+  // Issues `count` accesses starting at `addr`, advancing `stride` bytes per
+  // access. Semantically identical to a loop of Read/Write calls; the engine
+  // coalesces same-page runs for raw replay speed (see Engine::DoAccessRun).
+  void ReadRun(Vaddr addr, uint64_t count, uint64_t stride);
+  void WriteRun(Vaddr addr, uint64_t count, uint64_t stride);
 
   uint64_t now_ns() const;
   uint64_t accesses_issued() const;
@@ -59,6 +66,19 @@ class Workload {
   // Issues a batch of accesses (typically a few hundred); returns false once
   // the workload is naturally finished.
   virtual bool Step(App& app, Rng& rng) = 0;
+
+  // Sharded-by-range execution hook (see src/sim/sharded_engine.h): returns a
+  // fresh workload covering this workload's shard `shard` of `num_shards`
+  // deterministic, disjoint slices — or nullptr when the workload is not
+  // range-shardable (the default). ShardSlice(0, 1) must reproduce the whole
+  // workload: ShardedEngine with one shard is byte-identical to a plain
+  // Engine run.
+  virtual std::unique_ptr<Workload> ShardSlice(uint32_t shard,
+                                               uint32_t num_shards) const {
+    (void)shard;
+    (void)num_shards;
+    return nullptr;
+  }
 };
 
 }  // namespace memtis

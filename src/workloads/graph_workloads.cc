@@ -25,15 +25,26 @@ void Graph500Workload::Setup(App& app, Rng& rng) {
 }
 
 bool Graph500Workload::Step(App& app, Rng& rng) {
-  for (uint64_t i = 0; i < kBatch; ++i, ++issued_) {
+  for (uint64_t i = 0; i < kBatch;) {
     if (issued_ < gen_budget_) {
       // Generation: stream-write edges, random-write vertices (whole footprint
-      // is hot, mostly stores).
-      if ((issued_ & 3) != 3) {
-        app.Write(edge_scan_->Next());
+      // is hot, mostly stores). Positions 0-2 of every 4-access group are
+      // consecutive edge-stream writes — issued as one run (same address
+      // stream as three scalar writes; the engine coalesces it).
+      const uint64_t phase = issued_ & 3;
+      if (phase != 3) {
+        const uint64_t want = std::min(
+            {3 - phase, gen_budget_ - issued_, kBatch - i});
+        uint64_t n = 0;
+        const Vaddr addr = edge_scan_->NextRun(want, &n);
+        app.WriteRun(addr, n, edge_scan_->stride_bytes());
+        issued_ += n;
+        i += n;
       } else {
         app.Write(vertices_ + (rng.NextBelow(vertex_pages_) << kPageShift) +
                   (rng.Next() & (kPageSize - 1) & ~0x7ULL));
+        ++issued_;
+        ++i;
       }
       continue;
     }
@@ -53,6 +64,8 @@ bool Graph500Workload::Step(App& app, Rng& rng) {
     } else {
       app.Read(edge_scan_->Next());
     }
+    ++issued_;
+    ++i;
   }
   return true;
 }

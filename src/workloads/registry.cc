@@ -5,6 +5,7 @@
 #include "src/workloads/hpc_workloads.h"
 #include "src/workloads/kv_workloads.h"
 #include "src/workloads/spec_workloads.h"
+#include "src/workloads/stream.h"
 
 namespace memtis {
 namespace {
@@ -22,6 +23,15 @@ const std::vector<std::string>& StandardBenchmarks() {
       "graph500", "pagerank", "xsbench",     "liblinear",
       "silo",     "btree",    "603.bwaves",  "654.roms",
   };
+  return kNames;
+}
+
+const std::vector<std::string>& KnownBenchmarks() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names = StandardBenchmarks();
+    names.push_back("stream");
+    return names;
+  }();
   return kNames;
 }
 
@@ -68,6 +78,12 @@ std::unique_ptr<Workload> MakeWorkload(std::string_view name, double scale,
     p.footprint_bytes = Scale(p.footprint_bytes, scale);
     p.seed += seed_offset;
     return std::make_unique<BwavesWorkload>(p);
+  }
+  if (name == "stream") {
+    StreamWorkload::Params p;
+    p.footprint_bytes = Scale(p.footprint_bytes, scale);
+    p.seed += seed_offset;
+    return std::make_unique<StreamWorkload>(p);
   }
   if (name == "654.roms") {
     RomsWorkload::Params p;

@@ -16,6 +16,10 @@ namespace memtis {
 // The eight evaluation benchmarks in the paper's Table 2 order.
 const std::vector<std::string>& StandardBenchmarks();
 
+// Every name MakeWorkload accepts: StandardBenchmarks plus the synthetic
+// extras ("stream") that are CLI-selectable but excluded from default sweeps.
+const std::vector<std::string>& KnownBenchmarks();
+
 // Creates a benchmark model by name (aborts on unknown name).
 std::unique_ptr<Workload> MakeWorkload(std::string_view name, double scale = 1.0,
                                        uint64_t seed_offset = 0);

@@ -92,6 +92,17 @@ Vaddr SequentialScanner::Next() {
   return addr;
 }
 
+Vaddr SequentialScanner::NextRun(uint64_t max_n, uint64_t* n) {
+  const Vaddr addr = start_ + cursor_;
+  const uint64_t left = (span_bytes_ - cursor_ + stride_bytes_ - 1) / stride_bytes_;
+  *n = std::min(max_n, left);
+  cursor_ += *n * stride_bytes_;
+  if (cursor_ >= span_bytes_) {
+    cursor_ = 0;
+  }
+  return addr;
+}
+
 double SequentialScanner::progress() const {
   return static_cast<double>(cursor_) / static_cast<double>(span_bytes_);
 }

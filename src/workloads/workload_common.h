@@ -97,9 +97,16 @@ class SequentialScanner {
   SequentialScanner(Vaddr start, uint64_t num_pages, uint64_t stride_bytes = 256);
 
   Vaddr Next();
+  // Run form of Next(): returns the start address of a run of `*n` accesses
+  // (clamped from `max_n` so the run never wraps past the region end) and
+  // advances the cursor past it. Issuing the run with this stride produces
+  // exactly the address stream `*n` scalar Next() calls would.
+  Vaddr NextRun(uint64_t max_n, uint64_t* n);
   void Reset() { cursor_ = 0; }
   // Fraction of a full sweep completed (for phase logic).
   double progress() const;
+
+  uint64_t stride_bytes() const { return stride_bytes_; }
 
  private:
   Vaddr start_;

@@ -109,7 +109,7 @@ TEST(AuditChecks, FrameConservationCatchesTierFlip) {
   bool corrupted = false;
   run.engine.mem().ForEachLivePage([&](PageIndex, PageInfo& page) {
     if (!corrupted) {
-      page.tier = OtherTier(page.tier);
+      page.tier() = OtherTier(page.tier());
       corrupted = true;
     }
   });
@@ -124,7 +124,7 @@ TEST(AuditChecks, HugePageAccountingCatchesInflatedSubpageCounter) {
   MemtisRun run;
   bool corrupted = false;
   run.engine.mem().ForEachLivePage([&](PageIndex, PageInfo& page) {
-    if (!corrupted && page.kind == PageKind::kHuge) {
+    if (!corrupted && page.kind() == PageKind::kHuge) {
       page.huge->subpage_count[0] += 1'000'000;  // sum now exceeds C_i
       corrupted = true;
     }
@@ -202,7 +202,7 @@ TEST(AuditChecks, HistogramFullCatchesCorruptedCounter) {
   run.engine.mem().ForEachLivePage([&](PageIndex, PageInfo& page) {
     // Push one page's counter several bins up behind the policy's back.
     if (!corrupted && page.histogram_bin != 0xff) {
-      page.access_count += 1'000'000;
+      page.access_count() += 1'000'000;
       corrupted = true;
     }
   });

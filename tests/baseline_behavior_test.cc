@@ -59,7 +59,7 @@ double FastShare(MemorySystem& mem, Vaddr start) {
     }
     const PageInfo& page = mem.page(index);
     total += page.size_pages();
-    fast += page.tier == TierId::kFast ? page.size_pages() : 0;
+    fast += page.tier() == TierId::kFast ? page.size_pages() : 0;
     vpn += page.size_pages();
   }
   return total == 0 ? 0.0 : static_cast<double>(fast) / static_cast<double>(total);
@@ -178,7 +178,7 @@ TEST(HeMemBehavior, CoolingKeepsCountsBelowThreshold) {
   engine.Run(workload);
   uint64_t max_count = 0;
   engine.mem().ForEachLivePage([&](PageIndex, PageInfo& page) {
-    max_count = std::max(max_count, page.access_count);
+    max_count = std::max(max_count, page.access_count());
   });
   EXPECT_LE(max_count, hp.cool_threshold);
 }

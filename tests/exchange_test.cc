@@ -61,8 +61,8 @@ TEST(Exchange, SwapsPlacementInPlaceAndConservesFrames) {
   const PageIndex hot = mem.Lookup(VpnOf(cap_base));
   ASSERT_NE(cold, kInvalidPage);
   ASSERT_NE(hot, kInvalidPage);
-  const FrameId hot_frame = mem.page(hot).frame;
-  const FrameId cold_frame = mem.page(cold).frame;
+  const FrameId hot_frame = mem.page(hot).frame();
+  const FrameId cold_frame = mem.page(cold).frame();
   const uint64_t fast_used = mem.tier(TierId::kFast).used_frames();
   const uint64_t cap_used = mem.tier(TierId::kCapacity).used_frames();
   const uint64_t fast_mapped = mem.mapped_4k_in_tier(TierId::kFast);
@@ -71,10 +71,10 @@ TEST(Exchange, SwapsPlacementInPlaceAndConservesFrames) {
   ASSERT_TRUE(mem.ExchangePages(hot, cold));
 
   // The pages traded tiers and frames; no frame was allocated or freed.
-  EXPECT_EQ(mem.page(hot).tier, TierId::kFast);
-  EXPECT_EQ(mem.page(cold).tier, TierId::kCapacity);
-  EXPECT_EQ(mem.page(hot).frame, cold_frame);
-  EXPECT_EQ(mem.page(cold).frame, hot_frame);
+  EXPECT_EQ(mem.page(hot).tier(), TierId::kFast);
+  EXPECT_EQ(mem.page(cold).tier(), TierId::kCapacity);
+  EXPECT_EQ(mem.page(hot).frame(), cold_frame);
+  EXPECT_EQ(mem.page(cold).frame(), hot_frame);
   EXPECT_EQ(mem.tier(TierId::kFast).used_frames(), fast_used);
   EXPECT_EQ(mem.tier(TierId::kCapacity).used_frames(), cap_used);
   EXPECT_EQ(mem.mapped_4k_in_tier(TierId::kFast), fast_mapped);
@@ -103,12 +103,12 @@ TEST(Exchange, SwapsHugePagesWholeSpan) {
   const Vaddr cap_base = mem.AllocateRegion(kHugePageSize, cap_opts);
   const PageIndex cold = mem.Lookup(VpnOf(fast_base));
   const PageIndex hot = mem.Lookup(VpnOf(cap_base));
-  ASSERT_EQ(mem.page(hot).kind, PageKind::kHuge);
-  ASSERT_EQ(mem.page(cold).kind, PageKind::kHuge);
+  ASSERT_EQ(mem.page(hot).kind(), PageKind::kHuge);
+  ASSERT_EQ(mem.page(cold).kind(), PageKind::kHuge);
 
   ASSERT_TRUE(mem.ExchangePages(hot, cold));
-  EXPECT_EQ(mem.page(hot).tier, TierId::kFast);
-  EXPECT_EQ(mem.page(cold).tier, TierId::kCapacity);
+  EXPECT_EQ(mem.page(hot).tier(), TierId::kFast);
+  EXPECT_EQ(mem.page(cold).tier(), TierId::kCapacity);
   EXPECT_EQ(mem.migration_stats().exchanges, 1u);
   EXPECT_EQ(mem.migration_stats().exchanged_huge, 1u);
   EXPECT_EQ(mem.migration_stats().exchanged_4k(), 2 * kSubpagesPerHuge);
@@ -139,8 +139,8 @@ TEST(Exchange, RejectsInvalidPairsWithoutSideEffects) {
   EXPECT_EQ(mem.migration_stats().failed_exchanges, 4u);
   EXPECT_EQ(mem.migration_stats().exchanges, 0u);
   // Nothing moved, nothing was shot down.
-  EXPECT_EQ(mem.page(cap_page).tier, TierId::kCapacity);
-  EXPECT_EQ(mem.page(fast_page).tier, TierId::kFast);
+  EXPECT_EQ(mem.page(cap_page).tier(), TierId::kCapacity);
+  EXPECT_EQ(mem.page(fast_page).tier(), TierId::kFast);
   EXPECT_EQ(tlb.stats().shootdowns, shootdowns);
   const AuditReport report = AuditMem(mem, tlb);
   EXPECT_TRUE(report.ok()) << report.ToJson(2);
@@ -172,13 +172,13 @@ TEST(Exchange, MatchesMigratePlusEvictPlacement) {
   // Every vpn of both regions sits on the same tier in both systems (frames
   // may differ: the exchange swaps in place, migrate+evict reallocates).
   for (Vpn vpn = VpnOf(fast_base); vpn < VpnOf(fast_base) + kSubpagesPerHuge; ++vpn) {
-    ASSERT_EQ(via_exchange.page(via_exchange.Lookup(vpn)).tier,
-              via_migrate.page(via_migrate.Lookup(vpn)).tier)
+    ASSERT_EQ(via_exchange.page(via_exchange.Lookup(vpn)).tier(),
+              via_migrate.page(via_migrate.Lookup(vpn)).tier())
         << "vpn " << vpn;
   }
   for (Vpn vpn = VpnOf(cap_base); vpn < VpnOf(cap_base) + kSubpagesPerHuge; ++vpn) {
-    ASSERT_EQ(via_exchange.page(via_exchange.Lookup(vpn)).tier,
-              via_migrate.page(via_migrate.Lookup(vpn)).tier)
+    ASSERT_EQ(via_exchange.page(via_exchange.Lookup(vpn)).tier(),
+              via_migrate.page(via_migrate.Lookup(vpn)).tier())
         << "vpn " << vpn;
   }
   EXPECT_EQ(via_exchange.mapped_4k_in_tier(TierId::kFast),
@@ -205,11 +205,11 @@ TEST(Exchange, SucceedsWhereMigrateIsDeniedUnderZeroFreeFrames) {
 
   EXPECT_FALSE(mem.Migrate(hot, TierId::kFast));
   EXPECT_EQ(mem.migration_stats().failed_migrations, 1u);
-  EXPECT_EQ(mem.page(hot).tier, TierId::kCapacity);
+  EXPECT_EQ(mem.page(hot).tier(), TierId::kCapacity);
 
   EXPECT_TRUE(mem.ExchangePages(hot, cold));
-  EXPECT_EQ(mem.page(hot).tier, TierId::kFast);
-  EXPECT_EQ(mem.page(cold).tier, TierId::kCapacity);
+  EXPECT_EQ(mem.page(hot).tier(), TierId::kFast);
+  EXPECT_EQ(mem.page(cold).tier(), TierId::kCapacity);
   EXPECT_EQ(mem.tier(TierId::kFast).free_frames(), 0u);
   EXPECT_EQ(mem.migration_stats().exchanges, 1u);
   const AuditReport report = AuditMem(mem, tlb);
@@ -250,7 +250,7 @@ TEST(Exchange, TenantQuotaNeutralityAndCrossTenantGate) {
   EXPECT_EQ(mem.tenant_stats(2).quota_denied_promotions, 1u);
   EXPECT_EQ(mem.tenant_stats(2).quota_steals, 0u);
   EXPECT_EQ(mem.migration_stats().failed_exchanges, 1u);
-  EXPECT_EQ(mem.page(hot_cross).tier, TierId::kCapacity);
+  EXPECT_EQ(mem.page(hot_cross).tier(), TierId::kCapacity);
 
   // With headroom the cross-tenant swap goes through and both tenants'
   // per-tier counters move in lockstep (global counters are unchanged).
@@ -282,7 +282,7 @@ TEST(Exchange, DrawsTenantPromotionBudgetTokens) {
   EXPECT_EQ(mem.tenant_stats(1).budget_denied_promotions, 1u);
   EXPECT_EQ(mem.migration_stats().exchanges, 2u);
   EXPECT_EQ(mem.migration_stats().failed_exchanges, 1u);
-  EXPECT_EQ(mem.page(mem.Lookup(hot_vpn + 2)).tier, TierId::kCapacity);
+  EXPECT_EQ(mem.page(mem.Lookup(hot_vpn + 2)).tier(), TierId::kCapacity);
   const AuditReport report = AuditMem(mem, tlb);
   EXPECT_TRUE(report.ok()) << report.ToJson(2);
 }

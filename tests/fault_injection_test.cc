@@ -208,8 +208,8 @@ TEST(FaultSite, MigrateAbortRollsBackCompletely) {
   const Vaddr base = mem.AllocateRegion(kHugePageSize, opts);
   const PageIndex index = mem.Lookup(VpnOf(base));
   ASSERT_NE(index, kInvalidPage);
-  const TierId tier_before = mem.page(index).tier;
-  const FrameId frame_before = mem.page(index).frame;
+  const TierId tier_before = mem.page(index).tier();
+  const FrameId frame_before = mem.page(index).frame();
   const uint64_t fast_free = mem.tier(TierId::kFast).free_frames();
   const uint64_t cap_free = mem.tier(TierId::kCapacity).free_frames();
   const uint64_t shootdowns = tlb.stats().shootdowns;
@@ -227,8 +227,8 @@ TEST(FaultSite, MigrateAbortRollsBackCompletely) {
   EXPECT_EQ(faults.stats().by(FaultSite::kMigrateAbort), 1u);
   const PageInfo& page = mem.page(index);
   EXPECT_TRUE(page.live);
-  EXPECT_EQ(page.tier, tier_before);
-  EXPECT_EQ(page.frame, frame_before);
+  EXPECT_EQ(page.tier(), tier_before);
+  EXPECT_EQ(page.frame(), frame_before);
   EXPECT_EQ(mem.tier(TierId::kFast).free_frames(), fast_free);
   EXPECT_EQ(mem.tier(TierId::kCapacity).free_frames(), cap_free);
   // No partial copy means no TLB shootdown either.
@@ -239,7 +239,7 @@ TEST(FaultSite, MigrateAbortRollsBackCompletely) {
   // The same migration succeeds once the injector is gone.
   mem.AttachFaults(nullptr);
   EXPECT_TRUE(mem.Migrate(index, TierId::kCapacity));
-  EXPECT_EQ(mem.page(index).tier, TierId::kCapacity);
+  EXPECT_EQ(mem.page(index).tier(), TierId::kCapacity);
   report = AuditMem(mem, tlb);
   EXPECT_TRUE(report.ok()) << report.ToJson(2);
 }
@@ -256,8 +256,8 @@ TEST(FaultSite, ExchangeAbortRollsBackBothSides) {
   const Vaddr cap_base = mem.AllocateRegion(kHugePageSize, opts);
   const PageIndex hot = mem.Lookup(VpnOf(cap_base));
   const PageIndex cold = mem.Lookup(VpnOf(fast_base));
-  const FrameId hot_frame = mem.page(hot).frame;
-  const FrameId cold_frame = mem.page(cold).frame;
+  const FrameId hot_frame = mem.page(hot).frame();
+  const FrameId cold_frame = mem.page(cold).frame();
   const uint64_t fast_free = mem.tier(TierId::kFast).free_frames();
   const uint64_t shootdowns = tlb.stats().shootdowns;
 
@@ -273,10 +273,10 @@ TEST(FaultSite, ExchangeAbortRollsBackBothSides) {
   EXPECT_EQ(mem.migration_stats().failed_exchanges, 0u);
   EXPECT_EQ(mem.migration_stats().exchanges, 0u);
   EXPECT_EQ(faults.stats().by(FaultSite::kExchangeAbort), 1u);
-  EXPECT_EQ(mem.page(hot).tier, TierId::kCapacity);
-  EXPECT_EQ(mem.page(cold).tier, TierId::kFast);
-  EXPECT_EQ(mem.page(hot).frame, hot_frame);
-  EXPECT_EQ(mem.page(cold).frame, cold_frame);
+  EXPECT_EQ(mem.page(hot).tier(), TierId::kCapacity);
+  EXPECT_EQ(mem.page(cold).tier(), TierId::kFast);
+  EXPECT_EQ(mem.page(hot).frame(), hot_frame);
+  EXPECT_EQ(mem.page(cold).frame(), cold_frame);
   EXPECT_EQ(mem.tier(TierId::kFast).free_frames(), fast_free);
   EXPECT_EQ(tlb.stats().shootdowns, shootdowns);
   AuditReport report = AuditMem(mem, tlb);
@@ -289,8 +289,8 @@ TEST(FaultSite, ExchangeAbortRollsBackBothSides) {
   // The same exchange goes through once the injector is gone.
   mem.AttachFaults(nullptr);
   EXPECT_TRUE(mem.ExchangePages(hot, cold));
-  EXPECT_EQ(mem.page(hot).tier, TierId::kFast);
-  EXPECT_EQ(mem.page(cold).tier, TierId::kCapacity);
+  EXPECT_EQ(mem.page(hot).tier(), TierId::kFast);
+  EXPECT_EQ(mem.page(cold).tier(), TierId::kCapacity);
   EXPECT_EQ(tlb.stats().shootdowns, shootdowns + 2);
   report = AuditMem(mem, tlb);
   EXPECT_TRUE(report.ok()) << report.ToJson(2);

@@ -77,7 +77,7 @@ TEST(Fuzz, MemorySystemRandomOps) {
       // Split a huge page with random written bits.
       const Vaddr base = regions[rng.NextBelow(regions.size())];
       const PageIndex index = mem.Lookup(VpnOf(base));
-      if (index != kInvalidPage && mem.page(index).kind == PageKind::kHuge) {
+      if (index != kInvalidPage && mem.page(index).kind() == PageKind::kHuge) {
         PageInfo& page = mem.page(index);
         for (int j = 0; j < 64; ++j) {
           mem.NoteSubpageAccess(page, rng.NextBelow(kSubpagesPerHuge),
@@ -159,7 +159,7 @@ TEST(Fuzz, ExchangeInterleavesWithEveryOtherMutation) {
       std::vector<PageIndex> hot_side;
       std::vector<PageIndex> cold_side;
       mem.ForEachLivePage([&](PageIndex i, PageInfo& page) {
-        (page.tier == TierId::kCapacity ? hot_side : cold_side).push_back(i);
+        (page.tier() == TierId::kCapacity ? hot_side : cold_side).push_back(i);
       });
       if (!hot_side.empty() && !cold_side.empty()) {
         const PageIndex hot = hot_side[rng.NextBelow(hot_side.size())];
@@ -170,7 +170,7 @@ TEST(Fuzz, ExchangeInterleavesWithEveryOtherMutation) {
     } else if (op < 82) {
       const Vaddr base = regions[rng.NextBelow(regions.size())];
       const PageIndex index = mem.Lookup(VpnOf(base));
-      if (index != kInvalidPage && mem.page(index).kind == PageKind::kHuge) {
+      if (index != kInvalidPage && mem.page(index).kind() == PageKind::kHuge) {
         PageInfo& page = mem.page(index);
         for (int j = 0; j < 96; ++j) {
           mem.NoteSubpageAccess(page, rng.NextBelow(kSubpagesPerHuge),
@@ -239,7 +239,7 @@ TEST(Fuzz, HugePageMetaPoolRecycles) {
     const Vaddr base = regions[rng.NextBelow(regions.size())];
     const PageIndex index = mem.Lookup(VpnOf(base));
     ASSERT_NE(index, kInvalidPage);
-    if (mem.page(index).kind == PageKind::kHuge) {
+    if (mem.page(index).kind() == PageKind::kHuge) {
       mem.SplitHugePage(index, [&](uint32_t) {
         return rng.NextBool(0.5) ? TierId::kFast : TierId::kCapacity;
       });

@@ -67,7 +67,7 @@ TEST(IncrementalCounters, MatchRecountsUnderRandomMutations) {
     } else if (op < 75) {
       const Vaddr base = regions[rng.NextBelow(regions.size())];
       const PageIndex index = mem.Lookup(VpnOf(base));
-      if (index != kInvalidPage && mem.page(index).kind == PageKind::kHuge) {
+      if (index != kInvalidPage && mem.page(index).kind() == PageKind::kHuge) {
         PageInfo& page = mem.page(index);
         for (int j = 0; j < 32; ++j) {
           mem.NoteSubpageAccess(page, rng.NextBelow(kSubpagesPerHuge),
@@ -157,7 +157,7 @@ TEST(IncrementalCounters, HugePageRatioAndBloatMatchScans) {
   mem.AllocateRegion(64 * kPageSize, base_opts);
 
   PageInfo& hp = mem.page(mem.Lookup(VpnOf(huge)));
-  ASSERT_EQ(hp.kind, PageKind::kHuge);
+  ASSERT_EQ(hp.kind(), PageKind::kHuge);
   for (uint64_t j = 0; j < 100; ++j) {
     mem.NoteSubpageAccess(hp, j, /*is_write=*/j % 2 == 0);
   }

@@ -17,7 +17,7 @@ TEST(MemorySystem, AllocateRegionWithThpUsesHugePages) {
   EXPECT_DOUBLE_EQ(mem.huge_page_ratio(), 1.0);
   const PageIndex index = mem.Lookup(VpnOf(start));
   ASSERT_NE(index, kInvalidPage);
-  EXPECT_EQ(mem.page(index).kind, PageKind::kHuge);
+  EXPECT_EQ(mem.page(index).kind(), PageKind::kHuge);
   EXPECT_TRUE(mem.CheckConsistency());
 }
 
@@ -39,7 +39,7 @@ TEST(MemorySystem, AllocationPrefersRequestedTierThenSpills) {
   int capacity_pages = 0;
   for (int i = 0; i < 3; ++i) {
     const PageInfo& p = mem.page(mem.Lookup(VpnOf(start) + i * kSubpagesPerHuge));
-    (p.tier == TierId::kFast ? fast_pages : capacity_pages) += 1;
+    (p.tier() == TierId::kFast ? fast_pages : capacity_pages) += 1;
   }
   EXPECT_EQ(fast_pages, 2);
   EXPECT_EQ(capacity_pages, 1);
@@ -71,9 +71,9 @@ TEST(MemorySystem, MigrateMovesBetweenTiers) {
   opts.preferred = TierId::kCapacity;
   const Vaddr start = mem.AllocateRegion(kHugePageSize, opts);
   const PageIndex index = mem.Lookup(VpnOf(start));
-  EXPECT_EQ(mem.page(index).tier, TierId::kCapacity);
+  EXPECT_EQ(mem.page(index).tier(), TierId::kCapacity);
   ASSERT_TRUE(mem.Migrate(index, TierId::kFast));
-  EXPECT_EQ(mem.page(index).tier, TierId::kFast);
+  EXPECT_EQ(mem.page(index).tier(), TierId::kFast);
   EXPECT_EQ(mem.migration_stats().promoted_huge, 1u);
   EXPECT_EQ(mem.tier(TierId::kFast).used_frames(), kSubpagesPerHuge);
   EXPECT_EQ(mem.tier(TierId::kCapacity).used_frames(), 0u);
@@ -122,9 +122,9 @@ TEST(MemorySystem, SplitHugePageFreesZeroSubpages) {
   // Hotness was carried into the subpages.
   const PageIndex child = mem.Lookup(VpnOf(start));
   ASSERT_NE(child, kInvalidPage);
-  EXPECT_EQ(mem.page(child).kind, PageKind::kBase);
-  EXPECT_EQ(mem.page(child).access_count, 100u);
-  EXPECT_EQ(mem.page(child).tier, TierId::kFast);
+  EXPECT_EQ(mem.page(child).kind(), PageKind::kBase);
+  EXPECT_EQ(mem.page(child).access_count(), 100u);
+  EXPECT_EQ(mem.page(child).tier(), TierId::kFast);
   // Unwritten subpages are unmapped.
   EXPECT_EQ(mem.Lookup(VpnOf(start) + 100), kInvalidPage);
   EXPECT_EQ(mem.migration_stats().splits, 1u);
@@ -142,7 +142,7 @@ TEST(MemorySystem, DemandFaultRepopulatesSplitHole) {
   ASSERT_EQ(mem.Lookup(hole), kInvalidPage);
   ASSERT_TRUE(mem.InRegion(hole << kPageShift));
   const PageIndex fresh = mem.DemandFault(hole, AllocOptions{});
-  EXPECT_EQ(mem.page(fresh).kind, PageKind::kBase);
+  EXPECT_EQ(mem.page(fresh).kind(), PageKind::kBase);
   EXPECT_EQ(mem.Lookup(hole), fresh);
   EXPECT_EQ(mem.migration_stats().demand_faults, 1u);
   EXPECT_TRUE(mem.CheckConsistency());
@@ -165,13 +165,13 @@ TEST(MemorySystem, CollapseRebuildsHugePage) {
   const Vaddr start = mem.AllocateRegion(kHugePageSize, opts);
   const Vpn vpn = VpnOf(start);
   for (uint64_t j = 0; j < kSubpagesPerHuge; ++j) {
-    mem.page(mem.Lookup(vpn + j)).access_count = j;
+    mem.page(mem.Lookup(vpn + j)).access_count() = j;
   }
   ASSERT_TRUE(mem.CollapseToHuge(vpn, TierId::kFast));
   const PageIndex index = mem.Lookup(vpn);
   const PageInfo& hp = mem.page(index);
-  EXPECT_EQ(hp.kind, PageKind::kHuge);
-  EXPECT_EQ(hp.access_count, kSubpagesPerHuge * (kSubpagesPerHuge - 1) / 2);
+  EXPECT_EQ(hp.kind(), PageKind::kHuge);
+  EXPECT_EQ(hp.access_count(), kSubpagesPerHuge * (kSubpagesPerHuge - 1) / 2);
   EXPECT_EQ(hp.huge->subpage_count[5], 5u);
   EXPECT_EQ(mem.migration_stats().collapses, 1u);
   EXPECT_TRUE(mem.CheckConsistency());

@@ -83,7 +83,7 @@ TEST(MemtisUnit, SamplesMovePagesUpTheHistogram) {
     f.ctx.now_ns += 200;
     policy.OnAccess(f.ctx, index, page, Access{addr, false});
   }
-  EXPECT_GT(page.access_count, 0u);
+  EXPECT_GT(page.access_count(), 0u);
   EXPECT_GT(static_cast<int>(page.histogram_bin), bin_before);
   // Subpage 0 carries all the subpage-level hotness.
   EXPECT_GT(page.huge->subpage_count[0], 0u);
@@ -100,12 +100,12 @@ TEST(MemtisUnit, HotCapacityPageEntersPromotionListAndMigrates) {
   const PageIndex index = AllocHuge(f, policy, TierId::kCapacity);
   PageInfo& page = f.mem.page(index);
   const Vaddr addr = page.base_vpn << kPageShift;
-  for (int i = 0; i < 40000 && page.tier == TierId::kCapacity; ++i) {
+  for (int i = 0; i < 40000 && page.tier() == TierId::kCapacity; ++i) {
     f.ctx.now_ns += 200;
     policy.OnAccess(f.ctx, index, page, Access{addr, false});
     policy.Tick(f.ctx);
   }
-  EXPECT_EQ(page.tier, TierId::kFast);
+  EXPECT_EQ(page.tier(), TierId::kFast);
   EXPECT_GT(f.mem.migration_stats().promoted_huge, 0u);
 }
 

@@ -32,12 +32,12 @@ TEST(MiscInvariants, SplitThenCollapseRoundTrip) {
   ASSERT_EQ(mem.SplitHugePage(mem.Lookup(vpn), [](uint32_t) { return TierId::kFast; }),
             kSubpagesPerHuge);
   // All 512 base pages live with carried hotness.
-  EXPECT_EQ(mem.page(mem.Lookup(vpn + 37)).access_count, 37u);
+  EXPECT_EQ(mem.page(mem.Lookup(vpn + 37)).access_count(), 37u);
   ASSERT_TRUE(mem.CollapseToHuge(vpn, TierId::kFast));
   const PageInfo& rebuilt = mem.page(mem.Lookup(vpn));
-  EXPECT_EQ(rebuilt.kind, PageKind::kHuge);
+  EXPECT_EQ(rebuilt.kind(), PageKind::kHuge);
   EXPECT_EQ(rebuilt.huge->subpage_count[37], 37u);
-  EXPECT_EQ(rebuilt.access_count,
+  EXPECT_EQ(rebuilt.access_count(),
             kSubpagesPerHuge * (kSubpagesPerHuge - 1) / 2);
   EXPECT_TRUE(mem.CheckConsistency());
 }
@@ -88,17 +88,24 @@ TEST(MiscInvariants, SnapshotWindowsAccountAllAccesses) {
 
 TEST(MiscInvariants, HotnessFactorScalingMatchesPaper) {
   // H_i = C_i for huge pages, C_i * 512 for base pages (paper §4.1.2).
+  // Standalone PageInfos (no owning MemorySystem) need their own hot arrays.
+  PageHotArrays hot;
+  hot.Resize(2);
   PageInfo base;
-  base.kind = PageKind::kBase;
-  base.access_count = 3;
+  base.hot = &hot;
+  base.self = 0;
+  base.kind() = PageKind::kBase;
+  base.access_count() = 3;
   PageInfo huge;
-  huge.kind = PageKind::kHuge;
-  huge.access_count = 3;
+  huge.hot = &hot;
+  huge.self = 1;
+  huge.kind() = PageKind::kHuge;
+  huge.access_count() = 3;
   EXPECT_EQ(base.hotness(), 3 * kSubpagesPerHuge);
   EXPECT_EQ(huge.hotness(), 3u);
   // So a base page and a huge page with the same per-4KiB access density have
   // the same hotness factor:
-  huge.access_count = 3 * kSubpagesPerHuge;
+  huge.access_count() = 3 * kSubpagesPerHuge;
   EXPECT_EQ(base.hotness(), huge.hotness());
 }
 

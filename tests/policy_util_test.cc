@@ -28,10 +28,17 @@ struct ContextFixture {
 
 TEST(PolicyUtil, CopyCostDependsOnPageKind) {
   CostParams costs;
+  // Standalone PageInfos (no owning MemorySystem) need their own hot arrays.
+  PageHotArrays hot;
+  hot.Resize(2);
   PageInfo base;
-  base.kind = PageKind::kBase;
+  base.hot = &hot;
+  base.self = 0;
+  base.kind() = PageKind::kBase;
   PageInfo huge;
-  huge.kind = PageKind::kHuge;
+  huge.hot = &hot;
+  huge.self = 1;
+  huge.kind() = PageKind::kHuge;
   EXPECT_EQ(CopyCost(costs, base), costs.migrate_base_ns);
   EXPECT_EQ(CopyCost(costs, huge), costs.migrate_huge_ns);
 }
@@ -72,7 +79,7 @@ TEST(PolicyUtil, MigrateBackgroundRespectsBandwidthBudget) {
   EXPECT_TRUE(MigrateBackground(ctx, f.mem.Lookup(VpnOf(a)), TierId::kFast));
   // The burst is spent; the second huge page must wait.
   EXPECT_FALSE(MigrateBackground(ctx, f.mem.Lookup(VpnOf(b)), TierId::kFast));
-  EXPECT_EQ(f.mem.page(f.mem.Lookup(VpnOf(b))).tier, TierId::kCapacity);
+  EXPECT_EQ(f.mem.page(f.mem.Lookup(VpnOf(b))).tier(), TierId::kCapacity);
 }
 
 TEST(PolicyUtil, WatermarkMath) {
@@ -123,7 +130,7 @@ TEST(PolicyUtil, ExchangeCriticalChargesAppForSwapAndBothShootdowns) {
   const PageIndex hot = f.mem.Lookup(VpnOf(cap));
   const PageIndex cold = f.mem.Lookup(VpnOf(fast));
   ASSERT_TRUE(ExchangeCritical(f.ctx, hot, cold));
-  EXPECT_EQ(f.mem.page(hot).tier, TierId::kFast);
+  EXPECT_EQ(f.mem.page(hot).tier(), TierId::kFast);
   EXPECT_EQ(f.ctx.pending_app_ns,
             f.costs.exchange_huge_ns + 2 * f.costs.shootdown_app_ns);
   EXPECT_EQ(f.cpu.total_busy(), 0u);  // fault-path work, not daemon work
@@ -160,7 +167,7 @@ TEST(PolicyUtil, ExchangeBackgroundDeniedByExhaustedBudget) {
   const Vaddr cap = f.mem.AllocateRegion(kHugePageSize, opts);
   const PageIndex hot = f.mem.Lookup(VpnOf(cap));
   EXPECT_FALSE(ExchangeBackground(ctx, hot, f.mem.Lookup(VpnOf(fast))));
-  EXPECT_EQ(f.mem.page(hot).tier, TierId::kCapacity);  // nothing moved
+  EXPECT_EQ(f.mem.page(hot).tier(), TierId::kCapacity);  // nothing moved
   EXPECT_EQ(f.mem.migration_stats().exchanges, 0u);
 }
 

@@ -245,6 +245,37 @@ TEST(Sweep, SeedIndexVariesWorkloadDeterministically) {
   EXPECT_NE(base1.metrics.app_ns, varied.metrics.app_ns);
 }
 
+// The sharded RunJob branch with the collect auditor and epoch telemetry on:
+// the merged result must carry every shard's audit counters and at least one
+// epoch sample per shard (OnRunEnd records a final sample), all clean. Pins
+// the shard-audit merge path end to end (it once crashed on an iterator pair
+// taken from two separate samples() temporaries).
+TEST(Sweep, ShardedJobMergesAuditReportAndEpochs) {
+  JobSpec spec;
+  spec.system = "memtis";
+  spec.benchmark = "stream";
+  spec.accesses = 40'000;
+  spec.shards = 4;
+  spec.audit = true;
+  spec.audit_epoch_interval_ns = 50'000'000;
+
+  const JobResult merged = RunJob(spec);
+  EXPECT_TRUE(merged.audited);
+  EXPECT_EQ(merged.audit_report.violations_total, 0u);
+  EXPECT_GT(merged.audit_report.ticks_audited, 0u);
+  EXPECT_GE(merged.epochs.size(), 4u);
+  EXPECT_EQ(merged.epochs_recorded_total, merged.epochs.size());
+  EXPECT_EQ(merged.epoch_interval_ns, spec.audit_epoch_interval_ns);
+
+  // Same spec, same merged bytes — the sharded branch is as deterministic as
+  // the plain one, audit document included.
+  std::string a, b;
+  JsonWriter wa(&a, 0), wb(&b, 0);
+  WriteJobResultJson(wa, merged);
+  WriteJobResultJson(wb, RunJob(spec));
+  EXPECT_EQ(a, b);
+}
+
 // ---------------------------------------------------------------------------
 // Resilience plane: supervision, retries, manifests, resume.
 // ---------------------------------------------------------------------------

@@ -26,7 +26,7 @@ std::map<Vpn, uint64_t> CountWindow(Engine& engine, Workload& workload,
   engine.Run(workload);
   std::map<Vpn, uint64_t> counts;
   engine.mem().ForEachLivePage([&](PageIndex, PageInfo& page) {
-    if (page.kind == PageKind::kHuge) {
+    if (page.kind() == PageKind::kHuge) {
       counts[page.base_vpn] = page.huge->accessed_count();
     }
   });
@@ -75,7 +75,7 @@ TEST(WorkloadPhases, XSBenchTrafficConcentratesAfterWarmPhase) {
   auto snapshot = [&] {
     std::map<Vpn, uint64_t> counts;
     engine.mem().ForEachLivePage([&](PageIndex, PageInfo& page) {
-      counts[page.base_vpn] = page.access_count;
+      counts[page.base_vpn] = page.access_count();
     });
     return counts;
   };

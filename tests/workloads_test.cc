@@ -144,7 +144,7 @@ TEST(WorkloadProperties, SiloHasLowUtilizationLiblinearHigh) {
     uint64_t accessed = 0;
     uint64_t huge_pages = 0;
     engine.mem().ForEachLivePage([&](PageIndex, PageInfo& page) {
-      if (page.kind == PageKind::kHuge && page.huge->accessed.any()) {
+      if (page.kind() == PageKind::kHuge && page.huge->accessed.any()) {
         accessed += page.huge->accessed_count();
         ++huge_pages;
       }
