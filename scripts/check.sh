@@ -17,7 +17,11 @@
 # seventh pass building the sharded-engine tests under ThreadSanitizer (a
 # separate build tree — TSan and ASan cannot share one) and running the
 # shard-identity suite with real worker threads, since ShardedEngine is the
-# repo's first intra-cell threading.
+# repo's first intra-cell threading, and an eighth pass re-running the
+# distributed-campaign chaos/differential suite (multi-worker byte-identity,
+# killed/hung workers, coordinator SIGKILL + restart, wire/claim-file fuzz)
+# under the sanitizers, since the coordinator/worker layer is the repo's
+# first socket and multi-process I/O.
 # Usage:
 #
 #   scripts/check.sh [build-dir]
@@ -110,3 +114,13 @@ cmake --build "$TSAN_DIR" -j"$JOBS" --target replay_differential_test
 "$TSAN_DIR/tests/replay_differential_test" \
     --gtest_filter='PolicySpread/ShardedIdentityTest.*:ReplayFuzz.*'
 echo "sharded-engine TSan pass: clean"
+echo "== eighth pass: distributed campaign chaos under ASan/UBSan =="
+# The multi-worker campaign suite — differential byte-identity at 1 and 4
+# workers over both backends, killed and hung workers, lease-expiry caps,
+# coordinator restart recovery — plus the wire/claim-file fuzzers and the
+# real-SIGKILL smoke script, all in the sanitized build so every socket,
+# claim-file, and fork path is leak- and UB-checked end to end.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
+    -R '(Distributed\.|Campaign\.|smoke_distributed)'
+"$BUILD_DIR/tests/fuzz_test" --gtest_filter='Fuzz.FrameDecoder*:Fuzz.Protocol*:Fuzz.Coordinator*:Fuzz.FileQueue*:Fuzz.JobSpecJson*'
+echo "distributed chaos pass: clean"

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Distributed-campaign smoke (registered as the `smoke_distributed` ctest
+# case). Proves the ISSUE-level acceptance property with real processes and
+# real SIGKILLs:
+#
+#   1. reference bytes: the supervised smoke sweep, single host;
+#   2. socket backend: --serve=0 with four --worker processes, one of which
+#      MEMTIS_KILL_WORKER-exits hard while holding a lease — the merged
+#      output must be byte-identical to the reference;
+#   3. file backend: --serve=DIR with two workers; the coordinator is
+#      SIGKILLed mid-campaign and restarted on the same directory — the
+#      recovered output must again be byte-identical.
+set -euo pipefail
+
+MEMTIS_RUN="${1:?usage: smoke_distributed.sh <path-to-memtis_run>}"
+WORK="$(mktemp -d)"
+cleanup() {
+  # Kill any straggling coordinator/worker from a failed run.
+  [ -z "${PIDS:-}" ] || kill -9 ${PIDS} 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+PIDS=""
+
+fail() {
+  echo "smoke_distributed: FAIL: $*" >&2
+  exit 1
+}
+
+REF="$WORK/ref.json"
+"$MEMTIS_RUN" --smoke --quiet --supervise --out="$REF" \
+  || fail "single-host supervised reference failed"
+
+# --- socket backend: 4 workers, one killed hard mid-campaign -------------
+SOCK_OUT="$WORK/sock.json"
+PORT_FILE="$WORK/port.txt"
+"$MEMTIS_RUN" --smoke --quiet --supervise --serve=0 --port-file="$PORT_FILE" \
+  --lease-timeout-ms=2000 --out="$SOCK_OUT" &
+COORD=$!
+PIDS="$COORD"
+for _ in $(seq 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || fail "coordinator never wrote --port-file"
+PORT="$(cat "$PORT_FILE")"
+
+WPIDS=""
+# Worker 0 exits hard (no result, no FIN) while holding its second lease.
+MEMTIS_KILL_WORKER=1 "$MEMTIS_RUN" --worker="$PORT" --quiet &
+WPIDS="$WPIDS $!"
+for i in 1 2 3; do
+  "$MEMTIS_RUN" --worker="$PORT" --quiet --worker-name="sock$i" &
+  WPIDS="$WPIDS $!"
+done
+PIDS="$PIDS$WPIDS"
+for W in $WPIDS; do
+  wait "$W" || true  # the killed worker reports nonzero by design
+done
+wait "$COORD" || fail "socket coordinator exited nonzero"
+PIDS=""
+cmp -s "$REF" "$SOCK_OUT" \
+  || fail "socket campaign output differs from single-host reference"
+
+# --- file backend: SIGKILL the coordinator mid-campaign, restart ---------
+QDIR="$WORK/queue"
+FILE_OUT="$WORK/file.json"
+"$MEMTIS_RUN" --smoke --quiet --supervise --serve="$QDIR" \
+  --lease-timeout-ms=2000 --out="$FILE_OUT" &
+COORD=$!
+PIDS="$COORD"
+for i in 1 2; do
+  "$MEMTIS_RUN" --worker="$QDIR" --quiet --worker-name="file$i" &
+  PIDS="$PIDS $!"
+done
+
+# Let at least one result land, then kill the coordinator without mercy.
+for _ in $(seq 200); do
+  if ls "$QDIR"/results-*.jsonl >/dev/null 2>&1 \
+      && [ -s "$(ls "$QDIR"/results-*.jsonl | head -1)" ]; then
+    break
+  fi
+  sleep 0.05
+done
+kill -9 "$COORD" 2>/dev/null || true
+wait "$COORD" 2>/dev/null || true
+[ ! -f "$QDIR/DONE" ] || fail "campaign finished before the coordinator kill"
+
+# Restart on the same directory: decided cells reload from the per-worker
+# results files, in-flight claims expire and re-issue; the workers left
+# running keep pulling cells from the recovered queue.
+"$MEMTIS_RUN" --smoke --quiet --supervise --serve="$QDIR" \
+  --lease-timeout-ms=2000 --out="$FILE_OUT" \
+  || fail "restarted file coordinator failed"
+wait  # workers exit once DONE appears
+PIDS=""
+cmp -s "$REF" "$FILE_OUT" \
+  || fail "recovered file campaign output differs from single-host reference"
+
+echo "smoke_distributed: OK"

@@ -22,6 +22,8 @@ enum class FailureKind : int {
   kProtocol,      // child exited 0 but its result pipe payload was unusable
   kCancelled,     // never ran: SIGINT drain or fail-fast dropped it
   kInvalidSpec,   // the cell itself is malformed (caught before running)
+  kLeaseExpired,  // distributed: every issued lease died (worker crash/hang)
+                  // and the coordinator's re-issue budget ran out
 };
 
 constexpr std::string_view FailureKindName(FailureKind kind) {
@@ -33,6 +35,7 @@ constexpr std::string_view FailureKindName(FailureKind kind) {
     case FailureKind::kProtocol: return "protocol";
     case FailureKind::kCancelled: return "cancelled";
     case FailureKind::kInvalidSpec: return "invalid-spec";
+    case FailureKind::kLeaseExpired: return "lease-expired";
   }
   return "unknown";
 }
@@ -41,7 +44,7 @@ constexpr std::optional<FailureKind> FailureKindFromName(std::string_view name) 
   for (const FailureKind kind :
        {FailureKind::kNone, FailureKind::kCrash, FailureKind::kExit,
         FailureKind::kTimeout, FailureKind::kProtocol, FailureKind::kCancelled,
-        FailureKind::kInvalidSpec}) {
+        FailureKind::kInvalidSpec, FailureKind::kLeaseExpired}) {
     if (FailureKindName(kind) == name) {
       return kind;
     }
@@ -57,6 +60,7 @@ constexpr bool IsRecoverable(FailureKind kind) {
     case FailureKind::kExit:
     case FailureKind::kTimeout:
     case FailureKind::kProtocol:
+    case FailureKind::kLeaseExpired:
       return true;
     case FailureKind::kNone:
     case FailureKind::kCancelled:

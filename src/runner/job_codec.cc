@@ -205,6 +205,55 @@ bool ReadJobFailureJson(const JsonValue& v, JobFailure* out) {
   return true;
 }
 
+void WriteJobSpecJson(JsonWriter& w, const JobSpec& spec) {
+  w.BeginObject();
+  w.Field("system", spec.system);
+  w.Field("benchmark", spec.benchmark);
+  w.Field("fast_ratio", spec.fast_ratio);
+  w.Field("accesses", ResolvedAccesses(spec));
+  w.Field("cxl", spec.cxl);
+  w.Field("cpu_contention", spec.cpu_contention);
+  w.Field("snapshot_interval_ns", spec.snapshot_interval_ns);
+  w.Field("fast_bytes_override", spec.fast_bytes_override);
+  w.Field("footprint_scale", ResolvedFootprintScale(spec));
+  w.Field("base_seed", spec.base_seed);
+  w.Field("seed_index", spec.seed_index);
+  w.Field("engine_seed", spec.engine_seed);
+  w.Field("audit", spec.audit);
+  w.Field("audit_epoch_interval_ns", spec.audit_epoch_interval_ns);
+  w.Field("shards", static_cast<uint64_t>(spec.shards));
+  w.Field("faults", spec.faults);
+  w.EndObject();
+}
+
+bool ReadJobSpecJson(const JsonValue& v, JobSpec* out) {
+  if (!v.is_object()) {
+    return false;
+  }
+  *out = JobSpec();
+  out->system = v.GetString("system");
+  out->benchmark = v.GetString("benchmark");
+  if (out->system.empty() || out->benchmark.empty()) {
+    return false;
+  }
+  out->fast_ratio = v.GetDouble("fast_ratio");
+  out->accesses = v.GetUint("accesses");
+  out->cxl = v.GetBool("cxl");
+  out->cpu_contention = v.GetBool("cpu_contention");
+  out->snapshot_interval_ns = v.GetUint("snapshot_interval_ns");
+  out->fast_bytes_override = v.GetUint("fast_bytes_override");
+  out->footprint_scale = v.GetDouble("footprint_scale");
+  out->base_seed = v.GetUint("base_seed");
+  out->seed_index = static_cast<uint32_t>(v.GetUint("seed_index"));
+  out->engine_seed = v.GetUint("engine_seed");
+  out->audit = v.GetBool("audit");
+  out->audit_epoch_interval_ns = v.GetUint("audit_epoch_interval_ns");
+  const uint64_t shards = v.GetUint("shards");
+  out->shards = shards == 0 ? 1 : static_cast<uint32_t>(shards);
+  out->faults = v.GetString("faults");
+  return true;
+}
+
 std::string ReproducerCmdline(const JobSpec& spec, int attempt) {
   std::string cmd = "memtis_run --supervise";
   cmd += " --systems=" + spec.system;

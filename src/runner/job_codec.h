@@ -43,6 +43,18 @@ bool ReadJobResultJson(const JsonValue& v, JobResult* out);
 void WriteJobFailureJson(JsonWriter& w, const JobFailure& failure);
 bool ReadJobFailureJson(const JsonValue& v, JobFailure* out);
 
+// Full-fidelity JobSpec record for shipping cells to remote workers
+// (src/runner/work_queue.h). Environment scale knobs are written resolved —
+// accesses and footprint_scale at their effective values — so a worker
+// running under a different MEMTIS_BENCH_* environment still reconstructs a
+// spec whose fingerprint matches the coordinator's. The opaque memtis_tweak
+// hook cannot cross a process boundary and is not serialized; a tweaked
+// spec's fingerprint (presence bit) will not match on the worker, which
+// rejects the cell as kInvalidSpec rather than silently running the untweaked
+// config.
+void WriteJobSpecJson(JsonWriter& w, const JobSpec& spec);
+bool ReadJobSpecJson(const JsonValue& v, JobSpec* out);
+
 // A memtis_run command line that re-executes exactly this cell (and, for
 // attempt > 0, the exact retry: the attempt's engine seed is pinned with
 // --engine-seed). Attached to every JobFailure so a failed cell in a

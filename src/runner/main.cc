@@ -17,14 +17,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "src/fault/fault.h"
 #include "src/memtis/policy_registry.h"
+#include "src/runner/coordinator.h"
 #include "src/runner/job_codec.h"
 #include "src/runner/resilient.h"
+#include "src/runner/work_queue.h"
+#include "src/runner/worker.h"
 #include "src/runner/result_sink.h"
 #include "src/runner/sweep.h"
 #include "src/runner/thread_pool.h"
@@ -44,6 +50,11 @@ struct CliOptions {
   std::string out;              // empty or "-" -> stdout
   std::string audit_out;        // --audit-json sink (empty = none)
   std::string colocate;         // --colocate tenant spec (empty = sweep mode)
+  std::string serve;            // --serve PORT or queue dir (empty = local)
+  std::string worker;           // --worker coordinator addr or queue dir
+  std::string worker_name;      // --worker-name (default: w<pid>)
+  std::string port_file;        // --port-file target for --serve=0
+  uint64_t lease_timeout_ms = 10'000;
   int threads = 0;              // 0 -> ThreadPool::DefaultThreadCount()
   bool quiet = false;
   bool smoke = false;
@@ -51,10 +62,31 @@ struct CliOptions {
 };
 
 // True when any resilience feature is in play: execution goes through
-// RunJobsResilient and output uses the outcome-aware schema_version 4 sinks.
+// RunJobsResilient (or a distributed campaign) and output uses the
+// outcome-aware schema_version 4 sinks.
 bool ResilientMode(const CliOptions& cli) {
   return NeedsSupervision(cli.exec) || !cli.exec.manifest_path.empty() ||
-         cli.exec.keep_going;
+         cli.exec.keep_going || !cli.serve.empty();
+}
+
+// "PORT" (all digits, <= 65535) selects the socket backend; anything else is
+// a claim-file queue directory.
+bool ParsePortSpec(const std::string& text, uint16_t* port) {
+  if (text.empty() || text.size() > 5) {
+    return false;
+  }
+  unsigned long value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<unsigned long>(c - '0');
+  }
+  if (value > 65535) {
+    return false;
+  }
+  *port = static_cast<uint16_t>(value);
+  return true;
 }
 
 void PrintUsage(std::FILE* to = stdout) {
@@ -112,6 +144,25 @@ void PrintUsage(std::FILE* to = stdout) {
       "  --engine-seed=N        engine RNG seed for every cell (default 42)\n"
       "  --list-cells           print each cell's fingerprint and canonical\n"
       "                         spec, then exit (for MEMTIS_CRASH_CELL etc.)\n"
+      "\n"
+      "Distributed campaigns (see README \"Distributed campaigns\"):\n"
+      "  --serve=PORT|DIR       coordinate the sweep for remote workers:\n"
+      "                         loopback TCP on PORT (0 = kernel-assigned,\n"
+      "                         see --port-file), or a claim-file queue in\n"
+      "                         DIR (safe on a shared filesystem). The merged\n"
+      "                         output is byte-identical to a single-host\n"
+      "                         supervised run; combine with --resume for a\n"
+      "                         restartable coordinator.\n"
+      "  --worker=ADDR|DIR      run cells for a coordinator at [HOST:]PORT\n"
+      "                         (numeric IPv4, loopback by default) or for a\n"
+      "                         claim-file queue in DIR; exits once the\n"
+      "                         campaign is decided\n"
+      "  --worker-name=NAME     stable worker name for logs and per-worker\n"
+      "                         results files (default: w<pid>)\n"
+      "  --lease-timeout-ms=N   re-issue a cell when its worker's lease goes\n"
+      "                         this long without a heartbeat (default 10000)\n"
+      "  --port-file=FILE       with --serve: write the bound port to FILE\n"
+      "                         once the coordinator is listening\n"
       "\n"
       "Auditing (see README \"Auditing and epoch telemetry\"):\n"
       "  --audit                run every job under the invariant auditor;\n"
@@ -379,6 +430,26 @@ bool ApplyOption(const std::string& key, const std::string& value, CliOptions* c
     cli->list_cells = true;
     return true;
   }
+  if (key == "serve") {
+    cli->serve = value;
+    return !value.empty();
+  }
+  if (key == "worker") {
+    cli->worker = value;
+    return !value.empty();
+  }
+  if (key == "worker-name") {
+    cli->worker_name = value;
+    return !value.empty();
+  }
+  if (key == "lease-timeout-ms") {
+    cli->lease_timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
+    return cli->lease_timeout_ms > 0;
+  }
+  if (key == "port-file") {
+    cli->port_file = value;
+    return !value.empty();
+  }
   if (key == "config") {
     return ApplyConfigFile(value, cli);
   }
@@ -433,6 +504,43 @@ int ColocateMain(const CliOptions& cli) {
                  violations == 0 ? "clean" : "FAILED", violations);
   }
   return violations == 0 ? 0 : 1;
+}
+
+// --worker mode: pull cells from a coordinator until the campaign is decided.
+// The sweep axes are ignored — the coordinator ships each cell's full spec.
+int WorkerMain(const CliOptions& cli) {
+  WorkerOptions options;
+  options.name = cli.worker_name.empty() ? "w" + std::to_string(getpid())
+                                         : cli.worker_name;
+  options.job_timeout_ms = cli.exec.job_timeout_ms;
+  if (const char* kill = std::getenv("MEMTIS_KILL_WORKER")) {
+    // Chaos hook: exit hard (no result, no FIN) while holding the Nth lease.
+    options.kill_after_cells = std::atoi(kill);
+    options.kill_hard = true;
+  }
+
+  uint16_t port = 0;
+  std::string error;
+  std::unique_ptr<WorkQueue> queue;
+  if (ParsePortSpec(cli.worker, &port) ||
+      cli.worker.find(':') != std::string::npos) {
+    // Coordinator may still be starting: retry the connect for a while.
+    queue = MakeSocketWorkQueue(cli.worker, options.name, 15'000, &error);
+  } else {
+    // Give up only after the queue has been idle long enough for a crashed
+    // coordinator to have been restarted (--serve on the same directory).
+    queue = MakeFileWorkQueue(cli.worker, options.name, 120'000, &error);
+  }
+  if (queue == nullptr) {
+    std::fprintf(stderr, "memtis_run: %s\n", error.c_str());
+    return 1;
+  }
+  const int rc = RunWorker(*queue, options);
+  if (!cli.quiet) {
+    std::fprintf(stderr, "memtis_run: worker %s: %s\n", options.name.c_str(),
+                 rc == 0 ? "campaign decided" : "gave up (queue unreachable)");
+  }
+  return rc == 0 ? 0 : 1;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* cli) {
@@ -511,6 +619,16 @@ int Main(int argc, char** argv) {
     PrintUsage(stderr);
     return 2;
   }
+  if ((!cli.serve.empty() && !cli.worker.empty()) ||
+      (!cli.colocate.empty() && (!cli.serve.empty() || !cli.worker.empty()))) {
+    std::fprintf(stderr,
+                 "memtis_run: --serve, --worker, and --colocate are mutually "
+                 "exclusive\n");
+    return 2;
+  }
+  if (!cli.worker.empty()) {
+    return WorkerMain(cli);
+  }
   if (cli.smoke) {
     // Fixed tiny sweep exercising two systems, two workloads, and the
     // baseline path; finishes in seconds so tier-1 ctest can afford it.
@@ -575,11 +693,6 @@ int Main(int argc, char** argv) {
     }
   }
 
-  ThreadPool pool(cli.threads);
-  if (!cli.quiet) {
-    std::fprintf(stderr, "memtis_run: %zu jobs on %d threads\n", jobs.size(),
-                 pool.thread_count());
-  }
   ProgressFn progress;
   if (!cli.quiet) {
     progress = [&jobs](size_t done, size_t total, size_t index) {
@@ -600,8 +713,64 @@ int Main(int argc, char** argv) {
   cli.exec.cancelled = [] { return g_interrupted != 0; };
 
   std::string manifest_error;
-  const std::vector<CellOutcome> outcomes = RunJobsResilient(
-      jobs, pool, cli.exec, preloaded, progress, &manifest_error);
+  std::vector<CellOutcome> outcomes;
+  if (!cli.serve.empty()) {
+    CampaignOptions campaign;
+    campaign.max_attempts = cli.exec.max_attempts;
+    campaign.lease_timeout_ms = cli.lease_timeout_ms;
+    campaign.job_timeout_ms = cli.exec.job_timeout_ms;
+    campaign.keep_going = cli.exec.keep_going;
+    campaign.manifest_path = cli.exec.manifest_path;
+    campaign.cancelled = cli.exec.cancelled;
+
+    CampaignStats stats;
+    std::string serve_error;
+    uint16_t port = 0;
+    if (ParsePortSpec(cli.serve, &port)) {
+      const size_t cell_count = jobs.size();
+      const auto on_listening = [&cli, cell_count](uint16_t bound) {
+        if (!cli.port_file.empty()) {
+          std::ofstream pf(cli.port_file);
+          pf << bound << "\n";
+        }
+        if (!cli.quiet) {
+          std::fprintf(stderr,
+                       "memtis_run: coordinating %zu cells on 127.0.0.1:%u\n",
+                       cell_count, bound);
+        }
+      };
+      outcomes = ServeSocketCampaign(jobs, campaign, port, on_listening,
+                                     preloaded, progress, &stats, &serve_error,
+                                     &manifest_error);
+    } else {
+      if (!cli.quiet) {
+        std::fprintf(stderr, "memtis_run: coordinating %zu cells via queue %s\n",
+                     jobs.size(), cli.serve.c_str());
+      }
+      outcomes = ServeFileCampaign(jobs, cli.serve, campaign, preloaded,
+                                   progress, &stats, &serve_error,
+                                   &manifest_error);
+    }
+    if (!serve_error.empty()) {
+      std::fprintf(stderr, "memtis_run: %s\n", serve_error.c_str());
+      return 1;
+    }
+    if (!cli.quiet) {
+      std::fprintf(stderr,
+                   "memtis_run: campaign: %" PRIu64 " leases issued, %" PRIu64
+                   " lost, %" PRIu64 " retries, %" PRIu64 " stale results\n",
+                   stats.issues, stats.leases_lost, stats.retries,
+                   stats.stale_results);
+    }
+  } else {
+    ThreadPool pool(cli.threads);
+    if (!cli.quiet) {
+      std::fprintf(stderr, "memtis_run: %zu jobs on %d threads\n", jobs.size(),
+                   pool.thread_count());
+    }
+    outcomes = RunJobsResilient(jobs, pool, cli.exec, preloaded, progress,
+                                &manifest_error);
+  }
   std::signal(SIGINT, SIG_DFL);
   if (!manifest_error.empty()) {
     std::fprintf(stderr, "memtis_run: WARNING: checkpointing disabled: %s\n",

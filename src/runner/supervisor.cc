@@ -316,10 +316,13 @@ SupervisedOutcome RunJobSupervised(const JobSpec& spec,
   const std::string fingerprint = JobFingerprint(spec);
   const int max_attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
 
+  const int first_attempt = options.first_attempt < 0 ? 0 : options.first_attempt;
+
   SupervisedOutcome outcome;
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    if (attempt > 0 && options.backoff_base_ms > 0) {
-      const uint64_t backoff = options.backoff_base_ms << (attempt - 1);
+  for (int local = 0; local < max_attempts; ++local) {
+    const int attempt = first_attempt + local;
+    if (local > 0 && options.backoff_base_ms > 0) {
+      const uint64_t backoff = options.backoff_base_ms << (local - 1);
       SleepMs(backoff < kBackoffCapMs ? backoff : kBackoffCapMs);
     }
     JobSpec attempt_spec = spec;

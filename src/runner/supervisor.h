@@ -68,6 +68,16 @@ struct SupervisorOptions {
   uint64_t backoff_base_ms = 0;
   // How much of the child's stderr to keep for JobFailure::stderr_tail.
   size_t stderr_tail_bytes = 4096;
+  // Global index of the first attempt this call runs (local runs leave it 0).
+  // The distributed coordinator (src/runner/coordinator.h) sets it when
+  // re-issuing a failed cell to another worker, so attempt k of this call is
+  // global attempt first_attempt + k everywhere it matters: the derived
+  // engine seed, the MEMTIS_CRASH_CELL/MEMTIS_HANG_CELL attempt window, the
+  // failure reproducer, and SupervisedOutcome::attempts — which therefore
+  // counts from global attempt 0, not from this call. That is what makes a
+  // cell that fails on worker A and succeeds on worker B byte-identical to
+  // the same retry happening inside one local RunJobSupervised call.
+  int first_attempt = 0;
 };
 
 struct SupervisedOutcome {

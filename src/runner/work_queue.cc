@@ -1,0 +1,556 @@
+#include "src/runner/work_queue.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "src/common/json.h"
+#include "src/common/json_parse.h"
+#include "src/common/netio.h"
+#include "src/runner/job_codec.h"
+#include "src/runner/manifest.h"
+
+namespace memtis {
+namespace {
+
+constexpr int kClaimRetrySleepMs = 60;
+constexpr int kSocketReplyTimeoutMs = 30'000;
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void WriteOutcomeFields(JsonWriter& w, const SupervisedOutcome& outcome) {
+  w.Field("ok", outcome.ok);
+  w.Field("attempts", outcome.attempts);
+  if (outcome.ok) {
+    w.Key("result");
+    WriteJobResultJson(w, outcome.result);
+  } else {
+    w.Key("failure");
+    WriteJobFailureJson(w, outcome.failure);
+  }
+}
+
+bool ReadOutcomeFields(const JsonValue& doc, SupervisedOutcome* out,
+                       std::string* error) {
+  out->ok = doc.GetBool("ok");
+  out->attempts = static_cast<int>(doc.GetInt("attempts"));
+  if (out->attempts < 1) {
+    *error = "result frame without a positive attempts count";
+    return false;
+  }
+  if (out->ok) {
+    const JsonValue* result = doc.Find("result");
+    if (result == nullptr || !ReadJobResultJson(*result, &out->result)) {
+      *error = "ok result frame without a parseable result";
+      return false;
+    }
+  } else {
+    const JsonValue* failure = doc.Find("failure");
+    if (failure == nullptr || !ReadJobFailureJson(*failure, &out->failure)) {
+      *error = "failed result frame without a parseable failure";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void WriteWorkItemFields(JsonWriter& w, const WorkItem& item) {
+  w.Field("index", static_cast<uint64_t>(item.index));
+  w.Field("attempt", item.attempt);
+  w.Field("issue", item.issue);
+  w.Field("job_timeout_ms", item.job_timeout_ms);
+  w.Field("fingerprint", item.fingerprint);
+  w.Key("spec");
+  WriteJobSpecJson(w, item.spec);
+}
+
+bool ReadWorkItemFields(const JsonValue& doc, WorkItem* out) {
+  if (!doc.is_object() || doc.Find("index") == nullptr) {
+    return false;
+  }
+  out->index = static_cast<size_t>(doc.GetUint("index"));
+  out->attempt = static_cast<int>(doc.GetInt("attempt"));
+  out->issue = doc.GetUint("issue");
+  out->job_timeout_ms = doc.GetUint("job_timeout_ms");
+  out->fingerprint = doc.GetString("fingerprint");
+  const JsonValue* spec = doc.Find("spec");
+  return spec != nullptr && ReadJobSpecJson(*spec, &out->spec) &&
+         !out->fingerprint.empty();
+}
+
+bool ParseWorkerRequest(const std::string& frame, WorkerRequest* out,
+                        std::string* error) {
+  std::string local_error;
+  std::string* err = error != nullptr ? error : &local_error;
+  JsonValue doc;
+  if (!JsonValue::Parse(frame, &doc, err)) {
+    return false;
+  }
+  if (!doc.is_object()) {
+    *err = "request frame is not a JSON object";
+    return false;
+  }
+  const std::string type = doc.GetString("type");
+  *out = WorkerRequest();
+  if (type == "claim") {
+    out->kind = WorkerRequest::Kind::kClaim;
+    out->worker = doc.GetString("worker");
+    return true;
+  }
+  if (type == "lease-renew" || type == "result") {
+    if (doc.Find("index") == nullptr || doc.Find("attempt") == nullptr ||
+        doc.Find("issue") == nullptr) {
+      *err = "'" + type + "' frame missing index/attempt/issue";
+      return false;
+    }
+    out->index = static_cast<size_t>(doc.GetUint("index"));
+    out->attempt = static_cast<int>(doc.GetInt("attempt"));
+    out->issue = doc.GetUint("issue");
+    if (type == "lease-renew") {
+      out->kind = WorkerRequest::Kind::kRenew;
+      return true;
+    }
+    out->kind = WorkerRequest::Kind::kResult;
+    out->worker = doc.GetString("worker");
+    return ReadOutcomeFields(doc, &out->outcome, err);
+  }
+  *err = "unknown request type '" + type + "'";
+  return false;
+}
+
+std::string EncodeClaimRequest(const std::string& worker) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.BeginObject();
+  w.Field("type", "claim");
+  w.Field("worker", worker);
+  w.EndObject();
+  return out;
+}
+
+std::string EncodeRenewRequest(const WorkItem& item) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.BeginObject();
+  w.Field("type", "lease-renew");
+  w.Field("index", static_cast<uint64_t>(item.index));
+  w.Field("attempt", item.attempt);
+  w.Field("issue", item.issue);
+  w.EndObject();
+  return out;
+}
+
+std::string EncodeResultRequest(const std::string& worker, const WorkItem& item,
+                                const SupervisedOutcome& outcome) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.BeginObject();
+  w.Field("type", "result");
+  w.Field("worker", worker);
+  w.Field("index", static_cast<uint64_t>(item.index));
+  w.Field("attempt", item.attempt);
+  w.Field("issue", item.issue);
+  WriteOutcomeFields(w, outcome);
+  w.EndObject();
+  return out;
+}
+
+bool ParseCoordinatorReply(const std::string& frame, CoordinatorReply* out,
+                           std::string* error) {
+  std::string local_error;
+  std::string* err = error != nullptr ? error : &local_error;
+  JsonValue doc;
+  if (!JsonValue::Parse(frame, &doc, err)) {
+    return false;
+  }
+  if (!doc.is_object()) {
+    *err = "reply frame is not a JSON object";
+    return false;
+  }
+  const std::string type = doc.GetString("type");
+  *out = CoordinatorReply();
+  if (type == "cell") {
+    out->kind = CoordinatorReply::Kind::kCell;
+    if (!ReadWorkItemFields(doc, &out->item)) {
+      *err = "cell reply with an unusable work item";
+      return false;
+    }
+    return true;
+  }
+  if (type == "retry") {
+    out->kind = CoordinatorReply::Kind::kRetry;
+    return true;
+  }
+  if (type == "done") {
+    out->kind = CoordinatorReply::Kind::kDone;
+    return true;
+  }
+  if (type == "ok") {
+    out->kind = CoordinatorReply::Kind::kOk;
+    return true;
+  }
+  if (type == "revoked") {
+    out->kind = CoordinatorReply::Kind::kRevoked;
+    return true;
+  }
+  if (type == "error") {
+    out->kind = CoordinatorReply::Kind::kError;
+    out->message = doc.GetString("message");
+    return true;
+  }
+  *err = "unknown reply type '" + type + "'";
+  return false;
+}
+
+std::string EncodeCellReply(const WorkItem& item) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.BeginObject();
+  w.Field("type", "cell");
+  WriteWorkItemFields(w, item);
+  w.EndObject();
+  return out;
+}
+
+std::string EncodeSimpleReply(CoordinatorReply::Kind kind) {
+  const char* type = "retry";
+  switch (kind) {
+    case CoordinatorReply::Kind::kRetry: type = "retry"; break;
+    case CoordinatorReply::Kind::kDone: type = "done"; break;
+    case CoordinatorReply::Kind::kOk: type = "ok"; break;
+    case CoordinatorReply::Kind::kRevoked: type = "revoked"; break;
+    case CoordinatorReply::Kind::kCell:
+    case CoordinatorReply::Kind::kError:
+      break;  // have dedicated encoders; fall back to retry
+  }
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.BeginObject();
+  w.Field("type", type);
+  w.EndObject();
+  return out;
+}
+
+std::string EncodeErrorReply(const std::string& message) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.BeginObject();
+  w.Field("type", "error");
+  w.Field("message", message);
+  w.EndObject();
+  return out;
+}
+
+std::string CellsFilePath(const std::string& dir) { return dir + "/cells.jsonl"; }
+std::string ReissueFilePath(const std::string& dir) {
+  return dir + "/reissue.jsonl";
+}
+std::string ResolvedFilePath(const std::string& dir) {
+  return dir + "/resolved.jsonl";
+}
+std::string DoneFilePath(const std::string& dir) { return dir + "/DONE"; }
+
+std::string ClaimFilePath(const std::string& dir, size_t index, int attempt,
+                          uint64_t issue) {
+  return dir + "/claim-" + std::to_string(index) + "-" +
+         std::to_string(attempt) + "-" + std::to_string(issue);
+}
+
+std::string WorkerResultsPath(const std::string& dir,
+                              const std::string& worker) {
+  return dir + "/results-" + SanitizeWorkerName(worker) + ".jsonl";
+}
+
+std::string SanitizeWorkerName(const std::string& name) {
+  std::string out = name.empty() ? "worker" : name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Socket backend (worker side). One connection, strict request/reply pairs;
+// a mutex serializes the main loop's claims/results with the renewal thread.
+
+class SocketWorkQueue : public WorkQueue {
+ public:
+  SocketWorkQueue(int fd, std::string worker) : fd_(fd), worker_(std::move(worker)) {}
+  ~SocketWorkQueue() override {
+    if (fd_ >= 0) {
+      close(fd_);
+    }
+  }
+
+  ClaimStatus Claim(WorkItem* item) override {
+    for (;;) {
+      CoordinatorReply reply;
+      if (!RoundTrip(EncodeClaimRequest(worker_), &reply)) {
+        // EOF mid-campaign means the coordinator finished (it closes every
+        // connection once the campaign is decided) or died; either way this
+        // worker is done — a restarted coordinator re-issues whatever is
+        // missing to freshly started workers.
+        return ClaimStatus::kDone;
+      }
+      switch (reply.kind) {
+        case CoordinatorReply::Kind::kCell:
+          *item = reply.item;
+          return ClaimStatus::kClaimed;
+        case CoordinatorReply::Kind::kDone:
+          return ClaimStatus::kDone;
+        case CoordinatorReply::Kind::kRetry:
+          SleepMs(kClaimRetrySleepMs);
+          continue;
+        case CoordinatorReply::Kind::kError:
+          return ClaimStatus::kLost;
+        default:
+          continue;  // unexpected but harmless; ask again
+      }
+    }
+  }
+
+  bool Renew(const WorkItem& item) override {
+    CoordinatorReply reply;
+    if (!RoundTrip(EncodeRenewRequest(item), &reply)) {
+      return false;
+    }
+    return reply.kind == CoordinatorReply::Kind::kOk;
+  }
+
+  bool Complete(const WorkItem& item, const SupervisedOutcome& outcome) override {
+    CoordinatorReply reply;
+    return RoundTrip(EncodeResultRequest(worker_, item, outcome), &reply);
+  }
+
+ private:
+  bool RoundTrip(const std::string& request, CoordinatorReply* reply) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) {
+      return false;
+    }
+    std::string frame;
+    if (!SendFrame(fd_, request) ||
+        !RecvFrame(fd_, &decoder_, &frame, kSocketReplyTimeoutMs) ||
+        !ParseCoordinatorReply(frame, reply, nullptr)) {
+      dead_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  int fd_;
+  std::string worker_;
+  std::mutex mu_;
+  FrameDecoder decoder_;
+  bool dead_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// File backend (worker side).
+
+struct PublishedTuple {
+  int attempt = 0;
+  uint64_t issue = 0;
+};
+
+class FileWorkQueue : public WorkQueue {
+ public:
+  FileWorkQueue(std::string dir, std::string worker, uint64_t give_up_idle_ms)
+      : dir_(std::move(dir)),
+        worker_(SanitizeWorkerName(worker)),
+        give_up_idle_ms_(give_up_idle_ms) {}
+
+  ClaimStatus Claim(WorkItem* item) override {
+    const uint64_t start = MonotonicMs();
+    for (;;) {
+      if (PathExists(DoneFilePath(dir_))) {
+        return ClaimStatus::kDone;
+      }
+      if (LoadCells() && TryClaim(item)) {
+        return ClaimStatus::kClaimed;
+      }
+      if (give_up_idle_ms_ > 0 && MonotonicMs() - start > give_up_idle_ms_) {
+        return ClaimStatus::kLost;
+      }
+      SleepMs(kClaimRetrySleepMs);
+    }
+  }
+
+  bool Renew(const WorkItem& item) override {
+    const std::string path =
+        ClaimFilePath(dir_, item.index, item.attempt, item.issue);
+    return utimensat(AT_FDCWD, path.c_str(), nullptr, 0) == 0;
+  }
+
+  bool Complete(const WorkItem& item, const SupervisedOutcome& outcome) override {
+    if (!writer_.is_open() &&
+        !writer_.Open(WorkerResultsPath(dir_, worker_), nullptr)) {
+      return false;
+    }
+    writer_.Append(item.fingerprint, item.spec, outcome);
+    return true;
+  }
+
+ private:
+  // cells.jsonl is written atomically (rename) and immutable afterwards:
+  // parse it once. False until the coordinator has published it.
+  bool LoadCells() {
+    if (!cells_.empty()) {
+      return true;
+    }
+    std::ifstream in(CellsFilePath(dir_));
+    if (!in.is_open()) {
+      return false;
+    }
+    std::vector<WorkItem> cells;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      JsonValue doc;
+      WorkItem cell;
+      if (JsonValue::Parse(line, &doc, nullptr) &&
+          ReadWorkItemFields(doc, &cell)) {
+        cells.push_back(std::move(cell));
+      }
+    }
+    cells_ = std::move(cells);
+    return !cells_.empty();
+  }
+
+  // One scan over the queue state: claim the lowest-index cell whose latest
+  // published tuple is unclaimed. O_EXCL arbitrates racing workers.
+  bool TryClaim(WorkItem* item) {
+    std::set<size_t> resolved;
+    {
+      std::ifstream in(ResolvedFilePath(dir_));
+      std::string line;
+      while (in.is_open() && std::getline(in, line)) {
+        JsonValue doc;
+        if (JsonValue::Parse(line, &doc, nullptr) && doc.is_object() &&
+            doc.Find("index") != nullptr) {
+          resolved.insert(static_cast<size_t>(doc.GetUint("index")));
+        }
+      }
+    }
+    // Latest published tuple per cell: the base (attempt 0, issue 0) from
+    // cells.jsonl, superseded by any higher reissue.jsonl line. A torn tail
+    // (coordinator killed mid-append) parses as garbage and is skipped; the
+    // complete line re-appears on the next scan.
+    std::map<size_t, PublishedTuple> latest;
+    {
+      std::ifstream in(ReissueFilePath(dir_));
+      std::string line;
+      while (in.is_open() && std::getline(in, line)) {
+        JsonValue doc;
+        if (!JsonValue::Parse(line, &doc, nullptr) || !doc.is_object() ||
+            doc.Find("index") == nullptr) {
+          continue;
+        }
+        const size_t index = static_cast<size_t>(doc.GetUint("index"));
+        PublishedTuple t;
+        t.attempt = static_cast<int>(doc.GetInt("attempt"));
+        t.issue = doc.GetUint("issue");
+        auto [it, inserted] = latest.emplace(index, t);
+        if (!inserted && (t.attempt > it->second.attempt ||
+                          (t.attempt == it->second.attempt &&
+                           t.issue > it->second.issue))) {
+          it->second = t;
+        }
+      }
+    }
+    for (const WorkItem& cell : cells_) {
+      if (resolved.count(cell.index) != 0) {
+        continue;
+      }
+      PublishedTuple t;  // base tuple: attempt 0, issue 0
+      if (const auto it = latest.find(cell.index); it != latest.end()) {
+        t = it->second;
+      }
+      const std::string path =
+          ClaimFilePath(dir_, cell.index, t.attempt, t.issue);
+      if (PathExists(path + ".expired") || PathExists(path)) {
+        continue;  // revoked tuple awaiting re-publication, or already held
+      }
+      const int fd = open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+      if (fd < 0) {
+        continue;  // lost the race (EEXIST) or unwritable — try the next cell
+      }
+      const ssize_t ignored = write(fd, worker_.data(), worker_.size());
+      (void)ignored;
+      close(fd);
+      *item = cell;
+      item->attempt = t.attempt;
+      item->issue = t.issue;
+      return true;
+    }
+    return false;
+  }
+
+  std::string dir_;
+  std::string worker_;
+  uint64_t give_up_idle_ms_;
+  std::vector<WorkItem> cells_;
+  ManifestWriter writer_;
+};
+
+}  // namespace
+
+std::unique_ptr<WorkQueue> MakeSocketWorkQueue(const std::string& addr,
+                                               const std::string& worker_name,
+                                               uint64_t connect_timeout_ms,
+                                               std::string* error) {
+  const uint64_t deadline = MonotonicMs() + connect_timeout_ms;
+  std::string last_error;
+  for (;;) {
+    const int fd = ConnectLoopback(addr, &last_error);
+    if (fd >= 0) {
+      return std::make_unique<SocketWorkQueue>(
+          fd, worker_name.empty() ? "worker" : worker_name);
+    }
+    if (MonotonicMs() >= deadline) {
+      if (error != nullptr) {
+        *error = last_error;
+      }
+      return nullptr;
+    }
+    SleepMs(100);
+  }
+}
+
+std::unique_ptr<WorkQueue> MakeFileWorkQueue(const std::string& dir,
+                                             const std::string& worker_name,
+                                             uint64_t give_up_after_idle_ms,
+                                             std::string* error) {
+  if (dir.empty()) {
+    if (error != nullptr) {
+      *error = "empty work-queue directory";
+    }
+    return nullptr;
+  }
+  return std::make_unique<FileWorkQueue>(dir, worker_name,
+                                         give_up_after_idle_ms);
+}
+
+}  // namespace memtis

@@ -1,0 +1,181 @@
+// Worker-side view of a distributed campaign's cell queue, plus the wire and
+// on-disk formats both ends (and the fuzz tests) share.
+//
+// A campaign cell is a pure function of its canonical JobSpec (job_codec.h),
+// which makes cells relocatable: the coordinator (coordinator.h) issues
+// (index, attempt, issue) leases, a worker claims one, runs exactly one
+// supervised attempt at the given *global* attempt number, and reports the
+// outcome keyed by fingerprint. Determinism contract:
+//
+//  - One issue == one attempt. A reported recoverable failure makes the
+//    coordinator re-issue the cell at attempt + 1 (engine seed folded via
+//    DeriveSeedOffset, exactly as local supervised retries do), so the retry
+//    is byte-identical no matter which worker runs it.
+//  - A lost lease (worker died or stopped renewing) re-issues the *same*
+//    attempt under a fresh issue id: the lost attempt produced no evidence,
+//    so re-running it reproduces the uninterrupted run's bytes — the same
+//    reasoning as --resume re-running missing cells.
+//  - Duplicate claims and duplicate results are harmless: the same (spec,
+//    attempt) always produces the same bytes, and the coordinator ignores
+//    outcomes for decided cells or stale attempts.
+//
+// Two backends:
+//
+//  - Socket (`memtis_run --serve=PORT` / `--worker=HOST:PORT`): one
+//    length-prefixed JSON frame per message (src/common/netio.h). Connection
+//    EOF is an instant lease loss, so a crashed worker's cells re-issue
+//    without waiting out the lease timeout.
+//  - File (`memtis_run --serve=DIR` / `--worker=DIR`): a claim-file queue
+//    safe on a shared filesystem. Workers claim a published (index, attempt,
+//    issue) tuple by O_CREAT|O_EXCL-creating its claim file, heartbeat by
+//    bumping the file's mtime, and append results to a per-worker manifest
+//    (standard manifest.h lines) that the coordinator tails and merges
+//    last-wins by fingerprint.
+
+#ifndef MEMTIS_SIM_SRC_RUNNER_WORK_QUEUE_H_
+#define MEMTIS_SIM_SRC_RUNNER_WORK_QUEUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/runner/supervisor.h"
+#include "src/runner/sweep.h"
+
+namespace memtis {
+
+class JsonValue;
+
+// One issued cell: exactly one supervised attempt of jobs[index] at global
+// attempt number `attempt`. `issue` distinguishes successive leases of the
+// same (index, attempt) so a revoked lease's claim can never be confused
+// with its replacement.
+struct WorkItem {
+  size_t index = 0;
+  int attempt = 0;
+  uint64_t issue = 0;
+  uint64_t job_timeout_ms = 0;  // per-attempt watchdog for the worker
+  std::string fingerprint;
+  JobSpec spec;
+};
+
+class WorkQueue {
+ public:
+  enum class ClaimStatus {
+    kClaimed,  // *item holds a lease; run it, renew it, complete it
+    kDone,     // the campaign is decided (or the coordinator hung up cleanly)
+    kLost,     // the queue is unreachable; the worker should give up
+  };
+
+  virtual ~WorkQueue() = default;
+
+  // Blocks until a cell is claimable, the campaign is over, or the queue is
+  // unreachable.
+  virtual ClaimStatus Claim(WorkItem* item) = 0;
+
+  // Heartbeats the lease on `item`. False = revoked (the worker may finish
+  // the attempt anyway; a stale result is simply ignored).
+  virtual bool Renew(const WorkItem& item) = 0;
+
+  // Reports the attempt's outcome. False = the campaign is gone.
+  virtual bool Complete(const WorkItem& item,
+                        const SupervisedOutcome& outcome) = 0;
+};
+
+// Connects to a coordinator at "PORT" or "HOST:PORT" (numeric IPv4),
+// retrying for up to connect_timeout_ms so workers may start first.
+std::unique_ptr<WorkQueue> MakeSocketWorkQueue(const std::string& addr,
+                                               const std::string& worker_name,
+                                               uint64_t connect_timeout_ms,
+                                               std::string* error);
+
+// Opens a claim-file queue rooted at `dir`. Claim() waits for the queue to
+// appear, and gives up (kLost) after give_up_after_idle_ms with nothing
+// claimable and no DONE marker — the window in which a killed coordinator
+// must be restarted with --resume semantics.
+std::unique_ptr<WorkQueue> MakeFileWorkQueue(const std::string& dir,
+                                             const std::string& worker_name,
+                                             uint64_t give_up_after_idle_ms,
+                                             std::string* error);
+
+// ---------------------------------------------------------------------------
+// Socket protocol: one JSON object per frame.
+//
+// worker -> coordinator:
+//   {"type":"claim","worker":W}
+//   {"type":"lease-renew","index":N,"attempt":A,"issue":S}
+//   {"type":"result","worker":W,"index":N,"attempt":A,"issue":S,
+//    "ok":B,"attempts":N,"result":{...}|"failure":{...}}
+// coordinator -> worker:
+//   {"type":"cell","index":N,"attempt":A,"issue":S,"job_timeout_ms":T,
+//    "fingerprint":F,"spec":{...}}
+//   {"type":"retry"} | {"type":"done"} | {"type":"ok"} | {"type":"revoked"}
+//   {"type":"error","message":M}
+
+struct WorkerRequest {
+  enum class Kind { kClaim, kRenew, kResult };
+  Kind kind = Kind::kClaim;
+  std::string worker;
+  size_t index = 0;
+  int attempt = 0;
+  uint64_t issue = 0;
+  SupervisedOutcome outcome;  // kResult only
+};
+
+// Strict parse of one worker->coordinator frame. Never aborts: any malformed
+// frame yields false + *error, which the coordinator turns into a dropped
+// connection (surfacing as a lease loss), never a crash.
+bool ParseWorkerRequest(const std::string& frame, WorkerRequest* out,
+                        std::string* error);
+std::string EncodeClaimRequest(const std::string& worker);
+std::string EncodeRenewRequest(const WorkItem& item);
+std::string EncodeResultRequest(const std::string& worker, const WorkItem& item,
+                                const SupervisedOutcome& outcome);
+
+struct CoordinatorReply {
+  enum class Kind { kCell, kRetry, kDone, kOk, kRevoked, kError };
+  Kind kind = Kind::kRetry;
+  WorkItem item;        // kCell only
+  std::string message;  // kError only
+};
+
+bool ParseCoordinatorReply(const std::string& frame, CoordinatorReply* out,
+                           std::string* error);
+std::string EncodeCellReply(const WorkItem& item);
+std::string EncodeSimpleReply(CoordinatorReply::Kind kind);
+std::string EncodeErrorReply(const std::string& message);
+
+// The {"index","attempt","issue","job_timeout_ms","fingerprint","spec"}
+// fields shared by cell replies and cells.jsonl lines. ReadWorkItemFields is
+// tolerant of garbage (false, never aborts).
+void WriteWorkItemFields(JsonWriter& w, const WorkItem& item);
+bool ReadWorkItemFields(const JsonValue& doc, WorkItem* out);
+
+// ---------------------------------------------------------------------------
+// File backend layout under dir/:
+//   cells.jsonl       one WorkItem line per cell, published atomically by
+//                     rename (so a reader never sees a partial file)
+//   reissue.jsonl     coordinator-appended claimable tuples
+//                     {"index":N,"attempt":A,"issue":S} for issue > 0 leases
+//   resolved.jsonl    {"index":N} per decided cell (workers stop claiming it)
+//   claim-I-A-S       O_EXCL claim file (content: worker name); mtime is the
+//                     lease heartbeat; renamed to claim-I-A-S.expired on
+//                     revocation so the dead tuple can never be re-claimed
+//   results-W.jsonl   per-worker result manifest (manifest.h line format)
+//   DONE              created when the campaign is decided
+
+std::string CellsFilePath(const std::string& dir);
+std::string ReissueFilePath(const std::string& dir);
+std::string ResolvedFilePath(const std::string& dir);
+std::string DoneFilePath(const std::string& dir);
+std::string ClaimFilePath(const std::string& dir, size_t index, int attempt,
+                          uint64_t issue);
+std::string WorkerResultsPath(const std::string& dir,
+                              const std::string& worker);
+
+// File-path-safe form of a worker name ([A-Za-z0-9_-], others become '_').
+std::string SanitizeWorkerName(const std::string& name);
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_RUNNER_WORK_QUEUE_H_

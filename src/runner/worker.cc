@@ -1,0 +1,100 @@
+#include "src/runner/worker.h"
+
+#include <atomic>
+#include <thread>
+
+#include <unistd.h>
+
+#include "src/common/netio.h"
+#include "src/runner/job_codec.h"
+#include "src/runner/supervisor.h"
+
+namespace memtis {
+namespace {
+
+// Heartbeats one lease until stopped. Renewal failures are deliberately
+// ignored: a revoked lease just means our eventual result will be stale, and
+// stale results are harmless by construction.
+class LeaseRenewer {
+ public:
+  LeaseRenewer(WorkQueue& queue, const WorkItem& item, uint64_t interval_ms)
+      : thread_([&queue, item, interval_ms, this] {
+          uint64_t since_renew = 0;
+          while (!stop_.load(std::memory_order_relaxed)) {
+            SleepMs(50);
+            since_renew += 50;
+            if (since_renew >= interval_ms) {
+              since_renew = 0;
+              queue.Renew(item);
+            }
+          }
+        }) {}
+
+  ~LeaseRenewer() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace
+
+int RunWorker(WorkQueue& queue, const WorkerOptions& options) {
+  int completed = 0;
+  bool first_claim = true;
+  for (;;) {
+    WorkItem item;
+    switch (queue.Claim(&item)) {
+      case WorkQueue::ClaimStatus::kDone:
+        return 0;
+      case WorkQueue::ClaimStatus::kLost:
+        return 1;
+      case WorkQueue::ClaimStatus::kClaimed:
+        break;
+    }
+
+    if (options.kill_after_cells >= 0 &&
+        completed >= options.kill_after_cells) {
+      // Die while holding the lease — the interesting moment for the
+      // coordinator's re-issue path.
+      if (options.kill_hard) {
+        _exit(9);
+      }
+      return 2;
+    }
+    if (first_claim && options.hang_first_claim_ms > 0) {
+      first_claim = false;
+      SleepMs(options.hang_first_claim_ms);  // no renewals: lease expires
+    }
+
+    SupervisedOutcome outcome;
+    if (JobFingerprint(item.spec) != item.fingerprint) {
+      outcome.ok = false;
+      outcome.attempts = item.attempt + 1;
+      outcome.failure.kind = FailureKind::kInvalidSpec;
+      outcome.failure.message =
+          "cell spec does not hash to advertised fingerprint " +
+          item.fingerprint + " (codec drift between coordinator and worker?)";
+      outcome.failure.reproducer_cmdline =
+          ReproducerCmdline(item.spec, item.attempt);
+    } else {
+      SupervisorOptions sup;
+      sup.max_attempts = 1;  // retries are the coordinator's, at global scope
+      sup.first_attempt = item.attempt;
+      sup.job_timeout_ms =
+          item.job_timeout_ms != 0 ? item.job_timeout_ms : options.job_timeout_ms;
+      LeaseRenewer renewer(queue, item, options.renew_interval_ms);
+      outcome = RunJobSupervised(item.spec, sup);
+    }
+
+    if (!queue.Complete(item, outcome)) {
+      return 0;  // campaign decided while we ran — our result was moot
+    }
+    ++completed;
+  }
+}
+
+}  // namespace memtis

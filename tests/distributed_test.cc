@@ -1,0 +1,563 @@
+// Differential and chaos tests for distributed campaign execution: a
+// multi-worker campaign — over either backend, with workers crashing, hanging,
+// or retrying — must serialize to exactly the bytes of a single-host
+// supervised run (src/runner/coordinator.h documents why this holds).
+//
+// Workers run in-process threads here (soft kills: the worker abandons its
+// lease and its connection, which the coordinator sees as EOF / a stale claim
+// heartbeat). Real SIGKILL chaos — including killing the coordinator itself —
+// lives in scripts/smoke_distributed.sh.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/netio.h"
+#include "src/common/status.h"
+#include "src/runner/coordinator.h"
+#include "src/runner/job_codec.h"
+#include "src/runner/manifest.h"
+#include "src/runner/resilient.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/supervisor.h"
+#include "src/runner/sweep.h"
+#include "src/runner/thread_pool.h"
+#include "src/runner/work_queue.h"
+#include "src/runner/worker.h"
+
+namespace memtis {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+SweepSpec SmallSweep(int seeds = 1) {
+  SweepSpec sweep;
+  sweep.systems = {"memtis", "autonuma"};
+  sweep.benchmarks = {"btree"};
+  sweep.accesses = 30'000;
+  sweep.seeds = seeds;
+  return sweep;
+}
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  std::system(cmd.c_str());
+  return dir;
+}
+
+// The acceptance bytes: the aggregate JSON and CSV a campaign's outcomes
+// serialize to. Byte equality here is what "byte-identical merge" means.
+std::string Bytes(const SweepSpec& sweep, const std::vector<JobSpec>& jobs,
+                  const std::vector<CellOutcome>& outcomes) {
+  SinkOptions opts;
+  opts.indent = 0;
+  return SweepToJson(sweep, jobs, outcomes, opts) + "\n" +
+         SweepToCsv(jobs, outcomes);
+}
+
+std::vector<CellOutcome> LocalReference(const std::vector<JobSpec>& jobs,
+                                        int max_attempts = 1,
+                                        bool keep_going = false) {
+  ExecOptions exec;
+  exec.supervise = true;
+  exec.max_attempts = max_attempts;
+  exec.backoff_base_ms = 0;
+  exec.keep_going = keep_going;
+  ThreadPool pool(2);
+  return RunJobsResilient(jobs, pool, exec);
+}
+
+struct CampaignRun {
+  std::vector<CellOutcome> outcomes;
+  CampaignStats stats;
+  std::string error;
+};
+
+// Serves a socket campaign and runs each WorkerOptions entry as an in-process
+// worker thread against it. Workers start as soon as the port is bound;
+// workers whose `start_after_worker` predecessor is set join only after that
+// predecessor finished (sequential chaos schedules).
+CampaignRun RunSocketCampaign(const std::vector<JobSpec>& jobs,
+                              const CampaignOptions& options,
+                              const std::vector<WorkerOptions>& workers,
+                              bool sequential_workers = false) {
+  CampaignRun run;
+  std::promise<uint16_t> port_promise;
+  std::shared_future<uint16_t> port_future(port_promise.get_future());
+
+  std::thread coordinator([&] {
+    run.outcomes = ServeSocketCampaign(
+        jobs, options, /*port=*/0,
+        [&](uint16_t bound) { port_promise.set_value(bound); }, {}, nullptr,
+        &run.stats, &run.error);
+  });
+
+  auto run_one = [&](const WorkerOptions& opts) {
+    std::string error;
+    auto queue = MakeSocketWorkQueue(std::to_string(port_future.get()),
+                                     opts.name, 5'000, &error);
+    ASSERT_NE(queue, nullptr) << error;
+    RunWorker(*queue, opts);
+    // Queue destruction closes the connection: a soft-killed worker's held
+    // lease surfaces to the coordinator as EOF right here.
+  };
+
+  if (sequential_workers) {
+    for (const WorkerOptions& opts : workers) {
+      run_one(opts);
+    }
+  } else {
+    std::vector<std::thread> threads;
+    for (const WorkerOptions& opts : workers) {
+      threads.emplace_back([&, opts] { run_one(opts); });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  coordinator.join();
+  return run;
+}
+
+CampaignRun RunFileCampaign(const std::vector<JobSpec>& jobs,
+                            const std::string& dir,
+                            const CampaignOptions& options,
+                            const std::vector<WorkerOptions>& workers,
+                            bool sequential_workers = false) {
+  CampaignRun run;
+  std::thread coordinator([&] {
+    run.outcomes = ServeFileCampaign(jobs, dir, options, {}, nullptr,
+                                     &run.stats, &run.error);
+  });
+
+  auto run_one = [&](const WorkerOptions& opts) {
+    std::string error;
+    auto queue = MakeFileWorkQueue(dir, opts.name, 30'000, &error);
+    ASSERT_NE(queue, nullptr) << error;
+    RunWorker(*queue, opts);
+  };
+
+  if (sequential_workers) {
+    for (const WorkerOptions& opts : workers) {
+      run_one(opts);
+    }
+  } else {
+    std::vector<std::thread> threads;
+    for (const WorkerOptions& opts : workers) {
+      threads.emplace_back([&, opts] { run_one(opts); });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  coordinator.join();
+  return run;
+}
+
+std::vector<WorkerOptions> PlainWorkers(int n) {
+  std::vector<WorkerOptions> workers(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers[static_cast<size_t>(i)].name = "w" + std::to_string(i);
+  }
+  return workers;
+}
+
+// ---------------------------------------------------------------------------
+// Differential suite: in-process == supervised == 1-worker == 4-worker, over
+// both backends.
+
+TEST(Distributed, SocketCampaignMatchesInProcessAndSupervisedBytes) {
+  const SweepSpec sweep = SmallSweep();
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  ASSERT_EQ(jobs.size(), 2u);
+
+  // Three executions of the same cells: pure in-process, locally supervised,
+  // and a 1-worker campaign.
+  std::vector<CellOutcome> in_process(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    in_process[i].ok = true;
+    in_process[i].ran = true;
+    in_process[i].attempts = 1;
+    in_process[i].result = RunJob(jobs[i]);
+  }
+  const std::vector<CellOutcome> supervised = LocalReference(jobs);
+  const CampaignRun campaign =
+      RunSocketCampaign(jobs, CampaignOptions{}, PlainWorkers(1));
+
+  ASSERT_TRUE(campaign.error.empty()) << campaign.error;
+  EXPECT_EQ(Bytes(sweep, jobs, supervised), Bytes(sweep, jobs, in_process));
+  EXPECT_EQ(Bytes(sweep, jobs, campaign.outcomes),
+            Bytes(sweep, jobs, in_process));
+  EXPECT_EQ(campaign.stats.issues, jobs.size());
+  EXPECT_EQ(campaign.stats.leases_lost, 0u);
+}
+
+TEST(Distributed, FourSocketWorkersAreByteIdenticalToOne) {
+  const SweepSpec sweep = SmallSweep(/*seeds=*/2);
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  ASSERT_EQ(jobs.size(), 4u);
+  const std::vector<CellOutcome> reference = LocalReference(jobs);
+
+  const CampaignRun campaign =
+      RunSocketCampaign(jobs, CampaignOptions{}, PlainWorkers(4));
+  ASSERT_TRUE(campaign.error.empty()) << campaign.error;
+  EXPECT_EQ(Bytes(sweep, jobs, campaign.outcomes),
+            Bytes(sweep, jobs, reference));
+}
+
+TEST(Distributed, FileBackendTwoWorkersAreByteIdentical) {
+  const SweepSpec sweep = SmallSweep(/*seeds=*/2);
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  const std::vector<CellOutcome> reference = LocalReference(jobs);
+
+  const CampaignRun campaign =
+      RunFileCampaign(jobs, TempDirFor("dist_file_q"), CampaignOptions{},
+                      PlainWorkers(2));
+  ASSERT_TRUE(campaign.error.empty()) << campaign.error;
+  EXPECT_EQ(Bytes(sweep, jobs, campaign.outcomes),
+            Bytes(sweep, jobs, reference));
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: killed workers, hung workers, retries that hop across workers.
+
+TEST(Distributed, KilledSocketWorkerLeasesAreReissuedByteIdentically) {
+  const SweepSpec sweep = SmallSweep(/*seeds=*/2);
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  const std::vector<CellOutcome> reference = LocalReference(jobs);
+
+  // Worker 0 dies while holding its very first lease; three healthy workers
+  // absorb the campaign. Then the same schedule with a single healthy worker.
+  for (const int healthy : {3, 1}) {
+    std::vector<WorkerOptions> workers = PlainWorkers(healthy + 1);
+    workers[0].kill_after_cells = 0;  // soft kill: quit holding the lease
+    const CampaignRun campaign = RunSocketCampaign(
+        jobs, CampaignOptions{}, workers, /*sequential_workers=*/healthy == 1);
+    ASSERT_TRUE(campaign.error.empty()) << campaign.error;
+    EXPECT_GE(campaign.stats.leases_lost, 1u) << "healthy=" << healthy;
+    EXPECT_GT(campaign.stats.issues, jobs.size()) << "healthy=" << healthy;
+    EXPECT_EQ(Bytes(sweep, jobs, campaign.outcomes),
+              Bytes(sweep, jobs, reference))
+        << "healthy=" << healthy;
+  }
+}
+
+TEST(Distributed, KilledFileWorkerClaimExpiresAndIsReissued) {
+  const SweepSpec sweep = SmallSweep(/*seeds=*/2);
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  const std::vector<CellOutcome> reference = LocalReference(jobs);
+
+  CampaignOptions options;
+  options.lease_timeout_ms = 400;  // expire the dead worker's claim quickly
+  std::vector<WorkerOptions> workers = PlainWorkers(2);
+  workers[0].kill_after_cells = 0;  // dies holding claim-*: heartbeat stops
+  const CampaignRun campaign =
+      RunFileCampaign(jobs, TempDirFor("dist_file_chaos"), options, workers,
+                      /*sequential_workers=*/true);
+  ASSERT_TRUE(campaign.error.empty()) << campaign.error;
+  EXPECT_GE(campaign.stats.leases_lost, 1u);
+  EXPECT_EQ(Bytes(sweep, jobs, campaign.outcomes),
+            Bytes(sweep, jobs, reference));
+}
+
+TEST(Distributed, HungWorkerLeaseExpiresWithoutChangingBytes) {
+  const SweepSpec sweep = SmallSweep(/*seeds=*/2);
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  const std::vector<CellOutcome> reference = LocalReference(jobs);
+
+  CampaignOptions options;
+  options.lease_timeout_ms = 150;
+  std::vector<WorkerOptions> workers = PlainWorkers(2);
+  workers[0].hang_first_claim_ms = 600;  // sits on the lease, never renews
+  const CampaignRun campaign = RunSocketCampaign(jobs, options, workers);
+  ASSERT_TRUE(campaign.error.empty()) << campaign.error;
+  EXPECT_GE(campaign.stats.leases_lost, 1u);
+  EXPECT_EQ(Bytes(sweep, jobs, campaign.outcomes),
+            Bytes(sweep, jobs, reference));
+}
+
+// The retry-accounting gap: a cell that crashes on worker A and succeeds on
+// worker B must report the same global attempt count (2) and the same bytes
+// as a single-host retry.
+TEST(Distributed, RetryAcrossWorkersKeepsGlobalAttemptCountAndBytes) {
+  const SweepSpec sweep = SmallSweep();
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  ASSERT_EQ(jobs.size(), 2u);
+  ScopedEnv crash("MEMTIS_CRASH_CELL", JobFingerprint(jobs[0]) + ":1");
+
+  const std::vector<CellOutcome> reference =
+      LocalReference(jobs, /*max_attempts=*/2);
+  ASSERT_TRUE(reference[0].ok);
+  ASSERT_EQ(reference[0].attempts, 2);
+
+  CampaignOptions options;
+  options.max_attempts = 2;
+  // Two workers racing: whichever reports the attempt-0 crash, the attempt-1
+  // retry may land on either worker — both must produce identical bytes.
+  const CampaignRun campaign =
+      RunSocketCampaign(jobs, options, PlainWorkers(2));
+  ASSERT_TRUE(campaign.error.empty()) << campaign.error;
+  EXPECT_GE(campaign.stats.retries, 1u);
+  ASSERT_TRUE(campaign.outcomes[0].ok) << campaign.outcomes[0].failure.message;
+  EXPECT_EQ(campaign.outcomes[0].attempts, 2);
+  EXPECT_EQ(Bytes(sweep, jobs, campaign.outcomes),
+            Bytes(sweep, jobs, reference));
+}
+
+TEST(Distributed, ExhaustedReissueBudgetDecidesLeaseExpired) {
+  const SweepSpec sweep = SmallSweep();
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+
+  CampaignOptions options;
+  options.max_reissues = 1;
+  options.keep_going = true;
+  // Two sequential lease abandonments on cell 0 exhaust the budget; a healthy
+  // worker then finishes the rest of the campaign.
+  std::vector<WorkerOptions> workers = PlainWorkers(3);
+  workers[0].kill_after_cells = 0;
+  workers[1].kill_after_cells = 0;
+  const CampaignRun campaign = RunSocketCampaign(jobs, options, workers,
+                                                 /*sequential_workers=*/true);
+  ASSERT_TRUE(campaign.error.empty()) << campaign.error;
+  EXPECT_EQ(campaign.stats.leases_lost, 2u);
+
+  const CellOutcome& dead = campaign.outcomes[0];
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.failure.kind, FailureKind::kLeaseExpired);
+  EXPECT_NE(dead.failure.reproducer_cmdline.find("--benchmarks=btree"),
+            std::string::npos)
+      << dead.failure.reproducer_cmdline;
+  EXPECT_EQ(FailureKindName(FailureKind::kLeaseExpired),
+            std::string("lease-expired"));
+  EXPECT_TRUE(IsRecoverable(FailureKind::kLeaseExpired));
+  // The healthy worker still decided every other cell.
+  EXPECT_TRUE(campaign.outcomes[1].ok);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator death and resume.
+
+TEST(Distributed, SocketResumeFromManifestSkipsDecidedCells) {
+  const SweepSpec sweep = SmallSweep(/*seeds=*/2);
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  const std::vector<CellOutcome> reference = LocalReference(jobs);
+  const std::string manifest =
+      ::testing::TempDir() + "dist_resume_manifest.jsonl";
+  std::remove(manifest.c_str());
+
+  CampaignOptions options;
+  options.manifest_path = manifest;
+  const CampaignRun first =
+      RunSocketCampaign(jobs, options, PlainWorkers(2));
+  ASSERT_TRUE(first.error.empty()) << first.error;
+  EXPECT_EQ(Bytes(sweep, jobs, first.outcomes), Bytes(sweep, jobs, reference));
+
+  // "Coordinator died after finishing": restart with the manifest preloaded.
+  // Every cell reloads; no worker is needed, no lease is issued, and the
+  // merged bytes do not change.
+  std::map<std::string, ManifestEntry> preloaded;
+  ASSERT_TRUE(LoadManifest(manifest, &preloaded));
+  CampaignStats stats;
+  std::string error;
+  const std::vector<CellOutcome> resumed = ServeSocketCampaign(
+      jobs, options, 0, nullptr, preloaded, nullptr, &stats, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(stats.issues, 0u);
+  EXPECT_EQ(Bytes(sweep, jobs, resumed), Bytes(sweep, jobs, reference));
+}
+
+// SIGKILLing a file-backend coordinator leaves cells.jsonl, per-worker
+// results files, and possibly a dead worker's claim file behind. A restarted
+// coordinator on the same directory must recover all of it: decided cells
+// from the results files, the stale claim via heartbeat expiry.
+TEST(Distributed, FileBackendCoordinatorRestartRecoversResultsAndStaleClaims) {
+  const SweepSpec sweep = SmallSweep(/*seeds=*/2);
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+  const std::vector<CellOutcome> reference = LocalReference(jobs);
+
+  // A complete campaign gives us authentic on-disk artifacts to replay.
+  const std::string dir1 = TempDirFor("dist_restart_src");
+  const CampaignRun full =
+      RunFileCampaign(jobs, dir1, CampaignOptions{}, PlainWorkers(1));
+  ASSERT_TRUE(full.error.empty()) << full.error;
+
+  // Fabricate the dead coordinator's directory: the first half of the results
+  // file survived, plus a stale claim file from a worker that died mid-cell.
+  const std::string dir2 = TempDirFor("dist_restart_dst");
+  ASSERT_EQ(::system(("mkdir -p '" + dir2 + "'").c_str()), 0);
+  {
+    std::ifstream in(WorkerResultsPath(dir1, "w0"));
+    ASSERT_TRUE(in.is_open());
+    std::ofstream out(WorkerResultsPath(dir2, "w0"));
+    std::string line;
+    size_t copied = 0;
+    while (copied + 1 < jobs.size() / 2 + 1 && std::getline(in, line)) {
+      out << line << "\n";
+      ++copied;
+    }
+  }
+  {
+    // An orphaned claim on a not-yet-decided cell, heartbeat long stale.
+    std::ofstream claim(ClaimFilePath(dir2, jobs.size() - 1, 0, 0));
+    claim << "dead-worker\n";
+  }
+
+  CampaignOptions options;
+  options.lease_timeout_ms = 300;
+  const CampaignRun resumed =
+      RunFileCampaign(jobs, dir2, options, PlainWorkers(1));
+  ASSERT_TRUE(resumed.error.empty()) << resumed.error;
+  // The surviving results were honoured (fewer fresh issues than cells) and
+  // the orphaned claim was revoked, not waited on forever.
+  EXPECT_LT(resumed.stats.issues, jobs.size());
+  EXPECT_GE(resumed.stats.leases_lost, 1u);
+  EXPECT_EQ(Bytes(sweep, jobs, resumed.outcomes),
+            Bytes(sweep, jobs, reference));
+}
+
+// ---------------------------------------------------------------------------
+// Campaign state machine unit tests (no workers, no sockets).
+
+TEST(Campaign, DuplicateAndStaleResultsAreIgnored) {
+  const std::vector<JobSpec> jobs = ExpandJobs(SmallSweep());
+  CampaignOptions options;
+  options.keep_going = true;
+  Campaign campaign(jobs, options, {}, nullptr, nullptr);
+
+  auto item = campaign.NextIssue(/*now_ms=*/1000);
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->index, 0u);
+  EXPECT_EQ(item->attempt, 0);
+  EXPECT_EQ(item->issue, 0u);
+
+  SupervisedOutcome ok;
+  ok.ok = true;
+  ok.attempts = 1;
+  EXPECT_TRUE(campaign.OnOutcome(0, 0, ok));
+  EXPECT_FALSE(campaign.OnOutcome(0, 0, ok));  // duplicate: decided
+  EXPECT_FALSE(campaign.OnOutcome(0, 5, ok));  // stale attempt
+  EXPECT_FALSE(campaign.OnOutcome(99, 0, ok));  // out of range
+  EXPECT_EQ(campaign.stats().stale_results, 3u);
+
+  // A lease loss for a superseded issue id is a no-op.
+  auto second = campaign.NextIssue(1000);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->index, 1u);
+  campaign.OnLeaseLost(1, /*issue=*/7);  // wrong issue: ignored
+  EXPECT_EQ(campaign.stats().leases_lost, 0u);
+  EXPECT_EQ(campaign.open_issue(1), 0u);
+
+  // Renewing a revoked tuple fails; renewing the live one succeeds.
+  EXPECT_TRUE(campaign.Renew(1, 0, 0, 2000));
+  campaign.OnLeaseLost(1, 0);
+  EXPECT_FALSE(campaign.Renew(1, 0, 0, 3000));
+  EXPECT_EQ(campaign.open_issue(1), 1u);
+}
+
+TEST(Campaign, LeaseExpiryReissuesSameAttemptFreshIssue) {
+  const std::vector<JobSpec> jobs = ExpandJobs(SmallSweep());
+  Campaign campaign(jobs, CampaignOptions{}, {}, nullptr, nullptr);
+
+  auto item = campaign.NextIssue(1000);
+  ASSERT_TRUE(item.has_value());
+  // Deadline passes with no renewal: same attempt, new issue id.
+  campaign.ExpireStale(1000 + 10'001);
+  EXPECT_EQ(campaign.stats().leases_lost, 1u);
+  auto reissued = campaign.NextIssue(20'000);
+  ASSERT_TRUE(reissued.has_value());
+  EXPECT_EQ(reissued->index, item->index);
+  EXPECT_EQ(reissued->attempt, item->attempt);  // same seed derivation
+  EXPECT_EQ(reissued->issue, item->issue + 1);
+  // Whereas a reported crash advances the attempt (seed folds).
+  SupervisedOutcome crash;
+  crash.ok = false;
+  crash.attempts = 1;
+  crash.failure.kind = FailureKind::kCrash;
+  Campaign retrying(jobs, [] {
+    CampaignOptions o;
+    o.max_attempts = 2;
+    return o;
+  }(), {}, nullptr, nullptr);
+  auto first = retrying.NextIssue(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(retrying.OnOutcome(first->index, first->attempt, crash));
+  auto retry = retrying.NextIssue(0);
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->index, first->index);
+  EXPECT_EQ(retry->attempt, first->attempt + 1);
+}
+
+// The protocol codecs the two ends share must round-trip losslessly —
+// including through a FrameDecoder fed one byte at a time.
+TEST(Distributed, ProtocolRoundTripsThroughFrameDecoder) {
+  const std::vector<JobSpec> jobs = ExpandJobs(SmallSweep());
+  WorkItem item;
+  item.index = 1;
+  item.attempt = 3;
+  item.issue = 7;
+  item.job_timeout_ms = 1234;
+  item.fingerprint = JobFingerprint(jobs[1]);
+  item.spec = jobs[1];
+
+  const std::string frame = EncodeFrame(EncodeCellReply(item));
+  FrameDecoder decoder;
+  for (const char c : frame) {
+    decoder.Feed(&c, 1);
+  }
+  std::string payload;
+  ASSERT_TRUE(decoder.Next(&payload));
+  CoordinatorReply reply;
+  std::string error;
+  ASSERT_TRUE(ParseCoordinatorReply(payload, &reply, &error)) << error;
+  ASSERT_EQ(reply.kind, CoordinatorReply::Kind::kCell);
+  EXPECT_EQ(reply.item.index, item.index);
+  EXPECT_EQ(reply.item.attempt, item.attempt);
+  EXPECT_EQ(reply.item.issue, item.issue);
+  EXPECT_EQ(reply.item.job_timeout_ms, item.job_timeout_ms);
+  EXPECT_EQ(reply.item.fingerprint, item.fingerprint);
+  // The shipped spec hashes back to the advertised fingerprint — the check
+  // every worker applies before running a cell.
+  EXPECT_EQ(JobFingerprint(reply.item.spec), item.fingerprint);
+
+  SupervisedOutcome outcome;
+  outcome.ok = false;
+  outcome.attempts = 4;
+  outcome.failure.kind = FailureKind::kTimeout;
+  outcome.failure.message = "deadline";
+  outcome.failure.reproducer_cmdline = ReproducerCmdline(jobs[1], 3);
+  WorkerRequest req;
+  ASSERT_TRUE(ParseWorkerRequest(EncodeResultRequest("w9", item, outcome),
+                                 &req, &error))
+      << error;
+  ASSERT_EQ(req.kind, WorkerRequest::Kind::kResult);
+  EXPECT_EQ(req.worker, "w9");
+  EXPECT_EQ(req.index, item.index);
+  EXPECT_EQ(req.attempt, item.attempt);
+  EXPECT_EQ(req.issue, item.issue);
+  EXPECT_FALSE(req.outcome.ok);
+  EXPECT_EQ(req.outcome.attempts, 4);
+  EXPECT_EQ(req.outcome.failure.kind, FailureKind::kTimeout);
+  EXPECT_EQ(req.outcome.failure.reproducer_cmdline,
+            outcome.failure.reproducer_cmdline);
+}
+
+}  // namespace
+}  // namespace memtis

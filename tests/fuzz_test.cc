@@ -6,13 +6,23 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <map>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "src/audit/audit.h"
 #include "src/common/json.h"
+#include "src/common/json_parse.h"
+#include "src/common/netio.h"
+#include "src/runner/coordinator.h"
+#include "src/runner/work_queue.h"
+#include "src/runner/worker.h"
 #include "src/fault/fault.h"
 #include "src/memtis/memtis_policy.h"
 #include "src/memtis/policy_registry.h"
@@ -442,6 +452,313 @@ TEST(Fuzz, SupervisedStormSweepKeepsParentAlive) {
         << outcomes[i].result.audit_report.ToJson(2);
     EXPECT_GT(outcomes[i].result.metrics.faults.total_injected(), 0u)
         << jobs[i].system;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed-campaign wire and on-disk fuzzing: truncated, garbled, and
+// duplicated frames — and torn queue-directory files — must yield parse
+// failures and structured recovery, never an abort.
+
+std::string SerializeResult(const JobResult& result) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  WriteJobResultJson(w, result);
+  return out;
+}
+
+TEST(Fuzz, FrameDecoderSurvivesGarbageTruncationAndSplits) {
+  // A valid frame split at every possible boundary still decodes.
+  const std::string payload = "{\"type\":\"claim\",\"worker\":\"fuzz\"}";
+  const std::string frame = EncodeFrame(payload);
+  for (size_t split = 0; split <= frame.size(); ++split) {
+    FrameDecoder decoder;
+    decoder.Feed(frame.data(), split);
+    std::string out;
+    EXPECT_FALSE(decoder.bad());
+    const bool early = decoder.Next(&out);
+    EXPECT_EQ(early, split == frame.size());
+    decoder.Feed(frame.data() + split, frame.size() - split);
+    if (!early) {
+      ASSERT_TRUE(decoder.Next(&out));
+    }
+    EXPECT_EQ(out, payload);
+  }
+
+  // Truncation: any prefix of the frame yields no output and no badness.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    FrameDecoder decoder;
+    decoder.Feed(frame.data(), len);
+    std::string out;
+    EXPECT_FALSE(decoder.Next(&out));
+    EXPECT_FALSE(decoder.bad());
+  }
+
+  // An oversize length prefix poisons the decoder instead of allocating.
+  {
+    FrameDecoder decoder;
+    const unsigned char huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    decoder.Feed(reinterpret_cast<const char*>(huge), 4);
+    std::string out;
+    EXPECT_FALSE(decoder.Next(&out));
+    EXPECT_TRUE(decoder.bad());
+  }
+
+  // Random byte soup: frames may decode (any 4-byte prefix is a length) but
+  // nothing crashes, and buffering stays bounded by what was fed.
+  std::mt19937_64 rng(20260809);
+  for (int round = 0; round < 64; ++round) {
+    FrameDecoder decoder;
+    size_t fed = 0;
+    for (int chunk = 0; chunk < 16 && !decoder.bad(); ++chunk) {
+      std::string bytes(1 + rng() % 64, '\0');
+      for (char& c : bytes) {
+        c = static_cast<char>(rng());
+      }
+      decoder.Feed(bytes.data(), bytes.size());
+      fed += bytes.size();
+      std::string out;
+      while (decoder.Next(&out)) {
+      }
+      EXPECT_LE(decoder.buffered_bytes(), fed);
+    }
+  }
+}
+
+TEST(Fuzz, ProtocolParsersNeverAbortOnMutatedFrames) {
+  JobSpec spec;
+  spec.system = "memtis";
+  spec.benchmark = "btree";
+  spec.accesses = 10'000;
+  WorkItem item;
+  item.index = 2;
+  item.attempt = 1;
+  item.issue = 3;
+  item.fingerprint = JobFingerprint(spec);
+  item.spec = spec;
+  SupervisedOutcome outcome;
+  outcome.ok = true;
+  outcome.attempts = 2;
+
+  std::vector<std::string> seeds = {
+      EncodeClaimRequest("w0"),
+      EncodeRenewRequest(item),
+      EncodeResultRequest("w0", item, outcome),
+      EncodeCellReply(item),
+      EncodeSimpleReply(CoordinatorReply::Kind::kDone),
+      EncodeErrorReply("boom"),
+      "",
+      "{",
+      "[1,2,3]",
+      "null",
+      "{\"type\":\"claim\"",
+      "{\"type\":\"result\",\"index\":0}",
+      "{\"type\":\"cell\",\"index\":0,\"spec\":7}",
+      "{\"type\":\"nonsense\"}",
+  };
+  std::mt19937_64 rng(4242);
+  WorkerRequest req;
+  CoordinatorReply reply;
+  std::string error;
+  for (const std::string& seed : seeds) {
+    // The pristine seed, every truncation of it, and byte-flipped variants:
+    // parsers must return true or false, never crash or abort.
+    for (size_t len = 0; len <= seed.size(); ++len) {
+      const std::string t = seed.substr(0, len);
+      ParseWorkerRequest(t, &req, &error);
+      ParseCoordinatorReply(t, &reply, &error);
+    }
+    for (int round = 0; round < 32; ++round) {
+      std::string mutated = seed + seed;  // duplicated content
+      if (!mutated.empty()) {
+        for (int flips = 0; flips < 3; ++flips) {
+          mutated[rng() % mutated.size()] = static_cast<char>(rng());
+        }
+      }
+      ParseWorkerRequest(mutated, &req, &error);
+      ParseCoordinatorReply(mutated, &reply, &error);
+    }
+  }
+
+  // Structurally valid results with out-of-range numerics parse (or are
+  // rejected) without aborting; attempts < 1 must be rejected.
+  EXPECT_FALSE(ParseWorkerRequest(
+      "{\"type\":\"result\",\"worker\":\"w\",\"index\":0,\"attempt\":0,"
+      "\"issue\":0,\"ok\":true,\"attempts\":0,\"result\":{}}",
+      &req, &error));
+}
+
+TEST(Fuzz, CoordinatorSurvivesGarbageClients) {
+  SweepSpec sweep;
+  sweep.systems = {"memtis"};
+  sweep.benchmarks = {"btree"};
+  sweep.accesses = 20'000;
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+
+  std::promise<uint16_t> port_promise;
+  std::shared_future<uint16_t> port(port_promise.get_future());
+  CampaignStats stats;
+  std::string serve_error;
+  std::vector<CellOutcome> outcomes;
+  std::thread coordinator([&] {
+    outcomes = ServeSocketCampaign(
+        jobs, CampaignOptions{}, 0,
+        [&](uint16_t bound) { port_promise.set_value(bound); }, {}, nullptr,
+        &stats, &serve_error);
+  });
+
+  // A parade of hostile clients: raw garbage, a garbled frame, an oversize
+  // length prefix, and an instant hangup. Each should cost only its own
+  // connection.
+  std::mt19937_64 rng(7);
+  for (int client = 0; client < 8; ++client) {
+    std::string error;
+    const int fd = ConnectLoopback(std::to_string(port.get()), &error);
+    ASSERT_GE(fd, 0) << error;
+    std::string bytes;
+    switch (client % 4) {
+      case 0:  // random soup
+        bytes.resize(64 + rng() % 256);
+        for (char& c : bytes) c = static_cast<char>(rng());
+        break;
+      case 1:  // well-framed non-JSON
+        bytes = EncodeFrame("!!not json!!");
+        break;
+      case 2: {  // oversize length prefix
+        const unsigned char huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+        bytes.assign(reinterpret_cast<const char*>(huge), 4);
+        break;
+      }
+      case 3:  // connect-and-slam
+        break;
+    }
+    if (!bytes.empty()) {
+      send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    }
+    close(fd);
+  }
+
+  // A healthy worker still completes the campaign.
+  std::string error;
+  auto queue =
+      MakeSocketWorkQueue(std::to_string(port.get()), "healthy", 5'000, &error);
+  ASSERT_NE(queue, nullptr) << error;
+  WorkerOptions wopts;
+  wopts.name = "healthy";
+  EXPECT_EQ(RunWorker(*queue, wopts), 0);
+  coordinator.join();
+
+  ASSERT_TRUE(serve_error.empty()) << serve_error;
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << outcomes[i].failure.message;
+    EXPECT_EQ(SerializeResult(outcomes[i].result),
+              SerializeResult(RunJob(jobs[i])));
+  }
+}
+
+TEST(Fuzz, FileQueueSurvivesTornTailsAndJunkClaims) {
+  SweepSpec sweep;
+  sweep.systems = {"memtis", "autonuma"};
+  sweep.benchmarks = {"btree"};
+  sweep.accesses = 20'000;
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+
+  const std::string dir = ::testing::TempDir() + "memtis_fuzz_queue";
+  std::system(("rm -rf '" + dir + "' && mkdir -p '" + dir + "'").c_str());
+
+  // Seed the directory with wreckage a crashed fleet could leave behind:
+  // a torn results tail, junk and duplicated reissue lines, a claim file for
+  // a nonexistent cell, and a garbage-content claim squatting on cell 0.
+  {
+    std::ofstream torn(WorkerResultsPath(dir, "dead"));
+    torn << "{\"v\":1,\"fingerprint\":\"deadbeef\",\"ok\":true";  // no newline
+  }
+  {
+    std::ofstream reissue(ReissueFilePath(dir));
+    reissue << "not json at all\n"
+            << "{\"index\":\n"
+            << "{}\n";
+  }
+  {
+    std::ofstream bogus(ClaimFilePath(dir, 999, 0, 0));
+    bogus << "ghost\n";
+  }
+  {
+    std::ofstream squatter(ClaimFilePath(dir, 0, 0, 0));
+    squatter << std::string(512, '\xFF') << "\n";
+  }
+
+  CampaignOptions options;
+  options.lease_timeout_ms = 300;  // evict the squatter quickly
+  CampaignStats stats;
+  std::string serve_error;
+  std::vector<CellOutcome> outcomes;
+  std::thread coordinator([&] {
+    outcomes = ServeFileCampaign(jobs, dir, options, {}, nullptr, &stats,
+                                 &serve_error);
+  });
+  std::string error;
+  auto queue = MakeFileWorkQueue(dir, "healthy", 30'000, &error);
+  ASSERT_NE(queue, nullptr) << error;
+  WorkerOptions wopts;
+  wopts.name = "healthy";
+  EXPECT_EQ(RunWorker(*queue, wopts), 0);
+  coordinator.join();
+
+  ASSERT_TRUE(serve_error.empty()) << serve_error;
+  EXPECT_GE(stats.leases_lost, 1u);  // the squatting claim was revoked
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << outcomes[i].failure.message;
+    EXPECT_EQ(SerializeResult(outcomes[i].result),
+              SerializeResult(RunJob(jobs[i])));
+  }
+}
+
+TEST(Fuzz, JobSpecJsonRoundTripPreservesFingerprint) {
+  std::mt19937_64 rng(20260808);
+  const std::vector<std::string> systems = {"memtis", "autonuma", "hemem",
+                                            "nobody\"quoted\\name"};
+  for (int round = 0; round < 128; ++round) {
+    JobSpec spec;
+    spec.system = systems[rng() % systems.size()];
+    spec.benchmark = "btree";
+    spec.fast_ratio = 1.0 / static_cast<double>(2 + rng() % 9);
+    spec.cxl = (rng() % 2) != 0;
+    spec.cpu_contention = (rng() % 2) != 0;
+    spec.accesses = rng() % 100'000;
+    spec.snapshot_interval_ns = rng() % 2 ? 0 : rng();
+    spec.fast_bytes_override = rng() % 2 ? 0 : rng();
+    spec.footprint_scale = 0.5 + static_cast<double>(rng() % 1000) / 100.0;
+    spec.base_seed = rng();
+    spec.seed_index = static_cast<uint32_t>(rng() % 16);
+    spec.engine_seed = rng();
+    spec.audit = (rng() % 2) != 0;
+    spec.audit_epoch_interval_ns = rng() % 2 ? 0 : rng() % 1'000'000;
+    spec.shards = 1 + static_cast<uint32_t>(rng() % 4);
+    spec.faults = rng() % 2 ? "" : "migrate-abort=0.1,seed=7";
+
+    std::string bytes;
+    JsonWriter w(&bytes, 0);
+    WriteJobSpecJson(w, spec);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::Parse(bytes, &doc, &error)) << error;
+    JobSpec back;
+    ASSERT_TRUE(ReadJobSpecJson(doc, &back)) << bytes;
+    EXPECT_EQ(JobFingerprint(back), JobFingerprint(spec)) << bytes;
+  }
+
+  // Garbage documents are rejected, not aborted on.
+  for (const char* text :
+       {"null", "[]", "{}", "{\"system\":\"\"}", "{\"system\":7}",
+        "{\"system\":\"memtis\"}"}) {
+    JsonValue doc;
+    if (JsonValue::Parse(text, &doc, nullptr)) {
+      JobSpec back;
+      ReadJobSpecJson(doc, &back);  // false or harmless true; never aborts
+    }
   }
 }
 

@@ -422,6 +422,43 @@ TEST(Supervisor, RetryAfterInjectedCrashIsDeterministic) {
   EXPECT_EQ(SerializeResult(out.result), SerializeResult(RunJob(retried)));
 }
 
+// The retry-accounting contract distributed campaigns depend on: a retry
+// split across processes (attempt 0 fails on worker A, attempt 1 runs on
+// worker B via first_attempt) must report the same global attempt count,
+// seed, reproducer, and bytes as a single-process max_attempts=2 retry.
+TEST(Supervisor, FirstAttemptRunsAtGlobalAttemptNumber) {
+  const JobSpec spec = SmallSpec();
+  ScopedEnv crash("MEMTIS_CRASH_CELL", JobFingerprint(spec) + ":1");
+
+  // Single-process reference: crash once, succeed on the folded seed.
+  SupervisorOptions local;
+  local.max_attempts = 2;
+  local.backoff_base_ms = 0;
+  const SupervisedOutcome reference = RunJobSupervised(spec, local);
+  ASSERT_TRUE(reference.ok);
+  ASSERT_EQ(reference.attempts, 2);
+
+  // "Worker A": one attempt at global attempt 0 — crashes, counts 1 attempt,
+  // and its reproducer names attempt 0.
+  SupervisorOptions one_shot;
+  one_shot.max_attempts = 1;
+  one_shot.backoff_base_ms = 0;
+  const SupervisedOutcome a0 = RunJobSupervised(spec, one_shot);
+  ASSERT_FALSE(a0.ok);
+  EXPECT_EQ(a0.attempts, 1);
+  EXPECT_EQ(a0.failure.kind, FailureKind::kCrash);
+  EXPECT_EQ(a0.failure.reproducer_cmdline, ReproducerCmdline(spec, 0));
+
+  // "Worker B": one attempt at global attempt 1 — the crash hook (armed for
+  // attempt 0 only) does not fire, the seed folds, and the global attempt
+  // count lands at 2, exactly like the single-process retry.
+  one_shot.first_attempt = 1;
+  const SupervisedOutcome a1 = RunJobSupervised(spec, one_shot);
+  ASSERT_TRUE(a1.ok) << a1.failure.message;
+  EXPECT_EQ(a1.attempts, 2);
+  EXPECT_EQ(SerializeResult(a1.result), SerializeResult(reference.result));
+}
+
 TEST(ResilientSweep, RetriedSweepIsByteIdenticalAcrossThreadCounts) {
   SweepSpec sweep;
   sweep.systems = {"memtis", "autonuma"};
