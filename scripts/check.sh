@@ -21,7 +21,9 @@
 # distributed-campaign chaos/differential suite (multi-worker byte-identity,
 # killed/hung workers, coordinator SIGKILL + restart, wire/claim-file fuzz)
 # under the sanitizers, since the coordinator/worker layer is the repo's
-# first socket and multi-process I/O.
+# first socket and multi-process I/O, and a ninth pass driving the snapshot
+# plane's kill-storm (kill-anywhere differentials, snapshot-loader corruption
+# fuzzers, real-SIGKILL checkpoint smoke) under the same sanitizers.
 # Usage:
 #
 #   scripts/check.sh [build-dir]
@@ -124,3 +126,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
     -R '(Distributed\.|Campaign\.|smoke_distributed)'
 "$BUILD_DIR/tests/fuzz_test" --gtest_filter='Fuzz.FrameDecoder*:Fuzz.Protocol*:Fuzz.Coordinator*:Fuzz.FileQueue*:Fuzz.JobSpecJson*'
 echo "distributed chaos pass: clean"
+echo "== ninth pass: checkpoint kill-storm under ASan/UBSan =="
+# The snapshot plane end to end in the sanitized build: serializer/envelope
+# units, the kill-anywhere differentials (supervised local and the 4-worker
+# socket campaign, storm + auditor included), the snapshot-loader corruption
+# fuzzers, and the real-SIGKILL smoke script — so every snapshot write,
+# restore, quarantine, and resumed fork path is leak- and UB-checked.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
+    -R '(Serializer\.|SnapshotFile\.|SnapshotStore\.|Checkpoint\.|smoke_checkpoint)'
+"$BUILD_DIR/tests/fuzz_test" --gtest_filter='Fuzz.Snapshot*'
+echo "checkpoint kill-storm pass: clean"

@@ -124,6 +124,45 @@ class PebsSampler {
     ++stats_.samples[static_cast<int>(type)];
   }
 
+  // Checkpointing: periods, countdowns (signed — the batched path can drive
+  // them through zero), controller clocks, buffer fill, and stats.
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    for (uint64_t p : period_) w.U64(p);
+    for (int64_t c : countdown_) w.I64(c);
+    w.U64(busy_ns_);
+    w.U64(window_busy_ns_);
+    w.U64(last_adjust_ns_);
+    w.U64(buffer_fill_);
+    w.U64(last_drain_ns_);
+    usage_ema_.SaveState(w);
+    for (uint64_t s : stats_.samples) w.U64(s);
+    for (uint64_t d : stats_.dropped) w.U64(d);
+    w.U64(stats_.overflow_drops);
+    w.U64(stats_.fault_drops);
+    w.U64(stats_.period_raises);
+    w.U64(stats_.period_drops);
+    w.U64(stats_.last_period_change_ns);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    for (uint64_t& p : period_) p = r.U64();
+    for (int64_t& c : countdown_) c = r.I64();
+    busy_ns_ = r.U64();
+    window_busy_ns_ = r.U64();
+    last_adjust_ns_ = r.U64();
+    buffer_fill_ = r.U64();
+    last_drain_ns_ = r.U64();
+    usage_ema_.LoadState(r);
+    for (uint64_t& s : stats_.samples) s = r.U64();
+    for (uint64_t& d : stats_.dropped) d = r.U64();
+    stats_.overflow_drops = r.U64();
+    stats_.fault_drops = r.U64();
+    stats_.period_raises = r.U64();
+    stats_.period_drops = r.U64();
+    stats_.last_period_change_ns = r.U64();
+  }
+
  private:
   // A record fired; decide whether it reaches the owner. Stays inline so the
   // no-faults unbounded-buffer configuration costs two predictable branches.

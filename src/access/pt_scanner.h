@@ -59,6 +59,28 @@ class PtScanner {
   uint64_t busy_ns() const { return busy_ns_; }
   uint64_t scans() const { return scans_; }
 
+  // Checkpointing: the referenced bitmap is sized lazily, so the restored
+  // vector adopts the snapshot's length.
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.U64(referenced_.size());
+    w.Bytes(referenced_.data(), referenced_.size());
+    w.U64(busy_ns_);
+    w.U64(scans_);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    const uint64_t n = r.U64();
+    if (n > (1ull << 32)) {
+      r.Fail();
+      return;
+    }
+    referenced_.assign(n, 0);
+    r.Bytes(referenced_.data(), referenced_.size());
+    busy_ns_ = r.U64();
+    scans_ = r.U64();
+  }
+
  private:
   PtScanConfig config_;
   std::vector<uint8_t> referenced_;

@@ -8,6 +8,7 @@
 #include "src/common/json.h"
 #include "src/common/json_parse.h"
 #include "src/memtis/memtis_policy.h"
+#include "src/snapshot/serializer.h"
 
 namespace memtis {
 
@@ -566,6 +567,23 @@ void InvariantAuditor::AuditNow(Engine& engine, bool include_expensive) {
     }
     check.fn(engine, collector_);
   }
+}
+
+void InvariantAuditor::SaveState(StateWriter& w) const {
+  w.Section(0x41554454u);  // "AUDT"
+  w.Str(report_.ToJson());
+  w.U64(ticks_seen_);
+  w.U64(audits_run_);
+}
+
+void InvariantAuditor::LoadState(StateReader& r) {
+  r.Section(0x41554454u);
+  JsonValue v;
+  if (!JsonValue::Parse(r.Str(), &v) || !AuditReport::FromJson(v, &report_)) {
+    r.Fail();
+  }
+  ticks_seen_ = r.U64();
+  audits_run_ = r.U64();
 }
 
 }  // namespace memtis

@@ -213,6 +213,12 @@ class InvariantAuditor : public EngineObserver {
   const AuditReport& report() const { return report_; }
   uint64_t ticks_seen() const { return ticks_seen_; }
 
+  // Checkpointing: the report (lossless JSON codec) plus the tick/audit
+  // counters, so a restored run's audit document matches the uninterrupted
+  // one byte for byte. Registered checks are reconstructed by construction.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
+
  private:
   struct Check {
     std::string name;

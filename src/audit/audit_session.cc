@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/json.h"
+#include "src/snapshot/serializer.h"
 
 namespace memtis {
 
@@ -37,6 +38,27 @@ void AuditSession::WriteJson(JsonWriter& w) const {
     recorder_->WriteJson(w);
   }
   w.EndObject();
+}
+
+void AuditSession::SaveState(StateWriter& w) const {
+  auditor_.SaveState(w);
+  w.Bool(recorder_.has_value());
+  if (recorder_.has_value()) {
+    recorder_->SaveState(w);
+  }
+}
+
+void AuditSession::LoadState(StateReader& r) {
+  auditor_.LoadState(r);
+  const bool had_recorder = r.Bool();
+  if (had_recorder != recorder_.has_value()) {
+    // Snapshot was taken by a session with different options.
+    r.Fail();
+    return;
+  }
+  if (recorder_.has_value()) {
+    recorder_->LoadState(r);
+  }
 }
 
 bool EnvAuditEnabled() {

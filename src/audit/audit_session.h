@@ -38,6 +38,11 @@ class AuditSession : public EngineObserver {
   // {"report": {...}, "epochs": {...}?}
   void WriteJson(JsonWriter& w) const;
 
+  // Checkpointing: auditor + (optional) recorder state. LoadState requires a
+  // session constructed with the same options (recorder presence must match).
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
+
  private:
   InvariantAuditor auditor_;
   std::optional<EpochRecorder> recorder_;

@@ -20,6 +20,8 @@ namespace memtis {
 
 class JsonWriter;
 class JsonValue;
+class StateWriter;
+class StateReader;
 
 // One epoch's worth of telemetry. Event counters are deltas over the epoch;
 // occupancy, periods, thresholds, bins, and backlogs are sampled at its end.
@@ -96,6 +98,11 @@ class EpochRecorder : public EngineObserver {
 
   // {"interval_ns":..., "recorded_total":..., "dropped":..., "samples":[...]}
   void WriteJson(JsonWriter& w) const;
+
+  // Checkpointing: ring slots (raw index order, via the EpochSample JSON
+  // codec), total count, and the epoch schedule/delta baselines.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   void Record(Engine& engine);

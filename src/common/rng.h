@@ -43,6 +43,17 @@ class Rng {
   // Uniform in [lo, hi].
   uint64_t NextInRange(uint64_t lo, uint64_t hi);
 
+  // Stream-position checkpointing: the four state words are the entire
+  // generator, so saving and restoring them resumes the exact sequence.
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    for (uint64_t word : s_) w.U64(word);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    for (uint64_t& word : s_) word = r.U64();
+  }
+
  private:
   uint64_t s_[4];
 };

@@ -21,6 +21,23 @@ class RunningStat {
   double min() const { return min_; }
   double max() const { return max_; }
 
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.U64(count_);
+    w.F64(mean_);
+    w.F64(m2_);
+    w.F64(min_);
+    w.F64(max_);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    count_ = r.U64();
+    mean_ = r.F64();
+    m2_ = r.F64();
+    min_ = r.F64();
+    max_ = r.F64();
+  }
+
  private:
   uint64_t count_ = 0;
   double mean_ = 0.0;
@@ -38,6 +55,17 @@ class Ema {
   void Add(double sample);
   double value() const { return value_; }
   bool initialized() const { return initialized_; }
+
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.F64(value_);
+    w.Bool(initialized_);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    value_ = r.F64();
+    initialized_ = r.Bool();
+  }
 
  private:
   double decay_;

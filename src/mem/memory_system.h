@@ -29,6 +29,9 @@
 
 namespace memtis {
 
+class StateWriter;
+class StateReader;
+
 struct MemoryConfig {
   uint64_t fast_frames = 0;      // 4 KiB frames in the fast tier
   uint64_t capacity_frames = 0;  // 4 KiB frames in the capacity tier
@@ -428,6 +431,20 @@ class MemorySystem {
   // in `error` (unchanged when consistent).
   bool CheckConsistency() const { return CheckConsistency(nullptr); }
   bool CheckConsistency(std::string* error) const;
+
+  // --- Checkpointing (src/snapshot/) ------------------------------------------
+  //
+  // Serializes every mutable field — page slots (live metadata + hot SoA
+  // twin + per-slot generations, so stale PageRefs stay stale), the buddy
+  // allocators' free-list order, the page table, region maps, tenant
+  // ownership/quota/borrow ratchets, and the migration ledger — against a
+  // freshly constructed MemorySystem of the same MemoryConfig. LoadState
+  // rebuilds the derived structure (hot/self back-references, pooled
+  // HugePageMeta buffers) and latches the reader's error flag on any
+  // configuration mismatch. Attached pointers (TLB, clock, faults) are not
+  // serialized; the owner re-attaches them.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   struct Region {

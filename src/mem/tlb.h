@@ -87,6 +87,37 @@ class Tlb {
   uint32_t base_capacity() const { return base_mask_ + 1; }
   uint32_t huge_capacity() const { return huge_mask_ + 1; }
 
+  // Checkpointing: tags + stats are the whole mutable state; the masks are
+  // configuration and are cross-checked on load.
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.U32(base_mask_);
+    w.U32(huge_mask_);
+    for (Vpn tag : base_tags_) w.U64(tag);
+    for (Vpn tag : huge_tags_) w.U64(tag);
+    w.U64(stats_.base_hits);
+    w.U64(stats_.base_misses);
+    w.U64(stats_.huge_hits);
+    w.U64(stats_.huge_misses);
+    w.U64(stats_.shootdowns);
+    w.U64(stats_.invalidated_entries);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    if (r.U32() != base_mask_ || r.U32() != huge_mask_) {
+      r.Fail();
+      return;
+    }
+    for (Vpn& tag : base_tags_) tag = r.U64();
+    for (Vpn& tag : huge_tags_) tag = r.U64();
+    stats_.base_hits = r.U64();
+    stats_.base_misses = r.U64();
+    stats_.huge_hits = r.U64();
+    stats_.huge_misses = r.U64();
+    stats_.shootdowns = r.U64();
+    stats_.invalidated_entries = r.U64();
+  }
+
  private:
   static uint32_t RoundPow2(uint32_t v);
 

@@ -11,6 +11,7 @@
 
 #include "src/policies/policy_util.h"
 #include "src/sim/policy.h"
+#include "src/snapshot/serializer.h"
 
 namespace memtis {
 
@@ -52,6 +53,20 @@ class AutoNumaPolicy : public TieringPolicy {
     }
     next_scan_ns_ = ctx.now_ns + params_.scan_period_ns;
     arm_.ArmBatch(ctx);
+  }
+
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(StateWriter& w) const override {
+    w.Section(0x414e554du);  // "ANUM"
+    arm_.SaveState(w);
+    limiter_.SaveState(w);
+    w.U64(next_scan_ns_);
+  }
+  void LoadState(StateReader& r) override {
+    r.Section(0x414e554du);
+    arm_.LoadState(r);
+    limiter_.LoadState(r);
+    next_scan_ns_ = r.U64();
   }
 
  private:

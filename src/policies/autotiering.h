@@ -14,6 +14,7 @@
 
 #include "src/policies/policy_util.h"
 #include "src/sim/policy.h"
+#include "src/snapshot/serializer.h"
 
 namespace memtis {
 
@@ -55,6 +56,28 @@ class AutoTieringPolicy : public TieringPolicy {
         .preferred = demotion_started_ ? TierId::kCapacity : TierId::kFast,
         .allow_other_tier = true,
         .use_thp = use_thp};
+  }
+
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(StateWriter& w) const override {
+    w.Section(0x4154524eu);  // "ATRN"
+    arm_.SaveState(w);
+    limiter_.SaveState(w);
+    w.U64(next_scan_ns_);
+    w.U64(scan_epoch_);
+    w.Bool(demotion_started_);
+    w.U64(demote_cursor_);
+    w.U64(exchange_cursor_);
+  }
+  void LoadState(StateReader& r) override {
+    r.Section(0x4154524eu);
+    arm_.LoadState(r);
+    limiter_.LoadState(r);
+    next_scan_ns_ = r.U64();
+    scan_epoch_ = r.U64();
+    demotion_started_ = r.Bool();
+    demote_cursor_ = static_cast<PageIndex>(r.U64());
+    exchange_cursor_ = static_cast<PageIndex>(r.U64());
   }
 
  private:

@@ -142,6 +142,17 @@ class MigrationRateLimiter {
     return true;
   }
 
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.U64(window_start_ns_);
+    w.U64(used_);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    window_start_ns_ = r.U64();
+    used_ = r.U64();
+  }
+
  private:
   uint64_t budget_;
   uint64_t window_ns_;
@@ -190,6 +201,17 @@ class HintFaultArm {
     }
     page.policy_word0 &= ~armed_bit_;
     return true;
+  }
+
+  // Armed bits live in page policy words (serialized with the memory system);
+  // only the scan cursor is policy-side state.
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.U64(cursor_);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    cursor_ = static_cast<PageIndex>(r.U64());
   }
 
  private:

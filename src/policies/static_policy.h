@@ -7,6 +7,7 @@
 #define MEMTIS_SIM_SRC_POLICIES_STATIC_POLICY_H_
 
 #include "src/sim/policy.h"
+#include "src/snapshot/serializer.h"
 
 namespace memtis {
 
@@ -34,6 +35,11 @@ class StaticPolicy : public TieringPolicy {
                         .allow_other_tier = true,
                         .use_thp = use_thp && use_thp_};
   }
+
+  // Stateless: the section marker alone keeps the snapshot layout checked.
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(StateWriter& w) const override { w.Section(0x53544154u); }
+  void LoadState(StateReader& r) override { r.Section(0x53544154u); }
 
  private:
   TierId target_;

@@ -1,0 +1,71 @@
+// Checkpointed cell execution: RunJob with a periodic snapshot of the
+// complete simulation state, and restore-on-restart.
+//
+// The contract (see DESIGN.md "Snapshot format and checkpointed cells"):
+//
+//  - Fidelity. A checkpointed run that is never interrupted is byte-identical
+//    to RunJob(spec): the checkpoint hook fires at Step() boundaries and is
+//    observation-only. A run that is SIGKILLed at ANY point and restarted
+//    restores from the newest valid snapshot and finishes with byte-identical
+//    metrics, audit document, and sink bytes (tests/snapshot_test.cc).
+//  - Coverage. Checkpointing is opt-in per policy/workload via the
+//    SupportsCheckpoint/SaveState/LoadState hooks. CheckpointSupported(spec)
+//    reports up front whether a cell can checkpoint; unsupported cells refuse
+//    with a structured kInvalidSpec failure instead of writing snapshots that
+//    could not restore faithfully.
+//  - Staleness. Snapshots are keyed by (cell fingerprint, attempt): a re-run
+//    under a different attempt (different derived engine seed) ignores old
+//    snapshots and starts clean; only a same-attempt restart resumes.
+//  - Safety. Corrupt, torn, or version-skewed snapshot files are detected by
+//    the CRC-guarded envelope (src/snapshot/snapshot_file.h), quarantined,
+//    and skipped; a payload that decodes but does not match the rebuilt
+//    engine (config drift, layout skew) is discarded and the run starts
+//    fresh. Every failure mode degrades to recomputation — never to a wrong
+//    result.
+
+#ifndef MEMTIS_SIM_SRC_RUNNER_CHECKPOINT_RUNNER_H_
+#define MEMTIS_SIM_SRC_RUNNER_CHECKPOINT_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/runner/sweep.h"
+
+namespace memtis {
+
+// True when every layer of the cell can serialize itself: the policy and the
+// workload both opt in via SupportsCheckpoint, the cell is unsharded (shard
+// sub-engines have no snapshot plumbing), and the spec carries no opaque
+// memtis_tweak hook (not representable in a snapshot key). `why`, when
+// non-null, receives a one-line reason on refusal.
+bool CheckpointSupported(const JobSpec& spec, std::string* why = nullptr);
+
+// Where RunJobCheckpointed keeps (and looks for) its snapshots.
+struct CheckpointContext {
+  // Virtual nanoseconds between snapshots (must be > 0).
+  uint64_t interval_ns = 0;
+  // SnapshotStore base path; slots land at base + ".s0"/".s1".
+  std::string snapshot_base;
+  // Snapshot identity: the cell fingerprint and the global attempt index.
+  // The spec's engine_seed must already be the attempt-derived seed.
+  std::string fingerprint;
+  uint32_t attempt = 0;
+  // Out (optional): set true when the run restored from a snapshot.
+  bool* resumed = nullptr;
+};
+
+// RunJob(spec) with checkpointing armed. Requires CheckpointSupported(spec).
+// Restores from the newest valid same-(fingerprint, attempt) snapshot when
+// one exists, else starts clean; either way writes a snapshot every
+// interval_ns of virtual time.
+//
+// Test-only hook (checkpointed supervised children only):
+//   MEMTIS_KILL_AFTER_CHECKPOINTS=N  a fresh (non-resumed) run raises
+//       SIGKILL immediately after writing its Nth snapshot; resumed runs
+//       never self-kill. This is how the kill/resume differential tests
+//       produce a deterministic mid-run SIGKILL.
+JobResult RunJobCheckpointed(const JobSpec& spec, const CheckpointContext& ctx);
+
+}  // namespace memtis
+
+#endif  // MEMTIS_SIM_SRC_RUNNER_CHECKPOINT_RUNNER_H_

@@ -115,6 +115,7 @@ std::optional<WorkItem> Campaign::NextIssue(uint64_t now_ms) {
     item.attempt = st.attempt;
     item.issue = st.issue;
     item.job_timeout_ms = options_.job_timeout_ms;
+    item.checkpoint_ns = options_.checkpoint_ns;
     item.fingerprint = fingerprints_[i];
     item.spec = jobs_[i];
     return item;
@@ -590,6 +591,7 @@ std::vector<CellOutcome> ServeFileCampaign(
       WorkItem item;
       item.index = i;
       item.job_timeout_ms = options.job_timeout_ms;
+      item.checkpoint_ns = options.checkpoint_ns;
       item.fingerprint = campaign.fingerprint(i);
       item.spec = jobs[i];
       const std::string line = WorkItemLine(item);

@@ -48,6 +48,11 @@ struct CampaignOptions {
   int max_reissues = 8;            // lease losses tolerated per cell
   uint64_t lease_timeout_ms = 10'000;
   uint64_t job_timeout_ms = 0;     // forwarded to workers per issued cell
+  // Forwarded to workers per issued cell (WorkItem::checkpoint_ns): workers
+  // snapshot each cell every checkpoint_ns of virtual time, so a re-issued
+  // lease at the same attempt resumes from the snapshot instead of
+  // restarting. 0 = off.
+  uint64_t checkpoint_ns = 0;
   bool keep_going = false;         // false: first failure stops new issues
   std::string manifest_path;       // "" = no checkpointing
   std::function<bool()> cancelled;  // polled; true stops new issues (SIGINT)

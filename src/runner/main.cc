@@ -11,6 +11,7 @@
 //   memtis_run --config=sweep.conf --threads=8
 //   memtis_run --smoke        # tiny sweep used as a ctest smoke case
 
+#include <cerrno>
 #include <cinttypes>
 #include <csignal>
 #include <cstdio>
@@ -22,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "src/fault/fault.h"
@@ -34,6 +36,7 @@
 #include "src/runner/result_sink.h"
 #include "src/runner/sweep.h"
 #include "src/runner/thread_pool.h"
+#include "src/snapshot/snapshot_file.h"
 #include "src/tenant/colocate.h"
 #include "src/workloads/registry.h"
 
@@ -55,6 +58,7 @@ struct CliOptions {
   std::string worker_name;      // --worker-name (default: w<pid>)
   std::string port_file;        // --port-file target for --serve=0
   uint64_t lease_timeout_ms = 10'000;
+  int result_batch = 1;         // --result-batch: worker-side result batching
   int threads = 0;              // 0 -> ThreadPool::DefaultThreadCount()
   bool quiet = false;
   bool smoke = false;
@@ -141,6 +145,14 @@ void PrintUsage(std::FILE* to = stdout) {
       "                         appended as they finish and skipped on rerun\n"
       "  --keep-going           keep running after a cell fails (default:\n"
       "                         first failure cancels the queued cells)\n"
+      "  --checkpoint-ns=N      snapshot each cell's full simulation state\n"
+      "                         every N virtual ns (implies --supervise); a\n"
+      "                         SIGKILL-class death resumes the same attempt\n"
+      "                         from the newest valid snapshot, byte-identical\n"
+      "                         to an uninterrupted run\n"
+      "  --checkpoint-dir=DIR   where snapshots live (default memtis-ckpt;\n"
+      "                         workers on a file queue default to the queue\n"
+      "                         directory, so any worker can resume any lease)\n"
       "  --engine-seed=N        engine RNG seed for every cell (default 42)\n"
       "  --list-cells           print each cell's fingerprint and canonical\n"
       "                         spec, then exit (for MEMTIS_CRASH_CELL etc.)\n"
@@ -162,7 +174,11 @@ void PrintUsage(std::FILE* to = stdout) {
       "  --lease-timeout-ms=N   re-issue a cell when its worker's lease goes\n"
       "                         this long without a heartbeat (default 10000)\n"
       "  --port-file=FILE       with --serve: write the bound port to FILE\n"
-      "                         once the coordinator is listening\n"
+      "                         once the coordinator is listening (atomic:\n"
+      "                         written to a temp file, then renamed)\n"
+      "  --result-batch=N       with --worker: report very small cells'\n"
+      "                         results in batches of up to N (default 1 =\n"
+      "                         stream each result; merge is byte-identical)\n"
       "\n"
       "Auditing (see README \"Auditing and epoch telemetry\"):\n"
       "  --audit                run every job under the invariant auditor;\n"
@@ -422,6 +438,19 @@ bool ApplyOption(const std::string& key, const std::string& value, CliOptions* c
     cli->exec.keep_going = true;
     return true;
   }
+  if (key == "checkpoint-ns") {
+    cli->exec.checkpoint_ns = std::strtoull(value.c_str(), nullptr, 10);
+    cli->exec.supervise = true;
+    return cli->exec.checkpoint_ns > 0;
+  }
+  if (key == "checkpoint-dir") {
+    cli->exec.checkpoint_dir = value;
+    return !value.empty();
+  }
+  if (key == "result-batch") {
+    cli->result_batch = std::atoi(value.c_str());
+    return cli->result_batch >= 1;
+  }
   if (key == "engine-seed") {
     cli->sweep.engine_seed = std::strtoull(value.c_str(), nullptr, 10);
     return true;
@@ -513,6 +542,7 @@ int WorkerMain(const CliOptions& cli) {
   options.name = cli.worker_name.empty() ? "w" + std::to_string(getpid())
                                          : cli.worker_name;
   options.job_timeout_ms = cli.exec.job_timeout_ms;
+  options.result_batch = cli.result_batch;
   if (const char* kill = std::getenv("MEMTIS_KILL_WORKER")) {
     // Chaos hook: exit hard (no result, no FIN) while holding the Nth lease.
     options.kill_after_cells = std::atoi(kill);
@@ -522,8 +552,9 @@ int WorkerMain(const CliOptions& cli) {
   uint16_t port = 0;
   std::string error;
   std::unique_ptr<WorkQueue> queue;
-  if (ParsePortSpec(cli.worker, &port) ||
-      cli.worker.find(':') != std::string::npos) {
+  const bool socket_backend = ParsePortSpec(cli.worker, &port) ||
+                              cli.worker.find(':') != std::string::npos;
+  if (socket_backend) {
     // Coordinator may still be starting: retry the connect for a while.
     queue = MakeSocketWorkQueue(cli.worker, options.name, 15'000, &error);
   } else {
@@ -535,10 +566,33 @@ int WorkerMain(const CliOptions& cli) {
     std::fprintf(stderr, "memtis_run: %s\n", error.c_str());
     return 1;
   }
+  // Snapshots for checkpointed cells: next to the lease for the file backend
+  // (the queue directory is shared, so any worker resumes any re-issued
+  // lease), a local default for sockets unless --checkpoint-dir says where.
+  options.checkpoint_dir = cli.exec.checkpoint_dir;
+  if (options.checkpoint_dir.empty()) {
+    options.checkpoint_dir = socket_backend ? "memtis-ckpt" : cli.worker;
+  }
+  // Graceful drain: SIGINT/SIGTERM lets the in-flight cell finish and report
+  // before the worker exits 130 (supervised children ignore SIGINT, so the
+  // terminal's process-group delivery cannot kill a cell mid-run).
+  g_interrupted = 0;
+  std::signal(SIGINT, [](int) { g_interrupted = 1; });
+  std::signal(SIGTERM, [](int) { g_interrupted = 1; });
+  options.drain = [] { return g_interrupted != 0; };
+
   const int rc = RunWorker(*queue, options);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
   if (!cli.quiet) {
+    const char* what = rc == 0   ? "campaign decided"
+                       : rc == 3 ? "drained (interrupted)"
+                                 : "gave up (queue unreachable)";
     std::fprintf(stderr, "memtis_run: worker %s: %s\n", options.name.c_str(),
-                 rc == 0 ? "campaign decided" : "gave up (queue unreachable)");
+                 what);
+  }
+  if (rc == 3) {
+    return 130;
   }
   return rc == 0 ? 0 : 1;
 }
@@ -712,6 +766,20 @@ int Main(int argc, char** argv) {
   std::signal(SIGINT, [](int) { g_interrupted = 1; });
   cli.exec.cancelled = [] { return g_interrupted != 0; };
 
+  // Mid-cell checkpointing needs a snapshot directory: default one and make
+  // sure it exists up front, so the first snapshot write cannot fail on a
+  // missing directory deep inside a supervised child.
+  if (cli.exec.checkpoint_ns > 0) {
+    if (cli.exec.checkpoint_dir.empty()) {
+      cli.exec.checkpoint_dir = "memtis-ckpt";
+    }
+    if (mkdir(cli.exec.checkpoint_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "memtis_run: cannot create checkpoint dir %s: %s\n",
+                   cli.exec.checkpoint_dir.c_str(), std::strerror(errno));
+      return 2;
+    }
+  }
+
   std::string manifest_error;
   std::vector<CellOutcome> outcomes;
   if (!cli.serve.empty()) {
@@ -719,6 +787,7 @@ int Main(int argc, char** argv) {
     campaign.max_attempts = cli.exec.max_attempts;
     campaign.lease_timeout_ms = cli.lease_timeout_ms;
     campaign.job_timeout_ms = cli.exec.job_timeout_ms;
+    campaign.checkpoint_ns = cli.exec.checkpoint_ns;
     campaign.keep_going = cli.exec.keep_going;
     campaign.manifest_path = cli.exec.manifest_path;
     campaign.cancelled = cli.exec.cancelled;
@@ -730,8 +799,14 @@ int Main(int argc, char** argv) {
       const size_t cell_count = jobs.size();
       const auto on_listening = [&cli, cell_count](uint16_t bound) {
         if (!cli.port_file.empty()) {
-          std::ofstream pf(cli.port_file);
-          pf << bound << "\n";
+          // Atomic (temp + rename): a reader polling for the file never sees
+          // it empty or half-written — it appears complete or not at all.
+          std::string write_error;
+          if (!WriteFileAtomic(cli.port_file, std::to_string(bound) + "\n",
+                               &write_error)) {
+            std::fprintf(stderr, "memtis_run: cannot write %s: %s\n",
+                         cli.port_file.c_str(), write_error.c_str());
+          }
         }
         if (!cli.quiet) {
           std::fprintf(stderr,

@@ -8,7 +8,8 @@
 namespace memtis {
 
 bool NeedsSupervision(const ExecOptions& exec) {
-  return exec.supervise || exec.job_timeout_ms > 0 || exec.max_attempts > 1;
+  return exec.supervise || exec.job_timeout_ms > 0 || exec.max_attempts > 1 ||
+         exec.checkpoint_ns > 0;
 }
 
 std::vector<CellOutcome> RunJobsResilient(
@@ -36,6 +37,8 @@ std::vector<CellOutcome> RunJobsResilient(
   sup.job_timeout_ms = exec.job_timeout_ms;
   sup.max_attempts = exec.max_attempts < 1 ? 1 : exec.max_attempts;
   sup.backoff_base_ms = exec.backoff_base_ms;
+  sup.checkpoint_ns = exec.checkpoint_ns;
+  sup.checkpoint_dir = exec.checkpoint_dir;
 
   std::mutex progress_mu;
   size_t done = 0;

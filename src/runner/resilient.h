@@ -42,6 +42,12 @@ struct ExecOptions {
   uint64_t backoff_base_ms = 100;  // deterministic exponential backoff base
   bool keep_going = false;         // false: first failure cancels queued cells
   std::string manifest_path;       // "" = no checkpointing
+  // Mid-cell snapshots (implies supervise): children write a full simulation
+  // snapshot every checkpoint_ns of virtual time into checkpoint_dir, and a
+  // SIGKILL-class death resumes the same attempt from the newest valid
+  // snapshot (see SupervisorOptions::checkpoint_ns).
+  uint64_t checkpoint_ns = 0;
+  std::string checkpoint_dir;
   // Polled between cells; return true to stop starting new work (SIGINT).
   std::function<bool()> cancelled;
 };

@@ -14,6 +14,7 @@
 #include "src/common/check.h"
 #include "src/common/json.h"
 #include "src/common/json_parse.h"
+#include "src/runner/checkpoint_runner.h"
 #include "src/runner/job_codec.h"
 
 namespace memtis {
@@ -23,8 +24,12 @@ namespace {
 //   'R' + JSON  — a complete JobResult (success; child then _exit(0)s)
 //   'C' + JSON  — a SIM_CHECK failure record, written by the check hook just
 //                 before abort(); the JSON is {"expr","file","line"}.
+//   'F' + JSON  — a structured JobFailure the child diagnosed itself (e.g. a
+//                 checkpoint-armed cell whose policy cannot checkpoint); the
+//                 child then _exit(0)s and the parent adopts the failure.
 constexpr char kTagResult = 'R';
 constexpr char kTagCheck = 'C';
+constexpr char kTagFail = 'F';
 
 constexpr uint64_t kBackoffCapMs = 10'000;
 // Safety cap for MEMTIS_HANG_CELL when no watchdog is armed: exit instead of
@@ -97,7 +102,8 @@ bool HookMatches(const char* env_name, const std::string& fingerprint,
 }
 
 [[noreturn]] void RunChild(const JobSpec& spec, const std::string& fingerprint,
-                           int attempt, int result_fd, int stderr_fd) {
+                           int attempt, const SupervisorOptions& options,
+                           int result_fd, int stderr_fd) {
   // SIGINT belongs to the sweep driver: a ^C cancels queued cells while
   // in-flight children drain, so children must outlive the terminal's
   // process-group-wide SIGINT.
@@ -123,7 +129,33 @@ bool HookMatches(const char* env_name, const std::string& fingerprint,
     SIM_CHECK(false && "MEMTIS_CRASH_CELL injected crash");
   }
 
-  const JobResult result = RunJob(spec);
+  JobResult result;
+  const bool checkpointing =
+      options.checkpoint_ns > 0 && !options.checkpoint_dir.empty();
+  if (checkpointing) {
+    std::string why;
+    if (!CheckpointSupported(spec, &why)) {
+      // Structured refusal: snapshots for this cell could not restore
+      // faithfully, so refuse up front instead of silently degrading.
+      JobFailure refusal;
+      refusal.kind = FailureKind::kInvalidSpec;
+      refusal.message = "cell cannot checkpoint: " + why;
+      std::string payload(1, kTagFail);
+      JsonWriter w(&payload, 0);
+      WriteJobFailureJson(w, refusal);
+      WriteFully(result_fd, payload.data(), payload.size());
+      close(result_fd);
+      _exit(0);
+    }
+    CheckpointContext ctx;
+    ctx.interval_ns = options.checkpoint_ns;
+    ctx.snapshot_base = options.checkpoint_dir + "/" + fingerprint + ".ckpt";
+    ctx.fingerprint = fingerprint;
+    ctx.attempt = static_cast<uint32_t>(attempt);
+    result = RunJobCheckpointed(spec, ctx);
+  } else {
+    result = RunJob(spec);
+  }
   std::string payload(1, kTagResult);
   JsonWriter w(&payload, 0);
   WriteJobResultJson(w, result);
@@ -196,7 +228,8 @@ void RunAttempt(const JobSpec& spec, const std::string& fingerprint,
   if (pid == 0) {
     close(result_pipe[0]);
     close(stderr_pipe[0]);
-    RunChild(spec, fingerprint, attempt, result_pipe[1], stderr_pipe[1]);
+    RunChild(spec, fingerprint, attempt, options, result_pipe[1],
+             stderr_pipe[1]);
   }
 
   close(result_pipe[1]);
@@ -291,6 +324,18 @@ void RunAttempt(const JobSpec& spec, const std::string& fingerprint,
         "child exited with status " + std::to_string(failure.exit_status);
     return;
   }
+  // Clean exit with a self-diagnosed failure: adopt it verbatim.
+  if (!result.data.empty() && result.data[0] == kTagFail) {
+    JsonValue doc;
+    if (JsonValue::Parse(result.data.substr(1), &doc, nullptr) &&
+        ReadJobFailureJson(doc, &failure)) {
+      failure.stderr_tail = err.data;
+      return;
+    }
+    failure.kind = FailureKind::kProtocol;
+    failure.message = "child reported an unparseable failure payload";
+    return;
+  }
   // Clean exit: the payload must be a parseable tagged result.
   if (result.data.empty() || result.data[0] != kTagResult) {
     failure.kind = FailureKind::kProtocol;
@@ -318,16 +363,24 @@ SupervisedOutcome RunJobSupervised(const JobSpec& spec,
 
   const int first_attempt = options.first_attempt < 0 ? 0 : options.first_attempt;
 
+  const bool checkpointing =
+      options.checkpoint_ns > 0 && !options.checkpoint_dir.empty();
+
   SupervisedOutcome outcome;
-  for (int local = 0; local < max_attempts; ++local) {
-    const int attempt = first_attempt + local;
-    if (local > 0 && options.backoff_base_ms > 0) {
-      const uint64_t backoff = options.backoff_base_ms << (local - 1);
+  int attempt = first_attempt;
+  int fresh_attempts = 0;   // attempts with distinct derived seeds
+  int resume_retries = 0;   // same-attempt restore-from-snapshot re-runs
+  int runs = 0;
+  for (;;) {
+    if (runs > 0 && options.backoff_base_ms > 0) {
+      const uint64_t backoff = options.backoff_base_ms
+                               << (runs - 1 < 16 ? runs - 1 : 16);
       SleepMs(backoff < kBackoffCapMs ? backoff : kBackoffCapMs);
     }
     JobSpec attempt_spec = spec;
     attempt_spec.engine_seed = AttemptEngineSeed(spec.engine_seed, attempt);
     RunAttempt(attempt_spec, fingerprint, attempt, options, &outcome);
+    ++runs;
     outcome.attempts = attempt + 1;
     if (outcome.ok) {
       return outcome;
@@ -336,8 +389,24 @@ SupervisedOutcome RunJobSupervised(const JobSpec& spec,
     if (!IsRecoverable(outcome.failure.kind)) {
       return outcome;
     }
+    // SIGKILL-class deaths leave valid snapshots behind: re-run the SAME
+    // attempt so the child restores instead of recomputing. Everything else
+    // advances the attempt (new seed; old snapshots go stale and are
+    // ignored), exactly as before checkpointing existed.
+    const bool resumable =
+        checkpointing &&
+        (outcome.failure.kind == FailureKind::kTimeout ||
+         (outcome.failure.kind == FailureKind::kCrash &&
+          outcome.failure.signal == SIGKILL));
+    if (resumable && resume_retries < options.max_resume_retries) {
+      ++resume_retries;
+      continue;
+    }
+    ++attempt;
+    if (++fresh_attempts >= max_attempts) {
+      return outcome;
+    }
   }
-  return outcome;
 }
 
 }  // namespace memtis

@@ -68,6 +68,22 @@ struct SupervisorOptions {
   uint64_t backoff_base_ms = 0;
   // How much of the child's stderr to keep for JobFailure::stderr_tail.
   size_t stderr_tail_bytes = 4096;
+  // Checkpointing (src/runner/checkpoint_runner.h). When checkpoint_ns > 0
+  // and checkpoint_dir is set, each child runs RunJobCheckpointed: it writes
+  // a snapshot of the full simulation state every checkpoint_ns of virtual
+  // time under checkpoint_dir, keyed by (fingerprint, attempt). After a
+  // SIGKILL-class death (watchdog timeout, or a crash whose signal is
+  // SIGKILL) the retry re-runs the SAME attempt, which restores from the
+  // newest valid snapshot and finishes byte-identical to an uninterrupted
+  // run. All other failures advance the attempt as before — the new attempt
+  // seed makes old snapshots stale and they are ignored. Cells whose policy
+  // or workload cannot checkpoint fail up front with kInvalidSpec.
+  uint64_t checkpoint_ns = 0;
+  std::string checkpoint_dir;
+  // Bound on same-attempt resume retries across the whole call (a snapshot
+  // that keeps dying mid-restore must not loop forever; once exhausted the
+  // failure falls back to the ordinary advance-the-attempt path).
+  int max_resume_retries = 8;
   // Global index of the first attempt this call runs (local runs leave it 0).
   // The distributed coordinator (src/runner/coordinator.h) sets it when
   // re-issuing a failed cell to another worker, so attempt k of this call is

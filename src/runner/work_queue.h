@@ -38,6 +38,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/runner/supervisor.h"
 #include "src/runner/sweep.h"
@@ -55,6 +57,11 @@ struct WorkItem {
   int attempt = 0;
   uint64_t issue = 0;
   uint64_t job_timeout_ms = 0;  // per-attempt watchdog for the worker
+  // Mid-cell snapshot cadence in virtual ns (0 = off). When set, the worker
+  // runs the cell checkpointed (checkpoint_runner.h) with snapshots next to
+  // the lease, so a re-issued lease at the same attempt resumes instead of
+  // restarting. Tolerant wire field: absent on older coordinators reads as 0.
+  uint64_t checkpoint_ns = 0;
   std::string fingerprint;
   JobSpec spec;
 };
@@ -80,6 +87,22 @@ class WorkQueue {
   // Reports the attempt's outcome. False = the campaign is gone.
   virtual bool Complete(const WorkItem& item,
                         const SupervisedOutcome& outcome) = 0;
+
+  // Reports several outcomes at once — the batching path for very small
+  // cells, where per-result round-trips dominate. Semantically identical to
+  // Complete in a loop (and that is the default implementation): batched
+  // results are merged by (fingerprint, attempt) exactly like streamed ones,
+  // so the coordinator's output bytes cannot tell the difference. Backends
+  // override it to amortize transport costs. False = the campaign is gone.
+  virtual bool CompleteBatch(
+      const std::vector<std::pair<WorkItem, SupervisedOutcome>>& batch) {
+    for (const auto& [item, outcome] : batch) {
+      if (!Complete(item, outcome)) {
+        return false;
+      }
+    }
+    return true;
+  }
 };
 
 // Connects to a coordinator at "PORT" or "HOST:PORT" (numeric IPv4),
@@ -108,7 +131,7 @@ std::unique_ptr<WorkQueue> MakeFileWorkQueue(const std::string& dir,
 //    "ok":B,"attempts":N,"result":{...}|"failure":{...}}
 // coordinator -> worker:
 //   {"type":"cell","index":N,"attempt":A,"issue":S,"job_timeout_ms":T,
-//    "fingerprint":F,"spec":{...}}
+//    "checkpoint_ns":C,"fingerprint":F,"spec":{...}}
 //   {"type":"retry"} | {"type":"done"} | {"type":"ok"} | {"type":"revoked"}
 //   {"type":"error","message":M}
 
@@ -145,9 +168,10 @@ std::string EncodeCellReply(const WorkItem& item);
 std::string EncodeSimpleReply(CoordinatorReply::Kind kind);
 std::string EncodeErrorReply(const std::string& message);
 
-// The {"index","attempt","issue","job_timeout_ms","fingerprint","spec"}
-// fields shared by cell replies and cells.jsonl lines. ReadWorkItemFields is
-// tolerant of garbage (false, never aborts).
+// The {"index","attempt","issue","job_timeout_ms","checkpoint_ns",
+// "fingerprint","spec"} fields shared by cell replies and cells.jsonl lines.
+// ReadWorkItemFields is tolerant of garbage (false, never aborts) and of a
+// missing checkpoint_ns (older writers; reads as 0).
 void WriteWorkItemFields(JsonWriter& w, const WorkItem& item);
 bool ReadWorkItemFields(const JsonValue& doc, WorkItem* out);
 

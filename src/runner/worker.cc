@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <thread>
+#include <utility>
+#include <vector>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "src/common/netio.h"
@@ -11,6 +14,12 @@
 
 namespace memtis {
 namespace {
+
+// Cells at or below this access budget are "very small": their runtime is
+// comparable to a result round-trip, so their results are batched. Larger
+// cells flush immediately — the transport cost vanishes in their runtime,
+// and prompt reporting keeps the coordinator's retry decisions timely.
+constexpr uint64_t kBatchableAccesses = 1'000'000;
 
 // Heartbeats one lease until stopped. Renewal failures are deliberately
 // ignored: a revoked lease just means our eventual result will be stale, and
@@ -45,12 +54,30 @@ class LeaseRenewer {
 int RunWorker(WorkQueue& queue, const WorkerOptions& options) {
   int completed = 0;
   bool first_claim = true;
+  bool checkpoint_dir_made = false;
+  std::vector<std::pair<WorkItem, SupervisedOutcome>> pending;
+  // Flushes batched results. False = the campaign is gone, results are moot.
+  const auto flush = [&] {
+    if (pending.empty()) {
+      return true;
+    }
+    std::vector<std::pair<WorkItem, SupervisedOutcome>> batch;
+    batch.swap(pending);
+    return queue.CompleteBatch(batch);
+  };
   for (;;) {
+    if (options.drain != nullptr && options.drain()) {
+      flush();
+      return 3;
+    }
     WorkItem item;
     switch (queue.Claim(&item)) {
       case WorkQueue::ClaimStatus::kDone:
+        flush();  // file backend: late results still help a restarted
+                  // coordinator; socket: harmlessly fails, peer is gone
         return 0;
       case WorkQueue::ClaimStatus::kLost:
+        flush();
         return 1;
       case WorkQueue::ClaimStatus::kClaimed:
         break;
@@ -86,11 +113,35 @@ int RunWorker(WorkQueue& queue, const WorkerOptions& options) {
       sup.first_attempt = item.attempt;
       sup.job_timeout_ms =
           item.job_timeout_ms != 0 ? item.job_timeout_ms : options.job_timeout_ms;
+      if (item.checkpoint_ns != 0 && !options.checkpoint_dir.empty()) {
+        sup.checkpoint_ns = item.checkpoint_ns;
+        sup.checkpoint_dir = options.checkpoint_dir;
+        if (!checkpoint_dir_made) {
+          checkpoint_dir_made = true;
+          mkdir(options.checkpoint_dir.c_str(), 0777);  // EEXIST is fine
+        }
+      }
       LeaseRenewer renewer(queue, item, options.renew_interval_ms);
       outcome = RunJobSupervised(item.spec, sup);
     }
 
-    if (!queue.Complete(item, outcome)) {
+    // Very small cells batch their results; everything else — and a batch
+    // that just reached capacity — flushes now. The merge is byte-identical
+    // either way: the coordinator keys on (fingerprint, attempt), not on
+    // arrival pattern.
+    const bool batchable =
+        options.result_batch > 1 && item.spec.accesses != 0 &&
+        item.spec.accesses <= kBatchableAccesses;
+    bool delivered = true;
+    if (batchable) {
+      pending.emplace_back(std::move(item), std::move(outcome));
+      if (pending.size() >= static_cast<size_t>(options.result_batch)) {
+        delivered = flush();
+      }
+    } else {
+      delivered = flush() && queue.Complete(item, outcome);
+    }
+    if (!delivered) {
       return 0;  // campaign decided while we ran — our result was moot
     }
     ++completed;

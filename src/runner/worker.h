@@ -11,6 +11,7 @@
 #define MEMTIS_SIM_SRC_RUNNER_WORKER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "src/runner/work_queue.h"
@@ -21,6 +22,26 @@ struct WorkerOptions {
   std::string name = "worker";
   uint64_t job_timeout_ms = 0;     // fallback when the cell carries none
   uint64_t renew_interval_ms = 1'000;
+
+  // Where cells that carry a checkpoint_ns write their snapshots (created on
+  // first use). Workers sharing this directory — always true for the file
+  // backend, where it defaults to the queue directory itself — resume each
+  // other's re-issued leases from the newest valid snapshot. Must be
+  // non-empty when the campaign checkpoints: the fallback of silently
+  // running such cells unsnapshotted would still produce the right bytes,
+  // but would lose the resume guarantee without saying so.
+  std::string checkpoint_dir;
+
+  // Graceful drain (SIGINT/SIGTERM): polled between cells. Once true the
+  // worker finishes and reports the in-flight cell, flushes any batched
+  // results, and returns 3 instead of claiming further work.
+  std::function<bool()> drain;
+
+  // Report results in batches of up to this many for very small cells
+  // (RunWorker's kBatchableAccesses), amortizing per-result round-trips.
+  // Large cells and the final cell before an exit flush the batch. 1 = every
+  // result streams immediately (the default, and the chaos-test behaviour).
+  int result_batch = 1;
 
   // Chaos hooks (tests / MEMTIS_KILL_WORKER): exit after completing this many
   // cells while holding the next claimed lease. kill_hard uses _exit so no
@@ -34,9 +55,10 @@ struct WorkerOptions {
   uint64_t hang_first_claim_ms = 0;
 };
 
-// Runs until the queue reports done (0), unreachable (1), or a chaos hook
-// fired a soft kill (2). A cell whose spec does not hash to the advertised
-// fingerprint is reported as kInvalidSpec rather than run.
+// Runs until the queue reports done (0), unreachable (1), a chaos hook fired
+// a soft kill (2), or a requested drain completed (3). A cell whose spec
+// does not hash to the advertised fingerprint is reported as kInvalidSpec
+// rather than run.
 int RunWorker(WorkQueue& queue, const WorkerOptions& options);
 
 }  // namespace memtis

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/json_parse.h"
+#include "src/snapshot/serializer.h"
 #include "src/trace/trace.h"
 
 namespace memtis {
@@ -87,6 +89,14 @@ Metrics Engine::Run(Workload& workload) {
   while (metrics_.accesses < options_.max_accesses) {
     if (!workload.Step(app, rng_)) {
       break;
+    }
+    if (now_ns_ >= next_checkpoint_ns_) [[unlikely]] {
+      // Step boundaries are the checkpoint safe points: no migration, fault
+      // handler, or policy hook is mid-flight. Skip ahead like the tick
+      // schedule so a stalled app writes one snapshot, not a burst.
+      next_checkpoint_ns_ = now_ns_ - now_ns_ % checkpoint_interval_ns_ +
+                            checkpoint_interval_ns_;
+      checkpoint_fn_();
     }
   }
 
@@ -270,6 +280,68 @@ void Engine::DoAccessRun(Vaddr addr, uint64_t count, uint64_t stride,
 
 void Engine::UpdateNextEvent() {
   next_event_ns_ = std::min(next_tick_ns_, next_snapshot_ns_);
+}
+
+void Engine::EnableCheckpoints(uint64_t interval_ns, std::function<void()> fn) {
+  SIM_CHECK_GT(interval_ns, 0u);
+  SIM_CHECK(options_.trace == nullptr);  // trace replay cannot resume mid-file
+  checkpoint_interval_ns_ = interval_ns;
+  checkpoint_fn_ = std::move(fn);
+  next_checkpoint_ns_ = now_ns_ - now_ns_ % interval_ns + interval_ns;
+}
+
+namespace {
+constexpr uint32_t kSectionEngine = 0x454e4753;  // "ENGS"
+}  // namespace
+
+void Engine::SaveState(StateWriter& w) const {
+  w.Section(kSectionEngine);
+  w.Bool(started_);
+  w.U64(now_ns_);
+  w.U64(next_tick_ns_);
+  w.U64(next_snapshot_ns_);
+  w.U64(fault_shrunk_frames_);
+  w.U64(window_accesses_);
+  w.U64(window_fast_);
+  w.U64(window_start_ns_);
+  w.U64(ctx_.pending_app_ns);
+  rng_.SaveState(w);
+  migration_budget_.SaveState(w);
+  fault_injector_.SaveState(w);
+  tlb_.SaveState(w);
+  w.Str(metrics_.ToJson());
+  mem_.SaveState(w);
+}
+
+void Engine::LoadState(StateReader& r) {
+  r.Section(kSectionEngine);
+  started_ = r.Bool();
+  now_ns_ = r.U64();
+  next_tick_ns_ = r.U64();
+  next_snapshot_ns_ = r.U64();
+  fault_shrunk_frames_ = r.U64();
+  window_accesses_ = r.U64();
+  window_fast_ = r.U64();
+  window_start_ns_ = r.U64();
+  ctx_.pending_app_ns = r.U64();
+  rng_.LoadState(r);
+  migration_budget_.LoadState(r);
+  fault_injector_.LoadState(r);
+  tlb_.LoadState(r);
+  const std::string metrics_json = r.Str();
+  if (r.ok()) {
+    JsonValue v;
+    Metrics restored;
+    if (!JsonValue::Parse(metrics_json, &v, nullptr) ||
+        !Metrics::FromJson(v, &restored)) {
+      r.Fail();
+      return;
+    }
+    metrics_ = std::move(restored);
+  }
+  mem_.LoadState(r);
+  ctx_.now_ns = now_ns_;
+  UpdateNextEvent();
 }
 
 void Engine::MaybeShrinkFastTier() {

@@ -10,6 +10,7 @@
 #define MEMTIS_SIM_SRC_SIM_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "src/common/rng.h"
@@ -106,6 +107,25 @@ class Engine {
   PolicyContext& ctx() { return ctx_; }
   const FaultInjector& faults() const { return fault_injector_; }
 
+  // --- Checkpointing (src/snapshot/) ------------------------------------------
+  //
+  // EnableCheckpoints arms an observation-only hook that fires at the first
+  // Step() boundary at or past each multiple of `interval_ns` of virtual
+  // time (skip-ahead like the tick schedule, so a long stall produces one
+  // checkpoint, not a burst). The hook must not touch simulation state:
+  // checkpointing on vs off stays byte-identical. Call it again after
+  // LoadState to re-derive the next deadline from the restored clock.
+  void EnableCheckpoints(uint64_t interval_ns, std::function<void()> fn);
+
+  // Serializes / restores the engine-owned mutable state: clocks, RNG
+  // stream, metrics (lossless JSON codec), migration budget, fault-injector
+  // cursors, TLB ledger, and the full MemorySystem. Policy and workload
+  // state are serialized by the caller via their own hooks. LoadState
+  // assumes `this` was freshly constructed from the same MachineConfig,
+  // EngineOptions, and policy; mismatches latch the reader's error flag.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
+
  private:
   void DoAccessImpl(Vaddr addr, bool is_write);
   void DrainPendingAppTime();
@@ -142,6 +162,10 @@ class Engine {
   uint64_t window_accesses_ = 0;
   uint64_t window_fast_ = 0;
   uint64_t window_start_ns_ = 0;
+  // Checkpoint hook schedule (UINT64_MAX = disabled; one compare per Step).
+  uint64_t checkpoint_interval_ns_ = 0;
+  uint64_t next_checkpoint_ns_ = UINT64_MAX;
+  std::function<void()> checkpoint_fn_;
 };
 
 }  // namespace memtis

@@ -69,6 +69,29 @@ class MigrationBudget {
     tokens_ = static_cast<uint64_t>(static_cast<int64_t>(tokens_) + delta);
   }
 
+  // Checkpointing: rate/burst are configuration (cross-checked on load); the
+  // bucket balance, refill clock, and audit ledger restore verbatim.
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.U64(rate_per_ms_);
+    w.U64(burst_);
+    w.U64(tokens_);
+    w.U64(last_refill_ns_);
+    w.U64(consumed_pages_);
+    w.U64(credited_pages_);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    if (r.U64() != rate_per_ms_ || r.U64() != burst_) {
+      r.Fail();
+      return;
+    }
+    tokens_ = r.U64();
+    last_refill_ns_ = r.U64();
+    consumed_pages_ = r.U64();
+    credited_pages_ = r.U64();
+  }
+
  private:
   void Refill(uint64_t now_ns) {
     if (now_ns <= last_refill_ns_) {

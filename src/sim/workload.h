@@ -18,6 +18,8 @@
 namespace memtis {
 
 class Engine;
+class StateWriter;
+class StateReader;
 
 // Facade handed to workloads; forwards to the engine.
 class App {
@@ -79,6 +81,19 @@ class Workload {
     (void)num_shards;
     return nullptr;
   }
+
+  // --- Checkpointing (src/snapshot/) ------------------------------------------
+  //
+  // Opt-in like TieringPolicy's hooks. SaveState captures the workload's
+  // cursors and the base addresses of its regions; LoadState restores them
+  // into a freshly constructed workload of the same (name, scale, seed) —
+  // Setup() is NOT called on the restore path (the restored MemorySystem
+  // already holds the regions), so LoadState must rebuild any derived
+  // structures (indices, samplers) from the saved bases itself. Restore
+  // failures latch the reader's error flag.
+  virtual bool SupportsCheckpoint() const { return false; }
+  virtual void SaveState(StateWriter& w) const { (void)w; }
+  virtual void LoadState(StateReader& r) { (void)r; }
 };
 
 }  // namespace memtis

@@ -1,0 +1,203 @@
+#include "src/snapshot/snapshot_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/snapshot/serializer.h"
+
+namespace memtis {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'T', 'S', 'P'};
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return in.good() || in.eof();
+}
+
+void Quarantine(const std::string& path) {
+  const std::string corrupt = path + ".corrupt";
+  ::unlink(corrupt.c_str());
+  ::rename(path.c_str(), corrupt.c_str());
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotBlob& blob) {
+  StateWriter body;
+  body.Str(blob.fingerprint);
+  body.U32(blob.attempt);
+  body.U64(blob.sequence);
+  body.Str(blob.payload);
+
+  StateWriter file;
+  file.Bytes(kMagic, sizeof(kMagic));
+  file.U32(kSnapshotVersion);
+  file.U64(body.data().size());
+  file.Bytes(body.data().data(), body.data().size());
+  file.U32(Crc32(file.data()));
+  return file.Take();
+}
+
+bool DecodeSnapshot(std::string_view image, SnapshotBlob* out,
+                    std::string* error) {
+  const auto fail = [&](const char* why) {
+    if (error) *error = why;
+    return false;
+  };
+  // magic + version + body_len + crc is the minimum envelope.
+  constexpr size_t kEnvelope = 4 + 4 + 8 + 4;
+  if (image.size() < kEnvelope) return fail("truncated envelope");
+  const std::string_view before_crc = image.substr(0, image.size() - 4);
+  StateReader crc_tail(image.substr(image.size() - 4));
+  if (crc_tail.U32() != Crc32(before_crc)) return fail("crc mismatch");
+
+  StateReader r(before_crc);
+  char magic[4];
+  if (!r.Bytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return fail("bad magic");
+  const uint32_t version = r.U32();
+  if (version != kSnapshotVersion) return fail("version skew");
+  const uint64_t body_len = r.U64();
+  if (body_len != r.remaining()) return fail("body length mismatch");
+
+  SnapshotBlob blob;
+  blob.fingerprint = r.Str();
+  blob.attempt = r.U32();
+  blob.sequence = r.U64();
+  blob.payload = r.Str();
+  if (!r.Done()) return fail("malformed body");
+  *out = std::move(blob);
+  return true;
+}
+
+bool WriteFileAtomic(const std::string& path, std::string_view contents,
+                     std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error) *error = std::string(what) + ": " + std::strerror(errno);
+    return false;
+  };
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return fail("open");
+  size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return fail("write");
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail("fsync");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail("rename");
+  }
+  return true;
+}
+
+SnapshotStore::SnapshotStore(std::string base_path)
+    : base_(std::move(base_path)) {}
+
+std::string SnapshotStore::SlotPath(const std::string& base, int slot) {
+  return base + ".s" + std::to_string(slot);
+}
+
+void SnapshotStore::Probe() {
+  if (probed_) return;
+  probed_ = true;
+  uint64_t best_seq = 0;
+  int best_slot = -1;
+  for (int slot = 0; slot < 2; ++slot) {
+    std::string image;
+    SnapshotBlob blob;
+    std::string err;
+    if (!ReadWholeFile(SlotPath(base_, slot), &image)) continue;
+    if (!DecodeSnapshot(image, &blob, &err)) continue;
+    if (blob.sequence > best_seq) {
+      best_seq = blob.sequence;
+      best_slot = slot;
+    }
+  }
+  next_sequence_ = best_seq + 1;
+  // Never overwrite the newest valid snapshot; rotate into the other slot.
+  next_slot_ = best_slot == 0 ? 1 : 0;
+}
+
+bool SnapshotStore::Write(const std::string& fingerprint, uint32_t attempt,
+                          std::string payload, std::string* error) {
+  Probe();
+  SnapshotBlob blob;
+  blob.fingerprint = fingerprint;
+  blob.attempt = attempt;
+  blob.sequence = next_sequence_;
+  blob.payload = std::move(payload);
+  if (!WriteFileAtomic(SlotPath(base_, next_slot_), EncodeSnapshot(blob),
+                       error))
+    return false;
+  ++next_sequence_;
+  next_slot_ ^= 1;
+  return true;
+}
+
+bool SnapshotStore::LoadNewest(const std::string& fingerprint,
+                               uint32_t attempt, SnapshotBlob* out,
+                               std::string* why) {
+  uint64_t best_seq = 0;
+  bool found = false;
+  std::string reasons;
+  for (int slot = 0; slot < 2; ++slot) {
+    const std::string path = SlotPath(base_, slot);
+    std::string image;
+    if (!ReadWholeFile(path, &image)) continue;
+    SnapshotBlob blob;
+    std::string err;
+    if (!DecodeSnapshot(image, &blob, &err)) {
+      reasons += "slot " + std::to_string(slot) + " quarantined (" + err +
+                 "); ";
+      Quarantine(path);
+      continue;
+    }
+    if (blob.fingerprint != fingerprint || blob.attempt != attempt) {
+      reasons += "slot " + std::to_string(slot) + " stale; ";
+      continue;
+    }
+    if (!found || blob.sequence > best_seq) {
+      best_seq = blob.sequence;
+      *out = std::move(blob);
+      found = true;
+    }
+  }
+  if (!found && why) *why = reasons.empty() ? "no snapshot" : reasons;
+  return found;
+}
+
+void SnapshotStore::Clear() {
+  for (int slot = 0; slot < 2; ++slot)
+    ::unlink(SlotPath(base_, slot).c_str());
+  probed_ = false;
+  next_slot_ = 0;
+  next_sequence_ = 1;
+}
+
+}  // namespace memtis

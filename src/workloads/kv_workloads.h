@@ -34,6 +34,10 @@ class SiloWorkload : public Workload {
   void Setup(App& app, Rng& rng) override;
   bool Step(App& app, Rng& rng) override;
 
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
  private:
   Params params_;
   std::unique_ptr<SparseHugeRegion> store_;
@@ -60,6 +64,10 @@ class BtreeWorkload : public Workload {
   uint64_t footprint_bytes() const override { return params_.footprint_bytes; }
   void Setup(App& app, Rng& rng) override;
   bool Step(App& app, Rng& rng) override;
+
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
 
  private:
   Params params_;

@@ -108,6 +108,17 @@ class SequentialScanner {
 
   uint64_t stride_bytes() const { return stride_bytes_; }
 
+  // Checkpointing: only the cursor is mutable state (the region geometry is
+  // reconstructed from the owning workload's params).
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.U64(cursor_);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    cursor_ = r.U64();
+  }
+
  private:
   Vaddr start_;
   uint64_t span_bytes_;

@@ -32,6 +32,8 @@
 #include "src/runner/supervisor.h"
 #include "src/runner/sweep.h"
 #include "src/runner/thread_pool.h"
+#include "src/snapshot/serializer.h"
+#include "src/snapshot/snapshot_file.h"
 #include "src/workloads/registry.h"
 #include "tests/test_util.h"
 
@@ -784,6 +786,119 @@ TEST_P(HistogramAuditTest, IncrementalStateMatchesRecomputation) {
     CheckMemtisSampleLedger(policy, out);
     CheckPageTableMapping(engine.mem(), out);
     ASSERT_TRUE(report.ok()) << "at " << budget << ": " << report.ToJson(2);
+  }
+}
+
+// The snapshot loader is the one parser that runs on bytes a SIGKILL may
+// have torn mid-write: whatever it is fed, it must either decode the exact
+// blob that was encoded or refuse — never crash, never return a mangled
+// blob. Fuzz every corruption class the checkpoint plane defends against.
+TEST(Fuzz, SnapshotLoaderSurvivesArbitraryCorruption) {
+  std::mt19937_64 rng(20260809);
+
+  for (int trial = 0; trial < 64; ++trial) {
+    SnapshotBlob blob;
+    blob.fingerprint = std::to_string(rng());
+    blob.attempt = static_cast<uint32_t>(rng() % 4);
+    blob.sequence = rng();
+    blob.payload.resize(1 + rng() % 4096);
+    for (char& c : blob.payload) {
+      c = static_cast<char>(rng());
+    }
+    const std::string image = EncodeSnapshot(blob);
+
+    SnapshotBlob out;
+    std::string error;
+    ASSERT_TRUE(DecodeSnapshot(image, &out, &error)) << error;
+    ASSERT_EQ(out.payload, blob.payload);
+
+    // Torn tail: a random strict prefix (what a crash mid-write leaves when
+    // the atomic rename never happened).
+    const size_t cut = rng() % image.size();
+    EXPECT_FALSE(DecodeSnapshot(image.substr(0, cut), &out, &error))
+        << "prefix " << cut << "/" << image.size() << " decoded";
+
+    // Single random bit flip anywhere in the image.
+    std::string flipped = image;
+    const size_t pos = rng() % flipped.size();
+    flipped[pos] = static_cast<char>(flipped[pos] ^ (1u << (rng() % 8)));
+    EXPECT_FALSE(DecodeSnapshot(flipped, &out, &error))
+        << "bit flip at " << pos << " decoded";
+
+    // Appended garbage after a valid image.
+    std::string padded = image;
+    padded.append(1 + rng() % 16, static_cast<char>(rng()));
+    EXPECT_FALSE(DecodeSnapshot(padded, &out, &error));
+
+    // Version skew with a recomputed (valid) CRC: only the version check can
+    // reject it, and it must.
+    std::string skewed = image;
+    skewed[4] = static_cast<char>(skewed[4] + 1 + rng() % 16);
+    const uint32_t crc =
+        Crc32(std::string_view(skewed.data(), skewed.size() - 4));
+    for (int i = 0; i < 4; ++i) {
+      skewed[skewed.size() - 4 + static_cast<size_t>(i)] =
+          static_cast<char>((crc >> (8 * i)) & 0xFF);
+    }
+    EXPECT_FALSE(DecodeSnapshot(skewed, &out, &error));
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+  }
+
+  // Pure garbage of assorted lengths must also bounce off the loader.
+  for (int trial = 0; trial < 256; ++trial) {
+    std::string junk(rng() % 512, '\0');
+    for (char& c : junk) {
+      c = static_cast<char>(rng());
+    }
+    SnapshotBlob out;
+    EXPECT_FALSE(DecodeSnapshot(junk, &out, nullptr));
+  }
+}
+
+// A SnapshotStore facing a corrupted newest slot must quarantine it and fall
+// back to the older valid snapshot — fuzzing the damage location this time.
+TEST(Fuzz, SnapshotStoreFallsBackFromFuzzedSlotDamage) {
+  std::mt19937_64 rng(4242);
+  for (int trial = 0; trial < 16; ++trial) {
+    const std::string dir = ::testing::TempDir() + "memtis_fuzz_snapstore";
+    std::string cmd = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    const std::string base = dir + "/cell.ckpt";
+
+    SnapshotStore store(base);
+    std::string error;
+    ASSERT_TRUE(store.Write("fp", 0, "older-good", &error)) << error;
+    ASSERT_TRUE(store.Write("fp", 0, "newer-good", &error)) << error;
+
+    // Find the slot holding the newest snapshot and damage a random byte (or
+    // tear it at a random offset — alternate per trial).
+    bool damaged = false;
+    for (int slot = 0; slot < 2 && !damaged; ++slot) {
+      const std::string path = SnapshotStore::SlotPath(base, slot);
+      std::ifstream in(path, std::ios::binary);
+      if (!in.is_open()) continue;
+      std::string image((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      SnapshotBlob blob;
+      if (!DecodeSnapshot(image, &blob, nullptr) ||
+          blob.payload != "newer-good") {
+        continue;
+      }
+      if (trial % 2 == 0) {
+        image[rng() % image.size()] ^= static_cast<char>(1u << (rng() % 8));
+      } else {
+        image.resize(rng() % image.size());  // torn write
+      }
+      std::ofstream(path, std::ios::binary | std::ios::trunc)
+          .write(image.data(), static_cast<long>(image.size()));
+      damaged = true;
+    }
+    ASSERT_TRUE(damaged) << "newest slot not found";
+
+    SnapshotStore reader(base);
+    SnapshotBlob fallback;
+    ASSERT_TRUE(reader.LoadNewest("fp", 0, &fallback)) << "trial " << trial;
+    EXPECT_EQ(fallback.payload, "older-good");
   }
 }
 

@@ -1,0 +1,516 @@
+// The checkpoint plane's acceptance tests: a run killed at any tick and
+// restored from its snapshot must finish with byte-identical metrics, audit
+// document, and sink bytes — uninterrupted or SIGKILLed, fault-free or under
+// the storm preset, plain or audited, supervised-local or distributed across
+// four workers. Plus unit coverage of the serializer, the CRC-guarded
+// snapshot envelope, and the SnapshotStore's rotation/quarantine behaviour.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/runner/checkpoint_runner.h"
+#include "src/runner/coordinator.h"
+#include "src/runner/job_codec.h"
+#include "src/runner/resilient.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/supervisor.h"
+#include "src/runner/sweep.h"
+#include "src/runner/thread_pool.h"
+#include "src/runner/work_queue.h"
+#include "src/runner/worker.h"
+#include "src/snapshot/serializer.h"
+#include "src/snapshot/snapshot_file.h"
+
+namespace memtis {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  std::system(cmd.c_str());
+  mkdir(dir.c_str(), 0777);
+  return dir;
+}
+
+// The acceptance bytes of one cell: the complete lossless JobResult JSON
+// (metrics + audit report + epochs), exactly what every sink serializes.
+std::string ResultBytes(const JobResult& result) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  WriteJobResultJson(w, result);
+  return out;
+}
+
+JobSpec CheckpointableSpec(const std::string& system, uint64_t engine_seed,
+                           const std::string& faults = "",
+                           bool audit = false) {
+  JobSpec spec;
+  spec.system = system;
+  spec.benchmark = "btree";
+  spec.accesses = 30'000;
+  spec.engine_seed = engine_seed;
+  spec.faults = faults;
+  spec.audit = audit;
+  if (audit) {
+    spec.audit_epoch_interval_ns = 500'000;
+  }
+  return spec;
+}
+
+// Snapshot cadence dense enough that a 30k-access run writes several
+// snapshots, so "kill after the Nth" lands mid-run, not at the end.
+constexpr uint64_t kIntervalNs = 200'000;
+
+// ---------------------------------------------------------------------------
+// Serializer.
+
+TEST(Serializer, RoundTripsEveryType) {
+  StateWriter w;
+  w.Section(0x54455354);
+  w.U8(0xAB);
+  w.Bool(true);
+  w.Bool(false);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.I64(-42);
+  w.F64(3.141592653589793);
+  w.F64(-0.0);
+  w.Str("");
+  w.Str(std::string("binary\0safe", 11));
+
+  StateReader r(w.data());
+  r.Section(0x54455354);
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_FALSE(r.Bool());
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_EQ(r.F64(), 3.141592653589793);
+  const double neg_zero = r.F64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit pattern, not value, restored
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_EQ(r.Str(), std::string("binary\0safe", 11));
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(Serializer, SectionMismatchLatchesError) {
+  StateWriter w;
+  w.Section(0x41414141);
+  w.U64(7);
+  StateReader r(w.data());
+  r.Section(0x42424242);  // wrong tag: layout skew
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U64(), 0u);  // reads after the latch return zero values
+  EXPECT_FALSE(r.Done());
+}
+
+TEST(Serializer, TrailingGarbageRejected) {
+  StateWriter w;
+  w.U32(1);
+  std::string data = w.Take();
+  data.push_back('\x00');
+  StateReader r(data);
+  EXPECT_EQ(r.U32(), 1u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.Done());  // one unread byte = writer/reader disagree
+}
+
+TEST(Serializer, TruncatedStringLatchesError) {
+  StateWriter w;
+  w.Str("hello");
+  std::string data = w.Take();
+  data.resize(data.size() - 2);  // torn tail inside the string body
+  StateReader r(data);
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot envelope + store.
+
+SnapshotBlob TestBlob(uint64_t sequence = 1, uint32_t attempt = 0) {
+  SnapshotBlob blob;
+  blob.fingerprint = "0123456789abcdef";
+  blob.attempt = attempt;
+  blob.sequence = sequence;
+  blob.payload = std::string(1000, '\x5A') + "payload";
+  return blob;
+}
+
+TEST(SnapshotFile, EncodeDecodeRoundTrip) {
+  const SnapshotBlob blob = TestBlob();
+  const std::string image = EncodeSnapshot(blob);
+  SnapshotBlob out;
+  std::string error;
+  ASSERT_TRUE(DecodeSnapshot(image, &out, &error)) << error;
+  EXPECT_EQ(out.fingerprint, blob.fingerprint);
+  EXPECT_EQ(out.attempt, blob.attempt);
+  EXPECT_EQ(out.sequence, blob.sequence);
+  EXPECT_EQ(out.payload, blob.payload);
+}
+
+TEST(SnapshotFile, RejectsEveryCorruptionClass) {
+  const std::string image = EncodeSnapshot(TestBlob());
+  SnapshotBlob out;
+  std::string error;
+
+  // Bad magic.
+  std::string bad = image;
+  bad[0] = 'X';
+  EXPECT_FALSE(DecodeSnapshot(bad, &out, &error));
+
+  // Version skew with a VALID checksum — a snapshot written by a future
+  // build, not random damage. Bump the version field (bytes 4..7,
+  // little-endian) and recompute the trailing CRC so only the version check
+  // can reject it.
+  bad = image;
+  bad[4] = static_cast<char>(bad[4] + 1);
+  {
+    const uint32_t crc =
+        Crc32(std::string_view(bad.data(), bad.size() - 4));
+    for (int i = 0; i < 4; ++i) {
+      bad[bad.size() - 4 + static_cast<size_t>(i)] =
+          static_cast<char>((crc >> (8 * i)) & 0xFF);
+    }
+  }
+  EXPECT_FALSE(DecodeSnapshot(bad, &out, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  // Torn tail: every strict prefix must be rejected (sampled for speed).
+  for (size_t len = 0; len < image.size(); len += 97) {
+    EXPECT_FALSE(DecodeSnapshot(image.substr(0, len), &out, &error))
+        << "prefix of length " << len << " decoded";
+  }
+  EXPECT_FALSE(DecodeSnapshot(image.substr(0, image.size() - 1), &out, &error));
+
+  // Single bit flips anywhere must be caught by the CRC (sampled).
+  for (size_t pos = 0; pos < image.size(); pos += 13) {
+    bad = image;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+    EXPECT_FALSE(DecodeSnapshot(bad, &out, &error))
+        << "bit flip at byte " << pos << " decoded";
+  }
+
+  // Appended garbage.
+  EXPECT_FALSE(DecodeSnapshot(image + "trailing", &out, &error));
+}
+
+TEST(SnapshotStore, RotatesSlotsAndLoadsNewest) {
+  const std::string dir = TempDirFor("snap_store");
+  SnapshotStore store(dir + "/cell.ckpt");
+  std::string error;
+  ASSERT_TRUE(store.Write("fp", 0, "state-1", &error)) << error;
+  ASSERT_TRUE(store.Write("fp", 0, "state-2", &error)) << error;
+  ASSERT_TRUE(store.Write("fp", 0, "state-3", &error)) << error;
+
+  SnapshotBlob blob;
+  ASSERT_TRUE(store.LoadNewest("fp", 0, &blob));
+  EXPECT_EQ(blob.payload, "state-3");
+
+  // Stale identity: other fingerprint or attempt is skipped, not quarantined.
+  EXPECT_FALSE(store.LoadNewest("other", 0, &blob));
+  EXPECT_FALSE(store.LoadNewest("fp", 1, &blob));
+  ASSERT_TRUE(store.LoadNewest("fp", 0, &blob));  // still intact
+
+  // A fresh store on the same base continues the sequence past a restart.
+  SnapshotStore reopened(dir + "/cell.ckpt");
+  ASSERT_TRUE(reopened.Write("fp", 0, "state-4", &error)) << error;
+  ASSERT_TRUE(reopened.LoadNewest("fp", 0, &blob));
+  EXPECT_EQ(blob.payload, "state-4");
+}
+
+TEST(SnapshotStore, QuarantinesCorruptSlotAndFallsBack) {
+  const std::string dir = TempDirFor("snap_quarantine");
+  SnapshotStore store(dir + "/cell.ckpt");
+  std::string error;
+  ASSERT_TRUE(store.Write("fp", 0, "older", &error)) << error;
+  ASSERT_TRUE(store.Write("fp", 0, "newer", &error)) << error;
+
+  // Flip a byte in whichever slot holds "newer".
+  SnapshotBlob probe;
+  ASSERT_TRUE(store.LoadNewest("fp", 0, &probe));
+  ASSERT_EQ(probe.payload, "newer");
+  for (int slot = 0; slot < 2; ++slot) {
+    const std::string path = SnapshotStore::SlotPath(dir + "/cell.ckpt", slot);
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      continue;
+    }
+    std::string image((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    SnapshotBlob blob;
+    if (DecodeSnapshot(image, &blob, nullptr) && blob.payload == "newer") {
+      image[image.size() / 2] ^= 0x40;
+      std::ofstream(path, std::ios::binary).write(image.data(),
+                                                  static_cast<long>(image.size()));
+      // The corrupt slot is quarantined, the older snapshot still loads.
+      SnapshotStore reader(dir + "/cell.ckpt");
+      SnapshotBlob fallback;
+      ASSERT_TRUE(reader.LoadNewest("fp", 0, &fallback));
+      EXPECT_EQ(fallback.payload, "older");
+      struct stat st;
+      EXPECT_EQ(::stat((path + ".corrupt").c_str(), &st), 0)
+          << "corrupt slot was not quarantined";
+      return;
+    }
+  }
+  FAIL() << "no slot held the newest snapshot";
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointed execution: in-process differentials.
+
+TEST(Checkpoint, UninterruptedRunIsByteIdenticalToPlain) {
+  for (const std::string system : {"memtis", "hemem", "autotiering"}) {
+    for (const uint64_t seed : {42ull, 1337ull}) {
+      const JobSpec spec = CheckpointableSpec(system, seed);
+      const std::string reference = ResultBytes(RunJob(spec));
+
+      const std::string dir = TempDirFor("ck_plain_" + system +
+                                         std::to_string(seed));
+      CheckpointContext ctx;
+      ctx.interval_ns = kIntervalNs;
+      ctx.snapshot_base = dir + "/cell.ckpt";
+      ctx.fingerprint = JobFingerprint(spec);
+      bool resumed = true;
+      ctx.resumed = &resumed;
+      EXPECT_EQ(ResultBytes(RunJobCheckpointed(spec, ctx)), reference)
+          << system << " seed " << seed;
+      EXPECT_FALSE(resumed);
+
+      // Snapshots were actually written at this cadence.
+      SnapshotStore store(ctx.snapshot_base);
+      SnapshotBlob blob;
+      EXPECT_TRUE(store.LoadNewest(ctx.fingerprint, 0, &blob));
+    }
+  }
+}
+
+TEST(Checkpoint, ResumeFromMidRunSnapshotIsByteIdentical) {
+  // Audited + storm: the hardest state to restore (histograms, fault
+  // cursors, audit counters, epoch ring all live).
+  const JobSpec spec =
+      CheckpointableSpec("memtis", 42, "storm", /*audit=*/true);
+  const std::string reference = ResultBytes(RunJob(spec));
+
+  const std::string dir = TempDirFor("ck_resume");
+  CheckpointContext ctx;
+  ctx.interval_ns = kIntervalNs;
+  ctx.snapshot_base = dir + "/cell.ckpt";
+  ctx.fingerprint = JobFingerprint(spec);
+  ASSERT_EQ(ResultBytes(RunJobCheckpointed(spec, ctx)), reference);
+
+  // Second invocation restores from the newest snapshot (mid-to-late run)
+  // and replays only the tail — the result must not change by a byte.
+  bool resumed = false;
+  ctx.resumed = &resumed;
+  EXPECT_EQ(ResultBytes(RunJobCheckpointed(spec, ctx)), reference);
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Checkpoint, StaleAttemptSnapshotIsIgnored) {
+  const JobSpec spec = CheckpointableSpec("autotiering", 42);
+  const std::string dir = TempDirFor("ck_stale");
+  CheckpointContext ctx;
+  ctx.interval_ns = kIntervalNs;
+  ctx.snapshot_base = dir + "/cell.ckpt";
+  ctx.fingerprint = JobFingerprint(spec);
+  ctx.attempt = 0;
+  RunJobCheckpointed(spec, ctx);
+
+  // Attempt 1 (different derived seed) must not resume attempt 0's state.
+  JobSpec retry = spec;
+  retry.engine_seed = AttemptEngineSeed(spec.engine_seed, 1);
+  CheckpointContext retry_ctx = ctx;
+  retry_ctx.attempt = 1;
+  bool resumed = true;
+  retry_ctx.resumed = &resumed;
+  EXPECT_EQ(ResultBytes(RunJobCheckpointed(retry, retry_ctx)),
+            ResultBytes(RunJob(retry)));
+  EXPECT_FALSE(resumed);
+}
+
+TEST(Checkpoint, UnsupportedSpecsRefuseWithReason) {
+  std::string why;
+  JobSpec spec = CheckpointableSpec("nimble", 42);
+  EXPECT_FALSE(CheckpointSupported(spec, &why));
+  EXPECT_NE(why.find("nimble"), std::string::npos) << why;
+
+  spec = CheckpointableSpec("memtis", 42);
+  spec.benchmark = "pagerank";
+  EXPECT_FALSE(CheckpointSupported(spec, &why));
+  EXPECT_NE(why.find("pagerank"), std::string::npos) << why;
+
+  spec = CheckpointableSpec("memtis", 42);
+  spec.benchmark = "stream";
+  spec.shards = 4;
+  EXPECT_FALSE(CheckpointSupported(spec, &why));
+
+  spec = CheckpointableSpec("memtis", 42);
+  spec.memtis_tweak = [](MemtisConfig c) { return c; };
+  EXPECT_FALSE(CheckpointSupported(spec, &why));
+
+  EXPECT_TRUE(CheckpointSupported(CheckpointableSpec("memtis", 42)));
+  EXPECT_TRUE(CheckpointSupported(CheckpointableSpec("all-fast", 42)));
+}
+
+TEST(Checkpoint, SupervisedRefusalIsStructuredInvalidSpec) {
+  SupervisorOptions sup;
+  sup.checkpoint_ns = kIntervalNs;
+  sup.checkpoint_dir = TempDirFor("ck_refuse");
+  const SupervisedOutcome outcome =
+      RunJobSupervised(CheckpointableSpec("nimble", 42), sup);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.failure.kind, FailureKind::kInvalidSpec);
+  EXPECT_NE(outcome.failure.message.find("checkpoint"), std::string::npos)
+      << outcome.failure.message;
+}
+
+// ---------------------------------------------------------------------------
+// The kill-anywhere differential, supervised local: a child SIGKILLed after
+// its Nth snapshot resumes the SAME attempt and finishes byte-identical to an
+// uninterrupted run — across policies, seeds, kill points, fault storms, and
+// auditing.
+
+TEST(Checkpoint, KilledChildResumesByteIdentical) {
+  for (const std::string system : {"memtis", "hemem", "autotiering"}) {
+    for (const uint64_t seed : {42ull, 1337ull}) {
+      const JobSpec spec = CheckpointableSpec(system, seed);
+      const std::string reference = ResultBytes(RunJob(spec));
+      for (const char* kill_after : {"1", "2"}) {
+        SupervisorOptions sup;
+        sup.checkpoint_ns = kIntervalNs;
+        sup.checkpoint_dir = TempDirFor("ck_kill_" + system +
+                                        std::to_string(seed) + kill_after);
+        ScopedEnv kill("MEMTIS_KILL_AFTER_CHECKPOINTS", kill_after);
+        const SupervisedOutcome outcome = RunJobSupervised(spec, sup);
+        ASSERT_TRUE(outcome.ok)
+            << system << " seed " << seed << " kill@" << kill_after << ": "
+            << outcome.failure.message;
+        EXPECT_EQ(outcome.attempts, 1);  // resumed, not retried
+        EXPECT_EQ(ResultBytes(outcome.result), reference)
+            << system << " seed " << seed << " kill@" << kill_after;
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, KilledChildResumesUnderStormAndAudit) {
+  for (const std::string system : {"memtis", "hemem"}) {
+    const JobSpec spec = CheckpointableSpec(system, 42, "storm", /*audit=*/true);
+    const std::string reference = ResultBytes(RunJob(spec));
+    SupervisorOptions sup;
+    sup.checkpoint_ns = kIntervalNs;
+    sup.checkpoint_dir = TempDirFor("ck_storm_" + system);
+    ScopedEnv kill("MEMTIS_KILL_AFTER_CHECKPOINTS", "1");
+    const SupervisedOutcome outcome = RunJobSupervised(spec, sup);
+    ASSERT_TRUE(outcome.ok) << outcome.failure.message;
+    // The full audit document and epoch telemetry ride in ResultBytes.
+    EXPECT_EQ(ResultBytes(outcome.result), reference) << system;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The kill-anywhere differential, distributed: a 4-worker socket campaign
+// where every child self-SIGKILLs after its first snapshot AND one worker
+// soft-dies while holding a lease (re-issued to a peer, which resumes from
+// the shared snapshot directory) must merge to the single-host bytes.
+
+TEST(Checkpoint, FourWorkerCampaignWithKillsIsByteIdentical) {
+  SweepSpec sweep;
+  sweep.systems = {"memtis", "autotiering"};
+  sweep.benchmarks = {"btree"};
+  sweep.accesses = 30'000;
+  sweep.seeds = 2;
+  const std::vector<JobSpec> jobs = ExpandJobs(sweep);
+
+  ExecOptions exec;
+  exec.supervise = true;
+  ThreadPool pool(2);
+  const std::vector<CellOutcome> reference = RunJobsResilient(jobs, pool, exec);
+
+  const std::string ckpt_dir = TempDirFor("ck_dist");
+  CampaignOptions options;
+  options.checkpoint_ns = kIntervalNs;
+  options.lease_timeout_ms = 4'000;
+
+  std::vector<CellOutcome> outcomes;
+  CampaignStats stats;
+  std::string error;
+  std::promise<uint16_t> port_promise;
+  std::shared_future<uint16_t> port_future(port_promise.get_future());
+  ScopedEnv kill("MEMTIS_KILL_AFTER_CHECKPOINTS", "1");
+
+  std::thread coordinator([&] {
+    outcomes = ServeSocketCampaign(
+        jobs, options, /*port=*/0,
+        [&](uint16_t bound) { port_promise.set_value(bound); }, {}, nullptr,
+        &stats, &error);
+  });
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back([&, i] {
+      WorkerOptions opts;
+      opts.name = "ck" + std::to_string(i);
+      opts.checkpoint_dir = ckpt_dir;  // shared: peers resume each other
+      if (i == 0) {
+        opts.kill_after_cells = 1;  // soft-die holding the second lease
+      }
+      if (i == 1) {
+        opts.result_batch = 4;  // batched results merge identically
+      }
+      std::string queue_error;
+      auto queue = MakeSocketWorkQueue(std::to_string(port_future.get()),
+                                       opts.name, 5'000, &queue_error);
+      ASSERT_NE(queue, nullptr) << queue_error;
+      RunWorker(*queue, opts);
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  coordinator.join();
+
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(outcomes.size(), reference.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << "cell " << i << ": "
+                                << outcomes[i].failure.message;
+    ASSERT_TRUE(reference[i].ok);
+    EXPECT_EQ(ResultBytes(outcomes[i].result), ResultBytes(reference[i].result))
+        << "cell " << i;
+  }
+  // The aggregate sink bytes — what a report consumer actually reads.
+  SinkOptions sink;
+  sink.indent = 0;
+  EXPECT_EQ(SweepToJson(sweep, jobs, outcomes, sink),
+            SweepToJson(sweep, jobs, reference, sink));
+  EXPECT_EQ(SweepToCsv(jobs, outcomes), SweepToCsv(jobs, reference));
+}
+
+}  // namespace
+}  // namespace memtis
